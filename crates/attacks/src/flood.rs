@@ -1,0 +1,436 @@
+//! Flood-class attackers: ICMP Flood, Smurf, SYN flood, UDP flood.
+
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+use kalis_core::AttackKind;
+use kalis_netsim::behavior::{Behavior, Ctx};
+use kalis_netsim::craft;
+use kalis_packets::tcp::TcpSegment;
+use kalis_packets::udp::UdpPacket;
+use kalis_packets::{Entity, MacAddr, Medium};
+
+use crate::truth::{SymptomInstance, TruthLog};
+
+const TIMER_BURST: u64 = 100;
+
+fn attacker_mac(ctx: &Ctx<'_>) -> MacAddr {
+    // The simulator assigns MACs from node ids; derive the same default.
+    MacAddr::from_index(ctx.node().0)
+}
+
+/// Shared burst scheduling for flood attackers.
+#[derive(Debug, Clone, Copy)]
+struct BurstPlan {
+    start: Duration,
+    bursts: u32,
+    interval: Duration,
+    sent: u32,
+}
+
+impl BurstPlan {
+    fn new() -> Self {
+        BurstPlan {
+            start: Duration::from_secs(5),
+            bursts: 50,
+            interval: Duration::from_secs(10),
+            sent: 0,
+        }
+    }
+
+    fn arm(&self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.start, TIMER_BURST);
+    }
+
+    /// Whether a burst should fire now; re-arms the timer.
+    fn fire(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        if self.sent >= self.bursts {
+            return false;
+        }
+        self.sent += 1;
+        if self.sent < self.bursts {
+            ctx.set_timer(self.interval, TIMER_BURST);
+        }
+        true
+    }
+}
+
+/// An ICMP Flood attacker (paper §III-A1): "a single attacker node sends
+/// many ICMP Echo Reply messages to the victim, using several different
+/// identities as sender".
+#[derive(Debug)]
+pub struct IcmpFloodAttacker {
+    victim: Ipv4Addr,
+    truth: TruthLog,
+    plan: BurstPlan,
+    replies_per_burst: u16,
+    wifi_seq: u16,
+}
+
+impl IcmpFloodAttacker {
+    /// Flood `victim`, recording symptoms into `truth`. Defaults: 50
+    /// bursts of 40 replies, 10 s apart, starting at t=5 s.
+    pub fn new(victim: Ipv4Addr, truth: TruthLog) -> Self {
+        IcmpFloodAttacker {
+            victim,
+            truth,
+            plan: BurstPlan::new(),
+            replies_per_burst: 40,
+            wifi_seq: 0,
+        }
+    }
+
+    /// Override burst count and interval.
+    pub fn with_bursts(mut self, bursts: u32, interval: Duration) -> Self {
+        self.plan.bursts = bursts;
+        self.plan.interval = interval;
+        self
+    }
+
+    /// Override the per-burst reply count.
+    pub fn with_replies_per_burst(mut self, replies: u16) -> Self {
+        self.replies_per_burst = replies;
+        self
+    }
+
+    /// Override the start delay.
+    pub fn with_start(mut self, start: Duration) -> Self {
+        self.plan.start = start;
+        self
+    }
+}
+
+impl Behavior for IcmpFloodAttacker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.plan.arm(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != TIMER_BURST || !self.plan.fire(ctx) {
+            return;
+        }
+        let mac = attacker_mac(ctx);
+        for i in 0..self.replies_per_burst {
+            // A fresh spoofed sender identity per reply.
+            let spoofed = Ipv4Addr::new(172, 16, (i >> 8) as u8, i as u8);
+            let ip = craft::ipv4_echo_reply(spoofed, self.victim, 0x99, i);
+            self.wifi_seq = self.wifi_seq.wrapping_add(1);
+            ctx.transmit(
+                Medium::Wifi,
+                craft::wifi_ipv4(
+                    mac,
+                    MacAddr::BROADCAST,
+                    MacAddr::from_index(0),
+                    self.wifi_seq,
+                    &ip,
+                ),
+            );
+        }
+        self.truth.record(SymptomInstance {
+            time: ctx.now(),
+            attack: AttackKind::IcmpFlood,
+            victim: Some(Entity::new(self.victim.to_string())),
+            attackers: vec![Entity::from(mac)],
+        });
+    }
+}
+
+/// A Smurf attacker (paper §III-A1): "the attacker sends ICMP Echo Request
+/// messages to several neighbors of the victim using the victim's identity
+/// as sender".
+#[derive(Debug)]
+pub struct SmurfAttacker {
+    victim: Ipv4Addr,
+    reflectors: Vec<Ipv4Addr>,
+    truth: TruthLog,
+    plan: BurstPlan,
+    requests_per_reflector: u16,
+    wifi_seq: u16,
+}
+
+impl SmurfAttacker {
+    /// Attack `victim` by bouncing off `reflectors`.
+    pub fn new(victim: Ipv4Addr, reflectors: Vec<Ipv4Addr>, truth: TruthLog) -> Self {
+        SmurfAttacker {
+            victim,
+            reflectors,
+            truth,
+            plan: BurstPlan::new(),
+            requests_per_reflector: 10,
+            wifi_seq: 0,
+        }
+    }
+
+    /// Override burst count and interval.
+    pub fn with_bursts(mut self, bursts: u32, interval: Duration) -> Self {
+        self.plan.bursts = bursts;
+        self.plan.interval = interval;
+        self
+    }
+
+    /// Override the start delay.
+    pub fn with_start(mut self, start: Duration) -> Self {
+        self.plan.start = start;
+        self
+    }
+}
+
+impl Behavior for SmurfAttacker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.plan.arm(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != TIMER_BURST || !self.plan.fire(ctx) {
+            return;
+        }
+        let mac = attacker_mac(ctx);
+        for round in 0..self.requests_per_reflector {
+            for reflector in &self.reflectors {
+                // The claimed source is the victim: replies amplify back.
+                let ip = craft::ipv4_echo_request(self.victim, *reflector, 0x77, round);
+                self.wifi_seq = self.wifi_seq.wrapping_add(1);
+                ctx.transmit(
+                    Medium::Wifi,
+                    craft::wifi_ipv4(
+                        mac,
+                        MacAddr::BROADCAST,
+                        MacAddr::from_index(0),
+                        self.wifi_seq,
+                        &ip,
+                    ),
+                );
+            }
+        }
+        self.truth.record(SymptomInstance {
+            time: ctx.now(),
+            attack: AttackKind::Smurf,
+            victim: Some(Entity::new(self.victim.to_string())),
+            attackers: vec![Entity::from(mac)],
+        });
+    }
+}
+
+/// A TCP SYN-flood attacker.
+#[derive(Debug)]
+pub struct SynFloodAttacker {
+    victim: Ipv4Addr,
+    truth: TruthLog,
+    plan: BurstPlan,
+    syns_per_burst: u16,
+    wifi_seq: u16,
+}
+
+impl SynFloodAttacker {
+    /// Flood `victim` with half-open connections.
+    pub fn new(victim: Ipv4Addr, truth: TruthLog) -> Self {
+        SynFloodAttacker {
+            victim,
+            truth,
+            plan: BurstPlan::new(),
+            syns_per_burst: 50,
+            wifi_seq: 0,
+        }
+    }
+
+    /// Override burst count and interval.
+    pub fn with_bursts(mut self, bursts: u32, interval: Duration) -> Self {
+        self.plan.bursts = bursts;
+        self.plan.interval = interval;
+        self
+    }
+}
+
+impl Behavior for SynFloodAttacker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.plan.arm(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != TIMER_BURST || !self.plan.fire(ctx) {
+            return;
+        }
+        let mac = attacker_mac(ctx);
+        for i in 0..self.syns_per_burst {
+            let spoofed = Ipv4Addr::new(172, 20, (i >> 8) as u8, i as u8);
+            let ip = craft::ipv4_tcp(
+                spoofed,
+                self.victim,
+                &TcpSegment::syn(20000 + i, 443, u32::from(i)),
+            );
+            self.wifi_seq = self.wifi_seq.wrapping_add(1);
+            ctx.transmit(
+                Medium::Wifi,
+                craft::wifi_ipv4(
+                    mac,
+                    MacAddr::BROADCAST,
+                    MacAddr::from_index(0),
+                    self.wifi_seq,
+                    &ip,
+                ),
+            );
+        }
+        self.truth.record(SymptomInstance {
+            time: ctx.now(),
+            attack: AttackKind::SynFlood,
+            victim: Some(Entity::new(self.victim.to_string())),
+            attackers: vec![Entity::from(mac)],
+        });
+    }
+}
+
+/// A UDP-flood attacker.
+#[derive(Debug)]
+pub struct UdpFloodAttacker {
+    victim: Ipv4Addr,
+    truth: TruthLog,
+    plan: BurstPlan,
+    datagrams_per_burst: u16,
+    wifi_seq: u16,
+}
+
+impl UdpFloodAttacker {
+    /// Flood `victim` with UDP datagrams.
+    pub fn new(victim: Ipv4Addr, truth: TruthLog) -> Self {
+        UdpFloodAttacker {
+            victim,
+            truth,
+            plan: BurstPlan::new(),
+            datagrams_per_burst: 150,
+            wifi_seq: 0,
+        }
+    }
+
+    /// Override burst count and interval.
+    pub fn with_bursts(mut self, bursts: u32, interval: Duration) -> Self {
+        self.plan.bursts = bursts;
+        self.plan.interval = interval;
+        self
+    }
+}
+
+impl Behavior for UdpFloodAttacker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.plan.arm(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != TIMER_BURST || !self.plan.fire(ctx) {
+            return;
+        }
+        let mac = attacker_mac(ctx);
+        for i in 0..self.datagrams_per_burst {
+            let spoofed = Ipv4Addr::new(172, 24, (i >> 8) as u8, i as u8);
+            let ip = craft::ipv4_udp(spoofed, self.victim, &UdpPacket::new(9, 9, vec![0u8; 64]));
+            self.wifi_seq = self.wifi_seq.wrapping_add(1);
+            ctx.transmit(
+                Medium::Wifi,
+                craft::wifi_ipv4(
+                    mac,
+                    MacAddr::BROADCAST,
+                    MacAddr::from_index(0),
+                    self.wifi_seq,
+                    &ip,
+                ),
+            );
+        }
+        self.truth.record(SymptomInstance {
+            time: ctx.now(),
+            attack: AttackKind::UdpFlood,
+            victim: Some(Entity::new(self.victim.to_string())),
+            attackers: vec![Entity::from(mac)],
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalis_netsim::prelude::*;
+    use kalis_packets::TrafficClass;
+
+    #[test]
+    fn icmp_flood_emits_replies_with_many_identities() {
+        let truth = TruthLog::new();
+        let mut sim = Simulator::new(1);
+        let attacker = sim.add_node(NodeSpec::new("a").with_radio(RadioConfig::wifi()));
+        sim.set_behavior(
+            attacker,
+            IcmpFloodAttacker::new(Ipv4Addr::new(10, 0, 0, 7), truth.clone())
+                .with_bursts(2, Duration::from_secs(10))
+                .with_start(Duration::from_secs(1)),
+        );
+        let tap = sim.add_tap("w", Position::new(1.0, 0.0), &[Medium::Wifi]);
+        sim.run_for(Duration::from_secs(15));
+        assert_eq!(truth.len(), 2);
+        let frames = tap.drain();
+        let replies: Vec<_> = frames
+            .iter()
+            .filter(|c| c.traffic_class() == TrafficClass::IcmpEchoReply)
+            .collect();
+        assert_eq!(replies.len(), 80);
+        // Many claimed identities, one physical transmitter.
+        let mut srcs: Vec<_> = replies
+            .iter()
+            .filter_map(|c| c.decoded().and_then(|p| p.net_src()))
+            .collect();
+        srcs.sort();
+        srcs.dedup();
+        assert!(srcs.len() >= 40);
+    }
+
+    #[test]
+    fn smurf_requests_claim_the_victim() {
+        let truth = TruthLog::new();
+        let mut sim = Simulator::new(2);
+        let attacker = sim.add_node(NodeSpec::new("a").with_radio(RadioConfig::wifi()));
+        let victim = Ipv4Addr::new(10, 0, 0, 7);
+        sim.set_behavior(
+            attacker,
+            SmurfAttacker::new(
+                victim,
+                vec![Ipv4Addr::new(10, 0, 0, 8), Ipv4Addr::new(10, 0, 0, 9)],
+                truth.clone(),
+            )
+            .with_bursts(1, Duration::from_secs(10))
+            .with_start(Duration::from_secs(1)),
+        );
+        let tap = sim.add_tap("w", Position::new(1.0, 0.0), &[Medium::Wifi]);
+        sim.run_for(Duration::from_secs(5));
+        let frames = tap.drain();
+        let requests: Vec<_> = frames
+            .iter()
+            .filter(|c| c.traffic_class() == TrafficClass::IcmpEchoRequest)
+            .collect();
+        assert!(!requests.is_empty());
+        assert!(
+            requests
+                .iter()
+                .all(|c| c.decoded().and_then(|p| p.net_src()).unwrap().as_str()
+                    == victim.to_string())
+        );
+        assert_eq!(truth.instances()[0].attack, AttackKind::Smurf);
+    }
+
+    #[test]
+    fn syn_and_udp_floods_record_truth() {
+        let truth = TruthLog::new();
+        let mut sim = Simulator::new(3);
+        let a = sim.add_node(NodeSpec::new("a").with_radio(RadioConfig::wifi()));
+        let b = sim.add_node(NodeSpec::new("b").with_radio(RadioConfig::wifi()));
+        sim.set_behavior(
+            a,
+            SynFloodAttacker::new(Ipv4Addr::new(10, 0, 0, 5), truth.clone())
+                .with_bursts(1, Duration::from_secs(5)),
+        );
+        sim.set_behavior(
+            b,
+            UdpFloodAttacker::new(Ipv4Addr::new(10, 0, 0, 6), truth.clone())
+                .with_bursts(1, Duration::from_secs(5)),
+        );
+        sim.run_for(Duration::from_secs(10));
+        let kinds: Vec<_> = truth.instances().iter().map(|s| s.attack).collect();
+        assert!(kinds.contains(&AttackKind::SynFlood));
+        assert!(kinds.contains(&AttackKind::UdpFlood));
+    }
+}

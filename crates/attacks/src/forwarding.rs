@@ -1,0 +1,247 @@
+//! Forwarding-misbehaviour attackers: selective-forwarding and blackhole
+//! relay policies (plugged into [`kalis_netsim::behaviors::CtpForwarderBehavior`])
+//! and the replication (clone) node.
+
+use std::time::Duration;
+
+use kalis_core::AttackKind;
+use kalis_netsim::behavior::{Behavior, Ctx};
+use kalis_netsim::behaviors::ForwardPolicy;
+use kalis_netsim::craft;
+use kalis_packets::ctp::CtpData;
+use kalis_packets::{Entity, Medium, ShortAddr, Timestamp};
+use rand::{Rng, RngCore};
+
+use crate::truth::{SymptomInstance, TruthLog};
+
+/// A relay policy that drops each frame with probability `drop_rate`,
+/// recording every drop as a selective-forwarding symptom.
+#[derive(Debug)]
+pub struct SelectiveForwardPolicy {
+    attacker: ShortAddr,
+    drop_rate: f64,
+    truth: TruthLog,
+    drops: u64,
+}
+
+impl SelectiveForwardPolicy {
+    /// A policy dropping `drop_rate` (0..=1) of relayed frames.
+    pub fn new(attacker: ShortAddr, drop_rate: f64, truth: TruthLog) -> Self {
+        SelectiveForwardPolicy {
+            attacker,
+            drop_rate,
+            truth,
+            drops: 0,
+        }
+    }
+
+    /// Drops so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+impl ForwardPolicy for SelectiveForwardPolicy {
+    fn should_forward(&mut self, now: Timestamp, frame: &CtpData, rng: &mut dyn RngCore) -> bool {
+        let roll: f64 = rng.gen();
+        if roll < self.drop_rate {
+            self.drops += 1;
+            self.truth.record(SymptomInstance {
+                time: now,
+                attack: AttackKind::SelectiveForwarding,
+                victim: Some(Entity::from(frame.origin)),
+                attackers: vec![Entity::from(self.attacker)],
+            });
+            false
+        } else {
+            true
+        }
+    }
+}
+
+/// A relay policy that drops everything — the blackhole.
+#[derive(Debug)]
+pub struct BlackholePolicy {
+    attacker: ShortAddr,
+    truth: TruthLog,
+    drops: u64,
+}
+
+impl BlackholePolicy {
+    /// A total-drop policy for `attacker`.
+    pub fn new(attacker: ShortAddr, truth: TruthLog) -> Self {
+        BlackholePolicy {
+            attacker,
+            truth,
+            drops: 0,
+        }
+    }
+}
+
+impl ForwardPolicy for BlackholePolicy {
+    fn should_forward(&mut self, now: Timestamp, frame: &CtpData, _rng: &mut dyn RngCore) -> bool {
+        self.drops += 1;
+        self.truth.record(SymptomInstance {
+            time: now,
+            attack: AttackKind::Blackhole,
+            victim: Some(Entity::from(frame.origin)),
+            attackers: vec![Entity::from(self.attacker)],
+        });
+        false
+    }
+}
+
+/// A replication attack node: a malicious device added to the network as a
+/// replica of a legitimate node — it transmits CTP data *claiming the
+/// cloned identity* on its own schedule (paper §VI-B2: "sending data
+/// packets from nodes that are replicas of legitimate nodes").
+#[derive(Debug)]
+pub struct ReplicaNode {
+    cloned: ShortAddr,
+    parent: ShortAddr,
+    period: Duration,
+    start: Duration,
+    truth: TruthLog,
+    seq: u8,
+    active: bool,
+}
+
+impl ReplicaNode {
+    /// A replica of `cloned`, reporting to `parent` every 2 s from t=2 s.
+    pub fn new(cloned: ShortAddr, parent: ShortAddr, truth: TruthLog) -> Self {
+        ReplicaNode {
+            cloned,
+            parent,
+            period: Duration::from_secs(2),
+            start: Duration::from_secs(2),
+            truth,
+            seq: 100, // replicas run their own counter
+            active: true,
+        }
+    }
+
+    /// Override the transmission period.
+    pub fn with_period(mut self, period: Duration) -> Self {
+        self.period = period;
+        self
+    }
+
+    /// Override the start delay.
+    pub fn with_start(mut self, start: Duration) -> Self {
+        self.start = start;
+        self
+    }
+}
+
+impl Behavior for ReplicaNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.start, 1);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if !self.active {
+            return;
+        }
+        self.seq = self.seq.wrapping_add(1);
+        let raw = craft::ctp_data(
+            self.cloned,
+            self.parent,
+            self.seq,
+            self.cloned,
+            self.seq,
+            0,
+            b"forged",
+        );
+        ctx.transmit(Medium::Ieee802154, raw);
+        self.truth.record(SymptomInstance {
+            time: ctx.now(),
+            attack: AttackKind::Replication,
+            victim: Some(Entity::from(self.cloned)),
+            attackers: vec![Entity::from(self.cloned)],
+        });
+        ctx.set_timer(self.period, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalis_netsim::behaviors::{CtpForwarderBehavior, CtpSensorBehavior, CtpSinkBehavior};
+    use kalis_netsim::prelude::*;
+    use kalis_packets::ctp::CtpFrame;
+
+    #[test]
+    fn blackhole_forwarder_relays_nothing() {
+        let truth = TruthLog::new();
+        let mut sim = Simulator::new(4);
+        let leaf = sim.add_node(NodeSpec::new("leaf").with_position(0.0, 0.0));
+        let hole = sim.add_node(NodeSpec::new("hole").with_position(10.0, 0.0));
+        let sink = sim.add_node(NodeSpec::new("sink").with_position(20.0, 0.0));
+        sim.set_behavior(leaf, CtpSensorBehavior::leaf(ShortAddr(3), ShortAddr(2)));
+        sim.set_behavior(
+            hole,
+            CtpForwarderBehavior::with_policy(
+                ShortAddr(2),
+                ShortAddr(1),
+                BlackholePolicy::new(ShortAddr(2), truth.clone()),
+            ),
+        );
+        sim.set_behavior(sink, CtpSinkBehavior::new(ShortAddr(1)));
+        let tap = sim.add_tap("t", Position::new(15.0, 0.0), &[Medium::Ieee802154]);
+        sim.run_for(Duration::from_secs(20));
+        assert!(truth.len() >= 5, "drops recorded: {}", truth.len());
+        // Nothing with THL=1 ever transmitted near the sink.
+        let relayed = tap
+            .drain()
+            .iter()
+            .filter_map(|c| c.decoded().and_then(|p| p.ctp().cloned()))
+            .filter(|c| matches!(c, CtpFrame::Data(d) if d.thl > 0))
+            .count();
+        assert_eq!(relayed, 0);
+    }
+
+    #[test]
+    fn selective_policy_drops_roughly_the_configured_fraction() {
+        let truth = TruthLog::new();
+        let mut policy = SelectiveForwardPolicy::new(ShortAddr(2), 0.5, truth.clone());
+        let mut rng = rand::rngs::mock::StepRng::new(0, u64::MAX / 100);
+        let frame = CtpData {
+            pull: false,
+            congestion: false,
+            thl: 0,
+            etx: 1,
+            origin: ShortAddr(3),
+            origin_seq: 0,
+            collect_id: 0,
+            payload: bytes::Bytes::new(),
+        };
+        let mut forwarded = 0;
+        for i in 0..100u64 {
+            if policy.should_forward(Timestamp::from_millis(i), &frame, &mut rng) {
+                forwarded += 1;
+            }
+        }
+        assert!(forwarded > 20 && forwarded < 80, "forwarded {forwarded}");
+        assert_eq!(policy.drops() as usize, truth.len());
+    }
+
+    #[test]
+    fn replica_transmits_under_cloned_identity() {
+        let truth = TruthLog::new();
+        let mut sim = Simulator::new(5);
+        let replica = sim.add_node(NodeSpec::new("replica").with_position(0.0, 0.0));
+        sim.set_behavior(
+            replica,
+            ReplicaNode::new(ShortAddr(4), ShortAddr(1), truth.clone()),
+        );
+        let tap = sim.add_tap("t", Position::new(1.0, 0.0), &[Medium::Ieee802154]);
+        sim.run_for(Duration::from_secs(10));
+        assert!(truth.len() >= 4);
+        let frames = tap.drain();
+        assert!(frames.iter().all(|c| {
+            c.decoded()
+                .and_then(|p| p.transmitter())
+                .is_some_and(|t| t == Entity::from(ShortAddr(4)))
+        }));
+    }
+}

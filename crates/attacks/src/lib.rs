@@ -1,0 +1,54 @@
+//! # kalis-attacks
+//!
+//! Labelled attack injectors for evaluating the Kalis IDS.
+//!
+//! The paper's methodology records real traces and enhances them "with
+//! additional packets representing symptoms of such attacks", running each
+//! system "on 50 symptom instances, representing the ground truth for
+//! detection" (§VI-A). This crate provides the equivalent: attacker
+//! [`kalis_netsim::behavior::Behavior`]s that inject each attack of the
+//! taxonomy into a simulation while recording every symptom instance into
+//! a shared [`TruthLog`], which the experiment harness scores detections
+//! against.
+//!
+//! One injector exists for every attack the paper's evaluation exercises:
+//! ICMP Flood, Smurf, SYN flood, UDP flood, selective forwarding,
+//! blackhole, sinkhole, Sybil, replication, wormhole, plus WiFi deauth and
+//! Internet-side scanning for the smart-firewall deployment.
+//!
+//! # Examples
+//!
+//! ```
+//! use kalis_attacks::{IcmpFloodAttacker, TruthLog};
+//! use kalis_netsim::prelude::*;
+//! use std::net::Ipv4Addr;
+//! use std::time::Duration;
+//!
+//! let truth = TruthLog::new();
+//! let mut sim = Simulator::new(7);
+//! let attacker = sim.add_node(NodeSpec::new("attacker").with_radio(RadioConfig::wifi()));
+//! sim.set_behavior(
+//!     attacker,
+//!     IcmpFloodAttacker::new(Ipv4Addr::new(10, 0, 0, 7), truth.clone())
+//!         .with_bursts(3, Duration::from_secs(5)),
+//! );
+//! sim.run_for(Duration::from_secs(20));
+//! assert_eq!(truth.instances().len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flood;
+mod forwarding;
+mod routing;
+mod truth;
+mod wifi;
+mod wormhole;
+
+pub use flood::{IcmpFloodAttacker, SmurfAttacker, SynFloodAttacker, UdpFloodAttacker};
+pub use forwarding::{BlackholePolicy, ReplicaNode, SelectiveForwardPolicy};
+pub use routing::{FragmentFloodAttacker, SinkholeAttacker, SybilAttacker};
+pub use truth::{SymptomInstance, TruthLog};
+pub use wifi::{DeauthAttacker, ScanAttacker};
+pub use wormhole::{WormholeEndpointA, WormholeEndpointB, WormholeTunnel};

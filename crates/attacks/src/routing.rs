@@ -1,0 +1,302 @@
+//! Routing/adaptation-layer attackers: sinkhole (forged root-grade
+//! advertisements), Sybil (many identities from one radio), and the
+//! 6LoWPAN incomplete-fragment flood.
+
+use std::time::Duration;
+
+use kalis_core::AttackKind;
+use kalis_netsim::behavior::{Behavior, Ctx};
+use kalis_netsim::craft;
+use kalis_packets::codec::Encode;
+use kalis_packets::sixlowpan::{FragHeader, SixLowpanFrame, SixLowpanPayload};
+use kalis_packets::{Entity, Medium, ShortAddr};
+
+use crate::truth::{SymptomInstance, TruthLog};
+
+/// A sinkhole attacker: periodically broadcasts CTP beacons advertising
+/// itself as a zero-cost route (ETX 0) to attract the collection tree.
+#[derive(Debug)]
+pub struct SinkholeAttacker {
+    addr: ShortAddr,
+    period: Duration,
+    start: Duration,
+    bursts: u32,
+    sent: u32,
+    truth: TruthLog,
+    seq: u8,
+}
+
+impl SinkholeAttacker {
+    /// A sinkhole at `addr`, advertising every 5 s from t=8 s, 50 times.
+    pub fn new(addr: ShortAddr, truth: TruthLog) -> Self {
+        SinkholeAttacker {
+            addr,
+            period: Duration::from_secs(5),
+            start: Duration::from_secs(8),
+            bursts: 50,
+            sent: 0,
+            truth,
+            seq: 0,
+        }
+    }
+
+    /// Override advertisement count and interval.
+    pub fn with_bursts(mut self, bursts: u32, period: Duration) -> Self {
+        self.bursts = bursts;
+        self.period = period;
+        self
+    }
+}
+
+impl Behavior for SinkholeAttacker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.start, 1);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if self.sent >= self.bursts {
+            return;
+        }
+        self.sent += 1;
+        self.seq = self.seq.wrapping_add(1);
+        // Root-grade advertisement: parent = self, ETX = 0.
+        ctx.transmit(
+            Medium::Ieee802154,
+            craft::ctp_beacon(self.addr, self.seq, self.addr, 0),
+        );
+        self.truth.record(SymptomInstance {
+            time: ctx.now(),
+            attack: AttackKind::Sinkhole,
+            victim: None,
+            attackers: vec![Entity::from(self.addr)],
+        });
+        if self.sent < self.bursts {
+            ctx.set_timer(self.period, 1);
+        }
+    }
+}
+
+/// A Sybil attacker: one radio transmitting application data under many
+/// fabricated identities.
+#[derive(Debug)]
+pub struct SybilAttacker {
+    identities: Vec<ShortAddr>,
+    target: ShortAddr,
+    period: Duration,
+    start: Duration,
+    rounds: u32,
+    sent: u32,
+    truth: TruthLog,
+    seq: u8,
+}
+
+impl SybilAttacker {
+    /// A Sybil node claiming `identities`, chattering at `target` every
+    /// 2 s from t=5 s, 50 rounds.
+    pub fn new(identities: Vec<ShortAddr>, target: ShortAddr, truth: TruthLog) -> Self {
+        SybilAttacker {
+            identities,
+            target,
+            period: Duration::from_secs(2),
+            start: Duration::from_secs(5),
+            rounds: 50,
+            sent: 0,
+            truth,
+            seq: 0,
+        }
+    }
+
+    /// Override round count and interval.
+    pub fn with_rounds(mut self, rounds: u32, period: Duration) -> Self {
+        self.rounds = rounds;
+        self.period = period;
+        self
+    }
+}
+
+impl Behavior for SybilAttacker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.start, 1);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if self.sent >= self.rounds {
+            return;
+        }
+        self.sent += 1;
+        for identity in &self.identities {
+            self.seq = self.seq.wrapping_add(1);
+            ctx.transmit(
+                Medium::Ieee802154,
+                craft::zigbee_data(
+                    *identity,
+                    self.target,
+                    self.seq,
+                    *identity,
+                    self.target,
+                    self.seq,
+                    b"sybil",
+                ),
+            );
+        }
+        self.truth.record(SymptomInstance {
+            time: ctx.now(),
+            attack: AttackKind::Sybil,
+            victim: None,
+            attackers: self.identities.iter().copied().map(Entity::from).collect(),
+        });
+        if self.sent < self.rounds {
+            ctx.set_timer(self.period, 1);
+        }
+    }
+}
+
+/// A 6LoWPAN incomplete-fragment flooder: sprays first-fragments that are
+/// never completed, exhausting victims' reassembly buffers.
+#[derive(Debug)]
+pub struct FragmentFloodAttacker {
+    addr: ShortAddr,
+    victim: ShortAddr,
+    bursts: u32,
+    sent: u32,
+    frags_per_burst: u16,
+    interval: Duration,
+    start: Duration,
+    truth: TruthLog,
+    tag: u16,
+}
+
+impl FragmentFloodAttacker {
+    /// Flood `victim` with orphan first-fragments from `addr`.
+    pub fn new(addr: ShortAddr, victim: ShortAddr, truth: TruthLog) -> Self {
+        FragmentFloodAttacker {
+            addr,
+            victim,
+            bursts: 50,
+            sent: 0,
+            frags_per_burst: 12,
+            interval: Duration::from_secs(25),
+            start: Duration::from_secs(5),
+            truth,
+            tag: 0,
+        }
+    }
+
+    /// Override burst count and interval.
+    pub fn with_bursts(mut self, bursts: u32, interval: Duration) -> Self {
+        self.bursts = bursts;
+        self.interval = interval;
+        self
+    }
+}
+
+impl Behavior for FragmentFloodAttacker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.start, 1);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if self.sent >= self.bursts {
+            return;
+        }
+        self.sent += 1;
+        for _ in 0..self.frags_per_burst {
+            self.tag = self.tag.wrapping_add(1);
+            let frame = SixLowpanFrame {
+                mesh: None,
+                frag: Some(FragHeader::First {
+                    datagram_size: 1280,
+                    datagram_tag: self.tag,
+                }),
+                payload: SixLowpanPayload::Ipv6(vec![0u8; 64].into()),
+            };
+            ctx.transmit(
+                Medium::Ieee802154,
+                craft::ieee_data(self.addr, self.victim, self.tag as u8, frame.to_bytes()),
+            );
+        }
+        self.truth.record(SymptomInstance {
+            time: ctx.now(),
+            attack: AttackKind::FragmentFlood,
+            victim: Some(Entity::from(self.victim)),
+            attackers: vec![Entity::from(self.addr)],
+        });
+        if self.sent < self.bursts {
+            ctx.set_timer(self.interval, 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalis_netsim::prelude::*;
+    use kalis_packets::ctp::CtpFrame;
+
+    #[test]
+    fn sinkhole_advertises_zero_etx() {
+        let truth = TruthLog::new();
+        let mut sim = Simulator::new(6);
+        let attacker = sim.add_node(NodeSpec::new("sink-hole"));
+        sim.set_behavior(
+            attacker,
+            SinkholeAttacker::new(ShortAddr(9), truth.clone())
+                .with_bursts(3, Duration::from_secs(2)),
+        );
+        let tap = sim.add_tap("t", Position::new(1.0, 0.0), &[Medium::Ieee802154]);
+        sim.run_for(Duration::from_secs(20));
+        assert_eq!(truth.len(), 3);
+        let beacons: Vec<_> = tap
+            .drain()
+            .iter()
+            .filter_map(|c| c.decoded().and_then(|p| p.ctp().cloned()))
+            .collect();
+        assert!(beacons
+            .iter()
+            .all(|b| matches!(b, CtpFrame::Routing(r) if r.etx == 0)));
+    }
+
+    #[test]
+    fn fragment_flood_sprays_orphan_first_fragments() {
+        let truth = TruthLog::new();
+        let mut sim = Simulator::new(12);
+        let attacker = sim.add_node(NodeSpec::new("fragger"));
+        sim.set_behavior(
+            attacker,
+            FragmentFloodAttacker::new(ShortAddr(9), ShortAddr(1), truth.clone())
+                .with_bursts(2, Duration::from_secs(5)),
+        );
+        let tap = sim.add_tap("t", Position::new(1.0, 0.0), &[Medium::Ieee802154]);
+        sim.run_for(Duration::from_secs(15));
+        assert_eq!(truth.len(), 2);
+        let frames = tap.drain();
+        assert_eq!(frames.len(), 24);
+        assert!(frames
+            .iter()
+            .all(|c| c.traffic_class() == kalis_packets::TrafficClass::SixLowpan));
+    }
+
+    #[test]
+    fn sybil_uses_every_identity_each_round() {
+        let truth = TruthLog::new();
+        let identities = vec![ShortAddr(20), ShortAddr(21), ShortAddr(22)];
+        let mut sim = Simulator::new(7);
+        let attacker = sim.add_node(NodeSpec::new("sybil"));
+        sim.set_behavior(
+            attacker,
+            SybilAttacker::new(identities.clone(), ShortAddr(1), truth.clone())
+                .with_rounds(2, Duration::from_secs(2)),
+        );
+        let tap = sim.add_tap("t", Position::new(1.0, 0.0), &[Medium::Ieee802154]);
+        sim.run_for(Duration::from_secs(12));
+        let mut seen: Vec<_> = tap
+            .drain()
+            .iter()
+            .filter_map(|c| c.decoded().and_then(|p| p.transmitter()))
+            .collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), identities.len());
+        assert_eq!(truth.len(), 2);
+    }
+}

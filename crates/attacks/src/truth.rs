@@ -1,0 +1,80 @@
+//! Ground-truth recording: every injected symptom is logged so the
+//! experiment harness can compute detection rate and classification
+//! accuracy against it.
+
+use std::sync::Arc;
+
+use kalis_core::AttackKind;
+use kalis_packets::{Entity, Timestamp};
+use parking_lot::Mutex;
+
+/// One injected attack symptom — the unit the paper's detection rate is
+/// computed over ("we run the systems on 50 symptom instances,
+/// representing the ground truth for detection").
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymptomInstance {
+    /// When the symptom was injected.
+    pub time: Timestamp,
+    /// The true attack classification.
+    pub attack: AttackKind,
+    /// The entity under attack, when meaningful.
+    pub victim: Option<Entity>,
+    /// The true attacker identities.
+    pub attackers: Vec<Entity>,
+}
+
+/// A shared, clonable log of injected symptoms.
+///
+/// Attack behaviors hold a clone and append as they inject; the harness
+/// reads the accumulated ground truth afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct TruthLog {
+    inner: Arc<Mutex<Vec<SymptomInstance>>>,
+}
+
+impl TruthLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        TruthLog::default()
+    }
+
+    /// Record one symptom instance.
+    pub fn record(&self, instance: SymptomInstance) {
+        self.inner.lock().push(instance);
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn instances(&self) -> Vec<SymptomInstance> {
+        self.inner.lock().clone()
+    }
+
+    /// Number of recorded instances.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_log() {
+        let log = TruthLog::new();
+        let clone = log.clone();
+        clone.record(SymptomInstance {
+            time: Timestamp::ZERO,
+            attack: AttackKind::Sybil,
+            victim: None,
+            attackers: vec![Entity::new("x")],
+        });
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.instances()[0].attack, AttackKind::Sybil);
+        assert!(!log.is_empty());
+    }
+}

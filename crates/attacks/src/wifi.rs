@@ -1,0 +1,231 @@
+//! WiFi- and Internet-side attackers: deauthentication floods and
+//! scanning from the untrusted uplink.
+
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+use kalis_core::AttackKind;
+use kalis_netsim::behavior::{Behavior, Ctx};
+use kalis_netsim::craft;
+use kalis_netsim::node::NodeId;
+use kalis_packets::codec::Encode;
+use kalis_packets::tcp::TcpSegment;
+use kalis_packets::wifi::{WifiBody, WifiFrame};
+use kalis_packets::{Entity, MacAddr, Medium};
+
+use crate::truth::{SymptomInstance, TruthLog};
+
+/// An 802.11 deauthentication flooder.
+#[derive(Debug)]
+pub struct DeauthAttacker {
+    victim: MacAddr,
+    bssid: MacAddr,
+    bursts: u32,
+    sent: u32,
+    frames_per_burst: u16,
+    interval: Duration,
+    start: Duration,
+    truth: TruthLog,
+    seq: u16,
+}
+
+impl DeauthAttacker {
+    /// Flood `victim` with spoofed deauth frames from `bssid`'s identity.
+    pub fn new(victim: MacAddr, bssid: MacAddr, truth: TruthLog) -> Self {
+        DeauthAttacker {
+            victim,
+            bssid,
+            bursts: 50,
+            sent: 0,
+            frames_per_burst: 15,
+            interval: Duration::from_secs(10),
+            start: Duration::from_secs(5),
+            truth,
+            seq: 0,
+        }
+    }
+
+    /// Override burst count and interval.
+    pub fn with_bursts(mut self, bursts: u32, interval: Duration) -> Self {
+        self.bursts = bursts;
+        self.interval = interval;
+        self
+    }
+}
+
+impl Behavior for DeauthAttacker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.start, 1);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if self.sent >= self.bursts {
+            return;
+        }
+        self.sent += 1;
+        let attacker = MacAddr::from_index(ctx.node().0);
+        for _ in 0..self.frames_per_burst {
+            self.seq = self.seq.wrapping_add(1);
+            let frame = WifiFrame {
+                src: attacker,
+                dst: self.victim,
+                bssid: self.bssid,
+                seq: self.seq,
+                body: WifiBody::Deauth { reason: 7 },
+            };
+            ctx.transmit(Medium::Wifi, frame.to_bytes());
+        }
+        self.truth.record(SymptomInstance {
+            time: ctx.now(),
+            attack: AttackKind::Deauth,
+            victim: Some(Entity::from(self.victim)),
+            attackers: vec![Entity::from(attacker)],
+        });
+        if self.sent < self.bursts {
+            ctx.set_timer(self.interval, 1);
+        }
+    }
+}
+
+/// An Internet-side scanner probing the local network through the router
+/// (wired uplink) — the smart-firewall threat model.
+#[derive(Debug)]
+pub struct ScanAttacker {
+    router: NodeId,
+    scanner_ip: Ipv4Addr,
+    targets: Vec<Ipv4Addr>,
+    ports: Vec<u16>,
+    interval: Duration,
+    start: Duration,
+    truth: TruthLog,
+    cursor: usize,
+    swept: u32,
+    sweeps: u32,
+}
+
+impl ScanAttacker {
+    /// Scan `targets` across `ports`, delivering probes to `router`'s
+    /// wired port.
+    pub fn new(
+        router: NodeId,
+        scanner_ip: Ipv4Addr,
+        targets: Vec<Ipv4Addr>,
+        ports: Vec<u16>,
+        truth: TruthLog,
+    ) -> Self {
+        ScanAttacker {
+            router,
+            scanner_ip,
+            targets,
+            ports,
+            interval: Duration::from_millis(200),
+            start: Duration::from_secs(3),
+            truth,
+            cursor: 0,
+            swept: 0,
+            sweeps: 50,
+        }
+    }
+
+    /// Override how many full sweeps to run.
+    pub fn with_sweeps(mut self, sweeps: u32) -> Self {
+        self.sweeps = sweeps;
+        self
+    }
+}
+
+impl Behavior for ScanAttacker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.start, 1);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        let total = self.targets.len() * self.ports.len();
+        if total == 0 || self.swept >= self.sweeps {
+            return;
+        }
+        let target = self.targets[self.cursor % self.targets.len()];
+        let port = self.ports[(self.cursor / self.targets.len()) % self.ports.len()];
+        self.cursor += 1;
+        let ip = craft::ipv4_tcp(
+            self.scanner_ip,
+            target,
+            &TcpSegment::syn(54321, port, self.cursor as u32),
+        );
+        let raw = craft::ethernet_ipv4(
+            MacAddr::from_index(ctx.node().0),
+            MacAddr::from_index(self.router.0),
+            &ip,
+        );
+        ctx.send_wired(self.router, raw);
+        if self.cursor % total == 0 {
+            self.swept += 1;
+            self.truth.record(SymptomInstance {
+                time: ctx.now(),
+                attack: AttackKind::Scan,
+                victim: None,
+                attackers: vec![Entity::new(self.scanner_ip.to_string())],
+            });
+        }
+        ctx.set_timer(self.interval, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalis_netsim::prelude::*;
+    use kalis_packets::TrafficClass;
+
+    #[test]
+    fn deauth_attacker_floods_the_victim() {
+        let truth = TruthLog::new();
+        let mut sim = Simulator::new(8);
+        let attacker = sim.add_node(NodeSpec::new("evil").with_radio(RadioConfig::wifi()));
+        sim.set_behavior(
+            attacker,
+            DeauthAttacker::new(
+                MacAddr::from_index(5),
+                MacAddr::from_index(0),
+                truth.clone(),
+            )
+            .with_bursts(2, Duration::from_secs(5)),
+        );
+        let tap = sim.add_tap("w", Position::new(1.0, 0.0), &[Medium::Wifi]);
+        sim.run_for(Duration::from_secs(15));
+        assert_eq!(truth.len(), 2);
+        let mgmt = tap
+            .drain()
+            .iter()
+            .filter(|c| c.traffic_class() == TrafficClass::WifiMgmt)
+            .count();
+        assert_eq!(mgmt, 30);
+    }
+
+    #[test]
+    fn scanner_sweeps_hosts_and_ports_over_the_wire() {
+        let truth = TruthLog::new();
+        let mut sim = Simulator::new(9);
+        let router = sim.add_node(NodeSpec::new("router"));
+        let scanner = sim.add_node(NodeSpec::new("scanner").with_position(500.0, 0.0));
+        sim.set_behavior(
+            scanner,
+            ScanAttacker::new(
+                router,
+                Ipv4Addr::new(203, 0, 113, 66),
+                vec![Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(10, 0, 0, 3)],
+                vec![22, 80, 443],
+                truth.clone(),
+            )
+            .with_sweeps(1),
+        );
+        let tap = sim.add_wired_tap("eth0", router, &[]);
+        sim.run_for(Duration::from_secs(10));
+        assert_eq!(truth.len(), 1);
+        let frames = tap.drain();
+        assert_eq!(frames.len(), 6, "2 hosts × 3 ports");
+        assert!(frames
+            .iter()
+            .all(|c| c.traffic_class() == TrafficClass::TcpSyn));
+    }
+}

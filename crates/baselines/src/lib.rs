@@ -1,0 +1,20 @@
+//! # kalis-baselines
+//!
+//! The two comparison systems of the paper's evaluation (§VI-B):
+//!
+//! * [`traditional`] — the *traditional IDS*: the same detection-module
+//!   library as Kalis, but "without Knowledge Base, and with all the
+//!   modules active at all times"; for the replication scenario it
+//!   "randomly selects one of the two modules for each ... experiment
+//!   run".
+//! * [`snort`] — a from-scratch simplified-Snort: a rule language
+//!   (header + options including `itype`, `flags`, and `threshold`), a
+//!   matching engine that understands only IP-family traffic (and is
+//!   therefore blind to every ZigBee/802.15.4 scenario, as in the paper),
+//!   and a community-style default ruleset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod snort;
+pub mod traditional;

@@ -1,0 +1,66 @@
+//! Packet codec throughput: full-stack decode for each medium (the
+//! per-packet floor of the whole IDS pipeline).
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use kalis_netsim::craft;
+use kalis_packets::{MacAddr, Medium, Packet, ShortAddr};
+use std::net::Ipv4Addr;
+
+fn bench_codec(c: &mut Criterion) {
+    let samples: Vec<(&str, Medium, Bytes)> = vec![
+        (
+            "ctp_data",
+            Medium::Ieee802154,
+            craft::ctp_data(ShortAddr(2), ShortAddr(1), 7, ShortAddr(5), 3, 1, b"r=21.5"),
+        ),
+        (
+            "zigbee_data",
+            Medium::Ieee802154,
+            craft::zigbee_data(
+                ShortAddr(1),
+                ShortAddr(2),
+                0,
+                ShortAddr(1),
+                ShortAddr(2),
+                9,
+                b"on",
+            ),
+        ),
+        (
+            "wifi_tcp_syn",
+            Medium::Wifi,
+            craft::wifi_ipv4(
+                MacAddr::from_index(1),
+                MacAddr::from_index(2),
+                MacAddr::from_index(0),
+                3,
+                &craft::ipv4_tcp(
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    Ipv4Addr::new(52, 0, 0, 1),
+                    &kalis_packets::tcp::TcpSegment::syn(40000, 443, 1),
+                ),
+            ),
+        ),
+        (
+            "eth_icmp_echo",
+            Medium::Ethernet,
+            craft::ethernet_ipv4(
+                MacAddr::from_index(1),
+                MacAddr::from_index(2),
+                &craft::ipv4_echo_reply(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 1, 1),
+            ),
+        ),
+    ];
+    let mut group = c.benchmark_group("codec");
+    for (name, medium, raw) in samples {
+        group.throughput(Throughput::Bytes(raw.len() as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(Packet::decode(medium, &raw).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! End-to-end ingest throughput for the three systems over identical
+//! traffic — the ablation behind the paper's CPU-usage comparison: the
+//! knowledge-driven module set (Kalis) vs all-modules-on (traditional)
+//! vs whole-rule-list-per-packet (Snort).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use kalis_baselines::snort::SnortIds;
+use kalis_baselines::traditional::{self, ReplicationChoice};
+use kalis_bench::scenarios::{Scenario, ScenarioKind};
+use kalis_core::{Kalis, KalisId};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let scenario = Scenario::build(ScenarioKind::IcmpFlood, 42, 5);
+    let captures = scenario.captures;
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(captures.len() as u64));
+    group.sample_size(20);
+    group.bench_function("kalis_adaptive", |b| {
+        b.iter_batched(
+            || {
+                Kalis::builder(KalisId::new("K1"))
+                    .with_default_modules()
+                    .build()
+            },
+            |mut kalis| {
+                for packet in &captures {
+                    kalis.ingest(packet.clone());
+                }
+                black_box(kalis.alerts().len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("traditional_all_on", |b| {
+        b.iter_batched(
+            || traditional::build("T1", ReplicationChoice::Static),
+            |mut ids| {
+                for packet in &captures {
+                    ids.ingest(packet.clone());
+                }
+                black_box(ids.alerts().len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("snort_ruleset", |b| {
+        b.iter_batched(
+            SnortIds::with_community_rules,
+            |mut snort| {
+                for packet in &captures {
+                    snort.process(packet);
+                }
+                black_box(snort.alerts().len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Times the §VI-C reactivity experiment: cold-start Kalis (empty
+//! configuration) reacting to a changing environment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kalis_bench::experiments::run_reactivity;
+
+fn bench_reactivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reactivity");
+    group.sample_size(10);
+    group.bench_function("empty_config_to_first_detection", |b| {
+        b.iter(|| {
+            let result = run_reactivity(42, 10);
+            assert!(result.first_detection.is_some());
+            black_box(result.detection_rate)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reactivity);
+criterion_main!(benches);

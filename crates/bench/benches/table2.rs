@@ -1,0 +1,25 @@
+//! Times the Table II experiment end-to-end (scenario construction +
+//! all three systems) — and doubles as the regeneration entry point:
+//! `cargo bench --bench table2` re-runs the two §VI-B scenarios.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kalis_bench::experiments::{run_scenario_all_systems, run_table2};
+use kalis_bench::scenarios::ScenarioKind;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("e1_icmp_flood_all_systems", |b| {
+        b.iter(|| black_box(run_scenario_all_systems(ScenarioKind::IcmpFlood, 42, 5)));
+    });
+    group.bench_function("e2_replication_all_systems", |b| {
+        b.iter(|| black_box(run_scenario_all_systems(ScenarioKind::Replication, 42, 5)));
+    });
+    group.bench_function("full_table2_small", |b| {
+        b.iter(|| black_box(run_table2(42, 5, 2)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

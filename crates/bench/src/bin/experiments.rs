@@ -1,0 +1,202 @@
+//! The experiments binary: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! experiments [--table1] [--fig3] [--table2] [--fig8] [--reactivity]
+//!             [--knowledge-sharing] [--all]
+//!             [--symptoms N] [--replication-runs N] [--seed N]
+//! ```
+//!
+//! Defaults to `--all` with the paper's 50 symptom instances and a
+//! reduced 10 replication runs (pass `--replication-runs 100` for the
+//! paper's full count).
+
+use kalis_bench::experiments;
+use kalis_bench::report;
+
+struct Args {
+    table1: bool,
+    fig3: bool,
+    table2: bool,
+    fig8: bool,
+    reactivity: bool,
+    knowledge_sharing: bool,
+    extended: bool,
+    symptoms: u32,
+    replication_runs: u32,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        table1: false,
+        fig3: false,
+        table2: false,
+        fig8: false,
+        reactivity: false,
+        knowledge_sharing: false,
+        extended: false,
+        symptoms: 50,
+        replication_runs: 10,
+        seed: 42,
+    };
+    let mut any = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--table1" => {
+                args.table1 = true;
+                any = true;
+            }
+            "--fig3" => {
+                args.fig3 = true;
+                any = true;
+            }
+            "--table2" => {
+                args.table2 = true;
+                any = true;
+            }
+            "--fig8" => {
+                args.fig8 = true;
+                any = true;
+            }
+            "--reactivity" => {
+                args.reactivity = true;
+                any = true;
+            }
+            "--knowledge-sharing" => {
+                args.knowledge_sharing = true;
+                any = true;
+            }
+            "--extended" => {
+                args.extended = true;
+                any = true;
+            }
+            "--all" => any = false,
+            "--symptoms" => {
+                args.symptoms = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--symptoms needs a number"));
+            }
+            "--replication-runs" => {
+                args.replication_runs = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--replication-runs needs a number"));
+            }
+            "--seed" => {
+                args.seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--table1|--fig3|--table2|--fig8|--reactivity|--knowledge-sharing|--all]\n\
+                     \x20                  [--symptoms N] [--replication-runs N] [--seed N]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if !any {
+        args.table1 = true;
+        args.fig3 = true;
+        args.table2 = true;
+        args.fig8 = true;
+        args.reactivity = true;
+        args.knowledge_sharing = true;
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+
+    if args.table1 {
+        println!("== Table I: taxonomy of IoT attacks by target ==");
+        println!("{}", kalis_core::taxonomy::render_table1());
+    }
+    if args.fig3 {
+        println!("== Fig. 3: taxonomy of feature/attack relationships ==");
+        println!("{}", report::render_fig3());
+    }
+    if args.table2 {
+        println!(
+            "== Table II (symptoms={}, replication runs={}) ==",
+            args.symptoms, args.replication_runs
+        );
+        let table = experiments::run_table2(args.seed, args.symptoms, args.replication_runs);
+        println!("{}", report::render_table2(&table));
+        // The countermeasure anecdote of §VI-B1.
+        for sys in &table.icmp_flood.systems {
+            if let Some(cm) = &sys.countermeasures {
+                println!(
+                    "countermeasures [{}]: revoked={} attackers-hit={} victim-revoked={} precision={}",
+                    sys.name,
+                    cm.revoked,
+                    cm.revoked_attackers,
+                    cm.victim_revoked,
+                    report::pct(cm.precision()),
+                );
+            }
+        }
+        println!();
+    }
+    if args.fig8 {
+        println!("== Fig. 8 (symptoms={}) ==", args.symptoms);
+        let results = experiments::run_fig8(args.seed, args.symptoms);
+        println!("{}", report::render_fig8(&results));
+    }
+    if args.extended {
+        println!("== Extended scenario set (symptoms={}) ==", args.symptoms);
+        let results = experiments::run_extended(args.seed, args.symptoms);
+        println!("{}", report::render_fig8(&results));
+    }
+    if args.reactivity {
+        println!("== Reactivity (§VI-C) ==");
+        let result = experiments::run_reactivity(args.seed, args.symptoms.min(30));
+        println!("first symptom at      : {}", result.first_symptom);
+        match result.first_detection {
+            Some(t) => println!("first detection at    : {t}"),
+            None => println!("first detection at    : never"),
+        }
+        println!(
+            "detection rate        : {}",
+            report::pct(result.detection_rate)
+        );
+        println!(
+            "final active modules  : {}",
+            result.final_active_modules.join(", ")
+        );
+        println!();
+    }
+    if args.knowledge_sharing {
+        println!("== Knowledge sharing (§VI-D) ==");
+        let result = experiments::run_knowledge_sharing(args.seed, 30);
+        let names = |kinds: &[kalis_core::AttackKind]| {
+            kinds
+                .iter()
+                .map(|k| k.label())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!("isolated verdicts     : {}", names(&result.isolated_kinds));
+        println!(
+            "collaborative verdicts: {}",
+            names(&result.collaborative_kinds)
+        );
+        println!("wormhole identified   : {}", result.wormhole_identified);
+        println!(
+            "detection rate        : {}",
+            report::pct(result.score.detection_rate())
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! The experiment drivers regenerating the paper's evaluation artifacts.
+
+use kalis_core::metrics::ResourceMeter;
+use kalis_core::{AttackKind, Kalis, KalisId};
+use kalis_packets::Timestamp;
+
+use crate::runner::{self, Detection, RunOutcome};
+use crate::scenarios::{Scenario, ScenarioKind};
+use crate::scoring::{self, CountermeasureScore, Score};
+
+/// One system's results on one scenario.
+#[derive(Debug)]
+pub struct SystemResult {
+    /// System name (`Kalis`, `Trad. IDS`, `Snort`).
+    pub name: &'static str,
+    /// Effectiveness metrics.
+    pub score: Score,
+    /// Resource metrics.
+    pub meter: ResourceMeter,
+    /// Countermeasure metrics, when the system issues responses.
+    pub countermeasures: Option<CountermeasureScore>,
+    /// Whether the system could observe the scenario's medium at all
+    /// (Snort cannot observe 802.15.4 scenarios).
+    pub applicable: bool,
+}
+
+/// All systems' results on one scenario.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// The scenario.
+    pub kind: ScenarioKind,
+    /// Ground-truth instance count.
+    pub instances: usize,
+    /// Per-system results.
+    pub systems: Vec<SystemResult>,
+}
+
+fn evaluate(
+    scenario: &Scenario,
+    outcome: RunOutcome,
+    name: &'static str,
+    applicable: bool,
+) -> SystemResult {
+    let score = scoring::score(&scenario.truth, &outcome.detections);
+    let countermeasures = (!outcome.revocations.is_empty() || name != "Snort").then(|| {
+        scoring::score_countermeasures(
+            &outcome.revocations,
+            &scenario.attackers,
+            scenario.victim.as_ref(),
+        )
+    });
+    SystemResult {
+        name,
+        score,
+        meter: outcome.meter,
+        countermeasures,
+        applicable,
+    }
+}
+
+/// Run one scenario through Kalis, the traditional IDS, and Snort.
+pub fn run_scenario_all_systems(kind: ScenarioKind, seed: u64, symptoms: u32) -> ScenarioResult {
+    let scenario = Scenario::build(kind, seed, symptoms);
+    let mut systems = Vec::new();
+
+    // Kalis: collaborative pair for the wormhole scenario, single node
+    // otherwise.
+    let kalis_outcome = match &scenario.captures_b {
+        Some(captures_b) => {
+            let (a, b) = runner::run_kalis_pair(&scenario.captures, captures_b);
+            let mut detections = a.detections;
+            detections.extend(b.detections);
+            let mut meter = a.meter;
+            meter.merge(&b.meter);
+            let mut revocations = a.revocations;
+            revocations.extend(b.revocations);
+            RunOutcome {
+                detections,
+                meter,
+                revocations,
+            }
+        }
+        None => runner::run_kalis(&scenario.captures),
+    };
+    systems.push(evaluate(&scenario, kalis_outcome, "Kalis", true));
+
+    // Traditional IDS: single vantage point, all modules always on.
+    let trad = runner::run_traditional(&scenario.captures, seed);
+    systems.push(evaluate(&scenario, trad, "Trad. IDS", true));
+
+    // Snort: blind to 802.15.4 scenarios.
+    let snort = runner::run_snort(&scenario.captures);
+    systems.push(evaluate(&scenario, snort, "Snort", kind.ip_visible()));
+
+    ScenarioResult {
+        kind,
+        instances: scenario.truth.len(),
+        systems,
+    }
+}
+
+/// Table II inputs: the two §VI-B scenarios with per-system averages.
+#[derive(Debug)]
+pub struct Table2 {
+    /// The ICMP-flood scenario result (E1).
+    pub icmp_flood: ScenarioResult,
+    /// The replication runs (E2), one result per run.
+    pub replication_runs: Vec<ScenarioResult>,
+}
+
+/// One row of the rendered Table II.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// System name.
+    pub name: &'static str,
+    /// Average detection rate across both scenarios.
+    pub detection_rate: f64,
+    /// Average classification accuracy across both scenarios.
+    pub accuracy: f64,
+    /// CPU proxy: average work units per packet.
+    pub work_per_packet: f64,
+    /// RAM proxy: peak state bytes.
+    pub peak_state_bytes: usize,
+    /// Whether every scenario was observable by the system.
+    pub fully_applicable: bool,
+}
+
+impl Table2 {
+    /// Aggregate the rows of Table II. For Snort, which cannot observe the
+    /// ZigBee replication scenario, the average covers only the scenarios
+    /// it can run on (the paper's Fig. 8 likewise omits Snort from ZigBee
+    /// scenarios).
+    pub fn rows(&self) -> Vec<Table2Row> {
+        let mut rows = Vec::new();
+        for name in ["Kalis", "Trad. IDS", "Snort"] {
+            let mut score = Score {
+                instances: 0,
+                detected: 0,
+                correct_pairs: 0,
+                total_pairs: 0,
+                false_positives: 0,
+            };
+            let mut meter = ResourceMeter::new();
+            // Scenario-level averaging, as in the paper: the replication
+            // runs collapse into one E2 figure, then E1 and E2 weigh
+            // equally.
+            let mut scenario_rates = Vec::new();
+            let mut scenario_accs = Vec::new();
+            let mut fully_applicable = true;
+            fn sys_of<'a>(result: &'a ScenarioResult, name: &str) -> &'a SystemResult {
+                result
+                    .systems
+                    .iter()
+                    .find(|s| s.name == name)
+                    .expect("system present")
+            }
+            let e1 = sys_of(&self.icmp_flood, name);
+            if e1.applicable {
+                meter.merge(&e1.meter);
+                score.merge(&e1.score);
+                scenario_rates.push(e1.score.detection_rate());
+                scenario_accs.push(e1.score.classification_accuracy());
+            } else {
+                fully_applicable = false;
+            }
+            let mut e2_rates = Vec::new();
+            let mut e2_accs = Vec::new();
+            for run in &self.replication_runs {
+                let sys = sys_of(run, name);
+                if sys.applicable {
+                    meter.merge(&sys.meter);
+                    score.merge(&sys.score);
+                    e2_rates.push(sys.score.detection_rate());
+                    e2_accs.push(sys.score.classification_accuracy());
+                } else {
+                    fully_applicable = false;
+                }
+            }
+            if !e2_rates.is_empty() {
+                scenario_rates.push(e2_rates.iter().sum::<f64>() / e2_rates.len() as f64);
+                scenario_accs.push(e2_accs.iter().sum::<f64>() / e2_accs.len() as f64);
+            }
+            let detection_rate = if scenario_rates.is_empty() {
+                0.0
+            } else {
+                scenario_rates.iter().sum::<f64>() / scenario_rates.len() as f64
+            };
+            let accuracy = if scenario_accs.is_empty() {
+                0.0
+            } else {
+                scenario_accs.iter().sum::<f64>() / scenario_accs.len() as f64
+            };
+            rows.push(Table2Row {
+                name,
+                detection_rate,
+                accuracy,
+                work_per_packet: meter.work_per_packet(),
+                peak_state_bytes: meter.peak_state_bytes,
+                fully_applicable,
+            });
+        }
+        rows
+    }
+}
+
+/// Run the Table II experiments: the ICMP flood scenario plus
+/// `replication_runs` repetitions of the replication scenario (the paper
+/// uses 100).
+pub fn run_table2(seed: u64, symptoms: u32, replication_runs: u32) -> Table2 {
+    let icmp_flood = run_scenario_all_systems(ScenarioKind::IcmpFlood, seed, symptoms);
+    let runs = (0..replication_runs)
+        .map(|i| {
+            run_scenario_all_systems(
+                ScenarioKind::Replication,
+                seed + 1000 + u64::from(i),
+                symptoms,
+            )
+        })
+        .collect();
+    Table2 {
+        icmp_flood,
+        replication_runs: runs,
+    }
+}
+
+/// Run the Fig. 8 experiment: all eight attack scenarios, Kalis vs the
+/// traditional IDS (Snort included where applicable).
+pub fn run_fig8(seed: u64, symptoms: u32) -> Vec<ScenarioResult> {
+    ScenarioKind::fig8_set()
+        .iter()
+        .map(|kind| run_scenario_all_systems(*kind, seed, symptoms))
+        .collect()
+}
+
+/// Run the extended scenario set (the Fig. 8 eight plus sinkhole, UDP
+/// flood, deauth, and Internet-side scanning).
+pub fn run_extended(seed: u64, symptoms: u32) -> Vec<ScenarioResult> {
+    ScenarioKind::all()
+        .iter()
+        .map(|kind| run_scenario_all_systems(*kind, seed, symptoms))
+        .collect()
+}
+
+/// The §VI-C reactivity experiment outcome.
+#[derive(Debug)]
+pub struct ReactivityResult {
+    /// When the first attack symptom occurred.
+    pub first_symptom: Timestamp,
+    /// When the first *correct* detection fired.
+    pub first_detection: Option<Timestamp>,
+    /// Detection rate over the whole run.
+    pub detection_rate: f64,
+    /// Modules active at the end of the run.
+    pub final_active_modules: Vec<&'static str>,
+}
+
+/// Run the reactivity experiment: Kalis starts from an *empty*
+/// configuration ("does not activate any detection modules by default and
+/// does not contain any a-priori knowgget"), monitors a ZigBee network
+/// with a selective-forwarding attacker, and must still catch the attacks
+/// from the very beginning.
+pub fn run_reactivity(seed: u64, symptoms: u32) -> ReactivityResult {
+    let scenario = Scenario::build(ScenarioKind::SelectiveForwarding, seed, symptoms);
+    // Empty config: library loaded but nothing pinned, no knowledge.
+    let mut kalis = Kalis::builder(KalisId::new("K1"))
+        .with_config(kalis_core::config::Config::empty())
+        .with_default_modules()
+        .build();
+    let outcome = runner::run_kalis_instance(&mut kalis, &scenario.captures);
+    let score = scoring::score(&scenario.truth, &outcome.detections);
+    let first_symptom = scenario
+        .truth
+        .first()
+        .map(|s| s.time)
+        .unwrap_or(Timestamp::ZERO);
+    let first_detection = outcome
+        .detections
+        .iter()
+        .filter(|d| d.attack == AttackKind::SelectiveForwarding)
+        .map(|d| d.time)
+        .min();
+    ReactivityResult {
+        first_symptom,
+        first_detection,
+        detection_rate: score.detection_rate(),
+        final_active_modules: kalis.active_modules(),
+    }
+}
+
+/// The §VI-D knowledge-sharing experiment outcome.
+#[derive(Debug)]
+pub struct KnowledgeSharingResult {
+    /// What each node concludes *without* collective knowledge.
+    pub isolated_kinds: Vec<AttackKind>,
+    /// What the collaborating pair concludes.
+    pub collaborative_kinds: Vec<AttackKind>,
+    /// Whether the collaborative verdict includes the wormhole.
+    pub wormhole_identified: bool,
+    /// Detection score of the collaborating pair.
+    pub score: Score,
+}
+
+/// Run the knowledge-sharing experiment: two Kalis nodes watch the two
+/// wormhole regions. Isolated, they see a blackhole (node A) and nothing
+/// conclusive (node B); exchanging collective knowggets they identify the
+/// wormhole.
+pub fn run_knowledge_sharing(seed: u64, symptoms: u32) -> KnowledgeSharingResult {
+    let scenario = Scenario::build(ScenarioKind::Wormhole, seed, symptoms);
+    let captures_b = scenario.captures_b.as_ref().expect("wormhole has two taps");
+
+    // Isolated runs: no synchronization.
+    let isolated_a = runner::run_kalis(&scenario.captures);
+    let isolated_b = runner::run_kalis(captures_b);
+    let mut isolated_kinds: Vec<AttackKind> = isolated_a
+        .detections
+        .iter()
+        .chain(isolated_b.detections.iter())
+        .map(|d| d.attack)
+        .collect();
+    isolated_kinds.sort();
+    isolated_kinds.dedup();
+
+    // Collaborative run.
+    let (a, b) = runner::run_kalis_pair(&scenario.captures, captures_b);
+    let mut all: Vec<Detection> = a.detections;
+    all.extend(b.detections);
+    let mut collaborative_kinds: Vec<AttackKind> = all.iter().map(|d| d.attack).collect();
+    collaborative_kinds.sort();
+    collaborative_kinds.dedup();
+    let wormhole_identified = collaborative_kinds.contains(&AttackKind::Wormhole);
+    let score = scoring::score(&scenario.truth, &all);
+    KnowledgeSharingResult {
+        isolated_kinds,
+        collaborative_kinds,
+        wormhole_identified,
+        score,
+    }
+}

@@ -1,0 +1,33 @@
+//! # kalis-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! Kalis paper's evaluation (§VI):
+//!
+//! | Artifact | Entry point |
+//! |---|---|
+//! | Table I (taxonomy by target) | `kalis_core::taxonomy::render_table1`, `experiments --table1` |
+//! | Fig. 3 (taxonomy by features) | [`report::render_fig3`], `experiments --fig3` |
+//! | Table II (effectiveness + resources) | [`experiments::run_table2`], `experiments --table2` |
+//! | §VI-C (reactivity) | [`experiments::run_reactivity`], `experiments --reactivity` |
+//! | §VI-D (knowledge sharing) | [`experiments::run_knowledge_sharing`], `experiments --knowledge-sharing` |
+//! | Fig. 8 (breadth, Kalis vs traditional) | [`experiments::run_fig8`], `experiments --fig8` |
+//!
+//! The building blocks are reusable: [`scenarios`] constructs the labelled
+//! attack workloads on the `kalis-netsim` substrate, [`runner`] drives
+//! each IDS (Kalis, the traditional baseline, Snort) over the captured
+//! traffic, and [`scoring`] computes the paper's metrics (detection rate,
+//! classification accuracy, countermeasure effectiveness, CPU/RAM
+//! proxies) against the injected ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod scenarios;
+pub mod scoring;
+
+pub use runner::Detection;
+pub use scenarios::{Scenario, ScenarioKind};
+pub use scoring::Score;

@@ -1,0 +1,156 @@
+//! Text rendering for the experiment outputs (the tables and figures).
+
+use kalis_core::taxonomy::{relation, Feature, Relation};
+use kalis_core::AttackKind;
+
+use crate::experiments::{ScenarioResult, Table2};
+
+/// Format a ratio as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+/// Render the Fig. 3 feature/attack matrix as text (● possible,
+/// ✗ impossible, ◯ technique depends on the feature).
+pub fn render_fig3() -> String {
+    const FEATURES: [(Feature, &str); 9] = [
+        (Feature::MultiHop, "multi-hop"),
+        (Feature::SingleHop, "single-hop"),
+        (Feature::Mobile, "mobile"),
+        (Feature::Static, "static"),
+        (Feature::ConstrainedDevices, "constrained"),
+        (Feature::IpConnectivity, "ip"),
+        (Feature::WifiMedium, "wifi"),
+        (Feature::Ieee802154Medium, "802.15.4"),
+        (Feature::CryptoDeployed, "crypto"),
+    ];
+    const ATTACKS: [AttackKind; 12] = [
+        AttackKind::IcmpFlood,
+        AttackKind::Smurf,
+        AttackKind::SynFlood,
+        AttackKind::UdpFlood,
+        AttackKind::SelectiveForwarding,
+        AttackKind::Blackhole,
+        AttackKind::Sinkhole,
+        AttackKind::Sybil,
+        AttackKind::Replication,
+        AttackKind::Wormhole,
+        AttackKind::Deauth,
+        AttackKind::Scan,
+    ];
+    let mut out = String::from("feature \\ attack");
+    for attack in ATTACKS {
+        out.push_str(&format!(" | {}", attack.label()));
+    }
+    out.push('\n');
+    for (feature, name) in FEATURES {
+        out.push_str(name);
+        for attack in ATTACKS {
+            let mark = match relation(feature, attack) {
+                Relation::Possible => "●",
+                Relation::Impossible => "✗",
+                Relation::TechniqueDepends => "◯",
+            };
+            out.push_str(&format!(" | {mark}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render Table II.
+pub fn render_table2(table: &Table2) -> String {
+    let rows = table.rows();
+    let mut out = String::new();
+    out.push_str(
+        "Table II: average effectiveness and performance (ICMP-flood + replication scenarios)\n",
+    );
+    out.push_str(&format!(
+        "{:<12} {:>15} {:>10} {:>18} {:>16}\n",
+        "system", "detection rate", "accuracy", "CPU (work/pkt)", "RAM (peak KiB)"
+    ));
+    for row in rows {
+        let note = if row.fully_applicable { "" } else { " *" };
+        out.push_str(&format!(
+            "{:<12} {:>15} {:>10} {:>18.2} {:>16.1}{note}\n",
+            row.name,
+            pct(row.detection_rate),
+            pct(row.accuracy),
+            row.work_per_packet,
+            row.peak_state_bytes as f64 / 1024.0,
+        ));
+    }
+    out.push_str("* averaged over observable scenarios only (cannot parse 802.15.4 traffic)\n");
+    out
+}
+
+/// Render the Fig. 8 per-scenario comparison.
+pub fn render_fig8(results: &[ScenarioResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 8: effectiveness per attack scenario (detection rate / accuracy)\n");
+    out.push_str(&format!(
+        "{:<22} {:>10} {:>18} {:>18} {:>18}\n",
+        "scenario", "symptoms", "Kalis", "Trad. IDS", "Snort"
+    ));
+    for result in results {
+        out.push_str(&format!(
+            "{:<22} {:>10}",
+            result.kind.name(),
+            result.instances
+        ));
+        for name in ["Kalis", "Trad. IDS", "Snort"] {
+            let sys = result.systems.iter().find(|s| s.name == name);
+            let cell = match sys {
+                Some(s) if s.applicable => format!(
+                    "{} / {}",
+                    pct(s.score.detection_rate()),
+                    pct(s.score.classification_accuracy())
+                ),
+                Some(_) => "n/a".to_owned(),
+                None => "-".to_owned(),
+            };
+            out.push_str(&format!(" {cell:>18}"));
+        }
+        out.push('\n');
+    }
+    // Averages over applicable scenarios (what Fig. 8 reports for
+    // Kalis vs traditional IDS).
+    for name in ["Kalis", "Trad. IDS"] {
+        let mut rates = Vec::new();
+        let mut accs = Vec::new();
+        for result in results {
+            if let Some(s) = result.systems.iter().find(|s| s.name == name) {
+                rates.push(s.score.detection_rate());
+                accs.push(s.score.classification_accuracy());
+            }
+        }
+        let rate = rates.iter().sum::<f64>() / rates.len().max(1) as f64;
+        let acc = accs.iter().sum::<f64>() / accs.len().max(1) as f64;
+        out.push_str(&format!(
+            "average {name}: detection {} accuracy {}\n",
+            pct(rate),
+            pct(acc)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_has_marks_for_every_cell() {
+        let text = render_fig3();
+        assert!(text.contains('●'));
+        assert!(text.contains('✗'));
+        assert!(text.contains('◯'));
+        assert_eq!(text.lines().count(), 10, "header + 9 features");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(1.0), "100%");
+        assert_eq!(pct(0.505), "50%");
+    }
+}

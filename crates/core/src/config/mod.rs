@@ -1,0 +1,550 @@
+//! The Kalis configuration language (paper Fig. 6/7): a JSON-inspired
+//! format naming the modules to activate by default (with optional
+//! parameters) and a-priori knowggets.
+//!
+//! ```text
+//! modules = {
+//!   TopologyDiscoveryModule,
+//!   TrafficStatsModule (
+//!     activationThresh = 1,
+//!     detectionThresh = 2
+//!   )
+//! }
+//! knowggets = {
+//!   mobility = false
+//! }
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use kalis_core::config::Config;
+//!
+//! let text = "modules = { TopologyDiscoveryModule } knowggets = { Mobile = false }";
+//! let config: Config = text.parse()?;
+//! assert_eq!(config.modules.len(), 1);
+//! assert_eq!(config.knowggets.len(), 1);
+//! # Ok::<(), kalis_core::config::ConfigError>(())
+//! ```
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::knowledge::KnowValue;
+
+/// A module named in the configuration, with its parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleDef {
+    /// The module's registry name (e.g. `TrafficStatsModule`).
+    pub name: String,
+    /// `key = value` parameters passed at construction.
+    pub params: Vec<(String, KnowValue)>,
+}
+
+impl ModuleDef {
+    /// A parameterless module reference.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleDef {
+            name: name.into(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Look up a parameter by key.
+    pub fn param(&self, key: &str) -> Option<&KnowValue> {
+        self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A float parameter with a default.
+    pub fn param_f64(&self, key: &str, default: f64) -> f64 {
+        self.param(key)
+            .and_then(KnowValue::as_f64)
+            .unwrap_or(default)
+    }
+}
+
+/// A parsed configuration file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Config {
+    /// Modules to construct and activate by default.
+    pub modules: Vec<ModuleDef>,
+    /// A-priori knowggets (key may carry an `@entity` suffix; the creator
+    /// is always the local node — the paper notes config knowggets "might
+    /// specify an entity field, but not a creator field").
+    pub knowggets: Vec<(String, KnowValue)>,
+}
+
+impl Config {
+    /// An empty configuration: no default modules, no a-priori knowledge
+    /// (the setup of the reactivity experiment, §VI-C).
+    pub fn empty() -> Self {
+        Config::default()
+    }
+}
+
+/// Where in the source an error occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourcePos {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+impl fmt::Display for SourcePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// A configuration parse error with its position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigError {
+    /// Position of the offending token.
+    pub pos: SourcePos,
+    /// What was expected / found.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Value(String), // quoted string contents
+    Equals,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    token: Token,
+    pos: SourcePos,
+}
+
+fn lex(text: &str) -> Result<Vec<Spanned>, ConfigError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut column = 1usize;
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        let pos = SourcePos { line, column };
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                column = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                column += 1;
+            }
+            '#' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        column = 1;
+                        break;
+                    }
+                }
+            }
+            '=' | '{' | '}' | '(' | ')' | ',' => {
+                chars.next();
+                column += 1;
+                let token = match c {
+                    '=' => Token::Equals,
+                    '{' => Token::LBrace,
+                    '}' => Token::RBrace,
+                    '(' => Token::LParen,
+                    ')' => Token::RParen,
+                    _ => Token::Comma,
+                };
+                out.push(Spanned { token, pos });
+            }
+            '"' => {
+                chars.next();
+                column += 1;
+                let mut s = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    column += 1;
+                    if c == '"' {
+                        closed = true;
+                        break;
+                    }
+                    if c == '\n' {
+                        line += 1;
+                        column = 1;
+                    }
+                    s.push(c);
+                }
+                if !closed {
+                    return Err(ConfigError {
+                        pos,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                out.push(Spanned {
+                    token: Token::Value(s),
+                    pos,
+                });
+            }
+            c if c.is_alphanumeric() || "._-@$+".contains(c) => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || "._-@$+".contains(c) {
+                        s.push(c);
+                        chars.next();
+                        column += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Ident(s),
+                    pos,
+                });
+            }
+            other => {
+                return Err(ConfigError {
+                    pos,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    index: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.index)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.index).cloned();
+        if t.is_some() {
+            self.index += 1;
+        }
+        t
+    }
+
+    fn end_pos(&self) -> SourcePos {
+        self.tokens
+            .last()
+            .map_or(SourcePos { line: 1, column: 1 }, |t| t.pos)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ConfigError {
+        ConfigError {
+            pos: self.peek().map_or(self.end_pos(), |t| t.pos),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, token: Token, what: &str) -> Result<(), ConfigError> {
+        match self.next() {
+            Some(t) if t.token == token => Ok(()),
+            Some(t) => Err(ConfigError {
+                pos: t.pos,
+                message: format!("expected {what}, found {:?}", t.token),
+            }),
+            None => Err(ConfigError {
+                pos: self.end_pos(),
+                message: format!("expected {what}, found end of input"),
+            }),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ConfigError> {
+        match self.next() {
+            Some(Spanned {
+                token: Token::Ident(s),
+                ..
+            }) => Ok(s),
+            Some(t) => Err(ConfigError {
+                pos: t.pos,
+                message: format!("expected {what}, found {:?}", t.token),
+            }),
+            None => Err(ConfigError {
+                pos: self.end_pos(),
+                message: format!("expected {what}, found end of input"),
+            }),
+        }
+    }
+
+    fn value(&mut self) -> Result<KnowValue, ConfigError> {
+        match self.next() {
+            Some(Spanned {
+                token: Token::Ident(s),
+                ..
+            }) => Ok(KnowValue::from_wire(&s)),
+            Some(Spanned {
+                token: Token::Value(s),
+                ..
+            }) => Ok(KnowValue::Text(s)),
+            Some(t) => Err(ConfigError {
+                pos: t.pos,
+                message: format!("expected a value, found {:?}", t.token),
+            }),
+            None => Err(ConfigError {
+                pos: self.end_pos(),
+                message: "expected a value, found end of input".into(),
+            }),
+        }
+    }
+
+    fn key_value_list(&mut self) -> Result<Vec<(String, KnowValue)>, ConfigError> {
+        let mut out = Vec::new();
+        loop {
+            if matches!(
+                self.peek().map(|t| &t.token),
+                Some(Token::RBrace | Token::RParen)
+            ) {
+                break;
+            }
+            let key = self.ident("a key")?;
+            self.expect(Token::Equals, "`=`")?;
+            out.push((key, self.value()?));
+            if matches!(self.peek().map(|t| &t.token), Some(Token::Comma)) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn module_list(&mut self) -> Result<Vec<ModuleDef>, ConfigError> {
+        let mut out = Vec::new();
+        loop {
+            if matches!(self.peek().map(|t| &t.token), Some(Token::RBrace)) {
+                break;
+            }
+            let name = self.ident("a module name")?;
+            let mut def = ModuleDef::new(name);
+            if matches!(self.peek().map(|t| &t.token), Some(Token::LParen)) {
+                self.next();
+                def.params = self.key_value_list()?;
+                self.expect(Token::RParen, "`)`")?;
+            }
+            out.push(def);
+            if matches!(self.peek().map(|t| &t.token), Some(Token::Comma)) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn config(&mut self) -> Result<Config, ConfigError> {
+        let mut config = Config::default();
+        let mut seen_modules = false;
+        let mut seen_knowggets = false;
+        while self.peek().is_some() {
+            let section = self.ident("`modules` or `knowggets`")?;
+            self.expect(Token::Equals, "`=`")?;
+            self.expect(Token::LBrace, "`{`")?;
+            match section.as_str() {
+                "modules" if !seen_modules => {
+                    config.modules = self.module_list()?;
+                    seen_modules = true;
+                }
+                "knowggets" if !seen_knowggets => {
+                    config.knowggets = self.key_value_list()?;
+                    seen_knowggets = true;
+                }
+                "modules" | "knowggets" => {
+                    return Err(self.error(format!("duplicate section `{section}`")))
+                }
+                other => return Err(self.error(format!("unknown section `{other}`"))),
+            }
+            self.expect(Token::RBrace, "`}`")?;
+        }
+        Ok(config)
+    }
+}
+
+impl FromStr for Config {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let tokens = lex(s)?;
+        let mut parser = Parser { tokens, index: 0 };
+        parser.config()
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "modules = {{")?;
+        for (i, m) in self.modules.iter().enumerate() {
+            write!(f, "  {}", m.name)?;
+            if !m.params.is_empty() {
+                write!(f, " (")?;
+                for (j, (k, v)) in m.params.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k} = {v}")?;
+                }
+                write!(f, ")")?;
+            }
+            if i + 1 < self.modules.len() {
+                write!(f, ",")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "}}")?;
+        writeln!(f, "knowggets = {{")?;
+        for (i, (k, v)) in self.knowggets.iter().enumerate() {
+            write!(f, "  {k} = {v}")?;
+            if i + 1 < self.knowggets.len() {
+                write!(f, ",")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact example from the paper's Fig. 7.
+    const PAPER_EXAMPLE: &str = r#"
+        modules = {
+          TopologyDetectionModule,
+          TrafficStatsModule (
+            activationThresh = 1,
+            detectionThresh = 2
+          )
+        }
+        knowggets = {
+          mobility = false
+        }
+    "#;
+
+    #[test]
+    fn parses_paper_figure_7() {
+        let config: Config = PAPER_EXAMPLE.parse().unwrap();
+        assert_eq!(config.modules.len(), 2);
+        assert_eq!(config.modules[0].name, "TopologyDetectionModule");
+        assert!(config.modules[0].params.is_empty());
+        assert_eq!(config.modules[1].name, "TrafficStatsModule");
+        assert_eq!(
+            config.modules[1].param("activationThresh"),
+            Some(&KnowValue::Int(1))
+        );
+        assert_eq!(config.modules[1].param_f64("detectionThresh", 0.0), 2.0);
+        assert_eq!(
+            config.knowggets,
+            vec![("mobility".to_owned(), KnowValue::Bool(false))]
+        );
+    }
+
+    #[test]
+    fn display_reparses_identically() {
+        let config: Config = PAPER_EXAMPLE.parse().unwrap();
+        let printed = config.to_string();
+        let reparsed: Config = printed.parse().unwrap();
+        assert_eq!(reparsed, config);
+    }
+
+    #[test]
+    fn empty_sections_parse() {
+        let config: Config = "modules = { } knowggets = { }".parse().unwrap();
+        assert!(config.modules.is_empty());
+        assert!(config.knowggets.is_empty());
+    }
+
+    #[test]
+    fn modules_only_parses() {
+        let config: Config = "modules = { A, B, C }".parse().unwrap();
+        assert_eq!(config.modules.len(), 3);
+        assert!(config.knowggets.is_empty());
+    }
+
+    #[test]
+    fn quoted_string_values() {
+        let config: Config = r#"knowggets = { note = "multi word value" }"#.parse().unwrap();
+        assert_eq!(
+            config.knowggets[0].1,
+            KnowValue::Text("multi word value".into())
+        );
+    }
+
+    #[test]
+    fn entity_suffixed_knowgget_keys() {
+        let config: Config = "knowggets = { SignalStrength@SensorA = -67 }"
+            .parse()
+            .unwrap();
+        assert_eq!(config.knowggets[0].0, "SignalStrength@SensorA");
+        assert_eq!(config.knowggets[0].1, KnowValue::Int(-67));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let config: Config = "# header\nmodules = { A } # trailing\n".parse().unwrap();
+        assert_eq!(config.modules.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = "modules = { A B }".parse::<Config>().unwrap_err();
+        assert_eq!(err.pos.line, 1);
+        assert!(err.message.contains("expected"));
+
+        let err = "modules = {".parse::<Config>().unwrap_err();
+        assert!(err.message.contains("end of input") || err.message.contains("`}`"));
+
+        let err = "bogus = { }".parse::<Config>().unwrap_err();
+        assert!(err.message.contains("unknown section"));
+
+        let err = "modules = { A } modules = { B }"
+            .parse::<Config>()
+            .unwrap_err();
+        assert!(err.message.contains("duplicate"));
+
+        let err = "modules = { \"unterminated }"
+            .parse::<Config>()
+            .unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn trailing_comma_is_accepted() {
+        let config: Config = "modules = { A, B, }".parse().unwrap();
+        assert_eq!(config.modules.len(), 2);
+    }
+
+    #[test]
+    fn value_typing_matches_knowvalue_rules() {
+        let config: Config = "knowggets = { a = true, b = 3, c = 0.5, d = hello }"
+            .parse()
+            .unwrap();
+        let vals: Vec<&KnowValue> = config.knowggets.iter().map(|(_, v)| v).collect();
+        assert_eq!(vals[0], &KnowValue::Bool(true));
+        assert_eq!(vals[1], &KnowValue::Int(3));
+        assert_eq!(vals[2], &KnowValue::Float(0.5));
+        assert_eq!(vals[3], &KnowValue::Text("hello".into()));
+    }
+}

@@ -1,0 +1,423 @@
+//! Replication (node-clone) detectors.
+//!
+//! "Many detection techniques exist for this attack; however each one is
+//! specific to a network with certain characteristics, e.g. mobility"
+//! (paper §VI-B2). This module provides the two variants the paper
+//! evaluates:
+//!
+//! * [`ReplicationStaticModule`] — for static networks: a cloned identity
+//!   shows up as a *stable two-level* RSSI fingerprint (two radios at two
+//!   fixed distances). The technique validates its own environment
+//!   assumption — it declines to classify when the surrounding network's
+//!   RSSI baselines wander (i.e. when the network is actually mobile),
+//!   which is exactly why it misses attacks when misapplied.
+//! * [`ReplicationMobileModule`] — for mobile networks: legitimate motion
+//!   changes RSSI *gradually*, so the same identity observed at widely
+//!   separated signal levels within a fraction of a second implies two
+//!   physical transmitters. Symmetrically, it declines when the network
+//!   shows no motion at all (interleaved levels in a fully static
+//!   environment are treated as the static technique's jurisdiction).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use kalis_packets::{CapturedPacket, Entity, Timestamp};
+
+use crate::alert::{Alert, AttackKind};
+use crate::knowledge::KnowledgeBase;
+use crate::modules::{Module, ModuleCtx, ModuleDescriptor};
+use crate::sensing::labels as sense;
+
+use super::util::{fingerprint_identity, AlertGate};
+
+/// Sliding window of RSSI samples kept per identity.
+const SAMPLE_WINDOW: Duration = Duration::from_secs(12);
+/// Two-level separation implying two physical radios.
+const LEVEL_GAP_DB: f64 = 10.0;
+/// Samples required in each level before classifying.
+const LEVEL_QUORUM: usize = 3;
+/// Minimum time the two-level pattern must persist before the static
+/// technique classifies (gives the environment check time to observe
+/// whether the network is actually static).
+const MIN_SPAN: Duration = Duration::from_secs(4);
+/// Window within which an RSSI change counts as a teleportation jump for
+/// the mobile technique (legitimate motion changes RSSI far more slowly).
+const JUMP_WINDOW: Duration = Duration::from_millis(1500);
+
+#[derive(Debug, Default)]
+struct Samples {
+    points: Vec<(Timestamp, f64)>,
+}
+
+impl Samples {
+    fn push(&mut self, at: Timestamp, rssi: f64) {
+        self.points.push((at, rssi));
+        let cutoff = at;
+        self.points
+            .retain(|(ts, _)| cutoff.saturating_since(*ts) <= SAMPLE_WINDOW);
+    }
+
+    fn spread(&self) -> f64 {
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (_, r) in &self.points {
+            min = min.min(*r);
+            max = max.max(*r);
+        }
+        if self.points.is_empty() {
+            0.0
+        } else {
+            max - min
+        }
+    }
+
+    /// Split samples around the midpoint; `(low_count, high_count, gap)`.
+    fn two_level(&self) -> (usize, usize, f64) {
+        if self.points.len() < 2 * LEVEL_QUORUM {
+            return (0, 0, 0.0);
+        }
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (_, r) in &self.points {
+            min = min.min(*r);
+            max = max.max(*r);
+        }
+        let mid = (min + max) / 2.0;
+        let mut low = Vec::new();
+        let mut high = Vec::new();
+        for (_, r) in &self.points {
+            if *r < mid {
+                low.push(*r);
+            } else {
+                high.push(*r);
+            }
+        }
+        if low.is_empty() || high.is_empty() {
+            return (0, 0, 0.0);
+        }
+        let low_mean = low.iter().sum::<f64>() / low.len() as f64;
+        let high_mean = high.iter().sum::<f64>() / high.len() as f64;
+        (low.len(), high.len(), high_mean - low_mean)
+    }
+
+    /// Time between the oldest and newest retained sample.
+    fn span(&self) -> Duration {
+        match (self.points.first(), self.points.last()) {
+            (Some((first, _)), Some((last, _))) => last.saturating_since(*first),
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// Largest RSSI change between *consecutive* samples within
+    /// [`JUMP_WINDOW`] — the teleportation signal for the mobile
+    /// technique.
+    fn fastest_jump(&self) -> f64 {
+        let mut best: f64 = 0.0;
+        for pair in self.points.windows(2) {
+            let dt = pair[1].0.saturating_since(pair[0].0);
+            if dt <= JUMP_WINDOW {
+                best = best.max((pair[1].1 - pair[0].1).abs());
+            }
+        }
+        best
+    }
+}
+
+fn ingest(
+    samples: &mut BTreeMap<Entity, Samples>,
+    packet: &CapturedPacket,
+) -> Option<(Entity, Timestamp)> {
+    let rssi = packet.rssi_dbm?;
+    let pkt = packet.decoded()?;
+    // Fingerprint only directly-transmitted identities: the RSSI of a
+    // relayed frame belongs to the relay, not the claimed originator.
+    let id = fingerprint_identity(pkt)?;
+    samples
+        .entry(id.clone())
+        .or_default()
+        .push(packet.timestamp, rssi);
+    Some((id, packet.timestamp))
+}
+
+/// Fraction of identities (other than the suspect under evaluation) whose
+/// RSSI wanders more than 6 dB — the environment-mobility estimate both
+/// techniques use to validate their assumptions.
+fn wandering_fraction(samples: &BTreeMap<Entity, Samples>, exclude: &Entity) -> f64 {
+    let tracked: Vec<&Samples> = samples
+        .iter()
+        .filter(|(id, s)| *id != exclude && s.points.len() >= LEVEL_QUORUM)
+        .map(|(_, s)| s)
+        .collect();
+    if tracked.is_empty() {
+        return 0.0;
+    }
+    let wandering = tracked.iter().filter(|s| s.spread() > 6.0).count();
+    wandering as f64 / tracked.len() as f64
+}
+
+/// Replication detector for **static** networks (RSSI two-level
+/// fingerprinting).
+#[derive(Debug)]
+pub struct ReplicationStaticModule {
+    samples: BTreeMap<Entity, Samples>,
+    gate: AlertGate<Entity>,
+}
+
+impl ReplicationStaticModule {
+    /// A fresh detector.
+    pub fn new() -> Self {
+        ReplicationStaticModule {
+            samples: BTreeMap::new(),
+            gate: AlertGate::new(Duration::from_secs(15)),
+        }
+    }
+}
+
+impl Default for ReplicationStaticModule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for ReplicationStaticModule {
+    fn descriptor(&self) -> ModuleDescriptor {
+        ModuleDescriptor::detection("ReplicationStaticModule", AttackKind::Replication)
+    }
+
+    fn required(&self, kb: &KnowledgeBase) -> bool {
+        kb.get_bool(sense::MOBILE) == Some(false)
+    }
+
+    fn on_packet(&mut self, ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket) {
+        let Some((id, now)) = ingest(&mut self.samples, packet) else {
+            return;
+        };
+        let (low, high, gap) = self.samples[&id].two_level();
+        if low < LEVEL_QUORUM
+            || high < LEVEL_QUORUM
+            || gap < LEVEL_GAP_DB
+            || self.samples[&id].span() < MIN_SPAN
+        {
+            return;
+        }
+        // Environment check: the static technique is only valid when the
+        // rest of the network is, in fact, static. (Exclude the suspect
+        // itself, whose spread is the symptom.)
+        if wandering_fraction(&self.samples, &id) > 0.3 {
+            return; // assumption violated: network is not actually static
+        }
+        if self.gate.permit(id.clone(), now) {
+            ctx.raise(
+                Alert::new(now, AttackKind::Replication, "ReplicationStaticModule")
+                    .with_victim(id.clone())
+                    .with_suspect(id)
+                    .with_details(format!(
+                        "stable two-level RSSI fingerprint ({low}+{high} samples, {gap:.1} dB apart)"
+                    )),
+            );
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.samples
+            .values()
+            .map(|s| s.points.len() * 16 + 64)
+            .sum::<usize>()
+            + 128
+    }
+}
+
+/// Replication detector for **mobile** networks (RSSI teleportation).
+#[derive(Debug)]
+pub struct ReplicationMobileModule {
+    samples: BTreeMap<Entity, Samples>,
+    gate: AlertGate<Entity>,
+}
+
+impl ReplicationMobileModule {
+    /// A fresh detector.
+    pub fn new() -> Self {
+        ReplicationMobileModule {
+            samples: BTreeMap::new(),
+            gate: AlertGate::new(Duration::from_secs(15)),
+        }
+    }
+}
+
+impl Default for ReplicationMobileModule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for ReplicationMobileModule {
+    fn descriptor(&self) -> ModuleDescriptor {
+        ModuleDescriptor::detection("ReplicationMobileModule", AttackKind::Replication)
+    }
+
+    fn required(&self, kb: &KnowledgeBase) -> bool {
+        kb.get_bool(sense::MOBILE) == Some(true)
+    }
+
+    fn on_packet(&mut self, ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket) {
+        let Some((id, now)) = ingest(&mut self.samples, packet) else {
+            return;
+        };
+        if self.samples[&id].fastest_jump() < LEVEL_GAP_DB {
+            return;
+        }
+        // Environment check: teleportation is only meaningful relative to
+        // actual motion; in a fully static network interleaved levels are
+        // the static technique's case.
+        if wandering_fraction(&self.samples, &id) < 0.2 {
+            return;
+        }
+        if self.gate.permit(id.clone(), now) {
+            let jump = self.samples[&id].fastest_jump();
+            ctx.raise(
+                Alert::new(now, AttackKind::Replication, "ReplicationMobileModule")
+                    .with_victim(id.clone())
+                    .with_suspect(id)
+                    .with_details(format!("RSSI jumped {jump:.1} dB within 500 ms")),
+            );
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.samples
+            .values()
+            .map(|s| s.points.len() * 16 + 64)
+            .sum::<usize>()
+            + 128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::KalisId;
+    use kalis_packets::{Medium, ShortAddr};
+
+    const CLONED: u16 = 4;
+
+    fn zigbee(ms: u64, id: u16, rssi: f64) -> CapturedPacket {
+        let raw = kalis_netsim::craft::zigbee_data(
+            ShortAddr(id),
+            ShortAddr(1),
+            (ms / 100) as u8,
+            ShortAddr(id),
+            ShortAddr(1),
+            (ms / 100) as u8,
+            b"x",
+        );
+        CapturedPacket::capture(
+            Timestamp::from_millis(ms),
+            Medium::Ieee802154,
+            Some(rssi),
+            "t",
+            raw,
+        )
+    }
+
+    fn run(module: &mut dyn Module, caps: Vec<CapturedPacket>) -> Vec<Alert> {
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        let mut alerts = Vec::new();
+        for cap in caps {
+            let mut ctx = ModuleCtx {
+                now: cap.timestamp,
+                kb: &mut kb,
+                alerts: &mut alerts,
+            };
+            module.on_packet(&mut ctx, &cap);
+        }
+        alerts
+    }
+
+    /// Static scenario: legit nodes at stable RSSI; identity 4 alternates
+    /// between two stable levels (original + replica).
+    fn static_replication_traffic() -> Vec<CapturedPacket> {
+        let mut caps = Vec::new();
+        for i in 0..20u64 {
+            caps.push(zigbee(i * 400, 2, -55.0 + (i % 2) as f64 * 0.5));
+            caps.push(zigbee(i * 400 + 100, 3, -62.0));
+            let level = if i % 2 == 0 { -48.0 } else { -71.0 };
+            caps.push(zigbee(i * 400 + 200, CLONED, level));
+        }
+        caps
+    }
+
+    /// Mobile scenario: legit nodes drift gradually; identity 4 teleports.
+    fn mobile_replication_traffic() -> Vec<CapturedPacket> {
+        let mut caps = Vec::new();
+        for i in 0..20u64 {
+            caps.push(zigbee(i * 400, 2, -50.0 - i as f64 * 2.5)); // fast drift
+            caps.push(zigbee(i * 400 + 100, 3, -70.0 + i as f64 * 2.0));
+            let level = if i % 2 == 0 { -48.0 } else { -71.0 };
+            caps.push(zigbee(i * 400 + 150, CLONED, level));
+            caps.push(zigbee(
+                i * 400 + 250,
+                CLONED,
+                if i % 2 == 0 { -71.0 } else { -48.0 },
+            ));
+        }
+        caps
+    }
+
+    #[test]
+    fn static_module_detects_static_replication() {
+        let mut module = ReplicationStaticModule::new();
+        let alerts = run(&mut module, static_replication_traffic());
+        assert!(!alerts.is_empty());
+        assert_eq!(alerts[0].attack, AttackKind::Replication);
+        assert_eq!(alerts[0].suspects[0], Entity::from(ShortAddr(CLONED)));
+    }
+
+    #[test]
+    fn static_module_declines_in_mobile_environment() {
+        let mut module = ReplicationStaticModule::new();
+        let alerts = run(&mut module, mobile_replication_traffic());
+        assert!(
+            alerts.is_empty(),
+            "assumption check: static technique must not fire on a mobile network"
+        );
+    }
+
+    #[test]
+    fn mobile_module_detects_mobile_replication() {
+        let mut module = ReplicationMobileModule::new();
+        let alerts = run(&mut module, mobile_replication_traffic());
+        assert!(!alerts.is_empty());
+        assert_eq!(alerts[0].attack, AttackKind::Replication);
+    }
+
+    #[test]
+    fn mobile_module_declines_in_static_environment() {
+        let mut module = ReplicationMobileModule::new();
+        let alerts = run(&mut module, static_replication_traffic());
+        assert!(
+            alerts.is_empty(),
+            "assumption check: mobile technique must not fire on a static network"
+        );
+    }
+
+    #[test]
+    fn legitimate_nodes_never_flagged() {
+        let mut caps = Vec::new();
+        for i in 0..20u64 {
+            caps.push(zigbee(i * 300, 2, -55.0 + (i % 3) as f64));
+            caps.push(zigbee(i * 300 + 100, 3, -60.0 - (i % 2) as f64));
+        }
+        assert!(run(&mut ReplicationStaticModule::new(), caps.clone()).is_empty());
+        assert!(run(&mut ReplicationMobileModule::new(), caps).is_empty());
+    }
+
+    #[test]
+    fn required_splits_on_mobility_knowledge() {
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        let stat = ReplicationStaticModule::new();
+        let mob = ReplicationMobileModule::new();
+        assert!(!stat.required(&kb) && !mob.required(&kb));
+        kb.insert(sense::MOBILE, false);
+        assert!(stat.required(&kb) && !mob.required(&kb));
+        kb.insert(sense::MOBILE, true);
+        assert!(!stat.required(&kb) && mob.required(&kb));
+    }
+}

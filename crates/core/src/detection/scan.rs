@@ -1,0 +1,153 @@
+//! Scan detection: an untrusted source probing many destinations or
+//! ports — the primary signal for the smart-firewall deployment.
+
+use std::time::Duration;
+
+use kalis_packets::{CapturedPacket, Entity, TrafficClass};
+
+use crate::alert::{Alert, AttackKind};
+use crate::knowledge::KnowledgeBase;
+use crate::modules::{Module, ModuleCtx, ModuleDescriptor};
+use crate::sensing::labels as sense;
+
+use super::util::{AlertGate, SlidingCounter};
+
+/// The scan detection module.
+#[derive(Debug)]
+pub struct ScanModule {
+    threshold: usize,
+    touches: SlidingCounter<(Entity, Entity, u16)>, // (scanner, target, port)
+    gate: AlertGate<Entity>,
+}
+
+impl ScanModule {
+    /// A detector alerting when one source touches ≥ `threshold` distinct
+    /// (target, port) pairs within 10 s (default 10).
+    pub fn new(threshold: usize) -> Self {
+        ScanModule {
+            threshold,
+            touches: SlidingCounter::new(Duration::from_secs(10)),
+            gate: AlertGate::new(Duration::from_secs(12)),
+        }
+    }
+}
+
+impl Default for ScanModule {
+    fn default() -> Self {
+        Self::new(10)
+    }
+}
+
+impl Module for ScanModule {
+    fn descriptor(&self) -> ModuleDescriptor {
+        ModuleDescriptor::detection("ScanModule", AttackKind::Scan)
+    }
+
+    fn required(&self, kb: &KnowledgeBase) -> bool {
+        kb.get_bool(&format!("{}.IP", sense::PROTOCOL_SEEN)) == Some(true)
+    }
+
+    fn on_packet(&mut self, ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket) {
+        let Some(pkt) = packet.decoded() else { return };
+        if pkt.traffic_class() != TrafficClass::TcpSyn {
+            return;
+        }
+        let (Some(scanner), Some(target), Some(tcp)) = (pkt.net_src(), pkt.net_dst(), pkt.tcp())
+        else {
+            return;
+        };
+        let now = packet.timestamp;
+        let key = (scanner.clone(), target, tcp.dst_port);
+        // Only distinct touches count.
+        let already = self.touches.events(now).any(|(_, k)| *k == key);
+        if !already {
+            self.touches.push(now, key);
+        }
+        let distinct = self
+            .touches
+            .events(now)
+            .filter(|(_, (s, ..))| *s == scanner)
+            .count();
+        if distinct < self.threshold || !self.gate.permit(scanner.clone(), now) {
+            return;
+        }
+        ctx.raise(
+            Alert::new(now, AttackKind::Scan, "ScanModule")
+                .with_suspect(scanner)
+                .with_details(format!("{distinct} distinct (host, port) probes in 10s")),
+        );
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.touches.len() * 112 + 128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::KalisId;
+    use kalis_packets::tcp::TcpSegment;
+    use kalis_packets::{MacAddr, Medium, Timestamp};
+    use std::net::Ipv4Addr;
+
+    fn syn(ms: u64, src: Ipv4Addr, dst: Ipv4Addr, port: u16) -> CapturedPacket {
+        let ip = kalis_netsim::craft::ipv4_tcp(src, dst, &TcpSegment::syn(40000, port, 1));
+        let raw =
+            kalis_netsim::craft::ethernet_ipv4(MacAddr::from_index(1), MacAddr::from_index(2), &ip);
+        CapturedPacket::capture(
+            Timestamp::from_millis(ms),
+            Medium::Ethernet,
+            None,
+            "eth0",
+            raw,
+        )
+    }
+
+    fn run(caps: Vec<CapturedPacket>) -> Vec<Alert> {
+        let mut module = ScanModule::default();
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        let mut alerts = Vec::new();
+        for cap in caps {
+            let mut ctx = ModuleCtx {
+                now: cap.timestamp,
+                kb: &mut kb,
+                alerts: &mut alerts,
+            };
+            module.on_packet(&mut ctx, &cap);
+        }
+        alerts
+    }
+
+    #[test]
+    fn port_scan_is_detected() {
+        let scanner = Ipv4Addr::new(203, 0, 113, 9);
+        let target = Ipv4Addr::new(10, 0, 0, 5);
+        let caps: Vec<_> = (0..12u16)
+            .map(|p| syn(u64::from(p) * 100, scanner, target, 1 + p))
+            .collect();
+        let alerts = run(caps);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].attack, AttackKind::Scan);
+        assert_eq!(alerts[0].suspects[0].as_str(), scanner.to_string());
+    }
+
+    #[test]
+    fn host_sweep_is_detected() {
+        let scanner = Ipv4Addr::new(203, 0, 113, 9);
+        let caps: Vec<_> = (0..12u8)
+            .map(|h| syn(u64::from(h) * 100, scanner, Ipv4Addr::new(10, 0, 0, h), 80))
+            .collect();
+        assert_eq!(run(caps).len(), 1);
+    }
+
+    #[test]
+    fn repeated_connections_to_one_service_are_fine() {
+        let client = Ipv4Addr::new(10, 0, 0, 3);
+        let server = Ipv4Addr::new(10, 0, 0, 5);
+        let caps: Vec<_> = (0..20u64)
+            .map(|i| syn(i * 100, client, server, 443))
+            .collect();
+        assert!(run(caps).is_empty(), "same (host, port) repeatedly ≠ scan");
+    }
+}

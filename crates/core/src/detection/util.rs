@@ -1,0 +1,181 @@
+//! Shared detection-module utilities: sliding-window counters, alert
+//! rate gating, and RSSI-fingerprinting helpers.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use kalis_packets::ctp::CtpFrame;
+use kalis_packets::{Entity, Packet, Timestamp};
+
+/// The identity to attribute a frame's RSSI to, for fingerprinting
+/// detectors (Sybil, replication).
+///
+/// Relayed frames are excluded: their RSSI belongs to the *relay*, not to
+/// the claimed originator, so mixing them into an identity's fingerprint
+/// produces false two-level patterns. A frame is attributable only when
+/// the claimed network source is the transmitter itself (or no network
+/// source is claimed at all).
+pub fn fingerprint_identity(pkt: &Packet) -> Option<Entity> {
+    if let Some(CtpFrame::Data(data)) = pkt.ctp() {
+        if data.thl > 0 {
+            return None; // relayed
+        }
+    }
+    let tx = pkt.transmitter();
+    match (pkt.net_src(), tx) {
+        (Some(src), Some(tx)) if src == tx => Some(src),
+        (Some(_), Some(_)) => None, // claimed source ≠ transmitter: relayed/forged path
+        (Some(src), None) => Some(src),
+        (None, tx) => tx,
+    }
+}
+
+/// A sliding-window event counter keyed by `K`.
+///
+/// # Examples
+///
+/// ```
+/// use kalis_core::detection::SlidingCounter;
+/// use kalis_packets::Timestamp;
+/// use std::time::Duration;
+///
+/// let mut counter: SlidingCounter<&str> = SlidingCounter::new(Duration::from_secs(5));
+/// counter.push(Timestamp::from_secs(1), "v");
+/// counter.push(Timestamp::from_secs(2), "v");
+/// assert_eq!(counter.count(&"v", Timestamp::from_secs(3)), 2);
+/// assert_eq!(counter.count(&"v", Timestamp::from_secs(60)), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingCounter<K> {
+    window: Duration,
+    events: VecDeque<(Timestamp, K)>,
+}
+
+impl<K: PartialEq + Clone> SlidingCounter<K> {
+    /// A counter with the given window length.
+    pub fn new(window: Duration) -> Self {
+        SlidingCounter {
+            window,
+            events: VecDeque::new(),
+        }
+    }
+
+    /// Record an event.
+    pub fn push(&mut self, at: Timestamp, key: K) {
+        self.events.push_back((at, key));
+    }
+
+    /// Drop events older than the window relative to `now`.
+    pub fn evict(&mut self, now: Timestamp) {
+        while let Some((ts, _)) = self.events.front() {
+            if now.saturating_since(*ts) > self.window {
+                self.events.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Events for `key` within the window ending at `now`.
+    pub fn count(&mut self, key: &K, now: Timestamp) -> usize {
+        self.evict(now);
+        self.events.iter().filter(|(_, k)| k == key).count()
+    }
+
+    /// All events within the window ending at `now`.
+    pub fn total(&mut self, now: Timestamp) -> usize {
+        self.evict(now);
+        self.events.len()
+    }
+
+    /// Distinct keys within the window ending at `now`, in first-seen
+    /// order.
+    pub fn keys(&mut self, now: Timestamp) -> Vec<K> {
+        self.evict(now);
+        let mut out: Vec<K> = Vec::new();
+        for (_, k) in &self.events {
+            if !out.contains(k) {
+                out.push(k.clone());
+            }
+        }
+        out
+    }
+
+    /// Iterate the raw windowed events (after eviction at `now`).
+    pub fn events(&mut self, now: Timestamp) -> impl Iterator<Item = &(Timestamp, K)> {
+        self.evict(now);
+        self.events.iter()
+    }
+
+    /// Number of buffered events (including not-yet-evicted stale ones).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Deduplicates alerts: at most one alert per key per `cooldown`.
+#[derive(Debug, Clone)]
+pub struct AlertGate<K> {
+    cooldown: Duration,
+    last: Vec<(K, Timestamp)>,
+}
+
+impl<K: PartialEq + Clone> AlertGate<K> {
+    /// A gate with the given per-key cooldown.
+    pub fn new(cooldown: Duration) -> Self {
+        AlertGate {
+            cooldown,
+            last: Vec::new(),
+        }
+    }
+
+    /// Whether an alert for `key` may fire now; records the firing when
+    /// permitted.
+    pub fn permit(&mut self, key: K, now: Timestamp) -> bool {
+        if let Some((_, at)) = self.last.iter_mut().find(|(k, _)| *k == key) {
+            if now.saturating_since(*at) < self.cooldown {
+                return false;
+            }
+            *at = now;
+            return true;
+        }
+        self.last.push((key, now));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_window_semantics() {
+        let mut c: SlidingCounter<u32> = SlidingCounter::new(Duration::from_secs(10));
+        for i in 0..5 {
+            c.push(Timestamp::from_secs(i), 1);
+        }
+        c.push(Timestamp::from_secs(4), 2);
+        assert_eq!(c.count(&1, Timestamp::from_secs(5)), 5);
+        assert_eq!(c.total(Timestamp::from_secs(5)), 6);
+        // Window slides: events at t<2 fall out at now=12.
+        assert_eq!(c.count(&1, Timestamp::from_secs(12)), 3);
+        assert_eq!(c.keys(Timestamp::from_secs(12)), vec![1, 2]);
+    }
+
+    #[test]
+    fn gate_blocks_within_cooldown_then_reopens() {
+        let mut gate: AlertGate<&str> = AlertGate::new(Duration::from_secs(10));
+        assert!(gate.permit("v", Timestamp::from_secs(0)));
+        assert!(!gate.permit("v", Timestamp::from_secs(5)));
+        assert!(
+            gate.permit("w", Timestamp::from_secs(5)),
+            "other keys unaffected"
+        );
+        assert!(gate.permit("v", Timestamp::from_secs(11)));
+    }
+}

@@ -1,0 +1,453 @@
+//! Watchdog-based forwarding misbehaviour detectors: selective forwarding
+//! and blackhole.
+//!
+//! The watchdog overhears a CTP data frame addressed (at the MAC layer) to
+//! a forwarder and expects to overhear the forwarder relaying it within a
+//! deadline; an expiry counts as a drop. The drop ratio over a sliding
+//! window classifies the misbehaviour: partial dropping is *selective
+//! forwarding*, (near-)total dropping is a *blackhole* — "some techniques
+//! could be generalized to detect attacks with similar symptoms but
+//! different severity" (paper §IV-B4).
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use kalis_packets::ctp::CtpFrame;
+use kalis_packets::{CapturedPacket, Entity, ShortAddr, Timestamp};
+
+use crate::alert::{Alert, AttackKind};
+use crate::knowledge::KnowledgeBase;
+use crate::modules::{Module, ModuleCtx, ModuleDescriptor};
+use crate::sensing::labels as sense;
+
+use super::labels;
+use super::util::AlertGate;
+
+/// How long the watchdog waits for the relay transmission.
+const RELAY_DEADLINE: Duration = Duration::from_millis(800);
+/// Sliding window over which drop ratios are computed.
+const RATIO_WINDOW: Duration = Duration::from_secs(30);
+/// Minimum observations before a ratio is trusted.
+const MIN_OBSERVATIONS: usize = 5;
+
+#[derive(Debug)]
+struct Pending {
+    deadline: Timestamp,
+    forwarder: ShortAddr,
+    origin: ShortAddr,
+    origin_seq: u8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Outcome {
+    Forwarded,
+    Dropped,
+}
+
+/// The shared watchdog state machine.
+#[derive(Debug, Default)]
+struct Watchdog {
+    pending: VecDeque<Pending>,
+    observations: VecDeque<(Timestamp, ShortAddr, ShortAddr, Outcome)>, // (ts, forwarder, origin, outcome)
+}
+
+impl Watchdog {
+    fn on_packet(&mut self, ctx: &ModuleCtx<'_>, packet: &CapturedPacket) {
+        let Some(pkt) = packet.decoded() else { return };
+        let Some(CtpFrame::Data(data)) = pkt.ctp() else {
+            return;
+        };
+        let Some(mac) = pkt.ieee802154() else { return };
+        let now = packet.timestamp;
+        // A relay satisfies any pending entry with the matching origin+seq.
+        if let Some(src) = mac.src.short() {
+            if let Some(idx) = self.pending.iter().position(|p| {
+                p.forwarder == src && p.origin == data.origin && p.origin_seq == data.origin_seq
+            }) {
+                let p = self.pending.remove(idx).expect("index valid");
+                self.observations
+                    .push_back((now, p.forwarder, p.origin, Outcome::Forwarded));
+            }
+        }
+        // A frame addressed to a non-root node should be relayed.
+        let Some(dst) = mac.dst.short() else { return };
+        if dst.is_broadcast() {
+            return;
+        }
+        let root = ctx.kb.get_text(sense::CTP_ROOT);
+        if root.as_deref() == Some(dst.to_string().as_str()) {
+            return; // the sink consumes, it does not forward
+        }
+        // Don't watchdog the final self-origination (origin == transmitter
+        // handled naturally: we watch the *receiver* dst).
+        self.pending.push_back(Pending {
+            deadline: now + RELAY_DEADLINE,
+            forwarder: dst,
+            origin: data.origin,
+            origin_seq: data.origin_seq,
+        });
+    }
+
+    fn expire(&mut self, now: Timestamp) {
+        while let Some(front) = self.pending.front() {
+            if front.deadline <= now {
+                let p = self.pending.pop_front().expect("peeked");
+                self.observations
+                    .push_back((now, p.forwarder, p.origin, Outcome::Dropped));
+            } else {
+                break;
+            }
+        }
+        while let Some((ts, ..)) = self.observations.front() {
+            if now.saturating_since(*ts) > RATIO_WINDOW {
+                self.observations.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// `(drops, total, dropped-origins)` for each forwarder with enough
+    /// observations.
+    fn ratios(&self) -> Vec<(ShortAddr, usize, usize, Vec<ShortAddr>)> {
+        let mut forwarders: Vec<ShortAddr> = Vec::new();
+        for (_, f, ..) in &self.observations {
+            if !forwarders.contains(f) {
+                forwarders.push(*f);
+            }
+        }
+        forwarders
+            .into_iter()
+            .filter_map(|f| {
+                let mut drops = 0;
+                let mut total = 0;
+                let mut origins: Vec<ShortAddr> = Vec::new();
+                for (_, fwd, origin, outcome) in &self.observations {
+                    if *fwd == f {
+                        total += 1;
+                        if *outcome == Outcome::Dropped {
+                            drops += 1;
+                            if !origins.contains(origin) {
+                                origins.push(*origin);
+                            }
+                        }
+                    }
+                }
+                (total >= MIN_OBSERVATIONS).then_some((f, drops, total, origins))
+            })
+            .collect()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.pending.len() * 48 + self.observations.len() * 40 + 128
+    }
+}
+
+fn watchdog_required(kb: &KnowledgeBase) -> bool {
+    kb.get_bool(sense::MULTIHOP) == Some(true)
+}
+
+/// Detects selective forwarding: a forwarder dropping *part* of the
+/// traffic (drop ratio in `[0.15, 0.9)`).
+#[derive(Debug)]
+pub struct SelectiveForwardingModule {
+    watchdog: Watchdog,
+    gate: AlertGate<ShortAddr>,
+}
+
+impl SelectiveForwardingModule {
+    /// A fresh detector.
+    pub fn new() -> Self {
+        SelectiveForwardingModule {
+            watchdog: Watchdog::default(),
+            gate: AlertGate::new(Duration::from_secs(15)),
+        }
+    }
+}
+
+impl Default for SelectiveForwardingModule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for SelectiveForwardingModule {
+    fn descriptor(&self) -> ModuleDescriptor {
+        ModuleDescriptor::detection("SelectiveForwardingModule", AttackKind::SelectiveForwarding)
+    }
+
+    fn required(&self, kb: &KnowledgeBase) -> bool {
+        watchdog_required(kb)
+    }
+
+    fn on_packet(&mut self, ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket) {
+        self.watchdog.on_packet(ctx, packet);
+        self.watchdog.expire(packet.timestamp);
+        self.evaluate(ctx, packet.timestamp);
+    }
+
+    fn on_tick(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let now = ctx.now;
+        self.watchdog.expire(now);
+        self.evaluate(ctx, now);
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.watchdog.state_bytes()
+    }
+}
+
+impl SelectiveForwardingModule {
+    fn evaluate(&mut self, ctx: &mut ModuleCtx<'_>, now: Timestamp) {
+        for (forwarder, drops, total, _) in self.watchdog.ratios() {
+            let ratio = drops as f64 / total as f64;
+            if (0.15..0.9).contains(&ratio) && self.gate.permit(forwarder, now) {
+                ctx.raise(
+                    Alert::new(
+                        now,
+                        AttackKind::SelectiveForwarding,
+                        "SelectiveForwardingModule",
+                    )
+                    .with_suspect(Entity::from(forwarder))
+                    .with_details(format!("dropped {drops}/{total} overheard relays")),
+                );
+            }
+        }
+    }
+}
+
+/// Detects blackholes: a forwarder dropping (essentially) everything
+/// (drop ratio ≥ 0.9). Publishes collective `DroppedOrigins@<forwarder>`
+/// knowggets for wormhole correlation across Kalis nodes.
+#[derive(Debug)]
+pub struct BlackholeModule {
+    watchdog: Watchdog,
+    gate: AlertGate<ShortAddr>,
+}
+
+impl BlackholeModule {
+    /// A fresh detector.
+    pub fn new() -> Self {
+        BlackholeModule {
+            watchdog: Watchdog::default(),
+            gate: AlertGate::new(Duration::from_secs(15)),
+        }
+    }
+}
+
+impl Default for BlackholeModule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for BlackholeModule {
+    fn descriptor(&self) -> ModuleDescriptor {
+        ModuleDescriptor::detection("BlackholeModule", AttackKind::Blackhole)
+    }
+
+    fn required(&self, kb: &KnowledgeBase) -> bool {
+        watchdog_required(kb)
+    }
+
+    fn on_packet(&mut self, ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket) {
+        self.watchdog.on_packet(ctx, packet);
+        self.watchdog.expire(packet.timestamp);
+        self.evaluate(ctx, packet.timestamp);
+    }
+
+    fn on_tick(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let now = ctx.now;
+        self.watchdog.expire(now);
+        self.evaluate(ctx, now);
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.watchdog.state_bytes()
+    }
+}
+
+impl BlackholeModule {
+    fn evaluate(&mut self, ctx: &mut ModuleCtx<'_>, now: Timestamp) {
+        for (forwarder, drops, total, origins) in self.watchdog.ratios() {
+            let ratio = drops as f64 / total as f64;
+            if ratio < 0.9 {
+                continue;
+            }
+            // Publish the evidence collectively even while the alert is
+            // cooling down — peers correlate continuously.
+            let mut names: Vec<String> = origins.iter().map(|o| o.to_string()).collect();
+            names.sort_unstable();
+            ctx.kb.insert_about_collective(
+                labels::DROPPED_ORIGINS,
+                Entity::from(forwarder),
+                names.join(","),
+            );
+            // Classification refinement: once collective correlation has
+            // confirmed this endpoint as half of a wormhole, stop
+            // reporting it as a plain blackhole.
+            let confirmed_wormhole = ctx
+                .kb
+                .get_about(super::wormhole_confirmed_label(), &Entity::from(forwarder))
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false);
+            if !confirmed_wormhole && self.gate.permit(forwarder, now) {
+                ctx.raise(
+                    Alert::new(now, AttackKind::Blackhole, "BlackholeModule")
+                        .with_suspect(Entity::from(forwarder))
+                        .with_details(format!("dropped {drops}/{total} overheard relays")),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::KalisId;
+    use kalis_packets::Medium;
+
+    const LEAF: ShortAddr = ShortAddr(3);
+    const FORWARDER: ShortAddr = ShortAddr(2);
+    const ROOT: ShortAddr = ShortAddr(1);
+
+    fn kb_multihop() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        kb.insert(sense::MULTIHOP, true);
+        kb.insert(sense::CTP_ROOT, ROOT.to_string());
+        kb
+    }
+
+    fn data_to(
+        ms: u64,
+        mac_src: ShortAddr,
+        mac_dst: ShortAddr,
+        origin: ShortAddr,
+        seq: u8,
+        thl: u8,
+    ) -> CapturedPacket {
+        let raw = kalis_netsim::craft::ctp_data(mac_src, mac_dst, seq, origin, seq, thl, b"r");
+        CapturedPacket::capture(
+            Timestamp::from_millis(ms),
+            Medium::Ieee802154,
+            Some(-50.0),
+            "t",
+            raw,
+        )
+    }
+
+    fn run(
+        module: &mut dyn Module,
+        kb: &mut KnowledgeBase,
+        caps: Vec<CapturedPacket>,
+        tick_ms: u64,
+    ) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        for cap in caps {
+            let mut ctx = ModuleCtx {
+                now: cap.timestamp,
+                kb,
+                alerts: &mut alerts,
+            };
+            module.on_packet(&mut ctx, &cap);
+        }
+        let mut ctx = ModuleCtx {
+            now: Timestamp::from_millis(tick_ms),
+            kb,
+            alerts: &mut alerts,
+        };
+        module.on_tick(&mut ctx);
+        alerts
+    }
+
+    /// Leaf sends to forwarder; forwarder relays only even-numbered
+    /// frames → drop ratio 0.5 → selective forwarding.
+    #[test]
+    fn selective_forwarding_detected_at_half_drop_rate() {
+        let mut module = SelectiveForwardingModule::new();
+        let mut kb = kb_multihop();
+        let mut caps = Vec::new();
+        for i in 0..10u8 {
+            let t = u64::from(i) * 1000;
+            caps.push(data_to(t, LEAF, FORWARDER, LEAF, i, 0));
+            if i % 2 == 0 {
+                caps.push(data_to(t + 100, FORWARDER, ROOT, LEAF, i, 1));
+            }
+        }
+        let alerts = run(&mut module, &mut kb, caps, 12_000);
+        assert!(!alerts.is_empty());
+        assert_eq!(alerts[0].attack, AttackKind::SelectiveForwarding);
+        assert_eq!(alerts[0].suspects, vec![Entity::from(FORWARDER)]);
+    }
+
+    #[test]
+    fn honest_forwarder_raises_nothing() {
+        let mut module = SelectiveForwardingModule::new();
+        let mut bh = BlackholeModule::new();
+        let mut kb = kb_multihop();
+        let mut caps = Vec::new();
+        for i in 0..10u8 {
+            let t = u64::from(i) * 1000;
+            caps.push(data_to(t, LEAF, FORWARDER, LEAF, i, 0));
+            caps.push(data_to(t + 100, FORWARDER, ROOT, LEAF, i, 1));
+        }
+        assert!(run(&mut module, &mut kb, caps.clone(), 12_000).is_empty());
+        assert!(run(&mut bh, &mut kb, caps, 12_000).is_empty());
+    }
+
+    #[test]
+    fn blackhole_detected_at_total_drop_and_publishes_collective_evidence() {
+        let mut module = BlackholeModule::new();
+        let mut kb = kb_multihop();
+        let caps: Vec<_> = (0..8u8)
+            .map(|i| data_to(u64::from(i) * 1000, LEAF, FORWARDER, LEAF, i, 0))
+            .collect();
+        let alerts = run(&mut module, &mut kb, caps, 10_000);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].attack, AttackKind::Blackhole);
+        let evidence = kb.get_about(labels::DROPPED_ORIGINS, &Entity::from(FORWARDER));
+        assert_eq!(evidence.map(|v| v.as_text()), Some(LEAF.to_string()));
+        assert!(
+            !kb.drain_dirty_collective().is_empty(),
+            "evidence is shared collectively"
+        );
+    }
+
+    #[test]
+    fn frames_to_the_root_are_not_watchdogged() {
+        let mut module = BlackholeModule::new();
+        let mut kb = kb_multihop();
+        // The root consumes: no relay expected, no drops recorded.
+        let caps: Vec<_> = (0..8u8)
+            .map(|i| data_to(u64::from(i) * 1000, FORWARDER, ROOT, LEAF, i, 1))
+            .collect();
+        assert!(run(&mut module, &mut kb, caps, 10_000).is_empty());
+    }
+
+    #[test]
+    fn selective_module_stays_quiet_on_blackhole_ratio() {
+        // Distinct severity bands: ratio 1.0 belongs to the blackhole
+        // module, not the selective-forwarding one.
+        let mut module = SelectiveForwardingModule::new();
+        let mut kb = kb_multihop();
+        let caps: Vec<_> = (0..8u8)
+            .map(|i| data_to(u64::from(i) * 1000, LEAF, FORWARDER, LEAF, i, 0))
+            .collect();
+        assert!(run(&mut module, &mut kb, caps, 10_000).is_empty());
+    }
+
+    #[test]
+    fn activation_requires_multihop_knowledge() {
+        let module = SelectiveForwardingModule::new();
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        assert!(!module.required(&kb));
+        kb.insert(sense::MULTIHOP, false);
+        assert!(
+            !module.required(&kb),
+            "selective forwarding impossible in single-hop"
+        );
+        kb.insert(sense::MULTIHOP, true);
+        assert!(module.required(&kb));
+    }
+}

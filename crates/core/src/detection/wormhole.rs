@@ -1,0 +1,338 @@
+//! Wormhole detection through collective knowledge (paper §VI-D).
+//!
+//! Two colluders B1/B2 tunnel traffic between network regions: the Kalis
+//! node near B1 sees a blackhole (traffic enters B1 and vanishes); the
+//! Kalis node near B2 sees B2 *sourcing* traffic whose origins were never
+//! heard locally. Neither view alone identifies the wormhole. This module
+//! publishes the local half of the evidence (`ExoticOrigins@B2`,
+//! collective) and correlates it against peers' `DroppedOrigins@B1`
+//! knowggets (published by the blackhole detector): overlapping origin
+//! sets across *different* Kalis creators ⇒ wormhole.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+use kalis_packets::ctp::CtpFrame;
+use kalis_packets::{CapturedPacket, Entity};
+
+use crate::alert::{Alert, AttackKind};
+use crate::knowledge::KnowledgeBase;
+use crate::modules::{Module, ModuleCtx, ModuleDescriptor};
+use crate::sensing::labels as sense;
+
+use super::labels;
+use super::util::AlertGate;
+
+/// Exotic origins sourced by one node before evidence is published.
+const EXOTIC_THRESHOLD: usize = 2;
+/// Shared origins between dropped and exotic sets before alerting.
+const OVERLAP_THRESHOLD: usize = 2;
+
+/// Per-entity knowgget (collective) recording a confirmed wormhole
+/// endpoint; the blackhole detector consults it to refine its own
+/// classification (a confirmed wormhole endpoint is no longer reported as
+/// a plain blackhole).
+pub const WORMHOLE_CONFIRMED: &str = "WormholeConfirmed";
+
+/// The collaborative wormhole detection module.
+#[derive(Debug)]
+pub struct WormholeModule {
+    /// Identities heard *originating* locally (THL == 0 transmissions).
+    local_origins: BTreeSet<String>,
+    /// Origins relayed by each forwarder that were never heard locally.
+    exotic: BTreeMap<Entity, BTreeSet<String>>,
+    gate: AlertGate<(Entity, Entity)>,
+}
+
+impl WormholeModule {
+    /// A fresh detector.
+    pub fn new() -> Self {
+        WormholeModule {
+            local_origins: BTreeSet::new(),
+            exotic: BTreeMap::new(),
+            gate: AlertGate::new(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl Default for WormholeModule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn parse_set(text: &str) -> BTreeSet<String> {
+    text.split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+impl Module for WormholeModule {
+    fn descriptor(&self) -> ModuleDescriptor {
+        ModuleDescriptor::detection("WormholeModule", AttackKind::Wormhole)
+    }
+
+    fn required(&self, kb: &KnowledgeBase) -> bool {
+        kb.get_bool(sense::MULTIHOP) == Some(true)
+    }
+
+    fn on_packet(&mut self, ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket) {
+        let Some(pkt) = packet.decoded() else { return };
+        let Some(CtpFrame::Data(data)) = pkt.ctp() else {
+            return;
+        };
+        let Some(tx) = pkt.transmitter() else { return };
+        let origin = data.origin.to_string();
+        if data.thl == 0 {
+            // Heard the origin itself transmitting: it is local.
+            self.local_origins.insert(origin);
+            return;
+        }
+        // A relay of traffic whose origin we never heard: exotic.
+        if !self.local_origins.contains(&origin) {
+            let set = self.exotic.entry(tx.clone()).or_default();
+            if set.insert(origin) && set.len() >= EXOTIC_THRESHOLD {
+                let joined = set.iter().cloned().collect::<Vec<_>>().join(",");
+                ctx.kb
+                    .insert_about_collective(labels::EXOTIC_ORIGINS, tx, joined);
+            }
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut ModuleCtx<'_>) {
+        // Correlate across creators: dropped-at-B1 (peer) × exotic-at-B2
+        // (any creator, including us).
+        let dropped = ctx.kb.get_all_creators(labels::DROPPED_ORIGINS);
+        let exotic = ctx.kb.get_all_creators(labels::EXOTIC_ORIGINS);
+        let now = ctx.now;
+        let mut alerts = Vec::new();
+        let mut confirmed: Vec<Entity> = Vec::new();
+        for (d_creator, d_entity, d_val) in &dropped {
+            let Some(b1) = d_entity else { continue };
+            let d_set = parse_set(&d_val.as_text());
+            for (e_creator, e_entity, e_val) in &exotic {
+                if d_creator == e_creator {
+                    continue; // one vantage point alone is not a wormhole
+                }
+                let Some(b2) = e_entity else { continue };
+                if b1 == b2 {
+                    continue;
+                }
+                let e_set = parse_set(&e_val.as_text());
+                let overlap = d_set.intersection(&e_set).count();
+                if overlap >= OVERLAP_THRESHOLD {
+                    confirmed.push(b1.clone());
+                    confirmed.push(b2.clone());
+                    if self.gate.permit((b1.clone(), b2.clone()), now) {
+                        alerts.push(
+                            Alert::new(now, AttackKind::Wormhole, "WormholeModule")
+                                .with_suspect(b1.clone())
+                                .with_suspect(b2.clone())
+                                .with_details(format!(
+                                    "{overlap} origins dropped at {b1} (per {d_creator}) resurface at {b2} (per {e_creator})"
+                                )),
+                        );
+                    }
+                }
+            }
+        }
+        for endpoint in confirmed {
+            ctx.kb
+                .insert_about_collective(WORMHOLE_CONFIRMED, endpoint, true);
+        }
+        for alert in alerts {
+            ctx.raise(alert);
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.local_origins
+            .iter()
+            .map(|s| s.len() + 24)
+            .sum::<usize>()
+            + self
+                .exotic
+                .values()
+                .map(|s| s.iter().map(|o| o.len() + 24).sum::<usize>() + 48)
+                .sum::<usize>()
+            + 128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::KalisId;
+    use crate::knowledge::{KnowValue, Knowgget};
+    use kalis_packets::{Medium, ShortAddr, Timestamp};
+
+    fn relayed(ms: u64, relay: u16, origin: u16, seq: u8) -> CapturedPacket {
+        let raw = kalis_netsim::craft::ctp_data(
+            ShortAddr(relay),
+            ShortAddr(1),
+            seq,
+            ShortAddr(origin),
+            seq,
+            3,
+            b"x",
+        );
+        CapturedPacket::capture(
+            Timestamp::from_millis(ms),
+            Medium::Ieee802154,
+            Some(-50.0),
+            "t",
+            raw,
+        )
+    }
+
+    fn originated(ms: u64, origin: u16, seq: u8) -> CapturedPacket {
+        let raw = kalis_netsim::craft::ctp_data(
+            ShortAddr(origin),
+            ShortAddr(1),
+            seq,
+            ShortAddr(origin),
+            seq,
+            0,
+            b"x",
+        );
+        CapturedPacket::capture(
+            Timestamp::from_millis(ms),
+            Medium::Ieee802154,
+            Some(-50.0),
+            "t",
+            raw,
+        )
+    }
+
+    fn tick(module: &mut WormholeModule, kb: &mut KnowledgeBase, ms: u64) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        let mut ctx = ModuleCtx {
+            now: Timestamp::from_millis(ms),
+            kb,
+            alerts: &mut alerts,
+        };
+        module.on_tick(&mut ctx);
+        alerts
+    }
+
+    fn feed(module: &mut WormholeModule, kb: &mut KnowledgeBase, caps: Vec<CapturedPacket>) {
+        for cap in caps {
+            let mut alerts = Vec::new();
+            let mut ctx = ModuleCtx {
+                now: cap.timestamp,
+                kb,
+                alerts: &mut alerts,
+            };
+            module.on_packet(&mut ctx, &cap);
+        }
+    }
+
+    #[test]
+    fn exotic_sources_are_published_collectively() {
+        let mut module = WormholeModule::new();
+        let mut kb = KnowledgeBase::new(KalisId::new("K2"));
+        // B2 (node 20) relays traffic from origins 30 and 31, never heard
+        // originating locally.
+        feed(
+            &mut module,
+            &mut kb,
+            vec![relayed(0, 20, 30, 1), relayed(100, 20, 31, 1)],
+        );
+        let val = kb
+            .get_about(labels::EXOTIC_ORIGINS, &Entity::from(ShortAddr(20)))
+            .unwrap();
+        let set = parse_set(&val.as_text());
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn locally_heard_origins_are_not_exotic() {
+        let mut module = WormholeModule::new();
+        let mut kb = KnowledgeBase::new(KalisId::new("K2"));
+        feed(
+            &mut module,
+            &mut kb,
+            vec![
+                originated(0, 30, 1),
+                relayed(100, 20, 30, 1),
+                relayed(200, 20, 30, 2),
+            ],
+        );
+        assert!(kb
+            .get_about(labels::EXOTIC_ORIGINS, &Entity::from(ShortAddr(20)))
+            .is_none());
+    }
+
+    #[test]
+    fn cross_node_correlation_raises_wormhole() {
+        let mut module = WormholeModule::new();
+        let mut kb = KnowledgeBase::new(KalisId::new("K2"));
+        // Local half: B2 (20) sources exotic origins 30, 31.
+        feed(
+            &mut module,
+            &mut kb,
+            vec![relayed(0, 20, 30, 1), relayed(100, 20, 31, 1)],
+        );
+        // Remote half: K1 reports B1 (10) dropping the same origins.
+        let k1 = KalisId::new("K1");
+        kb.accept_remote(
+            &k1,
+            Knowgget::about(
+                labels::DROPPED_ORIGINS,
+                KnowValue::Text(format!("{},{}", ShortAddr(30), ShortAddr(31))),
+                k1.clone(),
+                Entity::from(ShortAddr(10)),
+            ),
+        )
+        .unwrap();
+        let alerts = tick(&mut module, &mut kb, 1000);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].attack, AttackKind::Wormhole);
+        assert_eq!(
+            alerts[0].suspects,
+            vec![Entity::from(ShortAddr(10)), Entity::from(ShortAddr(20))]
+        );
+    }
+
+    #[test]
+    fn single_vantage_point_does_not_correlate_with_itself() {
+        let mut module = WormholeModule::new();
+        let mut kb = KnowledgeBase::new(KalisId::new("K2"));
+        feed(
+            &mut module,
+            &mut kb,
+            vec![relayed(0, 20, 30, 1), relayed(100, 20, 31, 1)],
+        );
+        // Local blackhole evidence with the same creator (K2).
+        kb.insert_about_collective(
+            labels::DROPPED_ORIGINS,
+            Entity::from(ShortAddr(10)),
+            format!("{},{}", ShortAddr(30), ShortAddr(31)),
+        );
+        assert!(tick(&mut module, &mut kb, 1000).is_empty());
+    }
+
+    #[test]
+    fn disjoint_origin_sets_do_not_correlate() {
+        let mut module = WormholeModule::new();
+        let mut kb = KnowledgeBase::new(KalisId::new("K2"));
+        feed(
+            &mut module,
+            &mut kb,
+            vec![relayed(0, 20, 30, 1), relayed(100, 20, 31, 1)],
+        );
+        let k1 = KalisId::new("K1");
+        kb.accept_remote(
+            &k1,
+            Knowgget::about(
+                labels::DROPPED_ORIGINS,
+                KnowValue::Text(format!("{},{}", ShortAddr(40), ShortAddr(41))),
+                k1.clone(),
+                Entity::from(ShortAddr(10)),
+            ),
+        )
+        .unwrap();
+        assert!(tick(&mut module, &mut kb, 1000).is_empty());
+    }
+}

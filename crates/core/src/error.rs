@@ -1,0 +1,77 @@
+//! The crate-level error type.
+
+use core::fmt;
+
+/// Errors surfaced by Kalis' public API.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum KalisError {
+    /// A configuration file failed to parse.
+    Config(crate::config::ConfigError),
+    /// A configuration referenced a module name the registry does not know.
+    UnknownModule {
+        /// The unresolvable module name.
+        name: String,
+    },
+    /// A collective-knowledge message was rejected.
+    SyncRejected {
+        /// Why the message was rejected.
+        reason: String,
+    },
+    /// An I/O failure (trace logging, config loading).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for KalisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KalisError::Config(e) => write!(f, "configuration error: {e}"),
+            KalisError::UnknownModule { name } => {
+                write!(f, "unknown module `{name}` (not in the module registry)")
+            }
+            KalisError::SyncRejected { reason } => {
+                write!(f, "collective knowledge message rejected: {reason}")
+            }
+            KalisError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KalisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KalisError::Config(e) => Some(e),
+            KalisError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crate::config::ConfigError> for KalisError {
+    fn from(value: crate::config::ConfigError) -> Self {
+        KalisError::Config(value)
+    }
+}
+
+impl From<std::io::Error> for KalisError {
+    fn from(value: std::io::Error) -> Self {
+        KalisError::Io(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let e = KalisError::UnknownModule {
+            name: "Nope".into(),
+        };
+        assert!(e.to_string().contains("Nope"));
+        let e = KalisError::SyncRejected {
+            reason: "creator mismatch".into(),
+        };
+        assert!(e.to_string().contains("creator mismatch"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Kalis node identity.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The identifier of a Kalis node, used as the `creator` field of
+/// knowggets (`K1$Multihop`) and as the sender identity in collective
+/// knowledge synchronization.
+///
+/// Identifiers may not contain the knowgget key delimiters `$`, `@`, or
+/// `.`; [`KalisId::new`] panics on such input (construction happens at
+/// configuration time, where failing fast is the right behaviour).
+///
+/// # Examples
+///
+/// ```
+/// use kalis_core::KalisId;
+///
+/// let id = KalisId::new("K1");
+/// assert_eq!(id.as_str(), "K1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct KalisId(String);
+
+impl KalisId {
+    /// Create an identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is empty or contains `$`, `@`, or `.`.
+    pub fn new(id: impl Into<String>) -> Self {
+        let id = id.into();
+        assert!(
+            !id.is_empty() && !id.contains(['$', '@', '.']),
+            "invalid Kalis id `{id}`: must be non-empty and free of `$`, `@`, `.`"
+        );
+        KalisId(id)
+    }
+
+    /// The identifier text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for KalisId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for KalisId {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_plain_names() {
+        assert_eq!(KalisId::new("K1").to_string(), "K1");
+        assert_eq!(KalisId::new("router-kalis").as_str(), "router-kalis");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Kalis id")]
+    fn rejects_dollar() {
+        let _ = KalisId::new("K$1");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Kalis id")]
+    fn rejects_empty() {
+        let _ = KalisId::new("");
+    }
+}

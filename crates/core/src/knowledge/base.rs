@@ -1,0 +1,486 @@
+//! The Knowledge Base proper: a string-keyed store with the paper's
+//! prefix/suffix query patterns and change tracking.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use kalis_packets::Entity;
+
+use crate::id::KalisId;
+
+use super::{KnowKey, KnowValue, Knowgget};
+
+/// A change to the Knowledge Base, consumed by the Module Manager to
+/// decide module activation (paper: "the Knowledge Base will in turn
+/// notify the Module Manager that recent changes ... might require
+/// activating or deactivating specific modules").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChangeEvent {
+    /// The key that changed.
+    pub key: KnowKey,
+    /// The new value (the last value before removal when `removed`).
+    pub value: KnowValue,
+    /// Whether the knowgget was removed.
+    pub removed: bool,
+}
+
+/// The centralized store of knowggets for one Kalis node.
+///
+/// Keys are stored in the paper's flat encoding (`creator$label@entity`),
+/// which makes the three query shapes cheap (§V):
+///
+/// * **local vs collective**: prefix match on the local node id,
+/// * **per-entity**: suffix match on `@entity`,
+/// * **exact**: direct lookup.
+///
+/// # Examples
+///
+/// ```
+/// use kalis_core::{KalisId, KnowValue, KnowledgeBase};
+///
+/// let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+/// kb.insert("Multihop", KnowValue::Bool(true));
+/// kb.insert("MonitoredNodes", KnowValue::Int(8));
+/// assert_eq!(kb.get_bool("Multihop"), Some(true));
+/// assert_eq!(kb.get_int("MonitoredNodes"), Some(8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnowledgeBase {
+    local: KalisId,
+    entries: BTreeMap<String, String>,
+    collective: BTreeSet<String>,
+    dirty_collective: BTreeSet<String>,
+    changes: Vec<ChangeEvent>,
+    revision: u64,
+}
+
+impl KnowledgeBase {
+    /// An empty Knowledge Base owned by `local`.
+    pub fn new(local: KalisId) -> Self {
+        KnowledgeBase {
+            local,
+            entries: BTreeMap::new(),
+            collective: BTreeSet::new(),
+            dirty_collective: BTreeSet::new(),
+            changes: Vec::new(),
+            revision: 0,
+        }
+    }
+
+    /// The owning Kalis node's identifier.
+    pub fn local_id(&self) -> &KalisId {
+        &self.local
+    }
+
+    /// Monotonic revision counter; bumps on every change.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    fn set_raw(&mut self, key: KnowKey, value: KnowValue, collective: bool) -> bool {
+        let encoded = key.encode();
+        let wire = value.to_wire();
+        let changed = self.entries.get(&encoded) != Some(&wire);
+        if collective {
+            self.collective.insert(encoded.clone());
+        }
+        if changed {
+            self.entries.insert(encoded.clone(), wire);
+            self.revision += 1;
+            if self.collective.contains(&encoded) {
+                self.dirty_collective.insert(encoded);
+            }
+            self.changes.push(ChangeEvent {
+                key,
+                value,
+                removed: false,
+            });
+        }
+        true
+    }
+
+    /// Insert or update a local network-level knowgget. Returns whether
+    /// the stored value changed.
+    pub fn insert(&mut self, label: impl Into<String>, value: impl Into<KnowValue>) -> bool {
+        let key = KnowKey::new(self.local.clone(), label);
+        let before = self.revision;
+        self.set_raw(key, value.into(), false);
+        self.revision != before
+    }
+
+    /// Insert or update a local entity-specific knowgget.
+    pub fn insert_about(
+        &mut self,
+        label: impl Into<String>,
+        entity: Entity,
+        value: impl Into<KnowValue>,
+    ) -> bool {
+        let key = KnowKey::about(self.local.clone(), label, entity);
+        let before = self.revision;
+        self.set_raw(key, value.into(), false);
+        self.revision != before
+    }
+
+    /// Insert a local knowgget **marked collective**: changes to it are
+    /// shared with peer Kalis nodes (paper §IV-B3, Collective Knowledge).
+    pub fn insert_collective(
+        &mut self,
+        label: impl Into<String>,
+        value: impl Into<KnowValue>,
+    ) -> bool {
+        let key = KnowKey::new(self.local.clone(), label);
+        let before = self.revision;
+        self.set_raw(key, value.into(), true);
+        self.revision != before
+    }
+
+    /// Insert a collective entity-specific knowgget.
+    pub fn insert_about_collective(
+        &mut self,
+        label: impl Into<String>,
+        entity: Entity,
+        value: impl Into<KnowValue>,
+    ) -> bool {
+        let key = KnowKey::about(self.local.clone(), label, entity);
+        let before = self.revision;
+        self.set_raw(key, value.into(), true);
+        self.revision != before
+    }
+
+    /// Remove a local network-level knowgget.
+    pub fn remove(&mut self, label: &str) -> bool {
+        let key = KnowKey::new(self.local.clone(), label);
+        self.remove_key(key)
+    }
+
+    /// Remove a local entity-specific knowgget.
+    pub fn remove_about(&mut self, label: &str, entity: &Entity) -> bool {
+        let key = KnowKey::about(self.local.clone(), label, entity.clone());
+        self.remove_key(key)
+    }
+
+    fn remove_key(&mut self, key: KnowKey) -> bool {
+        let encoded = key.encode();
+        if let Some(old) = self.entries.remove(&encoded) {
+            self.revision += 1;
+            self.collective.remove(&encoded);
+            self.dirty_collective.remove(&encoded);
+            self.changes.push(ChangeEvent {
+                key,
+                value: KnowValue::from_wire(&old),
+                removed: true,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Look up a local network-level knowgget.
+    pub fn get(&self, label: &str) -> Option<KnowValue> {
+        let key = KnowKey::new(self.local.clone(), label).encode();
+        self.entries.get(&key).map(|w| KnowValue::from_wire(w))
+    }
+
+    /// Look up a local entity-specific knowgget.
+    pub fn get_about(&self, label: &str, entity: &Entity) -> Option<KnowValue> {
+        let key = KnowKey::about(self.local.clone(), label, entity.clone()).encode();
+        self.entries.get(&key).map(|w| KnowValue::from_wire(w))
+    }
+
+    /// Typed lookup: boolean.
+    pub fn get_bool(&self, label: &str) -> Option<bool> {
+        self.get(label)?.as_bool()
+    }
+
+    /// Typed lookup: integer.
+    pub fn get_int(&self, label: &str) -> Option<i64> {
+        self.get(label)?.as_int()
+    }
+
+    /// Typed lookup: float.
+    pub fn get_f64(&self, label: &str) -> Option<f64> {
+        self.get(label)?.as_f64()
+    }
+
+    /// Typed lookup: text.
+    pub fn get_text(&self, label: &str) -> Option<String> {
+        self.get(label).map(|v| v.as_text())
+    }
+
+    /// Every knowgget with the given label across **all** creators — the
+    /// collective-correlation query ("other Kalis nodes are noticing
+    /// changes in signal strength for specific devices").
+    pub fn get_all_creators(&self, label: &str) -> Vec<(KalisId, Option<Entity>, KnowValue)> {
+        self.entries
+            .iter()
+            .filter_map(|(k, w)| {
+                let key: KnowKey = k.parse().ok()?;
+                (key.label == label).then(|| (key.creator, key.entity, KnowValue::from_wire(w)))
+            })
+            .collect()
+    }
+
+    /// Every local knowgget whose label starts with `root.` (the
+    /// sub-knowggets of a multilevel knowgget), as `(sub-label, value)`.
+    pub fn sublabels(&self, root: &str) -> Vec<(String, KnowValue)> {
+        let prefix = format!("{}${}.", self.local, root);
+        self.entries
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&prefix))
+            .map(|(k, w)| {
+                let rest = &k[prefix.len()..];
+                let sub = rest.split('@').next().unwrap_or(rest).to_owned();
+                (sub, KnowValue::from_wire(w))
+            })
+            .collect()
+    }
+
+    /// Every entity that has a local knowgget with `label`, with its value
+    /// — the suffix query of the paper.
+    pub fn entities_with(&self, label: &str) -> Vec<(Entity, KnowValue)> {
+        let prefix = format!("{}${}@", self.local, label);
+        self.entries
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&prefix))
+            .map(|(k, w)| {
+                (
+                    Entity::new(k[prefix.len()..].to_owned()),
+                    KnowValue::from_wire(w),
+                )
+            })
+            .collect()
+    }
+
+    /// Iterate over every entry as decoded knowggets.
+    pub fn iter(&self) -> impl Iterator<Item = Knowgget> + '_ {
+        self.entries.iter().filter_map(|(k, w)| {
+            let key: KnowKey = k.parse().ok()?;
+            Some(Knowgget {
+                label: key.label,
+                value: KnowValue::from_wire(w),
+                creator: key.creator,
+                entity: key.entity,
+            })
+        })
+    }
+
+    /// Number of knowggets stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Rough live-memory footprint (the RAM-usage proxy for experiments).
+    pub fn state_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(k, v)| k.len() + v.len() + 48)
+            .sum()
+    }
+
+    /// Drain the change log accumulated since the last call.
+    pub fn drain_changes(&mut self) -> Vec<ChangeEvent> {
+        std::mem::take(&mut self.changes)
+    }
+
+    /// Whether there are undrained changes.
+    pub fn has_changes(&self) -> bool {
+        !self.changes.is_empty()
+    }
+
+    /// Drain the collective knowggets that changed since the last call —
+    /// the outbox of the synchronization mechanism.
+    pub fn drain_dirty_collective(&mut self) -> Vec<Knowgget> {
+        let dirty = std::mem::take(&mut self.dirty_collective);
+        dirty
+            .into_iter()
+            .filter_map(|encoded| {
+                let key: KnowKey = encoded.parse().ok()?;
+                let wire = self.entries.get(&encoded)?;
+                Some(Knowgget {
+                    label: key.label,
+                    value: KnowValue::from_wire(wire),
+                    creator: key.creator,
+                    entity: key.entity,
+                })
+            })
+            .collect()
+    }
+
+    /// Accept a knowgget from peer `sender`.
+    ///
+    /// Enforces the paper's ownership rule: a Kalis node "can only update
+    /// those knowggets ... that were originally generated by itself", i.e.
+    /// the knowgget's creator must be the sender.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejection reason when the creator does not match the
+    /// sender or the creator claims to be the local node.
+    pub fn accept_remote(&mut self, sender: &KalisId, knowgget: Knowgget) -> Result<bool, String> {
+        if &knowgget.creator != sender {
+            return Err(format!(
+                "creator `{}` does not match sender `{sender}`",
+                knowgget.creator
+            ));
+        }
+        if knowgget.creator == self.local {
+            return Err("peer attempted to overwrite local knowledge".to_owned());
+        }
+        let key = knowgget.key();
+        let before = self.revision;
+        self.set_raw(key, knowgget.value, false);
+        Ok(self.revision != before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kb() -> KnowledgeBase {
+        KnowledgeBase::new(KalisId::new("K1"))
+    }
+
+    #[test]
+    fn paper_figure_5_contents() {
+        // Build the exact Knowledge Base of Fig. 5 and check every query.
+        let mut kb = kb();
+        kb.insert("Multihop", true);
+        kb.insert("MonitoredNodes", 8i64);
+        kb.insert_about("SignalStrength", Entity::new("SensorA"), -67.0);
+        kb.insert("TrafficFrequency.TCPSYN", 0.037);
+        kb.insert("TrafficFrequency.TCPACK", 0.090);
+        let remote = Knowgget::about(
+            "SignalStrength",
+            KnowValue::Float(-84.0),
+            KalisId::new("K2"),
+            Entity::new("SensorA"),
+        );
+        kb.accept_remote(&KalisId::new("K2"), remote).unwrap();
+
+        assert_eq!(kb.get_bool("Multihop"), Some(true));
+        assert_eq!(kb.get_int("MonitoredNodes"), Some(8));
+        assert_eq!(
+            kb.get_about("SignalStrength", &Entity::new("SensorA"))
+                .and_then(|v| v.as_f64()),
+            Some(-67.0)
+        );
+        let subs = kb.sublabels("TrafficFrequency");
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].0, "TCPACK");
+        assert_eq!(subs[1].0, "TCPSYN");
+        let all = kb.get_all_creators("SignalStrength");
+        assert_eq!(all.len(), 2, "local and K2's values both visible");
+        assert_eq!(kb.len(), 6);
+    }
+
+    #[test]
+    fn insert_reports_change_only_on_difference() {
+        let mut kb = kb();
+        assert!(kb.insert("Multihop", true));
+        assert!(!kb.insert("Multihop", true), "same value → no change");
+        assert!(kb.insert("Multihop", false));
+    }
+
+    #[test]
+    fn change_log_records_inserts_and_removals() {
+        let mut kb = kb();
+        kb.insert("Mobile", false);
+        kb.insert("Mobile", true);
+        kb.remove("Mobile");
+        let changes = kb.drain_changes();
+        assert_eq!(changes.len(), 3);
+        assert!(!changes[0].removed);
+        assert_eq!(changes[1].value, KnowValue::Bool(true));
+        assert!(changes[2].removed);
+        assert!(kb.drain_changes().is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn entities_with_suffix_query() {
+        let mut kb = kb();
+        kb.insert_about("SignalStrength", Entity::new("A"), -60.0);
+        kb.insert_about("SignalStrength", Entity::new("B"), -70.0);
+        kb.insert_about("Other", Entity::new("C"), 1i64);
+        let got = kb.entities_with("SignalStrength");
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0.as_str(), "A");
+        assert_eq!(got[1].0.as_str(), "B");
+    }
+
+    #[test]
+    fn collective_dirty_tracking() {
+        let mut kb = kb();
+        kb.insert_collective("Mobile", true);
+        kb.insert("Private", 1i64);
+        let dirty = kb.drain_dirty_collective();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].label, "Mobile");
+        assert!(kb.drain_dirty_collective().is_empty());
+        // Unchanged re-insert does not re-dirty.
+        kb.insert_collective("Mobile", true);
+        assert!(kb.drain_dirty_collective().is_empty());
+        // A real change does.
+        kb.insert_collective("Mobile", false);
+        assert_eq!(kb.drain_dirty_collective().len(), 1);
+    }
+
+    #[test]
+    fn remote_updates_enforce_creator_ownership() {
+        let mut kb = kb();
+        let k2 = KalisId::new("K2");
+        let k3 = KalisId::new("K3");
+        // Legitimate: K2 sends its own knowgget.
+        let own = Knowgget::new("Multihop", KnowValue::Bool(true), k2.clone());
+        assert_eq!(kb.accept_remote(&k2, own), Ok(true));
+        // Forged: K3 sends a knowgget claiming K2 as creator.
+        let forged = Knowgget::new("Multihop", KnowValue::Bool(false), k2.clone());
+        assert!(kb.accept_remote(&k3, forged).is_err());
+        // Forged: K2 tries to overwrite local (K1) knowledge.
+        let local_forge = Knowgget::new("Multihop", KnowValue::Bool(false), KalisId::new("K1"));
+        assert!(kb.accept_remote(&KalisId::new("K1"), local_forge).is_err());
+        // The accepted value is still K2's original.
+        let all = kb.get_all_creators("Multihop");
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].2, KnowValue::Bool(true));
+    }
+
+    #[test]
+    fn remote_and_local_keys_do_not_collide() {
+        let mut kb = kb();
+        kb.insert("Multihop", false);
+        let k2 = KalisId::new("K2");
+        kb.accept_remote(
+            &k2,
+            Knowgget::new("Multihop", KnowValue::Bool(true), k2.clone()),
+        )
+        .unwrap();
+        assert_eq!(kb.get_bool("Multihop"), Some(false), "local view unchanged");
+        assert_eq!(kb.len(), 2);
+    }
+
+    #[test]
+    fn state_bytes_grows_with_content() {
+        let mut kb = kb();
+        let empty = kb.state_bytes();
+        kb.insert("TrafficFrequency.TCPSYN", 0.037);
+        assert!(kb.state_bytes() > empty);
+    }
+
+    #[test]
+    fn revision_increases_monotonically() {
+        let mut kb = kb();
+        let r0 = kb.revision();
+        kb.insert("A", 1i64);
+        let r1 = kb.revision();
+        kb.insert("A", 1i64); // no-op
+        let r2 = kb.revision();
+        assert!(r1 > r0);
+        assert_eq!(r1, r2);
+    }
+}

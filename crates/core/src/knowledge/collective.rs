@@ -1,0 +1,244 @@
+//! Collective knowledge synchronization between Kalis nodes (paper §V).
+//!
+//! Peers exchange *sync messages* carrying changed collective knowggets.
+//! "All communications among the nodes are encrypted, and only enable a
+//! one-way communication (in each direction) between pairs of nodes" — the
+//! channel abstraction here models exactly that: seal on send, open on
+//! receive, no further interaction. The provided [`XorChannel`] is a
+//! keystream-plus-keyed-checksum **stand-in** for a real AEAD (the
+//! evaluation exercises the exchange semantics, not cryptographic
+//! strength); production deployments would implement [`SecureChannel`]
+//! over an AEAD cipher.
+
+use kalis_packets::Entity;
+
+use crate::id::KalisId;
+
+use super::{KnowValue, Knowgget};
+
+/// A batch of collective knowggets announced by one Kalis node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncMessage {
+    /// The announcing node (must match every knowgget's creator for the
+    /// message to be accepted).
+    pub from: KalisId,
+    /// The changed knowggets.
+    pub knowggets: Vec<Knowgget>,
+}
+
+impl SyncMessage {
+    /// Build a message from a node's dirty collective knowggets.
+    pub fn new(from: KalisId, knowggets: Vec<Knowgget>) -> Self {
+        SyncMessage { from, knowggets }
+    }
+
+    fn put_str(buf: &mut Vec<u8>, s: &str) {
+        let bytes = s.as_bytes();
+        buf.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+        buf.extend_from_slice(bytes);
+    }
+
+    fn get_str(buf: &[u8], pos: &mut usize) -> Option<String> {
+        if buf.len() < *pos + 2 {
+            return None;
+        }
+        let len = u16::from_be_bytes([buf[*pos], buf[*pos + 1]]) as usize;
+        *pos += 2;
+        if buf.len() < *pos + len {
+            return None;
+        }
+        let s = String::from_utf8(buf[*pos..*pos + len].to_vec()).ok()?;
+        *pos += len;
+        Some(s)
+    }
+
+    /// Serialize and seal for transmission over `channel`.
+    pub fn seal(&self, channel: &dyn SecureChannel) -> Vec<u8> {
+        let mut plain = Vec::new();
+        Self::put_str(&mut plain, self.from.as_str());
+        plain.extend_from_slice(&(self.knowggets.len() as u16).to_be_bytes());
+        for k in &self.knowggets {
+            Self::put_str(&mut plain, &k.label);
+            Self::put_str(&mut plain, &k.value.to_wire());
+            Self::put_str(&mut plain, k.creator.as_str());
+            Self::put_str(&mut plain, k.entity.as_ref().map_or("", |e| e.as_str()));
+        }
+        channel.seal(&plain)
+    }
+
+    /// Open and parse a sealed message.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when authentication fails or the payload is
+    /// malformed.
+    pub fn open(sealed: &[u8], channel: &dyn SecureChannel) -> Result<SyncMessage, String> {
+        let plain = channel
+            .open(sealed)
+            .ok_or_else(|| "authentication failed".to_owned())?;
+        let mut pos = 0;
+        let from = Self::get_str(&plain, &mut pos).ok_or("truncated sender")?;
+        if plain.len() < pos + 2 {
+            return Err("truncated count".to_owned());
+        }
+        let count = u16::from_be_bytes([plain[pos], plain[pos + 1]]) as usize;
+        pos += 2;
+        let mut knowggets = Vec::with_capacity(count);
+        for _ in 0..count {
+            let label = Self::get_str(&plain, &mut pos).ok_or("truncated label")?;
+            let value = Self::get_str(&plain, &mut pos).ok_or("truncated value")?;
+            let creator = Self::get_str(&plain, &mut pos).ok_or("truncated creator")?;
+            let entity = Self::get_str(&plain, &mut pos).ok_or("truncated entity")?;
+            if label.is_empty() || creator.is_empty() {
+                return Err("empty label or creator".to_owned());
+            }
+            knowggets.push(Knowgget {
+                label,
+                value: KnowValue::from_wire(&value),
+                creator: KalisId::new(creator),
+                entity: (!entity.is_empty()).then(|| Entity::new(entity)),
+            });
+        }
+        Ok(SyncMessage {
+            from: KalisId::new(from),
+            knowggets,
+        })
+    }
+}
+
+/// A sealed, authenticated one-way channel between Kalis peers.
+pub trait SecureChannel: Send + Sync {
+    /// Encrypt and authenticate `plaintext`.
+    fn seal(&self, plaintext: &[u8]) -> Vec<u8>;
+
+    /// Verify and decrypt; `None` when authentication fails.
+    fn open(&self, sealed: &[u8]) -> Option<Vec<u8>>;
+}
+
+/// The stand-in channel: xorshift keystream encryption with a keyed FNV-1a
+/// tag. **Not cryptographically secure** — see module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct XorChannel {
+    key: u64,
+}
+
+impl XorChannel {
+    /// A channel using the shared secret `key`.
+    pub fn new(key: u64) -> Self {
+        XorChannel { key }
+    }
+
+    fn keystream(&self, len: usize) -> Vec<u8> {
+        let mut state = self.key | 1;
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            out.extend_from_slice(&state.to_be_bytes());
+        }
+        out.truncate(len);
+        out
+    }
+
+    fn tag(&self, data: &[u8]) -> u64 {
+        let mut hash: u64 = 0xcbf29ce484222325 ^ self.key;
+        for &b in data {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        hash
+    }
+}
+
+impl SecureChannel for XorChannel {
+    fn seal(&self, plaintext: &[u8]) -> Vec<u8> {
+        let ks = self.keystream(plaintext.len());
+        let mut out: Vec<u8> = plaintext.iter().zip(ks).map(|(p, k)| p ^ k).collect();
+        let tag = self.tag(plaintext);
+        out.extend_from_slice(&tag.to_be_bytes());
+        out
+    }
+
+    fn open(&self, sealed: &[u8]) -> Option<Vec<u8>> {
+        if sealed.len() < 8 {
+            return None;
+        }
+        let (body, tag_bytes) = sealed.split_at(sealed.len() - 8);
+        let ks = self.keystream(body.len());
+        let plain: Vec<u8> = body.iter().zip(ks).map(|(c, k)| c ^ k).collect();
+        let expected = u64::from_be_bytes(tag_bytes.try_into().ok()?);
+        (self.tag(&plain) == expected).then_some(plain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_message() -> SyncMessage {
+        SyncMessage::new(
+            KalisId::new("K2"),
+            vec![
+                Knowgget::new("Mobile", KnowValue::Bool(true), KalisId::new("K2")),
+                Knowgget::about(
+                    "SignalStrength",
+                    KnowValue::Float(-84.5),
+                    KalisId::new("K2"),
+                    Entity::new("SensorA"),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let channel = XorChannel::new(0xdeadbeef);
+        let msg = sample_message();
+        let sealed = msg.seal(&channel);
+        let back = SyncMessage::open(&sealed, &channel).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn wrong_key_fails_authentication() {
+        let msg = sample_message();
+        let sealed = msg.seal(&XorChannel::new(1));
+        assert!(SyncMessage::open(&sealed, &XorChannel::new(2)).is_err());
+    }
+
+    #[test]
+    fn tampering_fails_authentication() {
+        let channel = XorChannel::new(42);
+        let mut sealed = sample_message().seal(&channel);
+        sealed[3] ^= 0x01;
+        assert!(SyncMessage::open(&sealed, &channel).is_err());
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let channel = XorChannel::new(42);
+        let msg = sample_message();
+        let sealed = msg.seal(&channel);
+        assert!(
+            !sealed.windows(6).any(|w| w == b"Mobile"),
+            "labels must not appear in clear"
+        );
+    }
+
+    #[test]
+    fn truncated_message_is_rejected() {
+        let channel = XorChannel::new(42);
+        let sealed = sample_message().seal(&channel);
+        assert!(SyncMessage::open(&sealed[..4], &channel).is_err());
+        assert!(SyncMessage::open(&[], &channel).is_err());
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let channel = XorChannel::new(9);
+        let msg = SyncMessage::new(KalisId::new("K1"), vec![]);
+        let back = SyncMessage::open(&msg.seal(&channel), &channel).unwrap();
+        assert!(back.knowggets.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! The `creator$label@entity` key encoding (paper §V, Fig. 5b).
+
+use core::fmt;
+use core::str::FromStr;
+
+use kalis_packets::Entity;
+use serde::{Deserialize, Serialize};
+
+use crate::id::KalisId;
+
+/// The decoded form of a Knowledge Base key.
+///
+/// Encoding (paper §V): `"creator$label@entity"`, where the `@entity`
+/// suffix is present only for entity-specific knowggets and multilevel
+/// labels use dot notation (`TrafficFrequency.TCPSYN`).
+///
+/// # Examples
+///
+/// ```
+/// use kalis_core::{KalisId, KnowKey};
+///
+/// let key: KnowKey = "K1$SignalStrength@SensorA".parse()?;
+/// assert_eq!(key.creator, KalisId::new("K1"));
+/// assert_eq!(key.label, "SignalStrength");
+/// assert_eq!(key.entity.as_ref().map(|e| e.as_str()), Some("SensorA"));
+/// assert_eq!(key.encode(), "K1$SignalStrength@SensorA");
+/// # Ok::<(), kalis_core::knowledge::ParseKeyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct KnowKey {
+    /// The Kalis node that created the knowgget.
+    pub creator: KalisId,
+    /// The (possibly dotted) label.
+    pub label: String,
+    /// The related entity, if any.
+    pub entity: Option<Entity>,
+}
+
+impl KnowKey {
+    /// A network-level key.
+    pub fn new(creator: KalisId, label: impl Into<String>) -> Self {
+        KnowKey {
+            creator,
+            label: label.into(),
+            entity: None,
+        }
+    }
+
+    /// An entity-specific key.
+    pub fn about(creator: KalisId, label: impl Into<String>, entity: Entity) -> Self {
+        KnowKey {
+            creator,
+            label: label.into(),
+            entity: Some(entity),
+        }
+    }
+
+    /// Encode to the flat string form.
+    pub fn encode(&self) -> String {
+        match &self.entity {
+            Some(e) => format!("{}${}@{}", self.creator, self.label, e),
+            None => format!("{}${}", self.creator, self.label),
+        }
+    }
+
+    /// The top-level label segment (before the first dot), for multilevel
+    /// knowggets.
+    pub fn root_label(&self) -> &str {
+        self.label.split('.').next().unwrap_or(&self.label)
+    }
+}
+
+impl fmt::Display for KnowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+/// Error parsing a [`KnowKey`] from its string form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKeyError {
+    text: String,
+}
+
+impl fmt::Display for ParseKeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid knowgget key `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseKeyError {}
+
+impl FromStr for KnowKey {
+    type Err = ParseKeyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseKeyError { text: s.to_owned() };
+        let (creator, rest) = s.split_once('$').ok_or_else(err)?;
+        if creator.is_empty() || creator.contains(['@', '.']) {
+            return Err(err());
+        }
+        let (label, entity) = match rest.split_once('@') {
+            Some((label, entity)) if !entity.is_empty() => {
+                (label, Some(Entity::new(entity.to_owned())))
+            }
+            Some(_) => return Err(err()),
+            None => (rest, None),
+        };
+        if label.is_empty() {
+            return Err(err());
+        }
+        Ok(KnowKey {
+            creator: KalisId::new(creator),
+            label: label.to_owned(),
+            entity,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_matches_paper_examples() {
+        // Fig. 5b of the paper.
+        assert_eq!(
+            KnowKey::new(KalisId::new("K1"), "Multihop").encode(),
+            "K1$Multihop"
+        );
+        assert_eq!(
+            KnowKey::about(KalisId::new("K1"), "SignalStrength", Entity::new("SensorA")).encode(),
+            "K1$SignalStrength@SensorA"
+        );
+        assert_eq!(
+            KnowKey::new(KalisId::new("K1"), "TrafficFrequency.TCPSYN").encode(),
+            "K1$TrafficFrequency.TCPSYN"
+        );
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for text in [
+            "K1$Multihop",
+            "K2$SignalStrength@SensorA",
+            "K1$TrafficFrequency.TCPACK",
+            "K9$TrafficFrequency.UDP@10.0.0.3",
+        ] {
+            let key: KnowKey = text.parse().unwrap();
+            assert_eq!(key.encode(), text);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for text in ["", "NoDollar", "$label", "K1$", "K1$label@", "K.1$x"] {
+            assert!(text.parse::<KnowKey>().is_err(), "should reject `{text}`");
+        }
+    }
+
+    #[test]
+    fn root_label_strips_sublevels() {
+        let key: KnowKey = "K1$TrafficFrequency.TCPSYN".parse().unwrap();
+        assert_eq!(key.root_label(), "TrafficFrequency");
+        let plain: KnowKey = "K1$Multihop".parse().unwrap();
+        assert_eq!(plain.root_label(), "Multihop");
+    }
+}

@@ -1,0 +1,90 @@
+//! The Knowledge Base: knowggets, typed values, key encoding, queries,
+//! change subscriptions, and collective synchronization (paper §IV-B3 and
+//! §V "Knowledge Representation").
+
+mod base;
+mod collective;
+mod key;
+mod peers;
+mod value;
+
+pub use base::{ChangeEvent, KnowledgeBase};
+pub use collective::{SecureChannel, SyncMessage, XorChannel};
+pub use key::{KnowKey, ParseKeyError};
+pub use peers::{PeerBeacon, PeerRegistry};
+pub use value::KnowValue;
+
+use kalis_packets::Entity;
+use serde::{Deserialize, Serialize};
+
+use crate::id::KalisId;
+
+/// A *knowgget* ("knowledge nugget"): one piece of knowledge about the
+/// monitored network or an individual entity.
+///
+/// Formally (paper §IV-B3): `k = ⟨l, v, c, e⟩` where `l` is the label,
+/// `v` the value, `c` the creator Kalis node, and `e` the related entity
+/// (or none). Multilevel knowggets flatten their label hierarchy with dot
+/// notation (`TrafficFrequency.TCPSYN`).
+///
+/// # Examples
+///
+/// ```
+/// use kalis_core::{KalisId, Knowgget, KnowValue};
+///
+/// let k = Knowgget::new("Multihop", KnowValue::Bool(true), KalisId::new("K1"));
+/// assert_eq!(k.key().encode(), "K1$Multihop");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Knowgget {
+    /// The label (dot notation for multilevel knowggets).
+    pub label: String,
+    /// The value.
+    pub value: KnowValue,
+    /// The Kalis node that created this knowgget.
+    pub creator: KalisId,
+    /// The monitored entity this knowgget is about, if any.
+    pub entity: Option<Entity>,
+}
+
+impl Knowgget {
+    /// A network-level knowgget (no entity).
+    pub fn new(label: impl Into<String>, value: KnowValue, creator: KalisId) -> Self {
+        Knowgget {
+            label: label.into(),
+            value,
+            creator,
+            entity: None,
+        }
+    }
+
+    /// An entity-specific knowgget.
+    pub fn about(
+        label: impl Into<String>,
+        value: KnowValue,
+        creator: KalisId,
+        entity: Entity,
+    ) -> Self {
+        Knowgget {
+            label: label.into(),
+            value,
+            creator,
+            entity: Some(entity),
+        }
+    }
+
+    /// The encoded key for this knowgget.
+    pub fn key(&self) -> KnowKey {
+        KnowKey {
+            creator: self.creator.clone(),
+            label: self.label.clone(),
+            entity: self.entity.clone(),
+        }
+    }
+}
+
+impl core::fmt::Display for Knowgget {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} = {}", self.key().encode(), self.value)
+    }
+}

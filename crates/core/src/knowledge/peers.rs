@@ -1,0 +1,179 @@
+//! Peer discovery (paper §V): "the discovery of peer Kalis nodes is
+//! carried out by periodical beaconing on the local network. Each Kalis
+//! node listens for advertisement broadcast packets from other Kalis
+//! nodes, and adds newly-discovered nodes to a peer list" — the
+//! discovery-through-advertisement pattern.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use kalis_packets::Timestamp;
+
+use crate::id::KalisId;
+
+/// How long a peer stays listed without a fresh beacon.
+const PEER_TTL: Duration = Duration::from_secs(30);
+
+/// A Kalis advertisement beacon, broadcast periodically on the local
+/// network. The wire form is a single line (`KALIS <id>`), small enough
+/// for any transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerBeacon {
+    /// The advertising node.
+    pub from: KalisId,
+}
+
+impl PeerBeacon {
+    /// Serialize for broadcast.
+    pub fn encode(&self) -> Vec<u8> {
+        format!("KALIS {}", self.from).into_bytes()
+    }
+
+    /// Parse a received broadcast; `None` for anything that is not a
+    /// Kalis beacon.
+    pub fn decode(bytes: &[u8]) -> Option<PeerBeacon> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let id = text.strip_prefix("KALIS ")?.trim();
+        if id.is_empty() || id.contains(['$', '@', '.']) {
+            return None;
+        }
+        Some(PeerBeacon {
+            from: KalisId::new(id),
+        })
+    }
+}
+
+/// The peer list maintained from observed beacons.
+///
+/// # Examples
+///
+/// ```
+/// use kalis_core::knowledge::{PeerBeacon, PeerRegistry};
+/// use kalis_core::KalisId;
+/// use kalis_packets::Timestamp;
+///
+/// let mut peers = PeerRegistry::new(KalisId::new("K1"));
+/// peers.observe(PeerBeacon { from: KalisId::new("K2") }, Timestamp::from_secs(1));
+/// assert_eq!(peers.peers(Timestamp::from_secs(5)), vec![KalisId::new("K2")]);
+/// // Without fresh beacons, the peer ages out.
+/// assert!(peers.peers(Timestamp::from_secs(120)).is_empty());
+/// ```
+#[derive(Debug)]
+pub struct PeerRegistry {
+    local: KalisId,
+    last_seen: BTreeMap<KalisId, Timestamp>,
+}
+
+impl PeerRegistry {
+    /// An empty registry for `local`.
+    pub fn new(local: KalisId) -> Self {
+        PeerRegistry {
+            local,
+            last_seen: BTreeMap::new(),
+        }
+    }
+
+    /// The beacon this node should broadcast.
+    pub fn own_beacon(&self) -> PeerBeacon {
+        PeerBeacon {
+            from: self.local.clone(),
+        }
+    }
+
+    /// Record a received beacon. Own beacons (echoed back by broadcast
+    /// mediums) are ignored. Returns whether the peer is newly
+    /// discovered.
+    pub fn observe(&mut self, beacon: PeerBeacon, now: Timestamp) -> bool {
+        if beacon.from == self.local {
+            return false;
+        }
+        self.last_seen.insert(beacon.from, now).is_none()
+    }
+
+    /// The live peers at `now` (beaconed within the TTL).
+    pub fn peers(&self, now: Timestamp) -> Vec<KalisId> {
+        self.last_seen
+            .iter()
+            .filter(|(_, seen)| now.saturating_since(**seen) <= PEER_TTL)
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+
+    /// Drop peers that have not beaconed within the TTL.
+    pub fn expire(&mut self, now: Timestamp) {
+        self.last_seen
+            .retain(|_, seen| now.saturating_since(*seen) <= PEER_TTL);
+    }
+
+    /// Total peers ever seen (live or stale, before expiry).
+    pub fn len(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// Whether no peers are known.
+    pub fn is_empty(&self) -> bool {
+        self.last_seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beacon_roundtrip() {
+        let beacon = PeerBeacon {
+            from: KalisId::new("K2"),
+        };
+        assert_eq!(PeerBeacon::decode(&beacon.encode()), Some(beacon));
+    }
+
+    #[test]
+    fn decode_rejects_noise_and_malformed_ids() {
+        assert_eq!(PeerBeacon::decode(b"hello"), None);
+        assert_eq!(PeerBeacon::decode(b"KALIS "), None);
+        assert_eq!(PeerBeacon::decode(b"KALIS K$1"), None);
+        assert_eq!(PeerBeacon::decode(&[0xff, 0xfe]), None);
+    }
+
+    #[test]
+    fn discovery_and_refresh() {
+        let mut peers = PeerRegistry::new(KalisId::new("K1"));
+        let k2 = PeerBeacon {
+            from: KalisId::new("K2"),
+        };
+        assert!(
+            peers.observe(k2.clone(), Timestamp::from_secs(1)),
+            "new peer"
+        );
+        assert!(
+            !peers.observe(k2, Timestamp::from_secs(10)),
+            "refresh, not new"
+        );
+        assert_eq!(peers.peers(Timestamp::from_secs(15)).len(), 1);
+        // A refresh extends the TTL: 10 + 30 ≥ 35.
+        assert_eq!(peers.peers(Timestamp::from_secs(35)).len(), 1);
+        assert!(peers.peers(Timestamp::from_secs(60)).is_empty());
+    }
+
+    #[test]
+    fn own_beacons_are_ignored() {
+        let mut peers = PeerRegistry::new(KalisId::new("K1"));
+        let own = peers.own_beacon();
+        assert!(!peers.observe(own, Timestamp::ZERO));
+        assert!(peers.is_empty());
+    }
+
+    #[test]
+    fn expire_prunes_storage() {
+        let mut peers = PeerRegistry::new(KalisId::new("K1"));
+        peers.observe(
+            PeerBeacon {
+                from: KalisId::new("K2"),
+            },
+            Timestamp::ZERO,
+        );
+        peers.expire(Timestamp::from_secs(120));
+        assert_eq!(peers.len(), 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Typed knowgget values with the paper's string-backed representation.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The value of a knowgget.
+///
+/// The paper's implementation stores every value as a string and lets
+/// modules "specify what is the data type they expect in return for a
+/// given key" (§V, Knowledge Representation). `KnowValue` keeps the typed
+/// view while [`KnowValue::to_wire`] / [`KnowValue::from_wire`] provide
+/// the string form used for storage, display, and synchronization.
+///
+/// # Examples
+///
+/// ```
+/// use kalis_core::KnowValue;
+///
+/// let v = KnowValue::Float(-67.0);
+/// assert_eq!(v.to_wire(), "-67");
+/// assert_eq!(KnowValue::from_wire("true"), KnowValue::Bool(true));
+/// assert_eq!(KnowValue::from_wire("8"), KnowValue::Int(8));
+/// assert_eq!(KnowValue::from_wire("hello"), KnowValue::Text("hello".into()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum KnowValue {
+    /// A boolean feature (e.g. `Multihop = true`).
+    Bool(bool),
+    /// An integer (e.g. `MonitoredNodes = 8`).
+    Int(i64),
+    /// A float (e.g. `SignalStrength@SensorA = -67.0`).
+    Float(f64),
+    /// Free-form text.
+    Text(String),
+}
+
+impl KnowValue {
+    /// The canonical string form (what the paper stores).
+    pub fn to_wire(&self) -> String {
+        match self {
+            KnowValue::Bool(b) => b.to_string(),
+            KnowValue::Int(i) => i.to_string(),
+            KnowValue::Float(x) => {
+                // Integral floats print without a trailing `.0` so the wire
+                // form is stable across type reinterpretation.
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    format!("{}", *x as i64)
+                } else {
+                    format!("{x}")
+                }
+            }
+            KnowValue::Text(s) => s.clone(),
+        }
+    }
+
+    /// Parse a wire string into the most specific type that fits
+    /// (bool, then integer, then float, then text).
+    pub fn from_wire(text: &str) -> KnowValue {
+        if let Ok(b) = text.parse::<bool>() {
+            return KnowValue::Bool(b);
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return KnowValue::Int(i);
+        }
+        if let Ok(x) = text.parse::<f64>() {
+            return KnowValue::Float(x);
+        }
+        KnowValue::Text(text.to_owned())
+    }
+
+    /// The boolean view, if this value is (or parses as) a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            KnowValue::Bool(b) => Some(*b),
+            KnowValue::Text(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The integer view, accepting exact floats.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            KnowValue::Int(i) => Some(*i),
+            KnowValue::Float(x) if x.fract() == 0.0 => Some(*x as i64),
+            KnowValue::Text(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The float view, accepting integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            KnowValue::Float(x) => Some(*x),
+            KnowValue::Int(i) => Some(*i as f64),
+            KnowValue::Text(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The text view (always available, via the wire form).
+    pub fn as_text(&self) -> String {
+        self.to_wire()
+    }
+}
+
+impl fmt::Display for KnowValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_wire())
+    }
+}
+
+impl From<bool> for KnowValue {
+    fn from(value: bool) -> Self {
+        KnowValue::Bool(value)
+    }
+}
+
+impl From<i64> for KnowValue {
+    fn from(value: i64) -> Self {
+        KnowValue::Int(value)
+    }
+}
+
+impl From<f64> for KnowValue {
+    fn from(value: f64) -> Self {
+        KnowValue::Float(value)
+    }
+}
+
+impl From<&str> for KnowValue {
+    fn from(value: &str) -> Self {
+        KnowValue::Text(value.to_owned())
+    }
+}
+
+impl From<String> for KnowValue {
+    fn from(value: String) -> Self {
+        KnowValue::Text(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip_recovers_type() {
+        for v in [
+            KnowValue::Bool(true),
+            KnowValue::Bool(false),
+            KnowValue::Int(-42),
+            KnowValue::Float(0.037),
+            KnowValue::Text("RPL".into()),
+        ] {
+            assert_eq!(KnowValue::from_wire(&v.to_wire()), v);
+        }
+    }
+
+    #[test]
+    fn integral_float_roundtrips_as_int() {
+        // -67.0 goes to the wire as "-67" and comes back as Int — the
+        // typed accessors keep both views working.
+        let v = KnowValue::Float(-67.0);
+        let back = KnowValue::from_wire(&v.to_wire());
+        assert_eq!(back, KnowValue::Int(-67));
+        assert_eq!(back.as_f64(), Some(-67.0));
+    }
+
+    #[test]
+    fn typed_views_coerce_sensibly() {
+        assert_eq!(KnowValue::Int(3).as_f64(), Some(3.0));
+        assert_eq!(KnowValue::Float(3.0).as_int(), Some(3));
+        assert_eq!(KnowValue::Float(3.5).as_int(), None);
+        assert_eq!(KnowValue::Text("true".into()).as_bool(), Some(true));
+        assert_eq!(KnowValue::Text("0.5".into()).as_f64(), Some(0.5));
+        assert_eq!(KnowValue::Bool(true).as_int(), None);
+    }
+
+    #[test]
+    fn text_never_fails() {
+        assert_eq!(KnowValue::Bool(true).as_text(), "true");
+        assert_eq!(KnowValue::Text("x y".into()).as_text(), "x y");
+    }
+}

@@ -1,0 +1,278 @@
+//! The Module Manager: routes packets to active modules and re-evaluates
+//! activation whenever the Knowledge Base changes.
+
+use kalis_packets::CapturedPacket;
+
+use crate::knowledge::KnowledgeBase;
+
+use super::{Module, ModuleCtx, ModuleKind};
+
+struct Slot {
+    module: Box<dyn Module>,
+    active: bool,
+    /// Activated by configuration: stays on regardless of knowledge.
+    pinned: bool,
+}
+
+/// Counters describing one packet dispatch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchOutcome {
+    /// Modules that processed the packet (the work-unit cost).
+    pub modules_run: u64,
+}
+
+/// Coordinates the module library (paper §IV-B4): "activating/deactivating
+/// them as needed, depending on changes in the Knowledge Base, routing new
+/// packet events to all the interested parties, and collecting alerts".
+pub struct ModuleManager {
+    slots: Vec<Slot>,
+    /// When `false`, knowledge-driven activation is disabled and every
+    /// module is always active — the *traditional IDS* emulation used by
+    /// the paper's evaluation ("running our system without Knowledge Base,
+    /// and with all the modules active at all times").
+    adaptive: bool,
+    activations: u64,
+    deactivations: u64,
+}
+
+impl ModuleManager {
+    /// An adaptive (knowledge-driven) manager.
+    pub fn new() -> Self {
+        ModuleManager {
+            slots: Vec::new(),
+            adaptive: true,
+            activations: 0,
+            deactivations: 0,
+        }
+    }
+
+    /// A manager with every module always active (the traditional-IDS
+    /// baseline configuration).
+    pub fn all_always_active() -> Self {
+        ModuleManager {
+            adaptive: false,
+            ..ModuleManager::new()
+        }
+    }
+
+    /// Whether knowledge-driven activation is enabled.
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
+    }
+
+    /// Add a module. `pinned` modules (named in the configuration file)
+    /// start active and stay active.
+    pub fn add(&mut self, module: Box<dyn Module>, pinned: bool) {
+        let active = pinned || !self.adaptive || module.descriptor().kind == ModuleKind::Sensing;
+        self.slots.push(Slot {
+            module,
+            active,
+            pinned,
+        });
+    }
+
+    /// Re-evaluate every module's activation against the Knowledge Base.
+    /// Returns `(activated, deactivated)` counts for this pass.
+    pub fn reconfigure(&mut self, kb: &KnowledgeBase) -> (usize, usize) {
+        if !self.adaptive {
+            return (0, 0);
+        }
+        let mut activated = 0;
+        let mut deactivated = 0;
+        for slot in &mut self.slots {
+            // Sensing modules are the knowledge source; they stay on.
+            let want = slot.pinned
+                || slot.module.descriptor().kind == ModuleKind::Sensing
+                || slot.module.required(kb);
+            if want && !slot.active {
+                slot.active = true;
+                activated += 1;
+                self.activations += 1;
+            } else if !want && slot.active {
+                slot.active = false;
+                deactivated += 1;
+                self.deactivations += 1;
+            }
+        }
+        (activated, deactivated)
+    }
+
+    /// Route one packet to every active module.
+    pub fn dispatch_packet(
+        &mut self,
+        ctx: &mut ModuleCtx<'_>,
+        packet: &CapturedPacket,
+    ) -> DispatchOutcome {
+        let mut outcome = DispatchOutcome::default();
+        for slot in &mut self.slots {
+            if slot.active {
+                slot.module.on_packet(ctx, packet);
+                outcome.modules_run += 1;
+            }
+        }
+        outcome
+    }
+
+    /// Route a tick to every active module.
+    pub fn dispatch_tick(&mut self, ctx: &mut ModuleCtx<'_>) -> DispatchOutcome {
+        let mut outcome = DispatchOutcome::default();
+        for slot in &mut self.slots {
+            if slot.active {
+                slot.module.on_tick(ctx);
+                outcome.modules_run += 1;
+            }
+        }
+        outcome
+    }
+
+    /// Number of modules currently active.
+    pub fn active_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.active).count()
+    }
+
+    /// Total number of modules loaded.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no modules are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Names of the currently active modules.
+    pub fn active_names(&self) -> Vec<&'static str> {
+        self.slots
+            .iter()
+            .filter(|s| s.active)
+            .map(|s| s.module.descriptor().name)
+            .collect()
+    }
+
+    /// Lifetime activation/deactivation counts.
+    pub fn activation_stats(&self) -> (u64, u64) {
+        (self.activations, self.deactivations)
+    }
+
+    /// Rough live-state size across modules (RAM proxy). Inactive modules
+    /// still hold their (small) idle state.
+    pub fn state_bytes(&self) -> usize {
+        self.slots.iter().map(|s| s.module.state_bytes()).sum()
+    }
+}
+
+impl Default for ModuleManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for ModuleManager {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ModuleManager")
+            .field("modules", &self.slots.len())
+            .field("active", &self.active_count())
+            .field("adaptive", &self.adaptive)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::AttackKind;
+    use crate::id::KalisId;
+    use crate::modules::ModuleDescriptor;
+    use bytes::Bytes;
+    use kalis_packets::{Medium, Timestamp};
+
+    /// A detection module active only when `Multihop == true`.
+    struct NeedsMultihop {
+        processed: u64,
+    }
+
+    impl Module for NeedsMultihop {
+        fn descriptor(&self) -> ModuleDescriptor {
+            ModuleDescriptor::detection("NeedsMultihop", AttackKind::Smurf)
+        }
+        fn required(&self, kb: &KnowledgeBase) -> bool {
+            kb.get_bool("Multihop") == Some(true)
+        }
+        fn on_packet(&mut self, _ctx: &mut ModuleCtx<'_>, _packet: &CapturedPacket) {
+            self.processed += 1;
+        }
+    }
+
+    fn packet() -> CapturedPacket {
+        CapturedPacket::capture(Timestamp::ZERO, Medium::Wifi, None, "w", Bytes::new())
+    }
+
+    fn ctx_parts() -> (KnowledgeBase, Vec<crate::alert::Alert>) {
+        (KnowledgeBase::new(KalisId::new("K1")), Vec::new())
+    }
+
+    #[test]
+    fn adaptive_manager_gates_on_knowledge() {
+        let (mut kb, mut alerts) = ctx_parts();
+        let mut mgr = ModuleManager::new();
+        mgr.add(Box::new(NeedsMultihop { processed: 0 }), false);
+        assert_eq!(mgr.active_count(), 0, "detection modules start inactive");
+
+        // No knowledge → packet goes nowhere.
+        let mut ctx = ModuleCtx {
+            now: Timestamp::ZERO,
+            kb: &mut kb,
+            alerts: &mut alerts,
+        };
+        assert_eq!(mgr.dispatch_packet(&mut ctx, &packet()).modules_run, 0);
+
+        // Multihop discovered → module activates.
+        kb.insert("Multihop", true);
+        mgr.reconfigure(&kb);
+        assert_eq!(mgr.active_count(), 1);
+        let mut ctx = ModuleCtx {
+            now: Timestamp::ZERO,
+            kb: &mut kb,
+            alerts: &mut alerts,
+        };
+        assert_eq!(mgr.dispatch_packet(&mut ctx, &packet()).modules_run, 1);
+
+        // Knowledge flips → module deactivates.
+        kb.insert("Multihop", false);
+        let (act, deact) = mgr.reconfigure(&kb);
+        assert_eq!((act, deact), (0, 1));
+        assert_eq!(mgr.active_count(), 0);
+        assert_eq!(mgr.activation_stats(), (1, 1));
+    }
+
+    #[test]
+    fn non_adaptive_manager_runs_everything() {
+        let (kb, _) = ctx_parts();
+        let mut mgr = ModuleManager::all_always_active();
+        mgr.add(Box::new(NeedsMultihop { processed: 0 }), false);
+        assert_eq!(
+            mgr.active_count(),
+            1,
+            "always active regardless of knowledge"
+        );
+        assert_eq!(mgr.reconfigure(&kb), (0, 0));
+        assert_eq!(mgr.active_count(), 1);
+    }
+
+    #[test]
+    fn pinned_modules_ignore_required() {
+        let (kb, _) = ctx_parts();
+        let mut mgr = ModuleManager::new();
+        mgr.add(Box::new(NeedsMultihop { processed: 0 }), true);
+        assert_eq!(mgr.active_count(), 1);
+        mgr.reconfigure(&kb);
+        assert_eq!(mgr.active_count(), 1, "pinned modules stay on");
+    }
+
+    #[test]
+    fn active_names_reports() {
+        let mut mgr = ModuleManager::all_always_active();
+        mgr.add(Box::new(NeedsMultihop { processed: 0 }), false);
+        assert_eq!(mgr.active_names(), vec!["NeedsMultihop"]);
+    }
+}

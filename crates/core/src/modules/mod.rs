@@ -1,0 +1,105 @@
+//! The module system (paper §IV-B4): sensing and detection modules, the
+//! Module Manager that activates them according to the Knowledge Base,
+//! and the registry that constructs them by name from configuration text.
+
+mod manager;
+mod registry;
+
+pub use manager::{DispatchOutcome, ModuleManager};
+pub use registry::ModuleRegistry;
+
+use kalis_packets::{CapturedPacket, Timestamp};
+
+use crate::alert::{Alert, AttackKind};
+use crate::knowledge::KnowledgeBase;
+
+/// Whether a module senses features or detects attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModuleKind {
+    /// Autonomously discovers network features into the Knowledge Base.
+    Sensing,
+    /// Analyzes traffic (plus knowledge) and raises alerts.
+    Detection,
+}
+
+/// Static facts about a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleDescriptor {
+    /// Registry name (what configuration files reference).
+    pub name: &'static str,
+    /// Sensing or detection.
+    pub kind: ModuleKind,
+    /// The attack this module detects, for detection modules.
+    pub detects: Option<AttackKind>,
+}
+
+impl ModuleDescriptor {
+    /// Describe a sensing module.
+    pub fn sensing(name: &'static str) -> Self {
+        ModuleDescriptor {
+            name,
+            kind: ModuleKind::Sensing,
+            detects: None,
+        }
+    }
+
+    /// Describe a detection module for `attack`.
+    pub fn detection(name: &'static str, attack: AttackKind) -> Self {
+        ModuleDescriptor {
+            name,
+            kind: ModuleKind::Detection,
+            detects: Some(attack),
+        }
+    }
+}
+
+/// The context handed to module callbacks: the Knowledge Base (for both
+/// queries and knowgget insertion) and the alert sink.
+#[derive(Debug)]
+pub struct ModuleCtx<'a> {
+    /// Current time.
+    pub now: Timestamp,
+    /// The node's Knowledge Base.
+    pub kb: &'a mut KnowledgeBase,
+    /// Alerts raised during this dispatch.
+    pub alerts: &'a mut Vec<Alert>,
+}
+
+impl ModuleCtx<'_> {
+    /// Raise an alert.
+    pub fn raise(&mut self, alert: Alert) {
+        self.alerts.push(alert);
+    }
+}
+
+/// A Kalis module. "In Kalis any network feature-specific or
+/// attack-specific functionality is implemented as an independent module."
+///
+/// Each module is able, *given a particular instance of the Knowledge
+/// Base*, to determine whether its services are required
+/// ([`Module::required`]) — the hook the Module Manager uses for dynamic
+/// activation.
+pub trait Module: Send {
+    /// Static facts about this module.
+    fn descriptor(&self) -> ModuleDescriptor;
+
+    /// Whether this module's services are required under the current
+    /// knowledge. Sensing modules usually return `true` unconditionally;
+    /// detection modules gate on features (e.g. Smurf detection requires
+    /// a multi-hop network).
+    fn required(&self, kb: &KnowledgeBase) -> bool;
+
+    /// Process one captured packet (only called while active).
+    fn on_packet(&mut self, ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket);
+
+    /// Periodic housekeeping (window rollover, timeout expiry). Called on
+    /// every [`crate::Kalis::tick`] regardless of packet arrival.
+    fn on_tick(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Rough live-state size (RAM proxy).
+    fn state_bytes(&self) -> usize {
+        256
+    }
+}

@@ -1,0 +1,656 @@
+//! The top-level Kalis node: wires the Communication System, Data Store,
+//! Knowledge Base, Module Manager, response engine, and collective
+//! synchronization into the paper's Fig. 4 architecture.
+
+use std::time::Duration;
+
+use kalis_packets::{CapturedPacket, Entity, Timestamp};
+
+use crate::alert::Alert;
+use crate::bus::{EventBus, KalisEvent};
+use crate::capture::PacketSource;
+use crate::config::{Config, ModuleDef};
+use crate::error::KalisError;
+use crate::id::KalisId;
+use crate::knowledge::{KnowValue, KnowledgeBase, SyncMessage};
+use crate::metrics::ResourceMeter;
+use crate::modules::{Module, ModuleCtx, ModuleManager, ModuleRegistry};
+use crate::response::ResponseEngine;
+use crate::store::{DataStore, WindowConfig};
+
+/// How often [`Kalis::process_source`] injects ticks between packets.
+const TICK_EVERY: Duration = Duration::from_secs(1);
+
+/// Builder for [`Kalis`] nodes.
+///
+/// # Examples
+///
+/// ```
+/// use kalis_core::{Kalis, KalisId};
+/// use kalis_core::config::Config;
+///
+/// let config: Config = "modules = { TrafficStatsModule } knowggets = { Mobile = false }".parse()?;
+/// let kalis = Kalis::builder(KalisId::new("K1"))
+///     .with_config(config)
+///     .with_default_modules()
+///     .try_build()?;
+/// assert_eq!(kalis.knowledge().get_bool("Mobile"), Some(false));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct KalisBuilder {
+    id: KalisId,
+    config: Config,
+    registry: ModuleRegistry,
+    load_default_library: bool,
+    adaptive: bool,
+    auto_response: bool,
+    window: WindowConfig,
+    extra_modules: Vec<(Box<dyn Module>, bool)>,
+}
+
+impl KalisBuilder {
+    fn new(id: KalisId) -> Self {
+        KalisBuilder {
+            id,
+            config: Config::empty(),
+            registry: ModuleRegistry::with_defaults(),
+            load_default_library: false,
+            adaptive: true,
+            auto_response: true,
+            window: WindowConfig::default(),
+            extra_modules: Vec::new(),
+        }
+    }
+
+    /// Apply a parsed configuration file: its modules are constructed and
+    /// *pinned* active; its knowggets become a-priori knowledge.
+    pub fn with_config(mut self, config: Config) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Load the entire built-in module library (unpinned: detection
+    /// modules activate only when the knowledge requires them).
+    pub fn with_default_modules(mut self) -> Self {
+        self.load_default_library = true;
+        self
+    }
+
+    /// Replace the module registry.
+    pub fn with_registry(mut self, registry: ModuleRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Add a custom module instance (`pinned` keeps it always active).
+    pub fn with_module(mut self, module: Box<dyn Module>, pinned: bool) -> Self {
+        self.extra_modules.push((module, pinned));
+        self
+    }
+
+    /// Disable knowledge-driven activation: every module is always active.
+    /// This is the paper's *traditional IDS* emulation.
+    pub fn traditional(mut self) -> Self {
+        self.adaptive = false;
+        self
+    }
+
+    /// Enable/disable automatic countermeasures (default: enabled).
+    pub fn with_auto_response(mut self, enabled: bool) -> Self {
+        self.auto_response = enabled;
+        self
+    }
+
+    /// Override the Data Store window policy.
+    pub fn with_window(mut self, window: WindowConfig) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Build, surfacing configuration problems.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KalisError::UnknownModule`] when the configuration names
+    /// a module absent from the registry.
+    pub fn try_build(self) -> Result<Kalis, KalisError> {
+        let mut kb = KnowledgeBase::new(self.id.clone());
+        for (key, value) in &self.config.knowggets {
+            // Config keys may carry an `@entity` suffix but never a
+            // creator (paper §IV-B3).
+            match key.split_once('@') {
+                Some((label, entity)) => {
+                    kb.insert_about(label, Entity::new(entity.to_owned()), value.clone());
+                }
+                None => {
+                    kb.insert(key.clone(), value.clone());
+                }
+            }
+        }
+        let mut manager = if self.adaptive {
+            ModuleManager::new()
+        } else {
+            ModuleManager::all_always_active()
+        };
+        let mut pinned_names = Vec::new();
+        for def in &self.config.modules {
+            let module = self.registry.build(def)?;
+            pinned_names.push(def.name.clone());
+            manager.add(module, true);
+        }
+        if self.load_default_library {
+            for name in self.registry.names() {
+                if pinned_names.iter().any(|p| p == name) {
+                    continue;
+                }
+                let def = crate::config::ModuleDef::new(name);
+                manager.add(self.registry.build(&def)?, false);
+            }
+        }
+        for (module, pinned) in self.extra_modules {
+            manager.add(module, pinned);
+        }
+        // Initial activation pass against the a-priori knowledge.
+        kb.drain_changes();
+        manager.reconfigure(&kb);
+        Ok(Kalis {
+            id: self.id,
+            kb,
+            store: DataStore::with_config(self.window),
+            manager,
+            alerts: Vec::new(),
+            pending_alert_cursor: 0,
+            meter: ResourceMeter::new(),
+            response: ResponseEngine::new(),
+            auto_response: self.auto_response,
+            last_tick: None,
+            bus: EventBus::new(),
+        })
+    }
+
+    /// Build, panicking on configuration errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration names an unknown module; use
+    /// [`KalisBuilder::try_build`] to handle that case.
+    pub fn build(self) -> Kalis {
+        self.try_build().expect("invalid Kalis configuration")
+    }
+}
+
+/// A Kalis IDS node.
+///
+/// See the [crate docs](crate) for the architecture overview and the
+/// builder ([`Kalis::builder`]) for construction options.
+pub struct Kalis {
+    id: KalisId,
+    kb: KnowledgeBase,
+    store: DataStore,
+    manager: ModuleManager,
+    alerts: Vec<Alert>,
+    pending_alert_cursor: usize,
+    meter: ResourceMeter,
+    response: ResponseEngine,
+    auto_response: bool,
+    last_tick: Option<Timestamp>,
+    bus: EventBus,
+}
+
+impl Kalis {
+    /// Start building a node.
+    pub fn builder(id: KalisId) -> KalisBuilder {
+        KalisBuilder::new(id)
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> &KalisId {
+        &self.id
+    }
+
+    /// Ingest one captured packet: store it, route it to the active
+    /// modules, apply knowledge changes to module activation, and run
+    /// countermeasures for any new alerts.
+    pub fn ingest(&mut self, packet: CapturedPacket) {
+        self.meter.count_packet();
+        let now = packet.timestamp;
+        self.maybe_tick(now);
+        self.store.push(packet);
+        let packet = self.store.window().last().cloned().expect("just pushed");
+        let mut ctx = ModuleCtx {
+            now,
+            kb: &mut self.kb,
+            alerts: &mut self.alerts,
+        };
+        let outcome = self.manager.dispatch_packet(&mut ctx, &packet);
+        self.meter.add_work(outcome.modules_run);
+        self.after_dispatch(now);
+    }
+
+    /// Advance time without a packet: runs module housekeeping and
+    /// reconfiguration.
+    pub fn tick(&mut self, now: Timestamp) {
+        self.last_tick = Some(now);
+        let mut ctx = ModuleCtx {
+            now,
+            kb: &mut self.kb,
+            alerts: &mut self.alerts,
+        };
+        let outcome = self.manager.dispatch_tick(&mut ctx);
+        self.meter.add_work(outcome.modules_run);
+        self.response.expire(now);
+        self.after_dispatch(now);
+    }
+
+    fn maybe_tick(&mut self, now: Timestamp) {
+        let due = match self.last_tick {
+            None => true,
+            Some(last) => now.saturating_since(last) >= TICK_EVERY,
+        };
+        if due {
+            self.tick(now);
+        }
+    }
+
+    fn after_dispatch(&mut self, now: Timestamp) {
+        if self.kb.has_changes() {
+            for change in self.kb.drain_changes() {
+                self.bus.publish(KalisEvent::KnowledgeChanged {
+                    key: change.key,
+                    value: change.value,
+                    removed: change.removed,
+                });
+            }
+            let (activated, deactivated) = self.manager.reconfigure(&self.kb);
+            if activated + deactivated > 0 {
+                self.bus.publish(KalisEvent::ModulesReconfigured {
+                    time: now,
+                    activated,
+                    deactivated,
+                });
+            }
+        }
+        let new_alerts: Vec<Alert> = self.alerts[self.pending_alert_cursor..].to_vec();
+        for alert in &new_alerts {
+            if self.auto_response {
+                self.response.apply(alert);
+            }
+            self.bus.publish(KalisEvent::AlertRaised(alert.clone()));
+        }
+        self.pending_alert_cursor = self.alerts.len();
+        let state = self.store.state_bytes() + self.kb.state_bytes() + self.manager.state_bytes();
+        self.meter.observe_state_bytes(state);
+    }
+
+    /// Subscribe to this node's event stream (alerts, knowledge changes,
+    /// module reconfigurations) — the integration point for dashboards,
+    /// SIEM uploaders, and notification mechanisms (paper §V).
+    pub fn subscribe(&mut self) -> crossbeam::channel::Receiver<KalisEvent> {
+        self.bus.subscribe()
+    }
+
+    /// Derive a minimal static configuration from the knowledge collected
+    /// so far: the currently required modules plus the stable single-level
+    /// knowggets as a-priori knowledge.
+    ///
+    /// This realizes the paper's envisioned workflow of "selecting a
+    /// specific module configuration — based on the knowledge collected by
+    /// Kalis in a network — and ... deploy\[ing\] that configuration at
+    /// compile-time on very small devices" (§VIII): the returned
+    /// [`Config`] round-trips through the Fig. 6 text format.
+    pub fn recommend_config(&self) -> Config {
+        let modules = self
+            .manager
+            .active_names()
+            .into_iter()
+            .map(ModuleDef::new)
+            .collect();
+        let knowggets = self
+            .kb
+            .iter()
+            .filter(|k| {
+                k.creator == self.id
+                    && k.entity.is_none()
+                    && !k.label.contains('.')
+                    && k.label != crate::sensing::labels::MONITORED_NODES
+            })
+            .map(|k| (k.label, k.value))
+            .collect();
+        Config { modules, knowggets }
+    }
+
+    /// Drain a packet source to exhaustion, injecting periodic ticks
+    /// between packets (1 s cadence on the capture clock).
+    pub fn process_source(&mut self, source: &mut dyn PacketSource) {
+        while let Some(packet) = source.poll() {
+            self.ingest(packet);
+        }
+    }
+
+    /// Alerts raised so far (not yet drained).
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Remove and return all alerts.
+    pub fn drain_alerts(&mut self) -> Vec<Alert> {
+        self.pending_alert_cursor = 0;
+        std::mem::take(&mut self.alerts)
+    }
+
+    /// The Knowledge Base (read view).
+    pub fn knowledge(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// The Knowledge Base (mutable — for tests, static knowledge
+    /// injection, and embedding scenarios).
+    pub fn knowledge_mut(&mut self) -> &mut KnowledgeBase {
+        &mut self.kb
+    }
+
+    /// Insert a static knowgget and re-run module activation.
+    pub fn insert_knowledge(&mut self, label: &str, value: impl Into<KnowValue>) {
+        self.kb.insert(label, value);
+        self.kb.drain_changes();
+        self.manager.reconfigure(&self.kb);
+    }
+
+    /// The response (countermeasure) engine.
+    pub fn response(&self) -> &ResponseEngine {
+        &self.response
+    }
+
+    /// Names of currently active modules.
+    pub fn active_modules(&self) -> Vec<&'static str> {
+        self.manager.active_names()
+    }
+
+    /// Resource accounting so far.
+    pub fn meter(&self) -> ResourceMeter {
+        self.meter
+    }
+
+    /// The Data Store.
+    pub fn store(&self) -> &DataStore {
+        &self.store
+    }
+
+    /// Mutable access to the Data Store (e.g. to attach a disk log).
+    pub fn store_mut(&mut self) -> &mut DataStore {
+        &mut self.store
+    }
+
+    /// Collect this node's changed collective knowggets as a sync message
+    /// for its peers, if any changed.
+    pub fn collective_outbox(&mut self) -> Option<SyncMessage> {
+        let dirty = self.kb.drain_dirty_collective();
+        (!dirty.is_empty()).then(|| SyncMessage::new(self.id.clone(), dirty))
+    }
+
+    /// Accept a peer's sync message, enforcing creator ownership.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KalisError::SyncRejected`] when any knowgget violates the
+    /// ownership rule; accepted knowggets before the violation are kept.
+    pub fn accept_sync(&mut self, message: SyncMessage) -> Result<usize, KalisError> {
+        let mut accepted = 0;
+        for knowgget in message.knowggets {
+            match self.kb.accept_remote(&message.from, knowgget) {
+                Ok(true) => accepted += 1,
+                Ok(false) => {}
+                Err(reason) => return Err(KalisError::SyncRejected { reason }),
+            }
+        }
+        if self.kb.has_changes() {
+            self.kb.drain_changes();
+            self.manager.reconfigure(&self.kb);
+        }
+        Ok(accepted)
+    }
+}
+
+impl core::fmt::Debug for Kalis {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Kalis")
+            .field("id", &self.id)
+            .field("knowledge", &self.kb.len())
+            .field("active_modules", &self.manager.active_count())
+            .field("alerts", &self.alerts.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::ReplaySource;
+    use kalis_packets::{Medium, ShortAddr};
+
+    fn ctp_packet(ms: u64, thl: u8) -> CapturedPacket {
+        let raw = kalis_netsim::craft::ctp_data(
+            ShortAddr(2),
+            ShortAddr(1),
+            (ms / 100) as u8,
+            ShortAddr(3),
+            (ms / 100) as u8,
+            thl,
+            b"r",
+        );
+        CapturedPacket::capture(
+            Timestamp::from_millis(ms),
+            Medium::Ieee802154,
+            Some(-50.0),
+            "t",
+            raw,
+        )
+    }
+
+    #[test]
+    fn builder_default_library_starts_with_sensing_only() {
+        let kalis = Kalis::builder(KalisId::new("K1"))
+            .with_default_modules()
+            .build();
+        let active = kalis.active_modules();
+        assert!(active.contains(&"TopologyDiscoveryModule"));
+        assert!(active.contains(&"TrafficStatsModule"));
+        assert!(active.contains(&"MobilityAwarenessModule"));
+        assert!(
+            !active
+                .iter()
+                .any(|n| n.contains("Flood") || n.contains("Smurf")),
+            "no detection module without knowledge: {active:?}"
+        );
+    }
+
+    #[test]
+    fn knowledge_discovery_activates_detection_modules() {
+        let mut kalis = Kalis::builder(KalisId::new("K1"))
+            .with_default_modules()
+            .build();
+        // Forwarded CTP traffic → Multihop=true → watchdog modules activate.
+        for i in 0..5 {
+            kalis.ingest(ctp_packet(i * 100, 1));
+        }
+        let active = kalis.active_modules();
+        assert!(active.contains(&"SelectiveForwardingModule"), "{active:?}");
+        assert!(active.contains(&"BlackholeModule"));
+        assert!(active.contains(&"SmurfModule"));
+        assert!(active.contains(&"SybilModule"), "802.15.4 medium seen");
+    }
+
+    #[test]
+    fn traditional_mode_runs_all_modules_always() {
+        let kalis = Kalis::builder(KalisId::new("T"))
+            .with_default_modules()
+            .traditional()
+            .build();
+        assert_eq!(kalis.active_modules().len(), 17, "whole library active");
+    }
+
+    #[test]
+    fn apriori_knowledge_activates_immediately() {
+        let config: Config = "knowggets = { Multihop = true }".parse().unwrap();
+        let kalis = Kalis::builder(KalisId::new("K1"))
+            .with_config(config)
+            .with_default_modules()
+            .build();
+        assert!(kalis.active_modules().contains(&"SmurfModule"));
+    }
+
+    #[test]
+    fn pinned_config_modules_stay_active() {
+        let config: Config = "modules = { IcmpFloodModule (threshold = 5) }"
+            .parse()
+            .unwrap();
+        let kalis = Kalis::builder(KalisId::new("K1"))
+            .with_config(config)
+            .build();
+        assert_eq!(kalis.active_modules(), vec!["IcmpFloodModule"]);
+    }
+
+    #[test]
+    fn unknown_config_module_errors() {
+        let config: Config = "modules = { Bogus }".parse().unwrap();
+        let err = Kalis::builder(KalisId::new("K1"))
+            .with_config(config)
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, KalisError::UnknownModule { .. }));
+    }
+
+    #[test]
+    fn process_source_drains_replay() {
+        let mut kalis = Kalis::builder(KalisId::new("K1"))
+            .with_default_modules()
+            .build();
+        let packets: Vec<_> = (0..10).map(|i| ctp_packet(i * 200, 1)).collect();
+        let mut source = ReplaySource::new("replay", packets);
+        kalis.process_source(&mut source);
+        assert_eq!(kalis.meter().packets, 10);
+        assert_eq!(kalis.store().len(), 10);
+        assert!(kalis.meter().peak_state_bytes > 0);
+    }
+
+    #[test]
+    fn collective_roundtrip_between_two_nodes() {
+        let mut k1 = Kalis::builder(KalisId::new("K1"))
+            .with_default_modules()
+            .build();
+        let mut k2 = Kalis::builder(KalisId::new("K2"))
+            .with_default_modules()
+            .build();
+        // K1 observes a node → publishes collective SignalStrength.
+        k1.ingest(ctp_packet(0, 0));
+        let msg = k1
+            .collective_outbox()
+            .expect("signal strength is collective");
+        let accepted = k2.accept_sync(msg).unwrap();
+        assert!(accepted >= 1);
+        let all = k2.knowledge().get_all_creators("SignalStrength");
+        assert!(all.iter().any(|(creator, ..)| creator.as_str() == "K1"));
+    }
+
+    #[test]
+    fn forged_sync_is_rejected() {
+        let mut k2 = Kalis::builder(KalisId::new("K2")).build();
+        let forged = SyncMessage::new(
+            KalisId::new("K3"),
+            vec![crate::knowledge::Knowgget::new(
+                "Multihop",
+                KnowValue::Bool(true),
+                KalisId::new("K1"), // creator ≠ sender
+            )],
+        );
+        assert!(k2.accept_sync(forged).is_err());
+    }
+
+    #[test]
+    fn event_bus_publishes_knowledge_modules_and_alerts() {
+        let mut kalis = Kalis::builder(KalisId::new("K1"))
+            .with_default_modules()
+            .build();
+        let rx = kalis.subscribe();
+        for i in 0..5 {
+            kalis.ingest(ctp_packet(i * 100, 1));
+        }
+        let events: Vec<_> = rx.try_iter().collect();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, crate::bus::KalisEvent::KnowledgeChanged { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, crate::bus::KalisEvent::ModulesReconfigured { .. })));
+    }
+
+    #[test]
+    fn recommended_config_roundtrips_and_rebuilds() {
+        let mut kalis = Kalis::builder(KalisId::new("K1"))
+            .with_default_modules()
+            .build();
+        for i in 0..5 {
+            kalis.ingest(ctp_packet(i * 100, 1));
+        }
+        let config = kalis.recommend_config();
+        assert!(config
+            .modules
+            .iter()
+            .any(|m| m.name == "SelectiveForwardingModule"));
+        assert!(config
+            .knowggets
+            .iter()
+            .any(|(k, v)| k == "Multihop" && *v == KnowValue::Bool(true)));
+        // Round-trip through the Fig. 6 text format and rebuild a node
+        // from it (the compile-time deployment workflow).
+        let text = config.to_string();
+        let reparsed: Config = text.parse().unwrap();
+        assert_eq!(reparsed, config);
+        let small = Kalis::builder(KalisId::new("tiny"))
+            .with_config(reparsed)
+            .try_build()
+            .unwrap();
+        assert!(small
+            .active_modules()
+            .contains(&"SelectiveForwardingModule"));
+    }
+
+    #[test]
+    fn auto_response_revokes_suspects() {
+        let mut kalis = Kalis::builder(KalisId::new("K1"))
+            .with_config(
+                "modules = { IcmpFloodModule (threshold = 5) } knowggets = { Multihop = false }"
+                    .parse()
+                    .unwrap(),
+            )
+            .build();
+        // Craft an ICMP reply flood.
+        for i in 0..10u64 {
+            let ip = kalis_netsim::craft::ipv4_echo_reply(
+                std::net::Ipv4Addr::new(1, 1, 1, 1),
+                std::net::Ipv4Addr::new(10, 0, 0, 7),
+                1,
+                i as u16,
+            );
+            let raw = kalis_netsim::craft::wifi_ipv4(
+                kalis_packets::MacAddr::from_index(66),
+                kalis_packets::MacAddr::BROADCAST,
+                kalis_packets::MacAddr::from_index(0),
+                i as u16,
+                &ip,
+            );
+            kalis.ingest(CapturedPacket::capture(
+                Timestamp::from_millis(i * 50),
+                Medium::Wifi,
+                Some(-48.0),
+                "w",
+                raw,
+            ));
+        }
+        assert!(!kalis.alerts().is_empty());
+        let attacker = Entity::from(kalis_packets::MacAddr::from_index(66));
+        assert!(kalis
+            .response()
+            .is_revoked(&attacker, Timestamp::from_secs(1)));
+    }
+}

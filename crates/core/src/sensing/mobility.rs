@@ -1,0 +1,229 @@
+//! Mobility Awareness (paper §V): "a simple approach that detects mobility
+//! when any node's signal strength changes more than a certain threshold".
+//!
+//! Per-entity smoothed RSSI is also published (collectively) as
+//! `SignalStrength@<entity>` knowggets, enabling the cross-node
+//! correlation example of §IV-B3.
+
+use std::collections::BTreeMap;
+
+use kalis_packets::{CapturedPacket, Entity, Timestamp};
+
+use crate::knowledge::KnowledgeBase;
+use crate::modules::{Module, ModuleCtx, ModuleDescriptor};
+use crate::sensing::labels;
+
+/// How strongly new samples update the per-entity RSSI estimate.
+const EWMA_ALPHA: f64 = 0.25;
+/// How long without any deviation before the network is declared static.
+const STATIC_AFTER: core::time::Duration = core::time::Duration::from_secs(15);
+
+/// The Mobility Awareness sensing module.
+#[derive(Debug)]
+pub struct MobilityAwarenessModule {
+    threshold_db: f64,
+    estimates: BTreeMap<Entity, f64>,
+    last_deviation: Option<Timestamp>,
+    started: Option<Timestamp>,
+}
+
+impl MobilityAwarenessModule {
+    /// A module with the default 8 dB deviation threshold.
+    pub fn new() -> Self {
+        Self::with_threshold(8.0)
+    }
+
+    /// A module declaring mobility at RSSI deviations above
+    /// `threshold_db`.
+    pub fn with_threshold(threshold_db: f64) -> Self {
+        MobilityAwarenessModule {
+            threshold_db,
+            estimates: BTreeMap::new(),
+            last_deviation: None,
+            started: None,
+        }
+    }
+}
+
+impl Default for MobilityAwarenessModule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for MobilityAwarenessModule {
+    fn descriptor(&self) -> ModuleDescriptor {
+        ModuleDescriptor::sensing("MobilityAwarenessModule")
+    }
+
+    fn required(&self, _kb: &KnowledgeBase) -> bool {
+        true
+    }
+
+    fn on_packet(&mut self, ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket) {
+        let Some(rssi) = packet.rssi_dbm else { return };
+        let Some(tx) = packet.decoded().and_then(|p| p.transmitter()) else {
+            return;
+        };
+        self.started.get_or_insert(packet.timestamp);
+        match self.estimates.get_mut(&tx) {
+            None => {
+                self.estimates.insert(tx.clone(), rssi);
+                ctx.kb
+                    .insert_about_collective(labels::SIGNAL_STRENGTH, tx, rssi);
+            }
+            Some(est) => {
+                let deviation = (rssi - *est).abs();
+                *est = *est * (1.0 - EWMA_ALPHA) + rssi * EWMA_ALPHA;
+                // Publish at coarse (1 dB) granularity to avoid churning
+                // the Knowledge Base on shadowing noise.
+                let published = (*est).round();
+                let prev = ctx
+                    .kb
+                    .get_about(labels::SIGNAL_STRENGTH, &tx)
+                    .and_then(|v| v.as_f64());
+                if prev != Some(published) {
+                    ctx.kb
+                        .insert_about_collective(labels::SIGNAL_STRENGTH, tx, published);
+                }
+                if deviation > self.threshold_db {
+                    self.last_deviation = Some(packet.timestamp);
+                    ctx.kb.insert(labels::MOBILE, true);
+                }
+            }
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut ModuleCtx<'_>) {
+        // Quiet long enough → static. (Also the initial state once we have
+        // observed for a while with no deviations.)
+        let reference = match (self.last_deviation, self.started) {
+            (Some(t), _) => t,
+            (None, Some(t)) => t,
+            (None, None) => return,
+        };
+        if ctx.now.saturating_since(reference) > STATIC_AFTER
+            && ctx.kb.get_bool(labels::MOBILE) != Some(false)
+        {
+            ctx.kb.insert(labels::MOBILE, false);
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.estimates.len() * 64 + 128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::Alert;
+    use crate::id::KalisId;
+    use kalis_packets::{Medium, ShortAddr};
+
+    fn zigbee_from(addr: u16, rssi: f64, ms: u64) -> CapturedPacket {
+        let raw = kalis_netsim::craft::zigbee_data(
+            ShortAddr(addr),
+            ShortAddr(1),
+            0,
+            ShortAddr(addr),
+            ShortAddr(1),
+            0,
+            b"x",
+        );
+        CapturedPacket::capture(
+            Timestamp::from_millis(ms),
+            Medium::Ieee802154,
+            Some(rssi),
+            "t",
+            raw,
+        )
+    }
+
+    fn feed(module: &mut MobilityAwarenessModule, kb: &mut KnowledgeBase, cap: CapturedPacket) {
+        let mut alerts: Vec<Alert> = Vec::new();
+        let mut ctx = ModuleCtx {
+            now: cap.timestamp,
+            kb,
+            alerts: &mut alerts,
+        };
+        module.on_packet(&mut ctx, &cap);
+    }
+
+    fn tick(module: &mut MobilityAwarenessModule, kb: &mut KnowledgeBase, ms: u64) {
+        let mut alerts: Vec<Alert> = Vec::new();
+        let mut ctx = ModuleCtx {
+            now: Timestamp::from_millis(ms),
+            kb,
+            alerts: &mut alerts,
+        };
+        module.on_tick(&mut ctx);
+    }
+
+    #[test]
+    fn stable_rssi_declares_static() {
+        let mut module = MobilityAwarenessModule::new();
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        for i in 0..20 {
+            feed(
+                &mut module,
+                &mut kb,
+                zigbee_from(2, -60.0 + (i % 2) as f64, i * 500),
+            );
+        }
+        tick(&mut module, &mut kb, 20_000);
+        assert_eq!(kb.get_bool(labels::MOBILE), Some(false));
+    }
+
+    #[test]
+    fn rssi_jump_declares_mobile() {
+        let mut module = MobilityAwarenessModule::new();
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        feed(&mut module, &mut kb, zigbee_from(2, -60.0, 0));
+        feed(&mut module, &mut kb, zigbee_from(2, -61.0, 500));
+        assert_eq!(kb.get_bool(labels::MOBILE), None);
+        feed(&mut module, &mut kb, zigbee_from(2, -85.0, 1000));
+        assert_eq!(kb.get_bool(labels::MOBILE), Some(true));
+    }
+
+    #[test]
+    fn mobile_network_returns_to_static_after_quiet_period() {
+        let mut module = MobilityAwarenessModule::new();
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        feed(&mut module, &mut kb, zigbee_from(2, -60.0, 0));
+        feed(&mut module, &mut kb, zigbee_from(2, -90.0, 500));
+        assert_eq!(kb.get_bool(labels::MOBILE), Some(true));
+        // Stable again for a long time.
+        for i in 0..40 {
+            feed(&mut module, &mut kb, zigbee_from(2, -90.0, 1000 + i * 500));
+        }
+        tick(&mut module, &mut kb, 40_000);
+        assert_eq!(kb.get_bool(labels::MOBILE), Some(false));
+    }
+
+    #[test]
+    fn signal_strength_knowggets_are_collective() {
+        let mut module = MobilityAwarenessModule::new();
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        feed(&mut module, &mut kb, zigbee_from(2, -67.0, 0));
+        let dirty = kb.drain_dirty_collective();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].label, labels::SIGNAL_STRENGTH);
+        assert_eq!(
+            dirty[0].entity.as_ref().map(|e| e.as_str().to_owned()),
+            Some(ShortAddr(2).to_string())
+        );
+    }
+
+    #[test]
+    fn publication_is_noise_tolerant() {
+        let mut module = MobilityAwarenessModule::new();
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        feed(&mut module, &mut kb, zigbee_from(2, -60.0, 0));
+        kb.drain_changes();
+        // Sub-dB jitter must not churn the KB.
+        feed(&mut module, &mut kb, zigbee_from(2, -60.3, 100));
+        feed(&mut module, &mut kb, zigbee_from(2, -59.8, 200));
+        assert!(kb.drain_changes().is_empty());
+    }
+}

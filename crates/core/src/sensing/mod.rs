@@ -1,0 +1,30 @@
+//! Sensing modules (paper §IV-B4/§V): the autonomous knowledge-discovery
+//! mechanisms of Kalis.
+
+mod mobility;
+mod topology;
+mod traffic;
+
+pub use mobility::MobilityAwarenessModule;
+pub use topology::TopologyDiscoveryModule;
+pub use traffic::TrafficStatsModule;
+
+/// Knowgget labels written by the built-in sensing modules.
+pub mod labels {
+    /// Boolean: whether the monitored network portion is multi-hop.
+    pub const MULTIHOP: &str = "Multihop";
+    /// Boolean: whether the network is mobile.
+    pub const MOBILE: &str = "Mobile";
+    /// Integer: number of distinct monitored transmitters.
+    pub const MONITORED_NODES: &str = "MonitoredNodes";
+    /// Multilevel root: packets/second per traffic class.
+    pub const TRAFFIC_FREQUENCY: &str = "TrafficFrequency";
+    /// Float (per-entity): smoothed received signal strength in dBm.
+    pub const SIGNAL_STRENGTH: &str = "SignalStrength";
+    /// Text: the entity established as CTP collection-tree root.
+    pub const CTP_ROOT: &str = "CtpRoot";
+    /// Multilevel root (boolean leaves): mediums seen, e.g. `MediumSeen.wifi`.
+    pub const MEDIUM_SEEN: &str = "MediumSeen";
+    /// Multilevel root (boolean leaves): protocols seen, e.g. `ProtocolSeen.CTP`.
+    pub const PROTOCOL_SEEN: &str = "ProtocolSeen";
+}

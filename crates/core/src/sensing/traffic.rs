@@ -1,0 +1,256 @@
+//! Traffic Statistics Collection (paper §V): packets/second per traffic
+//! type, network-wide and per monitored device, over a configurable
+//! window (default 5 seconds, the paper's default).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Duration;
+
+use kalis_packets::{CapturedPacket, Entity, Timestamp, TrafficClass};
+
+use crate::knowledge::KnowledgeBase;
+use crate::modules::{Module, ModuleCtx, ModuleDescriptor};
+use crate::sensing::labels;
+
+/// The Traffic Statistics sensing module.
+///
+/// Writes multilevel knowggets rooted at [`labels::TRAFFIC_FREQUENCY`]:
+/// `TrafficFrequency.TCPSYN = 0.037` (network-wide packets/second) and
+/// `TrafficFrequency.TCPSYN@10.0.0.3 = …` (towards one device — the
+/// per-destination view that "support\[s\] an accurate detection of targeted
+/// DoS-like attacks").
+#[derive(Debug)]
+pub struct TrafficStatsModule {
+    window: Duration,
+    events: VecDeque<(Timestamp, TrafficClass, Option<Entity>)>,
+    written: BTreeMap<(TrafficClass, Option<Entity>), f64>,
+}
+
+impl TrafficStatsModule {
+    /// A module with the paper's default 5-second window.
+    pub fn new() -> Self {
+        Self::with_window(Duration::from_secs(5))
+    }
+
+    /// A module with a custom window.
+    pub fn with_window(window: Duration) -> Self {
+        TrafficStatsModule {
+            window,
+            events: VecDeque::new(),
+            written: BTreeMap::new(),
+        }
+    }
+
+    fn key(class: TrafficClass) -> String {
+        format!("{}.{}", labels::TRAFFIC_FREQUENCY, class.label())
+    }
+
+    fn publish(&mut self, ctx: &mut ModuleCtx<'_>, now: Timestamp) {
+        while let Some((ts, ..)) = self.events.front() {
+            if now.saturating_since(*ts) > self.window {
+                self.events.pop_front();
+            } else {
+                break;
+            }
+        }
+        let secs = self.window.as_secs_f64();
+        let mut counts: BTreeMap<(TrafficClass, Option<Entity>), usize> = BTreeMap::new();
+        for (_, class, dst) in &self.events {
+            *counts.entry((*class, None)).or_default() += 1;
+            if let Some(dst) = dst {
+                *counts.entry((*class, Some(dst.clone()))).or_default() += 1;
+            }
+        }
+        // Update changed rates; zero out rates that disappeared.
+        let mut stale: Vec<(TrafficClass, Option<Entity>)> = self
+            .written
+            .keys()
+            .filter(|k| !counts.contains_key(k))
+            .cloned()
+            .collect();
+        for ((class, dst), count) in counts {
+            let rate = count as f64 / secs;
+            let prev = self.written.insert((class, dst.clone()), rate);
+            if prev == Some(rate) {
+                continue;
+            }
+            match dst {
+                None => ctx.kb.insert(Self::key(class), rate),
+                Some(entity) => ctx.kb.insert_about(Self::key(class), entity, rate),
+            };
+        }
+        for (class, dst) in stale.drain(..) {
+            self.written.remove(&(class, dst.clone()));
+            match dst {
+                None => ctx.kb.insert(Self::key(class), 0.0),
+                Some(entity) => ctx.kb.insert_about(Self::key(class), entity, 0.0),
+            };
+        }
+    }
+}
+
+impl Default for TrafficStatsModule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for TrafficStatsModule {
+    fn descriptor(&self) -> ModuleDescriptor {
+        ModuleDescriptor::sensing("TrafficStatsModule")
+    }
+
+    fn required(&self, _kb: &KnowledgeBase) -> bool {
+        true
+    }
+
+    fn on_packet(&mut self, ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket) {
+        let class = packet.traffic_class();
+        let dst = packet.decoded().and_then(|p| p.net_dst());
+        self.events.push_back((packet.timestamp, class, dst));
+        // Publish opportunistically so rates stay fresh under bursts even
+        // between ticks.
+        if self.events.len() % 16 == 0 {
+            self.publish(ctx, packet.timestamp);
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let now = ctx.now;
+        self.publish(ctx, now);
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.events.len() * 48 + self.written.len() * 64 + 128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::Alert;
+    use crate::id::KalisId;
+    use kalis_packets::ShortAddr;
+    use std::net::Ipv4Addr;
+
+    fn run(
+        module: &mut TrafficStatsModule,
+        kb: &mut KnowledgeBase,
+        packets: Vec<CapturedPacket>,
+        tick_at: Timestamp,
+    ) {
+        let mut alerts: Vec<Alert> = Vec::new();
+        for p in packets {
+            let mut ctx = ModuleCtx {
+                now: p.timestamp,
+                kb,
+                alerts: &mut alerts,
+            };
+            module.on_packet(&mut ctx, &p);
+        }
+        let mut ctx = ModuleCtx {
+            now: tick_at,
+            kb,
+            alerts: &mut alerts,
+        };
+        module.on_tick(&mut ctx);
+    }
+
+    fn wifi_echo_reply(ms: u64, dst: Ipv4Addr) -> CapturedPacket {
+        let ip = kalis_netsim::craft::ipv4_echo_reply(Ipv4Addr::new(1, 1, 1, 1), dst, 1, 1);
+        let raw = kalis_netsim::craft::wifi_ipv4(
+            kalis_packets::MacAddr::from_index(1),
+            kalis_packets::MacAddr::from_index(2),
+            kalis_packets::MacAddr::from_index(0),
+            0,
+            &ip,
+        );
+        CapturedPacket::capture(
+            Timestamp::from_millis(ms),
+            kalis_packets::Medium::Wifi,
+            None,
+            "w",
+            raw,
+        )
+    }
+
+    fn ctp(ms: u64) -> CapturedPacket {
+        let raw =
+            kalis_netsim::craft::ctp_data(ShortAddr(2), ShortAddr(1), 0, ShortAddr(2), 1, 0, b"r");
+        CapturedPacket::capture(
+            Timestamp::from_millis(ms),
+            kalis_packets::Medium::Ieee802154,
+            Some(-55.0),
+            "t",
+            raw,
+        )
+    }
+
+    #[test]
+    fn global_rates_match_counts() {
+        let mut module = TrafficStatsModule::new();
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        // 10 echo replies within the 5s window → 2 pps.
+        let packets = (0..10)
+            .map(|i| wifi_echo_reply(i * 100, Ipv4Addr::new(10, 0, 0, 7)))
+            .collect();
+        run(&mut module, &mut kb, packets, Timestamp::from_millis(1000));
+        assert_eq!(kb.get_f64("TrafficFrequency.ICMPRESP"), Some(2.0));
+    }
+
+    #[test]
+    fn per_destination_rates_are_tracked() {
+        let mut module = TrafficStatsModule::new();
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        let victim = Ipv4Addr::new(10, 0, 0, 7);
+        let other = Ipv4Addr::new(10, 0, 0, 8);
+        let mut packets: Vec<_> = (0..8).map(|i| wifi_echo_reply(i * 100, victim)).collect();
+        packets.push(wifi_echo_reply(900, other));
+        run(&mut module, &mut kb, packets, Timestamp::from_millis(1000));
+        let per_victim = kb
+            .get_about("TrafficFrequency.ICMPRESP", &Entity::new("10.0.0.7"))
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        let per_other = kb
+            .get_about("TrafficFrequency.ICMPRESP", &Entity::new("10.0.0.8"))
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert!(per_victim > per_other);
+    }
+
+    #[test]
+    fn window_expiry_zeroes_rates() {
+        let mut module = TrafficStatsModule::new();
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        run(
+            &mut module,
+            &mut kb,
+            vec![ctp(0), ctp(100)],
+            Timestamp::from_millis(200),
+        );
+        assert!(kb.get_f64("TrafficFrequency.CTPDATA").unwrap() > 0.0);
+        // Tick far in the future: everything expired.
+        let mut alerts = Vec::new();
+        let mut ctx = ModuleCtx {
+            now: Timestamp::from_secs(60),
+            kb: &mut kb,
+            alerts: &mut alerts,
+        };
+        module.on_tick(&mut ctx);
+        assert_eq!(kb.get_f64("TrafficFrequency.CTPDATA"), Some(0.0));
+    }
+
+    #[test]
+    fn distinct_classes_get_distinct_subknowggets() {
+        let mut module = TrafficStatsModule::new();
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        run(
+            &mut module,
+            &mut kb,
+            vec![ctp(0), wifi_echo_reply(10, Ipv4Addr::new(1, 2, 3, 4))],
+            Timestamp::from_millis(100),
+        );
+        let subs = kb.sublabels("TrafficFrequency");
+        assert!(subs.iter().any(|(k, _)| k == "CTPDATA"));
+        assert!(subs.iter().any(|(k, _)| k == "ICMPRESP"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the core data structures: knowgget keys and
+//! values, Knowledge Base semantics, the configuration language, and the
+//! collective-sync channel.
+
+use kalis_core::config::Config;
+use kalis_core::knowledge::{KnowKey, SecureChannel, SyncMessage, XorChannel};
+use kalis_core::{KalisId, KnowValue, Knowgget, KnowledgeBase};
+use kalis_packets::Entity;
+use proptest::prelude::*;
+
+fn id_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_-]{0,8}"
+}
+
+fn label_strategy() -> impl Strategy<Value = String> {
+    // Single- or multi-level labels in dot notation.
+    prop_oneof![
+        "[A-Za-z][A-Za-z0-9]{0,12}",
+        "[A-Za-z][A-Za-z0-9]{0,8}\\.[A-Za-z][A-Za-z0-9]{0,8}",
+    ]
+}
+
+fn value_strategy() -> impl Strategy<Value = KnowValue> {
+    prop_oneof![
+        any::<bool>().prop_map(KnowValue::Bool),
+        any::<i64>().prop_map(KnowValue::Int),
+        // Finite, representable floats.
+        (-1.0e12f64..1.0e12).prop_map(KnowValue::Float),
+        "[A-Za-z][A-Za-z0-9 _:-]{0,20}".prop_map(KnowValue::Text),
+    ]
+}
+
+proptest! {
+    /// Key encode/parse is a bijection on valid keys.
+    #[test]
+    fn know_key_roundtrip(
+        creator in id_strategy(),
+        label in label_strategy(),
+        entity in proptest::option::of("[A-Za-z0-9.:]{1,12}"),
+    ) {
+        let key = KnowKey {
+            creator: KalisId::new(creator),
+            label,
+            entity: entity.map(Entity::new),
+        };
+        let encoded = key.encode();
+        let parsed: KnowKey = encoded.parse().unwrap();
+        prop_assert_eq!(parsed, key);
+    }
+
+    /// Values survive the string-backed storage: what you insert is what
+    /// the typed accessors give back.
+    #[test]
+    fn kb_insert_get_consistency(label in label_strategy(), value in value_strategy()) {
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        kb.insert(label.clone(), value.clone());
+        let got = kb.get(&label).unwrap();
+        match value {
+            KnowValue::Bool(b) => prop_assert_eq!(got.as_bool(), Some(b)),
+            KnowValue::Int(i) => prop_assert_eq!(got.as_int(), Some(i)),
+            KnowValue::Float(x) => {
+                let back = got.as_f64().unwrap();
+                // The wire format is decimal text; Rust prints floats
+                // exactly enough to round-trip.
+                prop_assert!((back - x).abs() <= x.abs() * 1e-12);
+            }
+            KnowValue::Text(s) => prop_assert_eq!(got.as_text(), s),
+        }
+    }
+
+    /// Re-inserting the same value never bumps the revision; a different
+    /// value always does.
+    #[test]
+    fn kb_revision_semantics(label in label_strategy(), a in value_strategy(), b in value_strategy()) {
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        kb.insert(label.clone(), a.clone());
+        let r1 = kb.revision();
+        kb.insert(label.clone(), a.clone());
+        prop_assert_eq!(kb.revision(), r1, "idempotent insert must not change revision");
+        kb.insert(label.clone(), b.clone());
+        if a.to_wire() != b.to_wire() {
+            prop_assert!(kb.revision() > r1);
+        } else {
+            prop_assert_eq!(kb.revision(), r1);
+        }
+    }
+
+    /// The ownership rule holds for arbitrary sender/creator pairs.
+    #[test]
+    fn kb_ownership_rule(sender in id_strategy(), creator in id_strategy(), label in label_strategy()) {
+        let mut kb = KnowledgeBase::new(KalisId::new("Local"));
+        let sender = KalisId::new(sender);
+        let creator = KalisId::new(creator);
+        let knowgget = Knowgget::new(label, KnowValue::Int(1), creator.clone());
+        let result = kb.accept_remote(&sender, knowgget);
+        if creator == sender && creator != KalisId::new("Local") {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+
+    /// Arbitrary configs survive Display → parse.
+    #[test]
+    fn config_roundtrip(
+        modules in proptest::collection::vec(
+            ("[A-Z][A-Za-z0-9]{0,12}", proptest::collection::vec(
+                ("[a-z][A-Za-z0-9]{0,8}", value_strategy()), 0..3)),
+            0..5,
+        ),
+        knowggets in proptest::collection::vec(
+            ("[A-Za-z][A-Za-z0-9]{0,12}", value_strategy()), 0..5,
+        ),
+    ) {
+        let config = Config {
+            modules: modules
+                .into_iter()
+                .map(|(name, params)| {
+                    let mut def = kalis_core::config::ModuleDef::new(name);
+                    def.params = params;
+                    def
+                })
+                .collect(),
+            knowggets,
+        };
+        // Text values containing separators need quoting, which Display
+        // does not emit — restrict to single-token wire forms.
+        prop_assume!(config
+            .knowggets
+            .iter()
+            .map(|(_, v)| v)
+            .chain(config.modules.iter().flat_map(|m| m.params.iter().map(|(_, v)| v)))
+            .all(|v| !v.to_wire().contains([' ', ':', ',', '(', ')', '{', '}', '='])
+                && !v.to_wire().is_empty()));
+        let printed = config.to_string();
+        let reparsed: Config = printed.parse().unwrap();
+        prop_assert_eq!(reparsed.modules.len(), config.modules.len());
+        prop_assert_eq!(reparsed.knowggets.len(), config.knowggets.len());
+        for (a, b) in reparsed.knowggets.iter().zip(&config.knowggets) {
+            prop_assert_eq!(&a.0, &b.0);
+            prop_assert_eq!(a.1.to_wire(), b.1.to_wire());
+        }
+    }
+
+    /// The sealed channel round-trips arbitrary knowgget batches and
+    /// never authenticates a tampered blob.
+    #[test]
+    fn sync_channel_roundtrip_and_tamper(
+        key in any::<u64>(),
+        labels in proptest::collection::vec(label_strategy(), 0..5),
+        flip in any::<(usize, u8)>(),
+    ) {
+        let channel = XorChannel::new(key);
+        let from = KalisId::new("K1");
+        let knowggets = labels
+            .into_iter()
+            .map(|l| Knowgget::new(l, KnowValue::Bool(true), from.clone()))
+            .collect();
+        let msg = SyncMessage::new(from, knowggets);
+        let sealed = msg.seal(&channel);
+        prop_assert_eq!(SyncMessage::open(&sealed, &channel).unwrap(), msg);
+        if !sealed.is_empty() && flip.1 != 0 {
+            let mut tampered = sealed.clone();
+            let idx = flip.0 % tampered.len();
+            tampered[idx] ^= flip.1;
+            prop_assert!(SyncMessage::open(&tampered, &channel).is_err());
+        }
+    }
+
+    /// Decoders behind the channel never panic on arbitrary blobs.
+    #[test]
+    fn sync_open_never_panics(key in any::<u64>(), blob in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let channel = XorChannel::new(key);
+        let _ = SyncMessage::open(&blob, &channel);
+        let _ = channel.open(&blob);
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration-test host crate for the Kalis workspace.

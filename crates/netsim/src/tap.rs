@@ -1,0 +1,134 @@
+//! Promiscuous observer taps — the Kalis vantage point.
+//!
+//! A tap models the IDS device's capture hardware: it sits at a position,
+//! overhears every radio frame within range on the mediums it supports,
+//! records reception RSSI, and (optionally) mirrors the wired traffic of a
+//! node it is attached to (the smart-router deployment). Drained frames are
+//! [`CapturedPacket`]s — exactly what `kalis-core`'s capture layer consumes.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use kalis_packets::{CapturedPacket, Medium};
+use parking_lot::Mutex;
+
+use crate::geometry::Position;
+use crate::node::NodeId;
+
+#[derive(Debug)]
+pub(crate) struct TapShared {
+    pub(crate) queue: Mutex<VecDeque<CapturedPacket>>,
+}
+
+/// Where a tap listens from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum TapAttachment {
+    /// Fixed position in the plane.
+    Fixed(Position),
+    /// Rides along with a node (e.g. a Kalis unit colocated with a hub).
+    Node(NodeId),
+}
+
+#[derive(Debug)]
+pub(crate) struct TapConfig {
+    pub(crate) interface: String,
+    pub(crate) attachment: TapAttachment,
+    pub(crate) mediums: Vec<Medium>,
+    /// Node whose wired traffic is mirrored to this tap, if any.
+    pub(crate) wired_mirror: Option<NodeId>,
+    pub(crate) shared: Arc<TapShared>,
+}
+
+/// A handle for draining the frames a tap has overheard.
+///
+/// Clones share the same buffer. The handle is `Send + Sync`, so the IDS
+/// side can consume from another thread if desired.
+///
+/// # Examples
+///
+/// See [`crate`] docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Tap {
+    interface: String,
+    shared: Arc<TapShared>,
+}
+
+impl Tap {
+    pub(crate) fn new(interface: String, shared: Arc<TapShared>) -> Self {
+        Tap { interface, shared }
+    }
+
+    /// The capture interface name this tap reports in its packets.
+    pub fn interface(&self) -> &str {
+        &self.interface
+    }
+
+    /// Remove and return every captured frame, in capture order.
+    pub fn drain(&self) -> Vec<CapturedPacket> {
+        self.shared.queue.lock().drain(..).collect()
+    }
+
+    /// Remove and return the oldest captured frame, if any.
+    pub fn pop(&self) -> Option<CapturedPacket> {
+        self.shared.queue.lock().pop_front()
+    }
+
+    /// Number of frames waiting to be drained.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().len()
+    }
+
+    /// Whether no frames are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use kalis_packets::Timestamp;
+
+    fn shared() -> Arc<TapShared> {
+        Arc::new(TapShared {
+            queue: Mutex::new(VecDeque::new()),
+        })
+    }
+
+    #[test]
+    fn drain_preserves_order_and_empties() {
+        let s = shared();
+        let tap = Tap::new("t0".into(), Arc::clone(&s));
+        for i in 0..3u64 {
+            s.queue.lock().push_back(CapturedPacket::capture(
+                Timestamp::from_micros(i),
+                Medium::Wifi,
+                None,
+                "t0",
+                Bytes::new(),
+            ));
+        }
+        assert_eq!(tap.len(), 3);
+        let drained = tap.drain();
+        assert_eq!(drained.len(), 3);
+        assert!(drained.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        assert!(tap.is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let s = shared();
+        let a = Tap::new("t0".into(), Arc::clone(&s));
+        let b = a.clone();
+        s.queue.lock().push_back(CapturedPacket::capture(
+            Timestamp::ZERO,
+            Medium::Ble,
+            None,
+            "t0",
+            Bytes::new(),
+        ));
+        assert_eq!(b.pop().map(|p| p.medium), Some(Medium::Ble));
+        assert!(a.is_empty());
+    }
+}

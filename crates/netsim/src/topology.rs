@@ -1,0 +1,196 @@
+//! Ground-truth topology queries over a simulator's node set.
+//!
+//! The evaluation needs hop distances (e.g. "the flood countermeasure
+//! suspects all nodes within one hop of the victim; the Smurf one suspects
+//! nodes two hops away") and single-hop/multi-hop ground truth to score
+//! the Topology Discovery sensing module against.
+
+use std::collections::{HashMap, VecDeque};
+
+use kalis_packets::ShortAddr;
+
+use crate::node::NodeId;
+use crate::sim::Simulator;
+
+/// A snapshot of the radio connectivity graph.
+#[derive(Debug, Clone)]
+pub struct TopologySnapshot {
+    nodes: Vec<NodeId>,
+    short_addrs: HashMap<NodeId, ShortAddr>,
+    adjacency: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl TopologySnapshot {
+    /// Capture the connectivity graph of `sim` right now: nodes are
+    /// adjacent when each is within the other's radio range.
+    pub fn capture(sim: &Simulator) -> Self {
+        let n = sim.node_count();
+        let nodes: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let mut adjacency: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut short_addrs = HashMap::new();
+        for &a in &nodes {
+            if let Some(addr) = sim.node(a).short_addr {
+                short_addrs.insert(a, addr);
+            }
+            for &b in &nodes {
+                if a == b {
+                    continue;
+                }
+                let na = sim.node(a);
+                let nb = sim.node(b);
+                let d = na.position.distance_to(nb.position);
+                if na.radio.in_range(d) && nb.radio.in_range(d) {
+                    adjacency.entry(a).or_default().push(b);
+                }
+            }
+        }
+        TopologySnapshot {
+            nodes,
+            short_addrs,
+            adjacency,
+        }
+    }
+
+    /// Neighbors of `node`.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        self.adjacency.get(&node).map_or(&[], Vec::as_slice)
+    }
+
+    /// BFS hop distance from `from` to `to`; `None` when disconnected.
+    pub fn hop_distance(&self, from: NodeId, to: NodeId) -> Option<u32> {
+        if from == to {
+            return Some(0);
+        }
+        let mut dist: HashMap<NodeId, u32> = HashMap::new();
+        dist.insert(from, 0);
+        let mut queue = VecDeque::from([from]);
+        while let Some(cur) = queue.pop_front() {
+            let d = dist[&cur];
+            for &next in self.neighbors(cur) {
+                if !dist.contains_key(&next) {
+                    if next == to {
+                        return Some(d + 1);
+                    }
+                    dist.insert(next, d + 1);
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Every node at exactly `hops` hops from `from`.
+    pub fn nodes_at_distance(&self, from: NodeId, hops: u32) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|&n| self.hop_distance(from, n) == Some(hops))
+            .collect()
+    }
+
+    /// Whether every pair of nodes is mutually in range — the ground truth
+    /// for "single-hop network".
+    pub fn is_single_hop(&self) -> bool {
+        self.nodes.iter().all(|&a| {
+            self.nodes
+                .iter()
+                .all(|&b| a == b || self.neighbors(a).contains(&b))
+        })
+    }
+
+    /// Resolve a node's 802.15.4 short address, when assigned.
+    pub fn short_addr(&self, node: NodeId) -> Option<ShortAddr> {
+        self.short_addrs.get(&node).copied()
+    }
+
+    /// Find a node by its short address.
+    pub fn node_by_short_addr(&self, addr: ShortAddr) -> Option<NodeId> {
+        self.short_addrs
+            .iter()
+            .find(|(_, &a)| a == addr)
+            .map(|(&n, _)| n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeSpec;
+    use crate::radio::RadioConfig;
+
+    fn line_sim(spacing: f64, count: usize) -> Simulator {
+        let mut sim = Simulator::new(1);
+        for i in 0..count {
+            sim.add_node(
+                NodeSpec::new(format!("n{i}"))
+                    .with_position(i as f64 * spacing, 0.0)
+                    .with_short_addr(ShortAddr(i as u16 + 1)),
+            );
+        }
+        sim
+    }
+
+    #[test]
+    fn line_topology_hop_distances() {
+        // Default radio range is 15 m; spacing 10 m → only neighbors adjacent.
+        let sim = line_sim(10.0, 4);
+        let topo = TopologySnapshot::capture(&sim);
+        assert_eq!(topo.hop_distance(NodeId(0), NodeId(1)), Some(1));
+        assert_eq!(topo.hop_distance(NodeId(0), NodeId(2)), Some(2));
+        assert_eq!(topo.hop_distance(NodeId(0), NodeId(3)), Some(3));
+        assert!(!topo.is_single_hop());
+    }
+
+    #[test]
+    fn dense_cluster_is_single_hop() {
+        let sim = line_sim(2.0, 5);
+        let topo = TopologySnapshot::capture(&sim);
+        assert!(topo.is_single_hop());
+        assert_eq!(topo.hop_distance(NodeId(0), NodeId(4)), Some(1));
+    }
+
+    #[test]
+    fn disconnected_nodes_have_no_path() {
+        let mut sim = Simulator::new(1);
+        sim.add_node(NodeSpec::new("a"));
+        sim.add_node(NodeSpec::new("b").with_position(1000.0, 0.0));
+        let topo = TopologySnapshot::capture(&sim);
+        assert_eq!(topo.hop_distance(NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn nodes_at_distance_matches_rings() {
+        let sim = line_sim(10.0, 5);
+        let topo = TopologySnapshot::capture(&sim);
+        assert_eq!(
+            topo.nodes_at_distance(NodeId(2), 1),
+            vec![NodeId(1), NodeId(3)]
+        );
+        assert_eq!(
+            topo.nodes_at_distance(NodeId(2), 2),
+            vec![NodeId(0), NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn short_addr_lookup_roundtrips() {
+        let sim = line_sim(10.0, 3);
+        let topo = TopologySnapshot::capture(&sim);
+        assert_eq!(topo.short_addr(NodeId(1)), Some(ShortAddr(2)));
+        assert_eq!(topo.node_by_short_addr(ShortAddr(3)), Some(NodeId(2)));
+        assert_eq!(topo.node_by_short_addr(ShortAddr(99)), None);
+    }
+
+    #[test]
+    fn asymmetric_ranges_require_mutual_reachability() {
+        let mut sim = Simulator::new(1);
+        sim.add_node(NodeSpec::new("strong").with_radio(RadioConfig {
+            range_m: 100.0,
+            ..RadioConfig::default()
+        }));
+        sim.add_node(NodeSpec::new("weak").with_position(50.0, 0.0));
+        let topo = TopologySnapshot::capture(&sim);
+        // Strong can reach weak but not vice versa → not adjacent.
+        assert_eq!(topo.hop_distance(NodeId(0), NodeId(1)), None);
+    }
+}

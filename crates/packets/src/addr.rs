@@ -1,0 +1,268 @@
+//! Address and identity types shared by all protocol layers.
+
+use core::fmt;
+use core::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// An IEEE 802.15.4 16-bit short address.
+///
+/// # Examples
+///
+/// ```
+/// use kalis_packets::ShortAddr;
+///
+/// let addr = ShortAddr(0x1234);
+/// assert_eq!(addr.to_string(), "0x1234");
+/// assert_eq!(ShortAddr::BROADCAST, ShortAddr(0xffff));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ShortAddr(pub u16);
+
+impl ShortAddr {
+    /// The 802.15.4 broadcast short address.
+    pub const BROADCAST: ShortAddr = ShortAddr(0xffff);
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+}
+
+impl fmt::Display for ShortAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#06x}", self.0)
+    }
+}
+
+impl From<u16> for ShortAddr {
+    fn from(value: u16) -> Self {
+        ShortAddr(value)
+    }
+}
+
+/// An IEEE 802.15.4 64-bit extended (EUI-64) address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ExtAddr(pub u64);
+
+impl fmt::Display for ExtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+impl From<u64> for ExtAddr {
+    fn from(value: u64) -> Self {
+        ExtAddr(value)
+    }
+}
+
+/// An IEEE 802.15.4 PAN (personal area network) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PanId(pub u16);
+
+impl PanId {
+    /// The broadcast PAN id.
+    pub const BROADCAST: PanId = PanId(0xffff);
+}
+
+impl fmt::Display for PanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#06x}", self.0)
+    }
+}
+
+/// A 48-bit IEEE MAC address as used by Ethernet, WiFi, and Bluetooth.
+///
+/// # Examples
+///
+/// ```
+/// use kalis_packets::MacAddr;
+///
+/// let mac = MacAddr([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+/// assert_eq!(mac.to_string(), "de:ad:be:ef:00:01");
+/// assert_eq!("de:ad:be:ef:00:01".parse::<MacAddr>()?, mac);
+/// # Ok::<(), kalis_packets::addr::ParseMacError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast MAC address (ff:ff:ff:ff:ff:ff).
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+
+    /// Build a locally administered MAC address from a small integer,
+    /// convenient for simulated devices.
+    pub fn from_index(index: u32) -> Self {
+        let b = index.to_be_bytes();
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+/// Error returned when parsing a [`MacAddr`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMacError {
+    text: String,
+}
+
+impl fmt::Display for ParseMacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseMacError {}
+
+impl FromStr for MacAddr {
+    type Err = ParseMacError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseMacError { text: s.to_owned() };
+        let mut out = [0u8; 6];
+        let mut parts = s.split(':');
+        for slot in &mut out {
+            let part = parts.next().ok_or_else(err)?;
+            *slot = u8::from_str_radix(part, 16).map_err(|_| err())?;
+        }
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        Ok(MacAddr(out))
+    }
+}
+
+/// A uniform, display-oriented identity for a monitored entity.
+///
+/// Kalis keys per-entity knowledge (e.g. `SignalStrength@SensorA`) on a
+/// single identity namespace regardless of the medium the entity speaks on.
+/// `Entity` is that namespace: a canonical string derived from whichever
+/// address the entity uses.
+///
+/// # Examples
+///
+/// ```
+/// use kalis_packets::{Entity, ShortAddr};
+///
+/// let e = Entity::from(ShortAddr(7));
+/// assert_eq!(e.as_str(), "0x0007");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Entity(String);
+
+impl Entity {
+    /// Create an entity from an arbitrary name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Entity(name.into())
+    }
+
+    /// The canonical string form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Entity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<ShortAddr> for Entity {
+    fn from(value: ShortAddr) -> Self {
+        Entity(value.to_string())
+    }
+}
+
+impl From<ExtAddr> for Entity {
+    fn from(value: ExtAddr) -> Self {
+        Entity(value.to_string())
+    }
+}
+
+impl From<MacAddr> for Entity {
+    fn from(value: MacAddr) -> Self {
+        Entity(value.to_string())
+    }
+}
+
+impl From<std::net::Ipv4Addr> for Entity {
+    fn from(value: std::net::Ipv4Addr) -> Self {
+        Entity(value.to_string())
+    }
+}
+
+impl From<std::net::Ipv6Addr> for Entity {
+    fn from(value: std::net::Ipv6Addr) -> Self {
+        Entity(value.to_string())
+    }
+}
+
+impl From<&str> for Entity {
+    fn from(value: &str) -> Self {
+        Entity(value.to_owned())
+    }
+}
+
+impl AsRef<str> for Entity {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_parse_roundtrip() {
+        let mac = MacAddr([1, 2, 3, 0xaa, 0xbb, 0xcc]);
+        let parsed: MacAddr = mac.to_string().parse().unwrap();
+        assert_eq!(parsed, mac);
+    }
+
+    #[test]
+    fn mac_parse_rejects_garbage() {
+        assert!("".parse::<MacAddr>().is_err());
+        assert!("00:11:22:33:44".parse::<MacAddr>().is_err());
+        assert!("00:11:22:33:44:55:66".parse::<MacAddr>().is_err());
+        assert!("zz:11:22:33:44:55".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn from_index_is_locally_administered_and_unique() {
+        let a = MacAddr::from_index(1);
+        let b = MacAddr::from_index(2);
+        assert_ne!(a, b);
+        assert_eq!(a.0[0] & 0x02, 0x02);
+    }
+
+    #[test]
+    fn broadcast_predicates() {
+        assert!(ShortAddr::BROADCAST.is_broadcast());
+        assert!(!ShortAddr(1).is_broadcast());
+        assert!(MacAddr::BROADCAST.is_broadcast());
+    }
+
+    #[test]
+    fn entity_canonical_forms_are_distinct_across_kinds() {
+        let a = Entity::from(ShortAddr(1));
+        let b = Entity::from(ExtAddr(1));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,284 @@
+//! Property-based encode/decode round-trips for every protocol codec, plus
+//! robustness checks: decoders must never panic on arbitrary bytes.
+
+use bytes::Bytes;
+use kalis_packets::ble::{BleAdvPdu, BleAdvType};
+use kalis_packets::codec::{Decode, Encode};
+use kalis_packets::ctp::{CtpData, CtpFrame, CtpRoutingBeacon};
+use kalis_packets::ethernet::EthernetFrame;
+use kalis_packets::icmpv4::{Icmpv4Packet, Icmpv4Type};
+use kalis_packets::icmpv6::Icmpv6Packet;
+use kalis_packets::ieee802154::{Address, FrameType, Ieee802154Frame};
+use kalis_packets::ipv4::{IpProtocol, Ipv4Packet};
+use kalis_packets::ipv6::Ipv6Packet;
+use kalis_packets::rpl::RplMessage;
+use kalis_packets::sixlowpan::{FragHeader, MeshHeader, SixLowpanFrame, SixLowpanPayload};
+use kalis_packets::tcp::{TcpFlags, TcpSegment};
+use kalis_packets::udp::UdpPacket;
+use kalis_packets::wifi::{WifiBody, WifiFrame};
+use kalis_packets::zigbee::{ZigbeeBody, ZigbeeCommand, ZigbeeFrame};
+use kalis_packets::{ExtAddr, MacAddr, Medium, Packet, PanId, ShortAddr};
+use proptest::prelude::*;
+
+fn payload_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..64)
+}
+
+fn address_strategy() -> impl Strategy<Value = Address> {
+    prop_oneof![
+        Just(Address::None),
+        any::<u16>().prop_map(|a| Address::Short(ShortAddr(a))),
+        any::<u64>().prop_map(|a| Address::Extended(ExtAddr(a))),
+    ]
+}
+
+prop_compose! {
+    fn ieee802154_strategy()(
+        frame_type in prop_oneof![
+            Just(FrameType::Beacon),
+            Just(FrameType::Data),
+            Just(FrameType::MacCommand),
+        ],
+        security in any::<bool>(),
+        pending in any::<bool>(),
+        ack_req in any::<bool>(),
+        seq in any::<u8>(),
+        dst_pan in any::<u16>(),
+        dst in address_strategy(),
+        src in address_strategy(),
+        compress in any::<bool>(),
+        src_pan in any::<u16>(),
+        payload in payload_strategy(),
+    ) -> Ieee802154Frame {
+        // src_pan present only when not compressed and src exists.
+        let src_pan = if compress || src == Address::None { None } else { Some(PanId(src_pan)) };
+        Ieee802154Frame {
+            frame_type,
+            security_enabled: security,
+            frame_pending: pending,
+            ack_request: ack_req,
+            seq,
+            dst_pan: if dst == Address::None { None } else { Some(PanId(dst_pan)) },
+            dst,
+            src_pan,
+            src,
+            payload: Bytes::from(payload),
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn ieee802154_roundtrip(frame in ieee802154_strategy()) {
+        let wire = frame.to_bytes();
+        prop_assert_eq!(wire.len(), frame.encoded_len());
+        let back = Ieee802154Frame::from_slice(&wire).unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn zigbee_roundtrip(
+        dst in any::<u16>(), src in any::<u16>(), radius in any::<u8>(),
+        seq in any::<u8>(), security in any::<bool>(), data in payload_strategy(),
+        is_cmd in any::<bool>(), req_id in any::<u8>(), cost in any::<u8>(),
+    ) {
+        let body = if is_cmd {
+            ZigbeeBody::Command(ZigbeeCommand::RouteRequest {
+                request_id: req_id,
+                destination: ShortAddr(dst),
+                path_cost: cost,
+            })
+        } else {
+            ZigbeeBody::Data(Bytes::from(data))
+        };
+        let frame = ZigbeeFrame { dst: ShortAddr(dst), src: ShortAddr(src), radius, seq, security, body };
+        prop_assert_eq!(ZigbeeFrame::from_slice(&frame.to_bytes()).unwrap(), frame);
+    }
+
+    #[test]
+    fn ctp_data_roundtrip(
+        pull in any::<bool>(), congestion in any::<bool>(), thl in any::<u8>(),
+        etx in any::<u16>(), origin in any::<u16>(), seq in any::<u8>(),
+        collect in any::<u8>(), payload in payload_strategy(),
+    ) {
+        let frame = CtpFrame::Data(CtpData {
+            pull, congestion, thl, etx,
+            origin: ShortAddr(origin), origin_seq: seq, collect_id: collect,
+            payload: Bytes::from(payload),
+        });
+        prop_assert_eq!(CtpFrame::from_slice(&frame.to_bytes()).unwrap(), frame);
+    }
+
+    #[test]
+    fn ctp_beacon_roundtrip(
+        pull in any::<bool>(), congestion in any::<bool>(),
+        parent in any::<u16>(), etx in any::<u16>(),
+    ) {
+        let frame = CtpFrame::Routing(CtpRoutingBeacon {
+            pull, congestion, parent: ShortAddr(parent), etx,
+        });
+        prop_assert_eq!(CtpFrame::from_slice(&frame.to_bytes()).unwrap(), frame);
+    }
+
+    #[test]
+    fn sixlowpan_roundtrip(
+        mesh in proptest::option::of((0u8..16, any::<u16>(), any::<u16>())),
+        frag_kind in 0u8..3,
+        size in 0u16..0x800, tag in any::<u16>(), offset in any::<u8>(),
+        payload in payload_strategy(),
+    ) {
+        let frag = match frag_kind {
+            0 => None,
+            1 => Some(FragHeader::First { datagram_size: size, datagram_tag: tag }),
+            _ => Some(FragHeader::Subsequent { datagram_size: size, datagram_tag: tag, offset }),
+        };
+        let frame = SixLowpanFrame {
+            mesh: mesh.map(|(h, o, f)| MeshHeader {
+                hops_left: h, originator: ShortAddr(o), final_dst: ShortAddr(f),
+            }),
+            frag,
+            payload: SixLowpanPayload::Ipv6(Bytes::from(payload)),
+        };
+        prop_assert_eq!(SixLowpanFrame::from_slice(&frame.to_bytes()).unwrap(), frame);
+    }
+
+    #[test]
+    fn rpl_roundtrip(
+        kind in 0u8..3, instance in any::<u8>(), version in any::<u8>(),
+        rank in any::<u16>(), seq in any::<u8>(), id in any::<[u8; 16]>(),
+    ) {
+        let msg = match kind {
+            0 => RplMessage::Dis,
+            1 => RplMessage::Dio { instance_id: instance, version, rank, dodag_id: id },
+            _ => RplMessage::Dao { instance_id: instance, sequence: seq, target: id },
+        };
+        prop_assert_eq!(RplMessage::from_slice(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn ipv4_roundtrip(
+        ttl in any::<u8>(), proto in any::<u8>(), ident in any::<u16>(),
+        src in any::<[u8; 4]>(), dst in any::<[u8; 4]>(), payload in payload_strategy(),
+    ) {
+        let pkt = Ipv4Packet {
+            ttl,
+            protocol: IpProtocol::from(proto),
+            src: src.into(), dst: dst.into(),
+            identification: ident,
+            payload: Bytes::from(payload),
+        };
+        prop_assert_eq!(Ipv4Packet::from_slice(&pkt.to_bytes()).unwrap(), pkt);
+    }
+
+    #[test]
+    fn ipv6_roundtrip(
+        hop in any::<u8>(), proto in any::<u8>(),
+        src in any::<[u8; 16]>(), dst in any::<[u8; 16]>(), payload in payload_strategy(),
+    ) {
+        let pkt = Ipv6Packet {
+            hop_limit: hop,
+            next_header: IpProtocol::from(proto),
+            src: src.into(), dst: dst.into(),
+            payload: Bytes::from(payload),
+        };
+        prop_assert_eq!(Ipv6Packet::from_slice(&pkt.to_bytes()).unwrap(), pkt);
+    }
+
+    #[test]
+    fn tcp_roundtrip(
+        sp in any::<u16>(), dp in any::<u16>(), seq in any::<u32>(), ack in any::<u32>(),
+        flags in 0u8..64, window in any::<u16>(), payload in payload_strategy(),
+    ) {
+        let seg = TcpSegment {
+            src_port: sp, dst_port: dp, seq, ack,
+            flags: TcpFlags::from_bits(flags), window,
+            payload: Bytes::from(payload),
+        };
+        prop_assert_eq!(TcpSegment::from_slice(&seg.to_bytes()).unwrap(), seg);
+    }
+
+    #[test]
+    fn udp_roundtrip(sp in any::<u16>(), dp in any::<u16>(), payload in payload_strategy()) {
+        let dgram = UdpPacket::new(sp, dp, payload);
+        prop_assert_eq!(UdpPacket::from_slice(&dgram.to_bytes()).unwrap(), dgram);
+    }
+
+    #[test]
+    fn icmpv4_roundtrip(ty in any::<u8>(), code in any::<u8>(), rest in any::<u32>(), payload in payload_strategy()) {
+        let pkt = Icmpv4Packet::new(Icmpv4Type::from(ty), code, rest, payload);
+        prop_assert_eq!(Icmpv4Packet::from_slice(&pkt.to_bytes()).unwrap(), pkt);
+    }
+
+    #[test]
+    fn icmpv6_echo_roundtrip(id in any::<u16>(), seq in any::<u16>(), req in any::<bool>(), data in payload_strategy()) {
+        let pkt = if req {
+            Icmpv6Packet::EchoRequest { id, seq, data: Bytes::from(data) }
+        } else {
+            Icmpv6Packet::EchoReply { id, seq, data: Bytes::from(data) }
+        };
+        prop_assert_eq!(Icmpv6Packet::from_slice(&pkt.to_bytes()).unwrap(), pkt);
+    }
+
+    #[test]
+    fn ethernet_roundtrip(
+        src in any::<[u8; 6]>(), dst in any::<[u8; 6]>(),
+        ethertype in any::<u16>(), payload in payload_strategy(),
+    ) {
+        let frame = EthernetFrame::new(MacAddr(src), MacAddr(dst), ethertype, payload);
+        prop_assert_eq!(EthernetFrame::from_slice(&frame.to_bytes()).unwrap(), frame);
+    }
+
+    #[test]
+    fn wifi_roundtrip(
+        src in any::<[u8; 6]>(), dst in any::<[u8; 6]>(), bssid in any::<[u8; 6]>(),
+        seq in any::<u16>(), kind in 0u8..6, reason in any::<u16>(),
+        ethertype in any::<u16>(), payload in payload_strategy(),
+        ssid in "[a-zA-Z0-9 ]{0,32}",
+    ) {
+        let body = match kind {
+            0 => WifiBody::Beacon { ssid },
+            1 => WifiBody::ProbeRequest,
+            2 => WifiBody::ProbeResponse { ssid },
+            3 => WifiBody::AssocRequest,
+            4 => WifiBody::Deauth { reason },
+            _ => WifiBody::Data { ethertype, payload: Bytes::from(payload) },
+        };
+        let frame = WifiFrame { src: MacAddr(src), dst: MacAddr(dst), bssid: MacAddr(bssid), seq, body };
+        prop_assert_eq!(WifiFrame::from_slice(&frame.to_bytes()).unwrap(), frame);
+    }
+
+    #[test]
+    fn ble_roundtrip(
+        kind in 0u8..5, mac in any::<[u8; 6]>(), data in proptest::collection::vec(any::<u8>(), 0..31),
+    ) {
+        let ty = [
+            BleAdvType::AdvInd,
+            BleAdvType::AdvNonconnInd,
+            BleAdvType::ScanReq,
+            BleAdvType::ScanRsp,
+            BleAdvType::ConnectReq,
+        ][kind as usize];
+        let pdu = BleAdvPdu::new(ty, MacAddr(mac), data);
+        prop_assert_eq!(BleAdvPdu::from_slice(&pdu.to_bytes()).unwrap(), pdu);
+    }
+
+    /// Decoders never panic on arbitrary input, for any medium.
+    #[test]
+    fn packet_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let raw = Bytes::from(bytes);
+        for medium in [Medium::Ieee802154, Medium::Wifi, Medium::Ethernet, Medium::Ble] {
+            let _ = Packet::decode(medium, &raw);
+        }
+    }
+
+    /// Whatever decodes also re-encodes to something decodable (full-stack).
+    #[test]
+    fn full_stack_decode_is_stable(frame in ieee802154_strategy()) {
+        let raw = frame.to_bytes();
+        if let Ok(pkt) = Packet::decode(Medium::Ieee802154, &raw) {
+            // Decoding the same bytes twice yields identical stacks.
+            let again = Packet::decode(Medium::Ieee802154, &raw).unwrap();
+            prop_assert_eq!(pkt, again);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Smart-firewall integration: the scan scenario through the router's
+//! wired uplink, filtered by a Kalis firewall.
+
+use kalis_bench::scenarios::{Scenario, ScenarioKind};
+use kalis_core::firewall::{SmartFirewall, Verdict};
+use kalis_core::{Kalis, KalisId};
+use kalis_packets::Entity;
+
+#[test]
+fn scan_is_detected_and_filtered() {
+    let scenario = Scenario::build(ScenarioKind::Scan, 42, 6);
+    let kalis = Kalis::builder(KalisId::new("router"))
+        .with_default_modules()
+        .build();
+    let mut firewall = SmartFirewall::new(kalis);
+    let mut dropped = 0;
+    for packet in &scenario.captures {
+        if matches!(firewall.filter(packet.clone()), Verdict::Drop { .. }) {
+            dropped += 1;
+        }
+    }
+    assert!(dropped > 0, "scan traffic must be filtered after detection");
+    assert!(firewall
+        .kalis()
+        .alerts()
+        .iter()
+        .any(|a| a.attack == kalis_core::AttackKind::Scan));
+    // The scanner is the revoked entity.
+    let scanner = &scenario.attackers[0];
+    assert!(firewall
+        .kalis()
+        .response()
+        .history()
+        .iter()
+        .any(|r| &r.entity == scanner));
+}
+
+#[test]
+fn admin_blocklist_applies_before_detection() {
+    let scenario = Scenario::build(ScenarioKind::Scan, 7, 3);
+    let kalis = Kalis::builder(KalisId::new("router"))
+        .with_default_modules()
+        .build();
+    let mut firewall = SmartFirewall::new(kalis);
+    firewall.block(Entity::new("203.0.113.66"));
+    let first = scenario.captures.first().cloned().expect("captures");
+    assert!(matches!(firewall.filter(first), Verdict::Drop { .. }));
+}

@@ -1,0 +1,56 @@
+//! The §VI-D knowledge-sharing experiment: only the collaborating pair of
+//! Kalis nodes can classify the wormhole.
+
+use kalis_bench::experiments::run_knowledge_sharing;
+use kalis_core::knowledge::{SyncMessage, XorChannel};
+use kalis_core::{AttackKind, Kalis, KalisId, KnowValue, Knowgget};
+
+#[test]
+fn collaboration_identifies_the_wormhole() {
+    let result = run_knowledge_sharing(42, 25);
+    assert!(result.wormhole_identified);
+    assert!(
+        !result.isolated_kinds.contains(&AttackKind::Wormhole),
+        "isolated nodes must see only the local half (got {:?})",
+        result.isolated_kinds
+    );
+    assert!(
+        result.isolated_kinds.contains(&AttackKind::Blackhole),
+        "the node watching B1 sees a blackhole"
+    );
+    assert!(result.score.detection_rate() > 0.6);
+}
+
+#[test]
+fn sync_messages_survive_the_sealed_channel() {
+    let channel = XorChannel::new(0x1234);
+    let msg = SyncMessage::new(
+        KalisId::new("K1"),
+        vec![Knowgget::new(
+            "Mobile",
+            KnowValue::Bool(true),
+            KalisId::new("K1"),
+        )],
+    );
+    let opened = SyncMessage::open(&msg.seal(&channel), &channel).unwrap();
+    assert_eq!(opened, msg);
+}
+
+#[test]
+fn hostile_sync_cannot_poison_a_node() {
+    let mut kalis = Kalis::builder(KalisId::new("K2"))
+        .with_default_modules()
+        .build();
+    // An attacker replays a message claiming to be K1 but carrying
+    // knowggets created by K9 — the ownership rule rejects it.
+    let forged = SyncMessage::new(
+        KalisId::new("K1"),
+        vec![Knowgget::new(
+            "Multihop",
+            KnowValue::Bool(true),
+            KalisId::new("K9"),
+        )],
+    );
+    assert!(kalis.accept_sync(forged).is_err());
+    assert_eq!(kalis.knowledge().get_all_creators("Multihop").len(), 0);
+}
