@@ -16,11 +16,14 @@ use parking_lot::Mutex;
 
 use crate::truth::{SymptomInstance, TruthLog};
 
+/// One frame in transit through the tunnel: (origin, seq, payload).
+type TunneledFrame = (ShortAddr, u8, Vec<u8>);
+
 /// The out-of-band channel the colluders share (models a long-range
 /// directional link invisible to the monitored mediums).
 #[derive(Debug, Clone, Default)]
 pub struct WormholeTunnel {
-    queue: Arc<Mutex<VecDeque<(ShortAddr, u8, Vec<u8>)>>>, // (origin, seq, payload)
+    queue: Arc<Mutex<VecDeque<TunneledFrame>>>,
 }
 
 impl WormholeTunnel {
@@ -33,7 +36,7 @@ impl WormholeTunnel {
         self.queue.lock().push_back((origin, seq, payload));
     }
 
-    fn pop(&self) -> Option<(ShortAddr, u8, Vec<u8>)> {
+    fn pop(&self) -> Option<TunneledFrame> {
         self.queue.lock().pop_front()
     }
 

@@ -47,7 +47,7 @@ fn bench_activation_ablation(c: &mut Criterion) {
 fn bench_reconfigure_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_reconfigure");
     for copies in [1usize, 4, 16] {
-        group.bench_function(format!("library_x{copies}"), |b| {
+        group.bench_function(&format!("library_x{copies}"), |b| {
             let registry = ModuleRegistry::with_defaults();
             let mut manager = kalis_core::modules::ModuleManager::new();
             for _ in 0..copies {
@@ -76,7 +76,7 @@ fn bench_window_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_window");
     group.sample_size(10);
     for max_packets in [256usize, 4096] {
-        group.bench_function(format!("window_{max_packets}"), |b| {
+        group.bench_function(&format!("window_{max_packets}"), |b| {
             b.iter_batched(
                 || {
                     Kalis::builder(KalisId::new("K1"))

@@ -5,7 +5,12 @@
 //! experiments [--table1] [--fig3] [--table2] [--fig8] [--reactivity]
 //!             [--knowledge-sharing] [--all]
 //!             [--symptoms N] [--replication-runs N] [--seed N]
+//!             [--json PATH]
 //! ```
+//!
+//! `--json PATH` additionally writes a machine-readable `BENCH_*.json`
+//! report (Table II rows plus the Kalis node's full telemetry snapshot:
+//! per-stage latency histograms, KB churn, activation journal).
 //!
 //! Defaults to `--all` with the paper's 50 symptom instances and a
 //! reduced 10 replication runs (pass `--replication-runs 100` for the
@@ -25,6 +30,7 @@ struct Args {
     symptoms: u32,
     replication_runs: u32,
     seed: u64,
+    json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -39,6 +45,7 @@ fn parse_args() -> Args {
         symptoms: 50,
         replication_runs: 10,
         seed: 42,
+        json: None,
     };
     let mut any = false;
     let mut iter = std::env::args().skip(1);
@@ -91,10 +98,19 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
+            "--json" => {
+                args.json = Some(
+                    iter.next()
+                        .unwrap_or_else(|| die("--json needs an output path")),
+                );
+                // The JSON report is built from the Table II run.
+                args.table2 = true;
+                any = true;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--table1|--fig3|--table2|--fig8|--reactivity|--knowledge-sharing|--all]\n\
-                     \x20                  [--symptoms N] [--replication-runs N] [--seed N]"
+                     \x20                  [--symptoms N] [--replication-runs N] [--seed N] [--json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -147,6 +163,22 @@ fn main() {
                     report::pct(cm.precision()),
                 );
             }
+        }
+        if let Some(snapshot) = table
+            .icmp_flood
+            .systems
+            .iter()
+            .find(|s| s.name == "Kalis")
+            .and_then(|s| s.telemetry.as_ref())
+        {
+            println!();
+            println!("{}", report::render_telemetry(snapshot));
+        }
+        if let Some(path) = &args.json {
+            let json = report::bench_json(&table);
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            println!("wrote {path} ({} bytes)", json.len());
         }
         println!();
     }

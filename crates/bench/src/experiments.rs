@@ -3,6 +3,7 @@
 use kalis_core::metrics::ResourceMeter;
 use kalis_core::{AttackKind, Kalis, KalisId};
 use kalis_packets::Timestamp;
+use kalis_telemetry::TelemetrySnapshot;
 
 use crate::runner::{self, Detection, RunOutcome};
 use crate::scenarios::{Scenario, ScenarioKind};
@@ -22,6 +23,9 @@ pub struct SystemResult {
     /// Whether the system could observe the scenario's medium at all
     /// (Snort cannot observe 802.15.4 scenarios).
     pub applicable: bool,
+    /// Telemetry snapshot of the run (node A's view for collaborative
+    /// pairs); `None` for systems without a registry.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// All systems' results on one scenario.
@@ -55,6 +59,7 @@ fn evaluate(
         meter: outcome.meter,
         countermeasures,
         applicable,
+        telemetry: outcome.telemetry,
     }
 }
 
@@ -78,6 +83,7 @@ pub fn run_scenario_all_systems(kind: ScenarioKind, seed: u64, symptoms: u32) ->
                 detections,
                 meter,
                 revocations,
+                telemetry: a.telemetry,
             }
         }
         None => runner::run_kalis(&scenario.captures),

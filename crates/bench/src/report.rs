@@ -1,7 +1,10 @@
-//! Text rendering for the experiment outputs (the tables and figures).
+//! Text rendering for the experiment outputs (the tables and figures),
+//! plus the `BENCH_*.json` machine-readable report carrying telemetry
+//! alongside the paper's numbers.
 
 use kalis_core::taxonomy::{relation, Feature, Relation};
 use kalis_core::AttackKind;
+use kalis_telemetry::{names, TelemetrySnapshot};
 
 use crate::experiments::{ScenarioResult, Table2};
 
@@ -132,6 +135,118 @@ pub fn render_fig8(results: &[ScenarioResult]) -> String {
             pct(acc)
         ));
     }
+    out
+}
+
+/// Render a human-readable digest of a telemetry snapshot: pipeline and
+/// per-module dispatch latency quantiles, KB activity, and the most
+/// recent journal events.
+pub fn render_telemetry(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("Telemetry (Kalis node)\n");
+    if let Some(h) = snapshot.histogram(names::PIPELINE) {
+        out.push_str(&format!(
+            "pipeline.ingest: n={} p50={}ns p95={}ns p99={}ns\n",
+            h.count,
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+        ));
+    }
+    let mut dispatch: Vec<_> = snapshot.histograms_in(names::DISPATCH_PACKET).collect();
+    // Hottest module first.
+    dispatch.sort_by_key(|(_, h)| std::cmp::Reverse(h.sum));
+    for (name, h) in dispatch.iter().take(8) {
+        out.push_str(&format!(
+            "{name}: n={} p50={}ns p95={}ns p99={}ns\n",
+            h.count,
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+        ));
+    }
+    out.push_str(&format!(
+        "kb: revision={} churn={} ops insert={} get={} remove={} sync={}\n",
+        snapshot.gauge(names::KB_REVISION),
+        snapshot.counter(names::KB_CHURN),
+        snapshot.counter("kb.ops[op=insert]"),
+        snapshot.counter("kb.ops[op=get]"),
+        snapshot.counter("kb.ops[op=remove]"),
+        snapshot.counter("kb.ops[op=sync]"),
+    ));
+    out.push_str(&format!(
+        "modules: active={} activated={} deactivated={}  alerts={}\n",
+        snapshot.gauge(names::MODULES_ACTIVE),
+        snapshot.counter(names::MODULES_ACTIVATED),
+        snapshot.counter(names::MODULES_DEACTIVATED),
+        snapshot.counter(names::ALERTS),
+    ));
+    let journal = &snapshot.journal;
+    out.push_str(&format!(
+        "journal: {} records retained, {} dropped\n",
+        journal.records.len(),
+        journal.dropped
+    ));
+    for record in journal.records.iter().rev().take(5).rev() {
+        out.push_str(&format!("  [{}us] {}", record.time_us, record.event.kind()));
+        for (key, value) in record.event.fields() {
+            match value {
+                kalis_telemetry::JournalField::Str(s) => out.push_str(&format!(" {key}={s}")),
+                kalis_telemetry::JournalField::Num(n) => out.push_str(&format!(" {key}={n}")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Build the machine-readable `BENCH_*.json` report: the Table II rows
+/// plus the full telemetry snapshot of the Kalis run (per-stage latency
+/// histograms, KB churn, activation journal).
+pub fn bench_json(table: &Table2) -> String {
+    let mut out = String::from("{\n  \"table2\": [\n");
+    let rows = table.rows();
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"system\": \"{}\", \"detection_rate\": {:.4}, \"accuracy\": {:.4}, \
+             \"work_per_packet\": {:.4}, \"peak_state_bytes\": {}, \"fully_applicable\": {}}}",
+            json_escape(row.name),
+            row.detection_rate,
+            row.accuracy,
+            row.work_per_packet,
+            row.peak_state_bytes,
+            row.fully_applicable,
+        ));
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"telemetry\": ");
+    let snapshot = table
+        .icmp_flood
+        .systems
+        .iter()
+        .find(|s| s.name == "Kalis")
+        .and_then(|s| s.telemetry.as_ref());
+    match snapshot {
+        Some(s) => out.push_str(&s.to_json()),
+        None => out.push_str("null"),
+    }
+    out.push_str("\n}\n");
     out
 }
 

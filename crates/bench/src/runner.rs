@@ -10,6 +10,7 @@ use kalis_core::metrics::ResourceMeter;
 use kalis_core::response::Revocation;
 use kalis_core::{Alert, AttackKind, Kalis, KalisId};
 use kalis_packets::{CapturedPacket, Entity, Timestamp};
+use kalis_telemetry::TelemetrySnapshot;
 
 /// A system-agnostic detection event.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +56,10 @@ pub struct RunOutcome {
     pub meter: ResourceMeter,
     /// Revocations issued (empty for Snort, which has no response engine).
     pub revocations: Vec<Revocation>,
+    /// Full telemetry snapshot (per-stage latency histograms, KB churn,
+    /// journal) — `None` for systems without a telemetry registry
+    /// (Snort), empty when instrumentation is compiled out.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// Run an adaptive Kalis node (full default library, autonomous knowledge
@@ -83,6 +88,7 @@ pub fn run_kalis_instance(kalis: &mut Kalis, captures: &[CapturedPacket]) -> Run
             .collect(),
         meter: kalis.meter(),
         revocations: kalis.response().history().to_vec(),
+        telemetry: Some(kalis.telemetry().snapshot()),
     }
 }
 
@@ -107,6 +113,7 @@ pub fn run_snort(captures: &[CapturedPacket]) -> RunOutcome {
             .collect(),
         meter: snort.meter(),
         revocations: Vec::new(),
+        telemetry: None,
     }
 }
 
@@ -164,7 +171,7 @@ pub fn run_kalis_pair(
             }
             a.tick(next_sync);
             b.tick(next_sync);
-            next_sync = next_sync + Duration::from_millis(500);
+            next_sync += Duration::from_millis(500);
         }
         if node_is_a {
             a.ingest(captures_a[ia].clone());
@@ -193,11 +200,13 @@ pub fn run_kalis_pair(
         detections: a.drain_alerts().into_iter().map(Detection::from).collect(),
         meter: a.meter(),
         revocations: a.response().history().to_vec(),
+        telemetry: Some(a.telemetry().snapshot()),
     };
     let out_b = RunOutcome {
         detections: b.drain_alerts().into_iter().map(Detection::from).collect(),
         meter: b.meter(),
         revocations: b.response().history().to_vec(),
+        telemetry: Some(b.telemetry().snapshot()),
     };
     (out_a, out_b)
 }

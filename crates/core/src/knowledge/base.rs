@@ -9,6 +9,24 @@ use crate::id::KalisId;
 
 use super::{KnowKey, KnowValue, Knowgget};
 
+#[cfg(feature = "telemetry")]
+use kalis_telemetry::{metric_name, names, Counter, Gauge, Telemetry};
+#[cfg(feature = "telemetry")]
+use std::sync::Arc;
+
+/// Cached instrument handles so the KB hot path never touches the
+/// registry lock (paper-scale workloads query the KB per packet).
+#[cfg(feature = "telemetry")]
+#[derive(Debug, Clone)]
+struct KbStats {
+    inserts: Arc<Counter>,
+    gets: Arc<Counter>,
+    removes: Arc<Counter>,
+    syncs: Arc<Counter>,
+    churn: Arc<Counter>,
+    revision: Arc<Gauge>,
+}
+
 /// A change to the Knowledge Base, consumed by the Module Manager to
 /// decide module activation (paper: "the Knowledge Base will in turn
 /// notify the Module Manager that recent changes ... might require
@@ -51,6 +69,8 @@ pub struct KnowledgeBase {
     dirty_collective: BTreeSet<String>,
     changes: Vec<ChangeEvent>,
     revision: u64,
+    #[cfg(feature = "telemetry")]
+    stats: Option<KbStats>,
 }
 
 impl KnowledgeBase {
@@ -63,6 +83,70 @@ impl KnowledgeBase {
             dirty_collective: BTreeSet::new(),
             changes: Vec::new(),
             revision: 0,
+            #[cfg(feature = "telemetry")]
+            stats: None,
+        }
+    }
+
+    /// Attach a telemetry registry: from now on every operation is
+    /// counted under `kb.ops[op=...]` and revision churn is tracked.
+    #[cfg(feature = "telemetry")]
+    pub fn set_telemetry(&mut self, registry: &Telemetry) {
+        let op = |name: &str| registry.counter(&metric_name(names::KB_OPS, &[("op", name)]));
+        self.stats = Some(KbStats {
+            inserts: op("insert"),
+            gets: op("get"),
+            removes: op("remove"),
+            syncs: op("sync"),
+            churn: registry.counter(names::KB_CHURN),
+            revision: registry.gauge(names::KB_REVISION),
+        });
+    }
+
+    /// Attach a telemetry registry (no-op: the `telemetry` feature is
+    /// disabled, so there is nothing to record into).
+    #[cfg(not(feature = "telemetry"))]
+    pub fn set_telemetry(&mut self, _registry: &kalis_telemetry::Telemetry) {}
+
+    #[inline]
+    fn note_insert(&self) {
+        #[cfg(feature = "telemetry")]
+        if let Some(s) = &self.stats {
+            s.inserts.inc();
+        }
+    }
+
+    #[inline]
+    fn note_get(&self) {
+        #[cfg(feature = "telemetry")]
+        if let Some(s) = &self.stats {
+            s.gets.inc();
+        }
+    }
+
+    #[inline]
+    fn note_remove(&self) {
+        #[cfg(feature = "telemetry")]
+        if let Some(s) = &self.stats {
+            s.removes.inc();
+        }
+    }
+
+    #[inline]
+    fn note_sync(&self) {
+        #[cfg(feature = "telemetry")]
+        if let Some(s) = &self.stats {
+            s.syncs.inc();
+        }
+    }
+
+    /// Record a revision bump (a real state change).
+    #[inline]
+    fn note_churn(&self) {
+        #[cfg(feature = "telemetry")]
+        if let Some(s) = &self.stats {
+            s.churn.inc();
+            s.revision.set(self.revision);
         }
     }
 
@@ -94,6 +178,7 @@ impl KnowledgeBase {
                 value,
                 removed: false,
             });
+            self.note_churn();
         }
         true
     }
@@ -101,6 +186,7 @@ impl KnowledgeBase {
     /// Insert or update a local network-level knowgget. Returns whether
     /// the stored value changed.
     pub fn insert(&mut self, label: impl Into<String>, value: impl Into<KnowValue>) -> bool {
+        self.note_insert();
         let key = KnowKey::new(self.local.clone(), label);
         let before = self.revision;
         self.set_raw(key, value.into(), false);
@@ -114,6 +200,7 @@ impl KnowledgeBase {
         entity: Entity,
         value: impl Into<KnowValue>,
     ) -> bool {
+        self.note_insert();
         let key = KnowKey::about(self.local.clone(), label, entity);
         let before = self.revision;
         self.set_raw(key, value.into(), false);
@@ -127,6 +214,7 @@ impl KnowledgeBase {
         label: impl Into<String>,
         value: impl Into<KnowValue>,
     ) -> bool {
+        self.note_insert();
         let key = KnowKey::new(self.local.clone(), label);
         let before = self.revision;
         self.set_raw(key, value.into(), true);
@@ -140,6 +228,7 @@ impl KnowledgeBase {
         entity: Entity,
         value: impl Into<KnowValue>,
     ) -> bool {
+        self.note_insert();
         let key = KnowKey::about(self.local.clone(), label, entity);
         let before = self.revision;
         self.set_raw(key, value.into(), true);
@@ -148,12 +237,14 @@ impl KnowledgeBase {
 
     /// Remove a local network-level knowgget.
     pub fn remove(&mut self, label: &str) -> bool {
+        self.note_remove();
         let key = KnowKey::new(self.local.clone(), label);
         self.remove_key(key)
     }
 
     /// Remove a local entity-specific knowgget.
     pub fn remove_about(&mut self, label: &str, entity: &Entity) -> bool {
+        self.note_remove();
         let key = KnowKey::about(self.local.clone(), label, entity.clone());
         self.remove_key(key)
     }
@@ -169,6 +260,7 @@ impl KnowledgeBase {
                 value: KnowValue::from_wire(&old),
                 removed: true,
             });
+            self.note_churn();
             true
         } else {
             false
@@ -177,12 +269,14 @@ impl KnowledgeBase {
 
     /// Look up a local network-level knowgget.
     pub fn get(&self, label: &str) -> Option<KnowValue> {
+        self.note_get();
         let key = KnowKey::new(self.local.clone(), label).encode();
         self.entries.get(&key).map(|w| KnowValue::from_wire(w))
     }
 
     /// Look up a local entity-specific knowgget.
     pub fn get_about(&self, label: &str, entity: &Entity) -> Option<KnowValue> {
+        self.note_get();
         let key = KnowKey::about(self.local.clone(), label, entity.clone()).encode();
         self.entries.get(&key).map(|w| KnowValue::from_wire(w))
     }
@@ -211,6 +305,7 @@ impl KnowledgeBase {
     /// collective-correlation query ("other Kalis nodes are noticing
     /// changes in signal strength for specific devices").
     pub fn get_all_creators(&self, label: &str) -> Vec<(KalisId, Option<Entity>, KnowValue)> {
+        self.note_get();
         self.entries
             .iter()
             .filter_map(|(k, w)| {
@@ -223,6 +318,7 @@ impl KnowledgeBase {
     /// Every local knowgget whose label starts with `root.` (the
     /// sub-knowggets of a multilevel knowgget), as `(sub-label, value)`.
     pub fn sublabels(&self, root: &str) -> Vec<(String, KnowValue)> {
+        self.note_get();
         let prefix = format!("{}${}.", self.local, root);
         self.entries
             .range(prefix.clone()..)
@@ -238,6 +334,7 @@ impl KnowledgeBase {
     /// Every entity that has a local knowgget with `label`, with its value
     /// — the suffix query of the paper.
     pub fn entities_with(&self, label: &str) -> Vec<(Entity, KnowValue)> {
+        self.note_get();
         let prefix = format!("{}${}@", self.local, label);
         self.entries
             .range(prefix.clone()..)
@@ -322,6 +419,7 @@ impl KnowledgeBase {
     /// Returns the rejection reason when the creator does not match the
     /// sender or the creator claims to be the local node.
     pub fn accept_remote(&mut self, sender: &KalisId, knowgget: Knowgget) -> Result<bool, String> {
+        self.note_sync();
         if &knowgget.creator != sender {
             return Err(format!(
                 "creator `{}` does not match sender `{sender}`",

@@ -52,6 +52,20 @@ impl SyncMessage {
         Some(s)
     }
 
+    /// Plaintext wire size in bytes (what [`SyncMessage::seal`] encodes
+    /// before the channel adds its own overhead) — the basis of the
+    /// sync-traffic byte counters.
+    pub fn encoded_len(&self) -> usize {
+        let mut len = 2 + self.from.as_str().len() + 2;
+        for k in &self.knowggets {
+            len += 2 + k.label.len();
+            len += 2 + k.value.to_wire().len();
+            len += 2 + k.creator.as_str().len();
+            len += 2 + k.entity.as_ref().map_or(0, |e| e.as_str().len());
+        }
+        len
+    }
+
     /// Serialize and seal for transmission over `channel`.
     pub fn seal(&self, channel: &dyn SecureChannel) -> Vec<u8> {
         let mut plain = Vec::new();
@@ -232,6 +246,18 @@ mod tests {
         let sealed = sample_message().seal(&channel);
         assert!(SyncMessage::open(&sealed[..4], &channel).is_err());
         assert!(SyncMessage::open(&[], &channel).is_err());
+    }
+
+    #[test]
+    fn encoded_len_matches_sealed_size() {
+        let channel = XorChannel::new(7);
+        for msg in [
+            sample_message(),
+            SyncMessage::new(KalisId::new("K1"), vec![]),
+        ] {
+            // XorChannel appends an 8-byte tag and nothing else.
+            assert_eq!(msg.seal(&channel).len(), msg.encoded_len() + 8);
+        }
     }
 
     #[test]

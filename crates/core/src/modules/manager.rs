@@ -7,11 +7,35 @@ use crate::knowledge::KnowledgeBase;
 
 use super::{Module, ModuleCtx, ModuleKind};
 
+use kalis_telemetry::Telemetry;
+#[cfg(feature = "telemetry")]
+use kalis_telemetry::{metric_name, names, Counter, Gauge, Histogram, JournalEvent};
+#[cfg(feature = "telemetry")]
+use std::sync::Arc;
+#[cfg(feature = "telemetry")]
+use std::time::Instant;
+
 struct Slot {
     module: Box<dyn Module>,
     active: bool,
     /// Activated by configuration: stays on regardless of knowledge.
     pinned: bool,
+    /// Cached per-module dispatch latency series (`dispatch.packet` /
+    /// `dispatch.tick`), populated once telemetry is attached.
+    #[cfg(feature = "telemetry")]
+    packet_hist: Option<Arc<Histogram>>,
+    #[cfg(feature = "telemetry")]
+    tick_hist: Option<Arc<Histogram>>,
+}
+
+/// Cached instrument handles for the manager itself.
+#[cfg(feature = "telemetry")]
+#[derive(Clone)]
+struct ManagerTele {
+    registry: Arc<Telemetry>,
+    activated: Arc<Counter>,
+    deactivated: Arc<Counter>,
+    active: Arc<Gauge>,
 }
 
 /// Counters describing one packet dispatch.
@@ -33,7 +57,19 @@ pub struct ModuleManager {
     adaptive: bool,
     activations: u64,
     deactivations: u64,
+    #[cfg(feature = "telemetry")]
+    tele: Option<ManagerTele>,
+    /// Dispatch sequence number driving latency sampling.
+    #[cfg(feature = "telemetry")]
+    dispatch_seq: u64,
 }
+
+/// Per-module dispatch latency is sampled on one packet in
+/// `DISPATCH_SAMPLE + 1`: clock reads are the dominant instrumentation
+/// cost (N modules need N+1 reads), and sampling keeps them off the
+/// common path while the histograms stay statistically representative.
+#[cfg(feature = "telemetry")]
+const DISPATCH_SAMPLE_MASK: u64 = 7;
 
 impl ModuleManager {
     /// An adaptive (knowledge-driven) manager.
@@ -43,6 +79,10 @@ impl ModuleManager {
             adaptive: true,
             activations: 0,
             deactivations: 0,
+            #[cfg(feature = "telemetry")]
+            tele: None,
+            #[cfg(feature = "telemetry")]
+            dispatch_seq: 0,
         }
     }
 
@@ -64,16 +104,89 @@ impl ModuleManager {
     /// start active and stay active.
     pub fn add(&mut self, module: Box<dyn Module>, pinned: bool) {
         let active = pinned || !self.adaptive || module.descriptor().kind == ModuleKind::Sensing;
+        #[cfg(feature = "telemetry")]
+        let (packet_hist, tick_hist) = match &self.tele {
+            Some(t) => Self::slot_hists(&t.registry, module.descriptor().name),
+            None => (None, None),
+        };
         self.slots.push(Slot {
             module,
             active,
             pinned,
+            #[cfg(feature = "telemetry")]
+            packet_hist,
+            #[cfg(feature = "telemetry")]
+            tick_hist,
         });
+        #[cfg(feature = "telemetry")]
+        if let Some(t) = &self.tele {
+            t.active.set(self.active_count() as u64);
+        }
+    }
+
+    /// Attach a telemetry registry: per-module dispatch latency is
+    /// recorded from now on, and [`ModuleManager::reconfigure_traced`]
+    /// journals every activation flip.
+    #[cfg(feature = "telemetry")]
+    pub fn set_telemetry(&mut self, registry: &Arc<Telemetry>) {
+        let tele = ManagerTele {
+            registry: Arc::clone(registry),
+            activated: registry.counter(names::MODULES_ACTIVATED),
+            deactivated: registry.counter(names::MODULES_DEACTIVATED),
+            active: registry.gauge(names::MODULES_ACTIVE),
+        };
+        for slot in &mut self.slots {
+            let (packet_hist, tick_hist) =
+                Self::slot_hists(&tele.registry, slot.module.descriptor().name);
+            slot.packet_hist = packet_hist;
+            slot.tick_hist = tick_hist;
+        }
+        tele.active.set(self.active_count() as u64);
+        self.tele = Some(tele);
+    }
+
+    /// Attach a telemetry registry (no-op: the `telemetry` feature is
+    /// disabled, so there is nothing to record into).
+    #[cfg(not(feature = "telemetry"))]
+    pub fn set_telemetry(&mut self, _registry: &std::sync::Arc<Telemetry>) {}
+
+    #[cfg(feature = "telemetry")]
+    fn slot_hists(
+        registry: &Telemetry,
+        name: &str,
+    ) -> (Option<Arc<Histogram>>, Option<Arc<Histogram>>) {
+        (
+            Some(registry.histogram(&metric_name(names::DISPATCH_PACKET, &[("module", name)]))),
+            Some(registry.histogram(&metric_name(names::DISPATCH_TICK, &[("module", name)]))),
+        )
     }
 
     /// Re-evaluate every module's activation against the Knowledge Base.
     /// Returns `(activated, deactivated)` counts for this pass.
     pub fn reconfigure(&mut self, kb: &KnowledgeBase) -> (usize, usize) {
+        self.apply_reconfigure(kb, "", 0)
+    }
+
+    /// Like [`ModuleManager::reconfigure`], but journals every activation
+    /// flip with the knowgget change(s) that triggered it and the capture
+    /// time — the audit trail of the knowledge-driven adaptation loop.
+    pub fn reconfigure_traced(
+        &mut self,
+        kb: &KnowledgeBase,
+        trigger: &str,
+        time_us: u64,
+    ) -> (usize, usize) {
+        self.apply_reconfigure(kb, trigger, time_us)
+    }
+
+    fn apply_reconfigure(
+        &mut self,
+        kb: &KnowledgeBase,
+        trigger: &str,
+        time_us: u64,
+    ) -> (usize, usize) {
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (trigger, time_us);
         if !self.adaptive {
             return (0, 0);
         }
@@ -88,10 +201,38 @@ impl ModuleManager {
                 slot.active = true;
                 activated += 1;
                 self.activations += 1;
+                #[cfg(feature = "telemetry")]
+                if let Some(t) = &self.tele {
+                    t.activated.inc();
+                    t.registry.journal().record(
+                        time_us,
+                        JournalEvent::ModuleActivated {
+                            module: slot.module.descriptor().name.to_string(),
+                            trigger: trigger.to_string(),
+                        },
+                    );
+                }
             } else if !want && slot.active {
                 slot.active = false;
                 deactivated += 1;
                 self.deactivations += 1;
+                #[cfg(feature = "telemetry")]
+                if let Some(t) = &self.tele {
+                    t.deactivated.inc();
+                    t.registry.journal().record(
+                        time_us,
+                        JournalEvent::ModuleDeactivated {
+                            module: slot.module.descriptor().name.to_string(),
+                            trigger: trigger.to_string(),
+                        },
+                    );
+                }
+            }
+        }
+        #[cfg(feature = "telemetry")]
+        if activated + deactivated > 0 {
+            if let Some(t) = &self.tele {
+                t.active.set(self.active_count() as u64);
             }
         }
         (activated, deactivated)
@@ -104,10 +245,26 @@ impl ModuleManager {
         packet: &CapturedPacket,
     ) -> DispatchOutcome {
         let mut outcome = DispatchOutcome::default();
+        #[cfg(feature = "telemetry")]
+        let mut prev = {
+            self.dispatch_seq = self.dispatch_seq.wrapping_add(1);
+            let sampled = self.tele.is_some() && self.dispatch_seq & DISPATCH_SAMPLE_MASK == 0;
+            sampled.then(Instant::now)
+        };
         for slot in &mut self.slots {
             if slot.active {
                 slot.module.on_packet(ctx, packet);
                 outcome.modules_run += 1;
+                #[cfg(feature = "telemetry")]
+                if let Some(prev) = prev.as_mut() {
+                    if let Some(hist) = &slot.packet_hist {
+                        // Consecutive `Instant::now()` reads: N modules
+                        // cost N+1 clock reads, not 2N.
+                        let now = Instant::now();
+                        hist.record((now - *prev).as_nanos() as u64);
+                        *prev = now;
+                    }
+                }
             }
         }
         outcome
@@ -116,10 +273,18 @@ impl ModuleManager {
     /// Route a tick to every active module.
     pub fn dispatch_tick(&mut self, ctx: &mut ModuleCtx<'_>) -> DispatchOutcome {
         let mut outcome = DispatchOutcome::default();
+        #[cfg(feature = "telemetry")]
+        let mut prev = Instant::now();
         for slot in &mut self.slots {
             if slot.active {
                 slot.module.on_tick(ctx);
                 outcome.modules_run += 1;
+                #[cfg(feature = "telemetry")]
+                if let Some(hist) = &slot.tick_hist {
+                    let now = Instant::now();
+                    hist.record((now - prev).as_nanos() as u64);
+                    prev = now;
+                }
             }
         }
         outcome

@@ -2,9 +2,15 @@
 //! Knowledge Base, Module Manager, response engine, and collective
 //! synchronization into the paper's Fig. 4 architecture.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use kalis_packets::{CapturedPacket, Entity, Timestamp};
+
+use kalis_telemetry::Telemetry;
+
+#[cfg(feature = "telemetry")]
+use kalis_telemetry::{metric_name, names, Counter, Gauge, Histogram, JournalEvent};
 
 use crate::alert::Alert;
 use crate::bus::{EventBus, KalisEvent};
@@ -12,6 +18,8 @@ use crate::capture::PacketSource;
 use crate::config::{Config, ModuleDef};
 use crate::error::KalisError;
 use crate::id::KalisId;
+#[cfg(feature = "telemetry")]
+use crate::knowledge::ChangeEvent;
 use crate::knowledge::{KnowValue, KnowledgeBase, SyncMessage};
 use crate::metrics::ResourceMeter;
 use crate::modules::{Module, ModuleCtx, ModuleManager, ModuleRegistry};
@@ -150,9 +158,20 @@ impl KalisBuilder {
         for (module, pinned) in self.extra_modules {
             manager.add(module, pinned);
         }
+        let tele = Arc::new(Telemetry::new());
+        kb.set_telemetry(&tele);
+        manager.set_telemetry(&tele);
         // Initial activation pass against the a-priori knowledge.
-        kb.drain_changes();
-        manager.reconfigure(&kb);
+        #[cfg(feature = "telemetry")]
+        {
+            let changes = kb.drain_changes();
+            manager.reconfigure_traced(&kb, &Kalis::describe_trigger(&changes), 0);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            kb.drain_changes();
+            manager.reconfigure(&kb);
+        }
         Ok(Kalis {
             id: self.id,
             kb,
@@ -160,11 +179,15 @@ impl KalisBuilder {
             manager,
             alerts: Vec::new(),
             pending_alert_cursor: 0,
+            #[cfg(not(feature = "telemetry"))]
             meter: ResourceMeter::new(),
             response: ResponseEngine::new(),
             auto_response: self.auto_response,
             last_tick: None,
             bus: EventBus::new(),
+            #[cfg(feature = "telemetry")]
+            stats: NodeStats::new(&tele),
+            tele,
         })
     }
 
@@ -179,6 +202,46 @@ impl KalisBuilder {
     }
 }
 
+/// Node-level instrument handles, cached once at build time so the
+/// per-packet path never touches the registry lock.
+#[cfg(feature = "telemetry")]
+struct NodeStats {
+    packets: Arc<Counter>,
+    ticks: Arc<Counter>,
+    pipeline: Arc<Histogram>,
+    work: Arc<Counter>,
+    peak_state: Arc<Gauge>,
+    alerts: Arc<Counter>,
+    sync_sent: Arc<Counter>,
+    sync_accepted: Arc<Counter>,
+    sync_rejected: Arc<Counter>,
+    sync_bytes_out: Arc<Counter>,
+    sync_bytes_in: Arc<Counter>,
+    sync_knowggets_out: Arc<Counter>,
+    sync_knowggets_in: Arc<Counter>,
+}
+
+#[cfg(feature = "telemetry")]
+impl NodeStats {
+    fn new(registry: &Telemetry) -> Self {
+        NodeStats {
+            packets: registry.counter(names::PACKETS_INGESTED),
+            ticks: registry.counter(names::TICKS),
+            pipeline: registry.histogram(names::PIPELINE),
+            work: registry.counter(names::WORK_UNITS),
+            peak_state: registry.gauge(names::PEAK_STATE_BYTES),
+            alerts: registry.counter(names::ALERTS),
+            sync_sent: registry.counter(names::SYNC_SENT),
+            sync_accepted: registry.counter(names::SYNC_ACCEPTED),
+            sync_rejected: registry.counter(names::SYNC_REJECTED),
+            sync_bytes_out: registry.counter(names::SYNC_BYTES_OUT),
+            sync_bytes_in: registry.counter(names::SYNC_BYTES_IN),
+            sync_knowggets_out: registry.counter(names::SYNC_KNOWGGETS_OUT),
+            sync_knowggets_in: registry.counter(names::SYNC_KNOWGGETS_IN),
+        }
+    }
+}
+
 /// A Kalis IDS node.
 ///
 /// See the [crate docs](crate) for the architecture overview and the
@@ -190,11 +253,15 @@ pub struct Kalis {
     manager: ModuleManager,
     alerts: Vec<Alert>,
     pending_alert_cursor: usize,
+    #[cfg(not(feature = "telemetry"))]
     meter: ResourceMeter,
     response: ResponseEngine,
     auto_response: bool,
     last_tick: Option<Timestamp>,
     bus: EventBus,
+    tele: Arc<Telemetry>,
+    #[cfg(feature = "telemetry")]
+    stats: NodeStats,
 }
 
 impl Kalis {
@@ -212,6 +279,13 @@ impl Kalis {
     /// modules, apply knowledge changes to module activation, and run
     /// countermeasures for any new alerts.
     pub fn ingest(&mut self, packet: CapturedPacket) {
+        #[cfg(feature = "telemetry")]
+        let pipeline = Arc::clone(&self.stats.pipeline);
+        #[cfg(feature = "telemetry")]
+        let _span = pipeline.span();
+        #[cfg(feature = "telemetry")]
+        self.stats.packets.inc();
+        #[cfg(not(feature = "telemetry"))]
         self.meter.count_packet();
         let now = packet.timestamp;
         self.maybe_tick(now);
@@ -223,6 +297,9 @@ impl Kalis {
             alerts: &mut self.alerts,
         };
         let outcome = self.manager.dispatch_packet(&mut ctx, &packet);
+        #[cfg(feature = "telemetry")]
+        self.stats.work.add(outcome.modules_run);
+        #[cfg(not(feature = "telemetry"))]
         self.meter.add_work(outcome.modules_run);
         self.after_dispatch(now);
     }
@@ -230,6 +307,8 @@ impl Kalis {
     /// Advance time without a packet: runs module housekeeping and
     /// reconfiguration.
     pub fn tick(&mut self, now: Timestamp) {
+        #[cfg(feature = "telemetry")]
+        self.stats.ticks.inc();
         self.last_tick = Some(now);
         let mut ctx = ModuleCtx {
             now,
@@ -237,6 +316,9 @@ impl Kalis {
             alerts: &mut self.alerts,
         };
         let outcome = self.manager.dispatch_tick(&mut ctx);
+        #[cfg(feature = "telemetry")]
+        self.stats.work.add(outcome.modules_run);
+        #[cfg(not(feature = "telemetry"))]
         self.meter.add_work(outcome.modules_run);
         self.response.expire(now);
         self.after_dispatch(now);
@@ -252,16 +334,58 @@ impl Kalis {
         }
     }
 
-    fn after_dispatch(&mut self, now: Timestamp) {
-        if self.kb.has_changes() {
-            for change in self.kb.drain_changes() {
+    /// Summarize a batch of knowledge changes as the `trigger` string
+    /// recorded with every module flip in the journal's audit trail.
+    #[cfg(feature = "telemetry")]
+    fn describe_trigger(changes: &[ChangeEvent]) -> String {
+        let mut parts: Vec<String> = changes
+            .iter()
+            .take(3)
+            .map(|c| {
+                if c.removed {
+                    format!("-{}", c.key.encode())
+                } else {
+                    c.key.encode()
+                }
+            })
+            .collect();
+        if changes.len() > 3 {
+            parts.push(format!("+{} more", changes.len() - 3));
+        }
+        parts.join(",")
+    }
+
+    /// Drain pending knowledge changes and re-run module activation,
+    /// journaling the flips against the changed keys when telemetry is
+    /// compiled in. Returns `(activated, deactivated)`.
+    fn reconfigure_on_changes(&mut self, now: Timestamp, publish: bool) -> (usize, usize) {
+        let changes = self.kb.drain_changes();
+        #[cfg(feature = "telemetry")]
+        let trigger = Self::describe_trigger(&changes);
+        if publish {
+            for change in changes {
                 self.bus.publish(KalisEvent::KnowledgeChanged {
                     key: change.key,
                     value: change.value,
                     removed: change.removed,
                 });
             }
-            let (activated, deactivated) = self.manager.reconfigure(&self.kb);
+        }
+        #[cfg(feature = "telemetry")]
+        {
+            self.manager
+                .reconfigure_traced(&self.kb, &trigger, now.as_micros())
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            let _ = now;
+            self.manager.reconfigure(&self.kb)
+        }
+    }
+
+    fn after_dispatch(&mut self, now: Timestamp) {
+        if self.kb.has_changes() {
+            let (activated, deactivated) = self.reconfigure_on_changes(now, true);
             if activated + deactivated > 0 {
                 self.bus.publish(KalisEvent::ModulesReconfigured {
                     time: now,
@@ -272,6 +396,26 @@ impl Kalis {
         }
         let new_alerts: Vec<Alert> = self.alerts[self.pending_alert_cursor..].to_vec();
         for alert in &new_alerts {
+            #[cfg(feature = "telemetry")]
+            {
+                self.stats.alerts.inc();
+                let kind = alert.attack.to_string();
+                let severity = alert.severity.to_string();
+                self.tele
+                    .counter(&metric_name(
+                        names::ALERTS_BY,
+                        &[("kind", &kind), ("severity", &severity)],
+                    ))
+                    .inc();
+                self.tele.journal().record(
+                    alert.time.as_micros(),
+                    JournalEvent::AlertRaised {
+                        kind,
+                        severity,
+                        module: alert.module.clone(),
+                    },
+                );
+            }
             if self.auto_response {
                 self.response.apply(alert);
             }
@@ -279,6 +423,9 @@ impl Kalis {
         }
         self.pending_alert_cursor = self.alerts.len();
         let state = self.store.state_bytes() + self.kb.state_bytes() + self.manager.state_bytes();
+        #[cfg(feature = "telemetry")]
+        self.stats.peak_state.set_max(state as u64);
+        #[cfg(not(feature = "telemetry"))]
         self.meter.observe_state_bytes(state);
     }
 
@@ -352,8 +499,8 @@ impl Kalis {
     /// Insert a static knowgget and re-run module activation.
     pub fn insert_knowledge(&mut self, label: &str, value: impl Into<KnowValue>) {
         self.kb.insert(label, value);
-        self.kb.drain_changes();
-        self.manager.reconfigure(&self.kb);
+        let now = self.last_tick.unwrap_or(Timestamp::ZERO);
+        self.reconfigure_on_changes(now, false);
     }
 
     /// The response (countermeasure) engine.
@@ -367,8 +514,33 @@ impl Kalis {
     }
 
     /// Resource accounting so far.
+    ///
+    /// With the `telemetry` feature enabled (the default) this is a thin
+    /// facade deriving the meter from the telemetry counters
+    /// (`packets.ingested`, `work.units`, `state.peak_bytes`), so the two
+    /// views can never disagree.
     pub fn meter(&self) -> ResourceMeter {
-        self.meter
+        #[cfg(feature = "telemetry")]
+        {
+            ResourceMeter {
+                packets: self.stats.packets.get(),
+                work_units: self.stats.work.get(),
+                peak_state_bytes: self.stats.peak_state.get() as usize,
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            self.meter
+        }
+    }
+
+    /// This node's telemetry registry: counters, gauges, per-module
+    /// latency histograms, and the structured event journal. Snapshot it
+    /// with [`Telemetry::snapshot`] and export via
+    /// [`kalis_telemetry::TelemetrySnapshot::to_prometheus`] or
+    /// [`kalis_telemetry::TelemetrySnapshot::to_json`].
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.tele
     }
 
     /// The Data Store.
@@ -385,7 +557,27 @@ impl Kalis {
     /// for its peers, if any changed.
     pub fn collective_outbox(&mut self) -> Option<SyncMessage> {
         let dirty = self.kb.drain_dirty_collective();
-        (!dirty.is_empty()).then(|| SyncMessage::new(self.id.clone(), dirty))
+        if dirty.is_empty() {
+            return None;
+        }
+        let message = SyncMessage::new(self.id.clone(), dirty);
+        #[cfg(feature = "telemetry")]
+        {
+            let knowggets = message.knowggets.len() as u64;
+            let bytes = message.encoded_len() as u64;
+            self.stats.sync_sent.inc();
+            self.stats.sync_knowggets_out.add(knowggets);
+            self.stats.sync_bytes_out.add(bytes);
+            self.tele.journal().record(
+                self.capture_time_us(),
+                JournalEvent::SyncSent {
+                    peer: "*".to_owned(),
+                    knowggets,
+                    bytes,
+                },
+            );
+        }
+        Some(message)
     }
 
     /// Accept a peer's sync message, enforcing creator ownership.
@@ -395,19 +587,58 @@ impl Kalis {
     /// Returns [`KalisError::SyncRejected`] when any knowgget violates the
     /// ownership rule; accepted knowggets before the violation are kept.
     pub fn accept_sync(&mut self, message: SyncMessage) -> Result<usize, KalisError> {
+        #[cfg(feature = "telemetry")]
+        let (peer, bytes) = {
+            let bytes = message.encoded_len() as u64;
+            self.stats.sync_bytes_in.add(bytes);
+            (message.from.to_string(), bytes)
+        };
         let mut accepted = 0;
         for knowgget in message.knowggets {
             match self.kb.accept_remote(&message.from, knowgget) {
                 Ok(true) => accepted += 1,
                 Ok(false) => {}
-                Err(reason) => return Err(KalisError::SyncRejected { reason }),
+                Err(reason) => {
+                    #[cfg(feature = "telemetry")]
+                    {
+                        self.stats.sync_rejected.inc();
+                        self.tele.journal().record(
+                            self.capture_time_us(),
+                            JournalEvent::SyncRejected {
+                                peer,
+                                reason: reason.clone(),
+                            },
+                        );
+                    }
+                    return Err(KalisError::SyncRejected { reason });
+                }
             }
         }
+        #[cfg(feature = "telemetry")]
+        {
+            self.stats.sync_accepted.inc();
+            self.stats.sync_knowggets_in.add(accepted as u64);
+            self.tele.journal().record(
+                self.capture_time_us(),
+                JournalEvent::SyncAccepted {
+                    peer,
+                    knowggets: accepted as u64,
+                    bytes,
+                },
+            );
+        }
         if self.kb.has_changes() {
-            self.kb.drain_changes();
-            self.manager.reconfigure(&self.kb);
+            let now = self.last_tick.unwrap_or(Timestamp::ZERO);
+            self.reconfigure_on_changes(now, false);
         }
         Ok(accepted)
+    }
+
+    /// The journal timestamp for events outside packet processing: the
+    /// latest capture-clock time this node has seen.
+    #[cfg(feature = "telemetry")]
+    fn capture_time_us(&self) -> u64 {
+        self.last_tick.map_or(0, Timestamp::as_micros)
     }
 }
 

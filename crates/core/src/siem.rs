@@ -46,11 +46,14 @@ fn escape_header(text: &str) -> String {
     text.replace('\\', "\\\\").replace('|', "\\|")
 }
 
-/// Escape a CEF extension value (`=`, `\`, and newlines).
+/// Escape a CEF extension value (`=`, `\`, and newline characters —
+/// both `\n` and `\r`, either of which would otherwise break the
+/// one-event-per-line framing SIEM collectors rely on).
 fn escape_extension(text: &str) -> String {
     text.replace('\\', "\\\\")
         .replace('=', "\\=")
         .replace('\n', "\\n")
+        .replace('\r', "\\r")
 }
 
 /// Render one alert as a CEF line.
@@ -149,6 +152,36 @@ mod tests {
         alert.details = "a=b|c\nd".into();
         let line = to_cef(&alert);
         assert!(line.contains("msg=a\\=b|c\\nd"));
+    }
+
+    #[test]
+    fn header_escapes_pipe_and_backslash() {
+        assert_eq!(escape_header(r"a|b\c"), r"a\|b\\c");
+        // Backslash is escaped first, so pre-existing backslashes cannot
+        // swallow the pipe escape.
+        assert_eq!(escape_header(r"\|"), r"\\\|");
+    }
+
+    #[test]
+    fn extension_escapes_equals_backslash_and_newlines() {
+        assert_eq!(escape_extension("k=v"), r"k\=v");
+        assert_eq!(escape_extension(r"c:\path"), r"c:\\path");
+        assert_eq!(escape_extension("a\nb\rc"), r"a\nb\rc");
+        // Pipes are legal inside extension values and stay literal.
+        assert_eq!(escape_extension("a|b"), "a|b");
+    }
+
+    #[test]
+    fn extension_injection_cannot_forge_fields_or_lines() {
+        let mut alert = sample();
+        alert.suspects = vec![Entity::new("x\nsrc=spoof")];
+        alert.details = "owned=yes\r\nCEF:0|fake".into();
+        let line = to_cef(&alert);
+        // A crafted entity cannot smuggle a raw key=value pair or start a
+        // new CEF record: every `=`, `\n`, and `\r` arrives escaped.
+        assert!(line.contains(r"src=x\nsrc\=spoof"));
+        assert!(line.contains(r"msg=owned\=yes\r\nCEF:0|fake"));
+        assert_eq!(line.lines().count(), 1, "one alert stays one line");
     }
 
     #[test]

@@ -24,6 +24,10 @@ const AIR_DELAY: Duration = Duration::from_micros(500);
 /// Wired link delay.
 const WIRE_DELAY: Duration = Duration::from_micros(100);
 
+// Deliver dominates the size, but events are created and consumed at the
+// same rate, so boxing the frame would only add a per-delivery
+// allocation.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum EventKind {
     Start(NodeId),

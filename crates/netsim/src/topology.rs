@@ -67,11 +67,11 @@ impl TopologySnapshot {
         while let Some(cur) = queue.pop_front() {
             let d = dist[&cur];
             for &next in self.neighbors(cur) {
-                if !dist.contains_key(&next) {
+                if let std::collections::hash_map::Entry::Vacant(entry) = dist.entry(next) {
                     if next == to {
                         return Some(d + 1);
                     }
-                    dist.insert(next, d + 1);
+                    entry.insert(d + 1);
                     queue.push_back(next);
                 }
             }

@@ -1,0 +1,454 @@
+//! Snapshot exporters: Prometheus text exposition and JSON, plus the
+//! JSON reader that makes snapshots round-trippable.
+
+use crate::json::{self, JsonError, JsonValue};
+use crate::{Bucket, HistogramSnapshot, JournalEvent, JournalRecord, JournalSnapshot};
+use crate::{JournalField, TelemetrySnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Split a registry name into (family, labels):
+/// `dispatch.packet[module=X]` → `("dispatch.packet", [("module", "X")])`.
+fn split_name(name: &str) -> (&str, Vec<(&str, &str)>) {
+    let Some((family, rest)) = name.split_once('[') else {
+        return (name, Vec::new());
+    };
+    let Some(body) = rest.strip_suffix(']') else {
+        return (name, Vec::new());
+    };
+    let labels = body
+        .split(',')
+        .filter_map(|pair| pair.split_once('='))
+        .collect();
+    (family, labels)
+}
+
+/// Sanitize a dotted family into a Prometheus metric name.
+fn prom_name(family: &str) -> String {
+    let mut out = String::with_capacity(family.len() + 6);
+    out.push_str("kalis_");
+    for c in family.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn prom_labels(labels: &[(&str, &str)], extra: Option<(&str, String)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{k}=\"{}\"",
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+impl TelemetrySnapshot {
+    /// Render in Prometheus text exposition format (version 0.0.4).
+    ///
+    /// Histograms record nanoseconds internally and are exported with
+    /// `_seconds` units; journal contents are summarized as per-kind
+    /// event counts.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut typed: BTreeMap<String, &'static str> = BTreeMap::new();
+
+        let mut type_line = |out: &mut String, name: &str, kind: &'static str| {
+            if typed.insert(name.to_string(), kind).is_none() {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+            }
+        };
+
+        for (name, value) in &self.counters {
+            let (family, labels) = split_name(name);
+            let metric = format!("{}_total", prom_name(family));
+            type_line(&mut out, &metric, "counter");
+            let _ = writeln!(out, "{metric}{} {value}", prom_labels(&labels, None));
+        }
+
+        for (name, value) in &self.gauges {
+            let (family, labels) = split_name(name);
+            let metric = prom_name(family);
+            type_line(&mut out, &metric, "gauge");
+            let _ = writeln!(out, "{metric}{} {value}", prom_labels(&labels, None));
+        }
+
+        for (name, hist) in &self.histograms {
+            let (family, labels) = split_name(name);
+            let metric = format!("{}_seconds", prom_name(family));
+            type_line(&mut out, &metric, "histogram");
+            let mut cumulative = 0;
+            for bucket in &hist.buckets {
+                cumulative += bucket.count;
+                let le = (bucket.hi as f64 + 1.0) / 1e9;
+                let _ = writeln!(
+                    out,
+                    "{metric}_bucket{} {cumulative}",
+                    prom_labels(&labels, Some(("le", format!("{le}"))))
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{metric}_bucket{} {}",
+                prom_labels(&labels, Some(("le", "+Inf".to_string()))),
+                hist.count
+            );
+            let _ = writeln!(
+                out,
+                "{metric}_sum{} {}",
+                prom_labels(&labels, None),
+                hist.sum as f64 / 1e9
+            );
+            let _ = writeln!(
+                out,
+                "{metric}_count{} {}",
+                prom_labels(&labels, None),
+                hist.count
+            );
+        }
+
+        let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for record in &self.journal.records {
+            *by_kind.entry(record.event.kind()).or_default() += 1;
+        }
+        type_line(&mut out, "kalis_journal_events", "gauge");
+        for (kind, count) in by_kind {
+            let _ = writeln!(out, "kalis_journal_events{{type=\"{kind}\"}} {count}");
+        }
+        type_line(&mut out, "kalis_journal_dropped_total", "counter");
+        let _ = writeln!(out, "kalis_journal_dropped_total {}", self.journal.dropped);
+        out
+    }
+
+    /// Serialize to compact JSON.
+    pub fn to_json(&self) -> String {
+        let counters = JsonValue::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+                .collect(),
+        );
+        let gauges = JsonValue::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+                .collect(),
+        );
+        let histograms = JsonValue::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), histogram_to_json(h)))
+                .collect(),
+        );
+        let journal = JsonValue::Obj(vec![
+            ("dropped".into(), JsonValue::Num(self.journal.dropped)),
+            (
+                "records".into(),
+                JsonValue::Arr(self.journal.records.iter().map(record_to_json).collect()),
+            ),
+        ]);
+        JsonValue::Obj(vec![
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("histograms".into(), histograms),
+            ("journal".into(), journal),
+        ])
+        .to_string()
+    }
+
+    /// Parse a snapshot previously produced by
+    /// [`TelemetrySnapshot::to_json`].
+    pub fn from_json(input: &str) -> Result<Self, JsonError> {
+        let doc = json::parse(input)?;
+        let num_map = |field: &str| -> Result<BTreeMap<String, u64>, JsonError> {
+            obj_field(&doc, field)?
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), expect_num(v, field)?)))
+                .collect()
+        };
+        let histograms = obj_field(&doc, "histograms")?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), histogram_from_json(v)?)))
+            .collect::<Result<_, JsonError>>()?;
+        let journal_value = doc
+            .get("journal")
+            .ok_or_else(|| missing("journal"))?
+            .clone();
+        let journal = JournalSnapshot {
+            dropped: expect_num(
+                journal_value
+                    .get("dropped")
+                    .ok_or_else(|| missing("dropped"))?,
+                "dropped",
+            )?,
+            records: journal_value
+                .get("records")
+                .and_then(JsonValue::as_arr)
+                .ok_or_else(|| missing("records"))?
+                .iter()
+                .map(record_from_json)
+                .collect::<Result<_, JsonError>>()?,
+        };
+        Ok(TelemetrySnapshot {
+            counters: num_map("counters")?,
+            gauges: num_map("gauges")?,
+            histograms,
+            journal,
+        })
+    }
+}
+
+fn missing(what: &str) -> JsonError {
+    JsonError {
+        offset: 0,
+        message: format!("missing or mistyped field {what:?}"),
+    }
+}
+
+fn obj_field<'a>(doc: &'a JsonValue, field: &str) -> Result<&'a [(String, JsonValue)], JsonError> {
+    doc.get(field)
+        .and_then(JsonValue::as_obj)
+        .ok_or_else(|| missing(field))
+}
+
+fn expect_num(v: &JsonValue, what: &str) -> Result<u64, JsonError> {
+    v.as_u64().ok_or_else(|| missing(what))
+}
+
+fn expect_str(v: &JsonValue, what: &str) -> Result<String, JsonError> {
+    Ok(v.as_str().ok_or_else(|| missing(what))?.to_string())
+}
+
+fn histogram_to_json(h: &HistogramSnapshot) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("count".into(), JsonValue::Num(h.count)),
+        ("sum".into(), JsonValue::Num(h.sum)),
+        ("min".into(), JsonValue::Num(h.min)),
+        ("max".into(), JsonValue::Num(h.max)),
+        (
+            "buckets".into(),
+            JsonValue::Arr(
+                h.buckets
+                    .iter()
+                    .map(|b| {
+                        JsonValue::Arr(vec![
+                            JsonValue::Num(b.lo),
+                            JsonValue::Num(b.hi),
+                            JsonValue::Num(b.count),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn histogram_from_json(v: &JsonValue) -> Result<HistogramSnapshot, JsonError> {
+    let field = |name: &str| expect_num(v.get(name).ok_or_else(|| missing(name))?, name);
+    let buckets = v
+        .get("buckets")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| missing("buckets"))?
+        .iter()
+        .map(|b| {
+            let parts = b.as_arr().ok_or_else(|| missing("bucket triple"))?;
+            match parts {
+                [lo, hi, count] => Ok(Bucket {
+                    lo: expect_num(lo, "bucket.lo")?,
+                    hi: expect_num(hi, "bucket.hi")?,
+                    count: expect_num(count, "bucket.count")?,
+                }),
+                _ => Err(missing("bucket triple")),
+            }
+        })
+        .collect::<Result<_, JsonError>>()?;
+    Ok(HistogramSnapshot {
+        count: field("count")?,
+        sum: field("sum")?,
+        min: field("min")?,
+        max: field("max")?,
+        buckets,
+    })
+}
+
+fn record_to_json(r: &JournalRecord) -> JsonValue {
+    let mut event = vec![(
+        "type".to_string(),
+        JsonValue::Str(r.event.kind().to_string()),
+    )];
+    for (key, value) in r.event.fields() {
+        event.push((
+            key.to_string(),
+            match value {
+                JournalField::Str(s) => JsonValue::Str(s.clone()),
+                JournalField::Num(n) => JsonValue::Num(n),
+            },
+        ));
+    }
+    JsonValue::Obj(vec![
+        ("seq".into(), JsonValue::Num(r.seq)),
+        ("time_us".into(), JsonValue::Num(r.time_us)),
+        ("event".into(), JsonValue::Obj(event)),
+    ])
+}
+
+fn record_from_json(v: &JsonValue) -> Result<JournalRecord, JsonError> {
+    let event_value = v.get("event").ok_or_else(|| missing("event"))?;
+    let kind = expect_str(
+        event_value.get("type").ok_or_else(|| missing("type"))?,
+        "type",
+    )?;
+    let str_field =
+        |name: &str| expect_str(event_value.get(name).ok_or_else(|| missing(name))?, name);
+    let num_field =
+        |name: &str| expect_num(event_value.get(name).ok_or_else(|| missing(name))?, name);
+    let event = match kind.as_str() {
+        "module_activated" => JournalEvent::ModuleActivated {
+            module: str_field("module")?,
+            trigger: str_field("trigger")?,
+        },
+        "module_deactivated" => JournalEvent::ModuleDeactivated {
+            module: str_field("module")?,
+            trigger: str_field("trigger")?,
+        },
+        "alert_raised" => JournalEvent::AlertRaised {
+            kind: str_field("kind")?,
+            severity: str_field("severity")?,
+            module: str_field("module")?,
+        },
+        "sync_sent" => JournalEvent::SyncSent {
+            peer: str_field("peer")?,
+            knowggets: num_field("knowggets")?,
+            bytes: num_field("bytes")?,
+        },
+        "sync_accepted" => JournalEvent::SyncAccepted {
+            peer: str_field("peer")?,
+            knowggets: num_field("knowggets")?,
+            bytes: num_field("bytes")?,
+        },
+        "sync_rejected" => JournalEvent::SyncRejected {
+            peer: str_field("peer")?,
+            reason: str_field("reason")?,
+        },
+        "marker" => JournalEvent::Marker {
+            kind: str_field("kind")?,
+            detail: str_field("detail")?,
+        },
+        other => {
+            return Err(JsonError {
+                offset: 0,
+                message: format!("unknown journal event type {other:?}"),
+            })
+        }
+    };
+    Ok(JournalRecord {
+        seq: expect_num(v.get("seq").ok_or_else(|| missing("seq"))?, "seq")?,
+        time_us: expect_num(
+            v.get("time_us").ok_or_else(|| missing("time_us"))?,
+            "time_us",
+        )?,
+        event,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{metric_name, Telemetry};
+
+    fn populated() -> TelemetrySnapshot {
+        let t = Telemetry::new();
+        t.counter("kb.ops[op=insert]").add(7);
+        t.counter("packets.ingested").add(100);
+        t.gauge("kb.revision").set(12);
+        let h = t.histogram(&metric_name("dispatch.packet", &[("module", "HelloFlood")]));
+        for v in [800, 1_200, 45_000, 2_000_000] {
+            h.record(v);
+        }
+        t.journal().record(
+            5,
+            JournalEvent::ModuleActivated {
+                module: "HelloFlood".into(),
+                trigger: "kb:proto.zigbee=true".into(),
+            },
+        );
+        t.journal().record(
+            9,
+            JournalEvent::SyncSent {
+                peer: "K2".into(),
+                knowggets: 3,
+                bytes: 120,
+            },
+        );
+        t.journal().record(
+            11,
+            JournalEvent::AlertRaised {
+                kind: "HelloFlood".into(),
+                severity: "High".into(),
+                module: "HelloFlood".into(),
+            },
+        );
+        t.snapshot()
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let snap = populated();
+        let text = snap.to_json();
+        let back = TelemetrySnapshot::from_json(&text).unwrap();
+        assert_eq!(back, snap);
+        // And the round-trip is a fixpoint.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = populated().to_prometheus();
+        assert!(text.contains("# TYPE kalis_kb_ops_total counter"));
+        assert!(text.contains("kalis_kb_ops_total{op=\"insert\"} 7"));
+        assert!(text.contains("# TYPE kalis_kb_revision gauge"));
+        assert!(text.contains("# TYPE kalis_dispatch_packet_seconds histogram"));
+        assert!(text
+            .contains("kalis_dispatch_packet_seconds_bucket{module=\"HelloFlood\",le=\"+Inf\"} 4"));
+        assert!(text.contains("kalis_dispatch_packet_seconds_count{module=\"HelloFlood\"} 4"));
+        assert!(text.contains("kalis_journal_events{type=\"module_activated\"} 1"));
+        // Every non-comment line is "name{labels} value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(
+                line.rsplit_once(' ')
+                    .is_some_and(|(_, v)| v.parse::<f64>().is_ok() || v == "+Inf"),
+                "malformed line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(TelemetrySnapshot::from_json("{}").is_err());
+        assert!(TelemetrySnapshot::from_json("[1]").is_err());
+        let mut good = populated().to_json();
+        good.truncate(good.len() - 1);
+        assert!(TelemetrySnapshot::from_json(&good).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! A bounded, structured event journal.
+//!
+//! The journal keeps the most recent N pipeline events — module
+//! activation flips with the knowgget that triggered them, raised
+//! alerts, collective-sync traffic — as typed records with sequence
+//! numbers and capture-clock timestamps. When full, the oldest records
+//! are dropped and counted, never silently lost.
+//!
+//! Events carry plain `String` fields rather than kalis-core types so
+//! this crate stays dependency-free and usable from any layer.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// Default number of records retained.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 1024;
+
+/// One structured pipeline event.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum JournalEvent {
+    /// A detection module was switched on; `trigger` names the knowgget
+    /// change (or other cause) that made it relevant.
+    ModuleActivated { module: String, trigger: String },
+    /// A detection module was switched off.
+    ModuleDeactivated { module: String, trigger: String },
+    /// A module raised an alert.
+    AlertRaised {
+        kind: String,
+        severity: String,
+        module: String,
+    },
+    /// A collective-sync message was sealed for a peer.
+    SyncSent {
+        peer: String,
+        knowggets: u64,
+        bytes: u64,
+    },
+    /// A collective-sync message was opened and applied.
+    SyncAccepted {
+        peer: String,
+        knowggets: u64,
+        bytes: u64,
+    },
+    /// A collective-sync message failed authentication or the
+    /// ownership rule.
+    SyncRejected { peer: String, reason: String },
+    /// Free-form marker (bench stages, experiment boundaries).
+    Marker { kind: String, detail: String },
+}
+
+/// A single exported field of a [`JournalEvent`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalField {
+    Str(String),
+    Num(u64),
+}
+
+impl JournalEvent {
+    /// The event payload as (name, value) pairs, for exporters.
+    pub fn fields(&self) -> Vec<(&'static str, JournalField)> {
+        use JournalField::{Num, Str};
+        match self {
+            JournalEvent::ModuleActivated { module, trigger }
+            | JournalEvent::ModuleDeactivated { module, trigger } => vec![
+                ("module", Str(module.clone())),
+                ("trigger", Str(trigger.clone())),
+            ],
+            JournalEvent::AlertRaised {
+                kind,
+                severity,
+                module,
+            } => vec![
+                ("kind", Str(kind.clone())),
+                ("severity", Str(severity.clone())),
+                ("module", Str(module.clone())),
+            ],
+            JournalEvent::SyncSent {
+                peer,
+                knowggets,
+                bytes,
+            }
+            | JournalEvent::SyncAccepted {
+                peer,
+                knowggets,
+                bytes,
+            } => vec![
+                ("peer", Str(peer.clone())),
+                ("knowggets", Num(*knowggets)),
+                ("bytes", Num(*bytes)),
+            ],
+            JournalEvent::SyncRejected { peer, reason } => {
+                vec![("peer", Str(peer.clone())), ("reason", Str(reason.clone()))]
+            }
+            JournalEvent::Marker { kind, detail } => {
+                vec![("kind", Str(kind.clone())), ("detail", Str(detail.clone()))]
+            }
+        }
+    }
+
+    /// Stable type tag used by the JSON and Prometheus exporters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalEvent::ModuleActivated { .. } => "module_activated",
+            JournalEvent::ModuleDeactivated { .. } => "module_deactivated",
+            JournalEvent::AlertRaised { .. } => "alert_raised",
+            JournalEvent::SyncSent { .. } => "sync_sent",
+            JournalEvent::SyncAccepted { .. } => "sync_accepted",
+            JournalEvent::SyncRejected { .. } => "sync_rejected",
+            JournalEvent::Marker { .. } => "marker",
+        }
+    }
+}
+
+/// A journal entry: an event plus its order and capture time.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct JournalRecord {
+    /// Monotonic sequence number, never reused even after eviction.
+    pub seq: u64,
+    /// Capture-clock timestamp in microseconds (simulation or trace
+    /// time, supplied by the caller — not wall clock, so runs replay
+    /// deterministically).
+    pub time_us: u64,
+    pub event: JournalEvent,
+}
+
+struct JournalState {
+    records: VecDeque<JournalRecord>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// Bounded ring of [`JournalRecord`]s.
+pub struct Journal {
+    state: Mutex<JournalState>,
+    capacity: usize,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Self::new(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl Journal {
+    /// An empty journal retaining up to `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Journal {
+            state: Mutex::new(JournalState {
+                records: VecDeque::with_capacity(capacity.min(DEFAULT_JOURNAL_CAPACITY)),
+                next_seq: 0,
+                dropped: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Append an event stamped with `time_us`.
+    pub fn record(&self, time_us: u64, event: JournalEvent) {
+        let mut state = self.state.lock();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        if state.records.len() == self.capacity {
+            state.records.pop_front();
+            state.dropped += 1;
+        }
+        state.records.push_back(JournalRecord {
+            seq,
+            time_us,
+            event,
+        });
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.state.lock().records.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time copy of the retained records plus the eviction
+    /// count.
+    pub fn snapshot(&self) -> JournalSnapshot {
+        let state = self.state.lock();
+        JournalSnapshot {
+            dropped: state.dropped,
+            records: state.records.iter().cloned().collect(),
+        }
+    }
+}
+
+/// An immutable copy of the journal contents.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct JournalSnapshot {
+    /// Records evicted to stay within capacity.
+    pub dropped: u64,
+    /// Retained records in append order.
+    pub records: Vec<JournalRecord>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_with_eviction_accounting() {
+        let j = Journal::new(3);
+        for i in 0..5u64 {
+            j.record(
+                i,
+                JournalEvent::Marker {
+                    kind: "t".into(),
+                    detail: i.to_string(),
+                },
+            );
+        }
+        let snap = j.snapshot();
+        assert_eq!(snap.records.len(), 3);
+        assert_eq!(snap.dropped, 2);
+        assert_eq!(
+            snap.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "oldest evicted first, seq numbers stable"
+        );
+    }
+}

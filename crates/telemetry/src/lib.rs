@@ -1,0 +1,88 @@
+//! Observability for the Kalis detection pipeline.
+//!
+//! This crate is the workspace's telemetry substrate: lock-free
+//! [`Counter`]s and [`Gauge`]s, log-linear latency [`Histogram`]s with
+//! p50/p95/p99 estimation, RAII [`SpanTimer`]s, and a bounded structured
+//! [`Journal`] of typed pipeline events (module activation flips, raised
+//! alerts, collective-sync traffic). Everything hangs off a [`Telemetry`]
+//! registry whose [`TelemetrySnapshot`] exports to Prometheus text
+//! exposition and round-trippable JSON.
+//!
+//! Design constraints, in order:
+//! 1. **Hot-path cost**: recording is a handful of relaxed atomics;
+//!    instruments are preregistered and cached as `Arc`s by callers.
+//! 2. **Determinism**: journal timestamps are capture-clock values
+//!    supplied by the caller, never wall clock, so simulated runs replay
+//!    bit-identically.
+//! 3. **No foreign types**: events carry strings and integers only, so
+//!    every layer (core, baselines, bench) can feed the same registry
+//!    without dependency cycles.
+
+mod counter;
+mod export;
+mod histogram;
+mod journal;
+pub mod json;
+mod registry;
+mod span;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{Bucket, Histogram, HistogramSnapshot, MAX_TRACKABLE};
+pub use journal::{
+    Journal, JournalEvent, JournalField, JournalRecord, JournalSnapshot, DEFAULT_JOURNAL_CAPACITY,
+};
+pub use registry::{metric_name, Telemetry, TelemetrySnapshot};
+pub use span::SpanTimer;
+
+/// Canonical metric names shared by the instrumented crates, so
+/// producers and consumers (exporters, benches, tests, dashboards)
+/// never drift apart on spelling.
+pub mod names {
+    /// Packets ingested by a node (counter).
+    pub const PACKETS_INGESTED: &str = "packets.ingested";
+    /// Periodic ticks executed (counter).
+    pub const TICKS: &str = "ticks";
+    /// Whole-ingest pipeline latency (histogram, ns).
+    pub const PIPELINE: &str = "pipeline.ingest";
+    /// Per-module packet dispatch latency family (histogram, ns;
+    /// labelled `[module=...]`).
+    pub const DISPATCH_PACKET: &str = "dispatch.packet";
+    /// Per-module tick dispatch latency family (histogram, ns;
+    /// labelled `[module=...]`).
+    pub const DISPATCH_TICK: &str = "dispatch.tick";
+    /// Knowledge-base operation family (counter, labelled `[op=...]`).
+    pub const KB_OPS: &str = "kb.ops";
+    /// Current knowledge-base revision (gauge).
+    pub const KB_REVISION: &str = "kb.revision";
+    /// Knowledge-base revision bumps, i.e. churn (counter).
+    pub const KB_CHURN: &str = "kb.churn";
+    /// Module activations (counter).
+    pub const MODULES_ACTIVATED: &str = "modules.activated";
+    /// Module deactivations (counter).
+    pub const MODULES_DEACTIVATED: &str = "modules.deactivated";
+    /// Currently active modules (gauge).
+    pub const MODULES_ACTIVE: &str = "modules.active";
+    /// Alerts raised, total (counter).
+    pub const ALERTS: &str = "alerts";
+    /// Alerts by kind/severity family (counter, labelled
+    /// `[kind=...,severity=...]`).
+    pub const ALERTS_BY: &str = "alerts.by";
+    /// Collective-sync messages sealed for peers (counter).
+    pub const SYNC_SENT: &str = "sync.sent";
+    /// Collective-sync messages accepted (counter).
+    pub const SYNC_ACCEPTED: &str = "sync.accepted";
+    /// Collective-sync messages rejected (counter).
+    pub const SYNC_REJECTED: &str = "sync.rejected";
+    /// Bytes sealed into outgoing sync messages (counter).
+    pub const SYNC_BYTES_OUT: &str = "sync.bytes_out";
+    /// Bytes received in sync messages, accepted or not (counter).
+    pub const SYNC_BYTES_IN: &str = "sync.bytes_in";
+    /// Knowggets carried by outgoing sync messages (counter).
+    pub const SYNC_KNOWGGETS_OUT: &str = "sync.knowggets_out";
+    /// Knowggets applied from accepted sync messages (counter).
+    pub const SYNC_KNOWGGETS_IN: &str = "sync.knowggets_in";
+    /// Abstract work units, the paper's CPU proxy (counter).
+    pub const WORK_UNITS: &str = "work.units";
+    /// Peak tracked state bytes, the paper's RAM proxy (gauge).
+    pub const PEAK_STATE_BYTES: &str = "state.peak_bytes";
+}

@@ -1,0 +1,51 @@
+//! Property-based tests for the log-linear histogram: bucket
+//! conservation and quantile monotonicity over arbitrary samples.
+
+use kalis_telemetry::{Histogram, MAX_TRACKABLE};
+use proptest::prelude::*;
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..=MAX_TRACKABLE, 1..200)
+}
+
+proptest! {
+    /// Every recorded sample lands in exactly one bucket: the bucket
+    /// counts always sum to the total count, and the sum of samples is
+    /// conserved exactly (values at or below `MAX_TRACKABLE` are never
+    /// clamped).
+    #[test]
+    fn bucket_conservation(values in samples()) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        let bucket_total: u64 = snap.buckets.iter().map(|b| b.count).sum();
+        prop_assert_eq!(bucket_total, snap.count);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        // Every sample falls inside its bucket's [lo, hi] range.
+        prop_assert!(snap.buckets.iter().all(|b| b.lo <= b.hi));
+    }
+
+    /// Quantile estimates are monotone in `q` and never leave the
+    /// observed value range.
+    #[test]
+    fn quantiles_monotone_and_bounded(values in samples()) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let mut prev = 0u64;
+        for (i, &q) in qs.iter().enumerate() {
+            let estimate = snap.quantile(q);
+            if i > 0 {
+                prop_assert!(estimate >= prev, "quantile({q}) regressed");
+            }
+            prop_assert!(estimate >= snap.min && estimate <= snap.max);
+            prev = estimate;
+        }
+    }
+}

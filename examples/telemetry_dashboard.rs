@@ -1,0 +1,79 @@
+//! Telemetry dashboard: run a simulated ICMP flood through a Kalis node
+//! and print what an operations dashboard would scrape — the Prometheus
+//! text exposition plus a human digest of the latency histograms and the
+//! module-activation audit trail.
+//!
+//! Run with: `cargo run --example telemetry_dashboard`
+
+use std::time::Duration;
+
+use kalis_bench::scenarios::{Scenario, ScenarioKind};
+use kalis_core::{Kalis, KalisId};
+use kalis_telemetry::names;
+
+fn main() {
+    let scenario = Scenario::build(ScenarioKind::IcmpFlood, 42, 6);
+    let mut kalis = Kalis::builder(KalisId::new("K1"))
+        .with_default_modules()
+        .build();
+
+    for packet in &scenario.captures {
+        kalis.ingest(packet.clone());
+    }
+    if let Some(last) = scenario.captures.last() {
+        kalis.tick(last.timestamp + Duration::from_secs(2));
+    }
+    let alerts = kalis.drain_alerts();
+    let snapshot = kalis.telemetry().snapshot();
+
+    println!("=== Prometheus exposition (what /metrics would serve) ===");
+    println!("{}", snapshot.to_prometheus());
+
+    println!("=== Pipeline latency ===");
+    if let Some(h) = snapshot.histogram(names::PIPELINE) {
+        println!(
+            "ingest: n={} p50={}ns p95={}ns p99={}ns mean={:.0}ns",
+            h.count,
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+            h.mean(),
+        );
+    }
+    for (name, h) in snapshot.histograms_in(names::DISPATCH_PACKET) {
+        if h.count > 0 {
+            println!(
+                "{name}: n={} p50={}ns p95={}ns p99={}ns",
+                h.count,
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+            );
+        }
+    }
+
+    println!();
+    println!("=== Activation audit trail ===");
+    for record in &snapshot.journal.records {
+        let kind = record.event.kind();
+        if kind == "module_activated" || kind == "module_deactivated" {
+            print!("[{:>10}us] {kind}", record.time_us);
+            for (key, value) in record.event.fields() {
+                match value {
+                    kalis_telemetry::JournalField::Str(s) => print!(" {key}={s}"),
+                    kalis_telemetry::JournalField::Num(n) => print!(" {key}={n}"),
+                }
+            }
+            println!();
+        }
+    }
+
+    println!();
+    println!(
+        "{} alerts raised; telemetry counted {}",
+        alerts.len(),
+        snapshot.counter(names::ALERTS)
+    );
+    assert_eq!(snapshot.counter(names::ALERTS), alerts.len() as u64);
+    assert!(!alerts.is_empty(), "the flood must raise alerts");
+}

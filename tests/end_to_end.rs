@@ -22,6 +22,7 @@ fn kalis_on(kind: ScenarioKind, seed: u64, symptoms: u32) -> (Scenario, runner::
                 detections,
                 meter,
                 revocations,
+                telemetry: a.telemetry,
             }
         }
         None => runner::run_kalis(&scenario.captures),

@@ -1,0 +1,172 @@
+//! End-to-end telemetry tests: run a full bench scenario through a Kalis
+//! node and check that the telemetry registry agrees with the node's own
+//! resource accounting and alert stream, and that the exporters carry
+//! the same snapshot.
+
+use std::time::Duration;
+
+use kalis_bench::scenarios::{Scenario, ScenarioKind};
+use kalis_core::{Kalis, KalisId};
+use kalis_telemetry::{names, TelemetrySnapshot};
+
+fn run_scenario(kind: ScenarioKind) -> (Kalis, usize) {
+    let scenario = Scenario::build(kind, 42, 8);
+    let mut kalis = Kalis::builder(KalisId::new("K1"))
+        .with_default_modules()
+        .build();
+    for packet in &scenario.captures {
+        kalis.ingest(packet.clone());
+    }
+    if let Some(last) = scenario.captures.last() {
+        kalis.tick(last.timestamp + Duration::from_secs(2));
+    }
+    let packets = scenario.captures.len();
+    (kalis, packets)
+}
+
+#[test]
+fn counters_match_meter_and_alerts() {
+    let (mut kalis, packets) = run_scenario(ScenarioKind::IcmpFlood);
+    let alerts = kalis.drain_alerts();
+    let meter = kalis.meter();
+    let snap = kalis.telemetry().snapshot();
+
+    // The registry, the ResourceMeter facade, and ground truth agree.
+    assert_eq!(meter.packets, packets as u64);
+    assert_eq!(snap.counter(names::PACKETS_INGESTED), meter.packets);
+    assert_eq!(snap.counter(names::WORK_UNITS), meter.work_units);
+    assert_eq!(
+        snap.gauge(names::PEAK_STATE_BYTES),
+        meter.peak_state_bytes as u64
+    );
+
+    // Every drained alert was counted, overall and per kind/severity.
+    assert!(!alerts.is_empty(), "scenario must raise alerts");
+    assert_eq!(snap.counter(names::ALERTS), alerts.len() as u64);
+    let by_kind: u64 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("alerts.by["))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(by_kind, alerts.len() as u64);
+    let journaled_alerts = snap
+        .journal
+        .records
+        .iter()
+        .filter(|r| r.event.kind() == "alert_raised")
+        .count() as u64
+        + snap.journal.dropped;
+    assert!(journaled_alerts >= alerts.len() as u64);
+}
+
+#[test]
+fn dispatch_histograms_and_audit_trail_populate() {
+    let (kalis, packets) = run_scenario(ScenarioKind::IcmpFlood);
+    let snap = kalis.telemetry().snapshot();
+
+    // One pipeline sample per ingested packet.
+    let pipeline = snap.histogram(names::PIPELINE).expect("pipeline histogram");
+    assert_eq!(pipeline.count, packets as u64);
+
+    // Per-module dispatch latency histograms exist and the modules that
+    // ran have samples (histograms are pre-registered for the whole
+    // library, so never-activated modules legitimately stay at zero).
+    let dispatch: Vec<_> = snap.histograms_in(names::DISPATCH_PACKET).collect();
+    assert!(!dispatch.is_empty(), "per-module dispatch histograms");
+    let sampled = dispatch.iter().filter(|(_, h)| h.count > 0).count();
+    assert!(sampled > 0, "no module dispatch was ever sampled");
+    // Packet dispatch latency is sampled (one packet in eight), so the
+    // histogram totals are bounded by — not equal to — the work units.
+    let dispatched: u64 = dispatch.iter().map(|(_, h)| h.count).sum::<u64>()
+        + snap
+            .histograms_in(names::DISPATCH_TICK)
+            .map(|(_, h)| h.count)
+            .sum::<u64>();
+    assert!(dispatched > 0);
+    assert!(
+        dispatched <= snap.counter(names::WORK_UNITS),
+        "dispatch samples cannot exceed work units"
+    );
+    for (name, hist) in &dispatch {
+        let total: u64 = hist.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, hist.count, "{name} bucket conservation");
+    }
+
+    // Knowledge-base activity was counted.
+    assert!(snap.counter("kb.ops[op=insert]") > 0);
+    assert!(snap.counter("kb.ops[op=get]") > 0);
+    assert!(snap.counter(names::KB_CHURN) > 0);
+    assert_eq!(
+        snap.gauge(names::KB_REVISION),
+        snap.counter(names::KB_CHURN)
+    );
+
+    // The activation audit trail names the modules and their triggers.
+    let activations: Vec<_> = snap
+        .journal
+        .records
+        .iter()
+        .filter(|r| r.event.kind() == "module_activated")
+        .collect();
+    assert!(!activations.is_empty(), "audit trail must not be empty");
+    assert!(snap.counter(names::MODULES_ACTIVATED) > 0);
+    assert!(snap.gauge(names::MODULES_ACTIVE) > 0);
+}
+
+#[test]
+fn exporters_round_trip_the_same_snapshot() {
+    let (kalis, _) = run_scenario(ScenarioKind::IcmpFlood);
+    let snap = kalis.telemetry().snapshot();
+
+    // JSON round-trips losslessly.
+    let parsed = TelemetrySnapshot::from_json(&snap.to_json()).expect("parse own JSON");
+    assert_eq!(parsed, snap);
+
+    // The Prometheus exposition carries every counter value verbatim.
+    let prom = snap.to_prometheus();
+    for (name, value) in &snap.counters {
+        let family = format!(
+            "kalis_{}_total",
+            name.split('[').next().unwrap().replace('.', "_")
+        );
+        assert!(
+            prom.lines()
+                .any(|l| l.starts_with(&family) && l.ends_with(&format!(" {value}"))),
+            "counter {name}={value} missing from exposition"
+        );
+    }
+    for hist in snap.histograms.values() {
+        // Histogram sample counts survive as `_count` series.
+        assert!(prom.contains(&format!(" {}", hist.count)));
+    }
+}
+
+#[test]
+fn sync_counters_track_collaborative_exchange() {
+    let scenario = Scenario::build(ScenarioKind::Wormhole, 42, 8);
+    let captures_b = scenario.captures_b.as_ref().expect("two taps");
+    let (a, b) = kalis_bench::runner::run_kalis_pair(&scenario.captures, captures_b);
+    let snap_a = a.telemetry.expect("node A snapshot");
+    let snap_b = b.telemetry.expect("node B snapshot");
+
+    // Knowledge flowed in both directions and the ledgers agree.
+    assert!(snap_a.counter(names::SYNC_SENT) > 0);
+    assert!(snap_b.counter(names::SYNC_ACCEPTED) + snap_b.counter(names::SYNC_REJECTED) > 0);
+    assert_eq!(
+        snap_a.counter(names::SYNC_BYTES_OUT),
+        snap_b.counter(names::SYNC_BYTES_IN),
+        "A's bytes out are B's bytes in (symmetric schedule)"
+    );
+    assert_eq!(
+        snap_b.counter(names::SYNC_BYTES_OUT),
+        snap_a.counter(names::SYNC_BYTES_IN)
+    );
+    let sync_events = snap_a
+        .journal
+        .records
+        .iter()
+        .filter(|r| r.event.kind().starts_with("sync_"))
+        .count();
+    assert!(sync_events > 0, "journal records the exchange");
+}

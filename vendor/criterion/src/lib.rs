@@ -1,0 +1,210 @@
+//! Offline stand-in for `criterion`: same macro/API surface
+//! (`criterion_group!`, `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `iter`, `iter_batched`, throughput), but a simple
+//! wall-clock harness printing mean/min/max per benchmark instead of
+//! criterion's statistical machinery.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for `iter_batched`; ignored by this harness.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    /// Harness with default settings.
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Chainable no-op kept for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, self.sample_size, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate throughput so results report a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Chainable no-op kept for API compatibility.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Warm-up pass, also used to pick an iteration count that gives a
+    // measurable per-sample duration.
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_nanos().max(1) / bencher.iters.max(1) as u128;
+    let target_ns = 5_000_000u128; // ~5 ms per sample
+    bencher.iters = ((target_ns / per_iter).clamp(1, 1_000_000)) as u64;
+
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        times.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let (min, max) = (times[0], times[times.len() - 1]);
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.1} Melem/s)", n as f64 / mean * 1e3 / 1e6),
+        Throughput::Bytes(n) => format!(" ({:.1} MiB/s)", n as f64 / mean * 1e9 / (1 << 20) as f64),
+    });
+    println!(
+        "{id:40} mean {} min {} max {}{}",
+        Nanos(mean),
+        Nanos(min),
+        Nanos(max),
+        rate.unwrap_or_default()
+    );
+}
+
+struct Nanos(f64);
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1e3 {
+            write!(f, "{ns:7.1} ns")
+        } else if ns < 1e6 {
+            write!(f, "{:7.2} us", ns / 1e3)
+        } else {
+            write!(f, "{:7.2} ms", ns / 1e6)
+        }
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the chosen iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Define a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

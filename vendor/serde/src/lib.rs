@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` for API-compatibility
+//! but never invokes a serde serializer (JSON export is hand-rolled in
+//! `kalis-telemetry`). The traits are therefore pure markers with blanket
+//! implementations, and the derive macros (see the `serde_derive` stub)
+//! expand to nothing.
+
+/// Marker for serializable types. Blanket-implemented for everything.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented for everything.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker mirroring serde's `DeserializeOwned` convenience alias.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

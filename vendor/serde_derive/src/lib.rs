@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` stub gives `Serialize`/`Deserialize` blanket
+//! implementations, so the derives need to emit nothing at all: they exist
+//! only so `#[derive(Serialize, Deserialize)]` keeps compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (blanket impl lives in the `serde` stub).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (blanket impl lives in the `serde` stub).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
