@@ -26,6 +26,7 @@ struct Args {
     fig8: bool,
     reactivity: bool,
     knowledge_sharing: bool,
+    resilience: bool,
     extended: bool,
     symptoms: u32,
     replication_runs: u32,
@@ -41,6 +42,7 @@ fn parse_args() -> Args {
         fig8: false,
         reactivity: false,
         knowledge_sharing: false,
+        resilience: false,
         extended: false,
         symptoms: 50,
         replication_runs: 10,
@@ -73,6 +75,10 @@ fn parse_args() -> Args {
             }
             "--knowledge-sharing" => {
                 args.knowledge_sharing = true;
+                any = true;
+            }
+            "--resilience" => {
+                args.resilience = true;
                 any = true;
             }
             "--extended" => {
@@ -109,7 +115,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--table1|--fig3|--table2|--fig8|--reactivity|--knowledge-sharing|--all]\n\
+                    "usage: experiments [--table1|--fig3|--table2|--fig8|--reactivity|--knowledge-sharing|--resilience|--all]\n\
                      \x20                  [--symptoms N] [--replication-runs N] [--seed N] [--json PATH]"
                 );
                 std::process::exit(0);
@@ -208,6 +214,29 @@ fn main() {
             "final active modules  : {}",
             result.final_active_modules.join(", ")
         );
+        println!();
+    }
+    if args.resilience {
+        println!("== Sync resilience under chaos (seed={}) ==", args.seed);
+        #[cfg(feature = "telemetry")]
+        {
+            let result = experiments::run_sync_resilience(args.seed, 0.3, 0.1);
+            println!("kb converged after heal : {}", result.converged);
+            println!(
+                "degraded entered/exited : {}/{}",
+                result.degraded_entered, result.degraded_exited
+            );
+            println!("retransmissions         : {}", result.retransmits);
+            println!("duplicates deduped      : {}", result.duplicates_dropped);
+            println!(
+                "queue-overflow dropped  : {}",
+                result.queue_overflow_dropped
+            );
+            println!("wormhole alerts         : {}", result.wormhole_alerts);
+            println!("frames faulted away     : {}", result.faults_dropped);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        println!("(requires the `telemetry` feature)");
         println!();
     }
     if args.knowledge_sharing {

@@ -306,6 +306,263 @@ pub struct KnowledgeSharingResult {
     pub score: Score,
 }
 
+#[cfg(feature = "telemetry")]
+pub use resilience::{run_sync_resilience, SyncResilienceResult};
+
+/// The chaos experiment: two collaborating Kalis nodes synchronizing
+/// collective knowledge over a faulty link (seeded drops, duplicates,
+/// corruption, and a hard partition), exercising the fault-tolerant sync
+/// engine end to end — retransmission, dedup, peer-health decay,
+/// degraded local-only mode, and post-heal re-synchronization.
+#[cfg(feature = "telemetry")]
+mod resilience {
+    use std::time::Duration;
+
+    use kalis_core::config::Config;
+    use kalis_core::detection::labels as detect;
+    use kalis_core::knowledge::PeerBeacon;
+    use kalis_core::{AttackKind, Kalis, KalisId};
+    use kalis_netsim::fault::{FaultPlan, FaultWindow, LinkFaults};
+    use kalis_packets::{CapturedPacket, Entity, Medium, ShortAddr, Timestamp};
+    use kalis_telemetry::{names, JournalEvent, JournalSnapshot};
+
+    /// Virtual-time step of the harness loop.
+    const STEP: Duration = Duration::from_millis(250);
+    /// One-way link latency for beacons, sync frames, and acks.
+    const LINK_DELAY: Duration = Duration::from_micros(500);
+    /// Total virtual run time.
+    const RUN_SECS: u64 = 90;
+    /// The lossy phase: link faults apply during `[0, FAULTY_UNTIL)`.
+    const FAULTY_UNTIL: u64 = 45;
+    /// Hard partition window (seconds, half-open).
+    const PARTITION: (u64, u64) = (20, 30);
+
+    /// The outcome of one seeded resilience run.
+    #[derive(Debug)]
+    pub struct SyncResilienceResult {
+        /// Whether each node's self-authored collective knowggets all
+        /// reached the other node by the end of the run.
+        pub converged: bool,
+        /// `degraded_entered` journal events on node K2.
+        pub degraded_entered: u64,
+        /// `degraded_exited` journal events on node K2.
+        pub degraded_exited: u64,
+        /// Sync retransmissions across both nodes.
+        pub retransmits: u64,
+        /// Replayed/duplicate frames dropped by dedup across both nodes.
+        pub duplicates_dropped: u64,
+        /// Knowggets dropped by the bounded-outbound-queue policy.
+        pub queue_overflow_dropped: u64,
+        /// Wormhole alerts raised across both nodes (the collaborative
+        /// verdict that degraded mode suppresses).
+        pub wormhole_alerts: usize,
+        /// Frames the fault plan dropped (loss + partition).
+        pub faults_dropped: u64,
+        /// Node K2's full event journal, for fine-grained assertions.
+        pub journal: JournalSnapshot,
+    }
+
+    /// A frame (beacon, sync data, or ack) on the virtual wire.
+    struct InFlight {
+        at: Timestamp,
+        to: u8,
+        bytes: Vec<u8>,
+    }
+
+    /// Route `bytes` from endpoint `from` through the fault plan.
+    fn send(
+        plan: &mut FaultPlan,
+        wire: &mut Vec<InFlight>,
+        from: u8,
+        bytes: &[u8],
+        now: Timestamp,
+    ) {
+        for copy in plan.judge(u32::from(from), u32::from(1 - from), now) {
+            let mut bytes = bytes.to_vec();
+            if copy.corrupt {
+                plan.corrupt_payload(&mut bytes);
+            }
+            wire.push(InFlight {
+                at: now + LINK_DELAY + copy.extra_delay,
+                to: 1 - from,
+                bytes,
+            });
+        }
+    }
+
+    /// A Kalis node with chaos-friendly sync tunables carried by the
+    /// Fig. 6 config language: a 3-second peer TTL and 1-second beacons
+    /// so health transitions happen within the 90-second run.
+    fn node(name: &str, extra_knowggets: &str) -> Kalis {
+        let text =
+            format!("knowggets = {{ Sync.PeerTtl = 3, Sync.BeaconInterval = 1{extra_knowggets} }}");
+        let config: Config = text.parse().expect("valid resilience config");
+        Kalis::builder(KalisId::new(name))
+            .with_config(config)
+            .with_default_modules()
+            .build()
+    }
+
+    /// A CTP data frame relayed by `relay` for `origin` (THL > 0), the
+    /// wormhole module's exotic-origin evidence.
+    fn relayed(at: Timestamp, relay: u16, origin: u16, seq: u8) -> CapturedPacket {
+        let raw = kalis_netsim::craft::ctp_data(
+            ShortAddr(relay),
+            ShortAddr(1),
+            seq,
+            ShortAddr(origin),
+            seq,
+            3,
+            b"x",
+        );
+        CapturedPacket::capture(at, Medium::Ieee802154, Some(-50.0), "chaos", raw)
+    }
+
+    /// Whether every collective knowgget authored by `source` is present
+    /// (same creator, entity, and value) in `target`'s Knowledge Base.
+    fn knows_all_from(target: &Kalis, source: &Kalis) -> bool {
+        let authored: Vec<_> = source
+            .knowledge()
+            .collective_knowggets()
+            .into_iter()
+            .filter(|k| k.creator == *source.id())
+            .collect();
+        !authored.is_empty()
+            && authored.iter().all(|k| {
+                target.knowledge().get_all_creators(&k.label).iter().any(
+                    |(creator, entity, value)| {
+                        creator == &k.creator && entity == &k.entity && value == &k.value
+                    },
+                )
+            })
+    }
+
+    /// Run the resilience scenario: `drop_rate` frame loss (plus 5%
+    /// corruption and 10% reorder) during the first 45 virtual seconds, a
+    /// hard partition during `[20s, 30s)`, and `replay_factor` frame
+    /// duplication. Because fault dimensions draw independent decision
+    /// streams, two runs differing only in `replay_factor` see identical
+    /// loss/corruption — making replay-vs-control alert counts directly
+    /// comparable.
+    pub fn run_sync_resilience(
+        seed: u64,
+        drop_rate: f64,
+        replay_factor: f64,
+    ) -> SyncResilienceResult {
+        let mut plan = FaultPlan::new(seed)
+            .with_faults(LinkFaults {
+                drop: drop_rate,
+                duplicate: replay_factor,
+                corrupt: 0.05,
+                reorder: 0.1,
+                delay: Duration::ZERO,
+            })
+            .with_window(FaultWindow::new(
+                Timestamp::ZERO,
+                Timestamp::from_secs(FAULTY_UNTIL),
+            ))
+            .with_partition(
+                vec![vec![0], vec![1]],
+                FaultWindow::new(
+                    Timestamp::from_secs(PARTITION.0),
+                    Timestamp::from_secs(PARTITION.1),
+                ),
+            );
+        let mut k1 = node("K1", "");
+        // Multihop a-priori knowledge activates the wormhole module on K2
+        // only: the collaborative verdict has a single owner, so replayed
+        // sync frames causing double alerts would be visible.
+        let mut k2 = node("K2", ", Multihop = true");
+        let mut wire: Vec<InFlight> = Vec::new();
+        let mut fed_exotic = false;
+        let mut fed_dropped = false;
+        let end = Timestamp::from_secs(RUN_SECS);
+        let mut now = Timestamp::ZERO;
+        loop {
+            // Deliver everything due by `now`, oldest first.
+            wire.sort_by_key(|m| m.at);
+            let due: Vec<InFlight> = wire
+                .drain(..wire.partition_point(|m| m.at <= now))
+                .collect();
+            for msg in due {
+                let node = if msg.to == 0 { &mut k1 } else { &mut k2 };
+                if let Some(beacon) = PeerBeacon::decode(&msg.bytes) {
+                    node.observe_beacon(&beacon, now);
+                } else if let Ok(receipt) = node.receive_sync_frame(&msg.bytes, now) {
+                    if let Some(reply) = receipt.reply {
+                        send(&mut plan, &mut wire, msg.to, &reply, now);
+                    }
+                }
+                // Rejected frames (corruption) are already counted in
+                // the node's own telemetry.
+            }
+            // Scripted wormhole evidence, injected mid-loss-phase so it
+            // must survive the faulty link.
+            if !fed_exotic && now >= Timestamp::from_secs(5) {
+                fed_exotic = true;
+                k2.ingest(relayed(now, 20, 30, 1));
+                k2.ingest(relayed(now + Duration::from_millis(50), 20, 31, 2));
+            }
+            if !fed_dropped && now >= Timestamp::from_secs(6) {
+                fed_dropped = true;
+                k1.knowledge_mut().insert_about_collective(
+                    detect::DROPPED_ORIGINS,
+                    Entity::from(ShortAddr(10)),
+                    format!("{},{}", ShortAddr(30), ShortAddr(31)),
+                );
+            }
+            // Outbound work: beacons, first transmissions, retransmits,
+            // and resync snapshots — all through the fault plan.
+            let poll = k1.sync_poll(now);
+            if let Some(beacon) = poll.beacon {
+                send(&mut plan, &mut wire, 0, &beacon.encode(), now);
+            }
+            for frame in &poll.frames {
+                send(&mut plan, &mut wire, 0, &frame.bytes, now);
+            }
+            let poll = k2.sync_poll(now);
+            if let Some(beacon) = poll.beacon {
+                send(&mut plan, &mut wire, 1, &beacon.encode(), now);
+            }
+            for frame in &poll.frames {
+                send(&mut plan, &mut wire, 1, &frame.bytes, now);
+            }
+            k1.tick(now);
+            k2.tick(now);
+            if now >= end {
+                break;
+            }
+            now += STEP;
+        }
+        let converged = knows_all_from(&k2, &k1) && knows_all_from(&k1, &k2);
+        let s1 = k1.telemetry().snapshot();
+        let s2 = k2.telemetry().snapshot();
+        let count_events = |pred: fn(&JournalEvent) -> bool| {
+            s2.journal.records.iter().filter(|r| pred(&r.event)).count() as u64
+        };
+        let alerts_k1 = k1.drain_alerts();
+        let alerts_k2 = k2.drain_alerts();
+        let wormhole_alerts = alerts_k1
+            .iter()
+            .chain(alerts_k2.iter())
+            .filter(|a| a.attack == AttackKind::Wormhole)
+            .count();
+        SyncResilienceResult {
+            converged,
+            degraded_entered: count_events(|e| matches!(e, JournalEvent::DegradedEntered { .. })),
+            degraded_exited: count_events(|e| matches!(e, JournalEvent::DegradedExited { .. })),
+            retransmits: s1.counter(names::SYNC_RETRANSMITS) + s2.counter(names::SYNC_RETRANSMITS),
+            duplicates_dropped: s1.counter(names::SYNC_DUPLICATES)
+                + s2.counter(names::SYNC_DUPLICATES),
+            queue_overflow_dropped: s1.counter(names::SYNC_QUEUE_DROPPED)
+                + s2.counter(names::SYNC_QUEUE_DROPPED),
+            wormhole_alerts,
+            faults_dropped: plan.stats().dropped,
+            journal: s2.journal.clone(),
+        }
+    }
+}
+
 /// Run the knowledge-sharing experiment: two Kalis nodes watch the two
 /// wormhole regions. Isolated, they see a blackhole (node A) and nothing
 /// conclusive (node B); exchanging collective knowggets they identify the

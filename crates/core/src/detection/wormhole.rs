@@ -101,6 +101,12 @@ impl Module for WormholeModule {
     }
 
     fn on_tick(&mut self, ctx: &mut ModuleCtx<'_>) {
+        if ctx.kb.get_bool(crate::knowledge::DEGRADED_LABEL) == Some(true) {
+            // Degraded local-only mode: peer knowledge is stale, so a
+            // cross-creator correlation would be built on it. Suppress
+            // the collaborative verdict until sync recovers.
+            return;
+        }
         // Correlate across creators: dropped-at-B1 (peer) × exotic-at-B2
         // (any creator, including us).
         let dropped = ctx.kb.get_all_creators(labels::DROPPED_ORIGINS);
@@ -293,6 +299,36 @@ mod tests {
             alerts[0].suspects,
             vec![Entity::from(ShortAddr(10)), Entity::from(ShortAddr(20))]
         );
+    }
+
+    #[test]
+    fn degraded_mode_suppresses_collaborative_verdicts() {
+        let mut module = WormholeModule::new();
+        let mut kb = KnowledgeBase::new(KalisId::new("K2"));
+        feed(
+            &mut module,
+            &mut kb,
+            vec![relayed(0, 20, 30, 1), relayed(100, 20, 31, 1)],
+        );
+        let k1 = KalisId::new("K1");
+        kb.accept_remote(
+            &k1,
+            Knowgget::about(
+                labels::DROPPED_ORIGINS,
+                KnowValue::Text(format!("{},{}", ShortAddr(30), ShortAddr(31))),
+                k1.clone(),
+                Entity::from(ShortAddr(10)),
+            ),
+        )
+        .unwrap();
+        // Same evidence as `cross_node_correlation_raises_wormhole`, but
+        // the node is in degraded local-only mode: peer knowledge is
+        // stale, so no wormhole verdict.
+        kb.insert(crate::knowledge::DEGRADED_LABEL, true);
+        assert!(tick(&mut module, &mut kb, 1000).is_empty());
+        // Recovery clears the label and the verdict fires again.
+        kb.remove(crate::knowledge::DEGRADED_LABEL);
+        assert_eq!(tick(&mut module, &mut kb, 2000).len(), 1);
     }
 
     #[test]

@@ -15,8 +15,22 @@ pub enum KalisError {
     },
     /// A collective-knowledge message was rejected.
     SyncRejected {
+        /// The peer whose message was rejected (`"unknown"` when the
+        /// frame failed authentication before the sender was readable).
+        peer: String,
         /// Why the message was rejected.
         reason: String,
+    },
+    /// A peer is Dead (or was never discovered) and cannot be synced to.
+    PeerUnreachable {
+        /// The unreachable peer.
+        peer: String,
+    },
+    /// The bounded outbound sync queue overflowed and entries were
+    /// dropped by the explicit drop policy.
+    SyncBacklogOverflow {
+        /// How many queued knowggets were discarded.
+        dropped: u64,
     },
     /// An I/O failure (trace logging, config loading).
     Io(std::io::Error),
@@ -29,8 +43,20 @@ impl fmt::Display for KalisError {
             KalisError::UnknownModule { name } => {
                 write!(f, "unknown module `{name}` (not in the module registry)")
             }
-            KalisError::SyncRejected { reason } => {
-                write!(f, "collective knowledge message rejected: {reason}")
+            KalisError::SyncRejected { peer, reason } => {
+                write!(
+                    f,
+                    "collective knowledge message from `{peer}` rejected: {reason}"
+                )
+            }
+            KalisError::PeerUnreachable { peer } => {
+                write!(f, "peer `{peer}` is unreachable (Dead or undiscovered)")
+            }
+            KalisError::SyncBacklogOverflow { dropped } => {
+                write!(
+                    f,
+                    "outbound sync backlog overflowed: {dropped} knowgget(s) dropped"
+                )
             }
             KalisError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -62,6 +88,7 @@ impl From<std::io::Error> for KalisError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn display_covers_variants() {
@@ -70,8 +97,30 @@ mod tests {
         };
         assert!(e.to_string().contains("Nope"));
         let e = KalisError::SyncRejected {
+            peer: "K2".into(),
             reason: "creator mismatch".into(),
         };
         assert!(e.to_string().contains("creator mismatch"));
+        assert!(e.to_string().contains("K2"), "rejection names the peer");
+        let e = KalisError::PeerUnreachable { peer: "K9".into() };
+        assert!(e.to_string().contains("K9"));
+        let e = KalisError::SyncBacklogOverflow { dropped: 17 };
+        assert!(e.to_string().contains("17"));
+    }
+
+    #[test]
+    fn source_is_populated_only_for_wrapped_errors() {
+        let io = KalisError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "disk"));
+        assert!(io.source().is_some());
+        for plain in [
+            KalisError::PeerUnreachable { peer: "K2".into() },
+            KalisError::SyncBacklogOverflow { dropped: 1 },
+            KalisError::SyncRejected {
+                peer: "K2".into(),
+                reason: "bad".into(),
+            },
+        ] {
+            assert!(plain.source().is_none());
+        }
     }
 }

@@ -38,6 +38,23 @@ impl KalisId {
         KalisId(id)
     }
 
+    /// Create an identifier from untrusted input (e.g. a decoded sync
+    /// message), where panicking would hand remote peers a crash lever.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when `id` is empty or contains `$`, `@`,
+    /// or `.`.
+    pub fn try_new(id: impl Into<String>) -> Result<Self, String> {
+        let id = id.into();
+        if id.is_empty() || id.contains(['$', '@', '.']) {
+            return Err(format!(
+                "invalid Kalis id `{id}`: must be non-empty and free of `$`, `@`, `.`"
+            ));
+        }
+        Ok(KalisId(id))
+    }
+
     /// The identifier text.
     pub fn as_str(&self) -> &str {
         &self.0

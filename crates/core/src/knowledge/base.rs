@@ -408,6 +408,25 @@ impl KnowledgeBase {
             .collect()
     }
 
+    /// Every knowgget currently marked collective, regardless of dirty
+    /// state — the full-state payload sent when a recovered peer needs a
+    /// complete re-sync.
+    pub fn collective_knowggets(&self) -> Vec<Knowgget> {
+        self.collective
+            .iter()
+            .filter_map(|encoded| {
+                let key: KnowKey = encoded.parse().ok()?;
+                let wire = self.entries.get(encoded)?;
+                Some(Knowgget {
+                    label: key.label,
+                    value: KnowValue::from_wire(wire),
+                    creator: key.creator,
+                    entity: key.entity,
+                })
+            })
+            .collect()
+    }
+
     /// Accept a knowgget from peer `sender`.
     ///
     /// Enforces the paper's ownership rule: a Kalis node "can only update
@@ -526,6 +545,20 @@ mod tests {
         // A real change does.
         kb.insert_collective("Mobile", false);
         assert_eq!(kb.drain_dirty_collective().len(), 1);
+    }
+
+    #[test]
+    fn collective_knowggets_snapshot_ignores_dirty_state() {
+        let mut kb = kb();
+        kb.insert_collective("Mobile", true);
+        kb.insert_collective("Multihop", false);
+        kb.insert("Private", 1i64);
+        kb.drain_dirty_collective();
+        // Even with nothing dirty, the full snapshot is available for a
+        // recovering peer's re-sync.
+        let snap = kb.collective_knowggets();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.iter().all(|k| k.creator == KalisId::new("K1")));
     }
 
     #[test]

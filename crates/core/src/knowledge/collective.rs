@@ -16,6 +16,16 @@ use crate::id::KalisId;
 
 use super::{KnowValue, Knowgget};
 
+/// Upper bound on knowggets per sync message. Senders chunk larger
+/// batches; receivers reject anything claiming more — a hostile length
+/// field must never drive allocation.
+pub const MAX_SYNC_KNOWGGETS: usize = 512;
+
+/// Minimum encoded size of one knowgget (four empty length-prefixed
+/// strings), used to sanity-check a declared count against the actual
+/// payload size before allocating.
+const MIN_KNOWGGET_WIRE: usize = 8;
+
 /// A batch of collective knowggets announced by one Kalis node.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SyncMessage {
@@ -32,23 +42,27 @@ impl SyncMessage {
         SyncMessage { from, knowggets }
     }
 
-    fn put_str(buf: &mut Vec<u8>, s: &str) {
+    pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
         let bytes = s.as_bytes();
-        buf.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
-        buf.extend_from_slice(bytes);
+        buf.extend_from_slice(&(bytes.len().min(u16::MAX as usize) as u16).to_be_bytes());
+        buf.extend_from_slice(&bytes[..bytes.len().min(u16::MAX as usize)]);
     }
 
-    fn get_str(buf: &[u8], pos: &mut usize) -> Option<String> {
-        if buf.len() < *pos + 2 {
+    pub(crate) fn get_str(buf: &[u8], pos: &mut usize) -> Option<String> {
+        // Checked arithmetic throughout: an adversarial `pos`/length pair
+        // must fail cleanly, never wrap or panic.
+        let header_end = pos.checked_add(2)?;
+        if buf.len() < header_end {
             return None;
         }
         let len = u16::from_be_bytes([buf[*pos], buf[*pos + 1]]) as usize;
-        *pos += 2;
-        if buf.len() < *pos + len {
+        *pos = header_end;
+        let body_end = pos.checked_add(len)?;
+        if buf.len() < body_end {
             return None;
         }
-        let s = String::from_utf8(buf[*pos..*pos + len].to_vec()).ok()?;
-        *pos += len;
+        let s = String::from_utf8(buf[*pos..body_end].to_vec()).ok()?;
+        *pos = body_end;
         Some(s)
     }
 
@@ -66,18 +80,80 @@ impl SyncMessage {
         len
     }
 
-    /// Serialize and seal for transmission over `channel`.
-    pub fn seal(&self, channel: &dyn SecureChannel) -> Vec<u8> {
+    /// Encode the plaintext payload (what [`SyncMessage::seal`] hands to
+    /// the channel, and what the sequence-numbered envelope of
+    /// [`super::CollectiveSync`] embeds after its header).
+    pub(crate) fn encode_payload(&self) -> Vec<u8> {
         let mut plain = Vec::new();
         Self::put_str(&mut plain, self.from.as_str());
-        plain.extend_from_slice(&(self.knowggets.len() as u16).to_be_bytes());
+        plain
+            .extend_from_slice(&(self.knowggets.len().min(u16::MAX as usize) as u16).to_be_bytes());
         for k in &self.knowggets {
             Self::put_str(&mut plain, &k.label);
             Self::put_str(&mut plain, &k.value.to_wire());
             Self::put_str(&mut plain, k.creator.as_str());
             Self::put_str(&mut plain, k.entity.as_ref().map_or("", |e| e.as_str()));
         }
-        channel.seal(&plain)
+        plain
+    }
+
+    /// Parse a plaintext payload produced by
+    /// [`SyncMessage::encode_payload`], with hostile-input hardening:
+    /// declared counts are capped and checked against the bytes actually
+    /// present before any allocation.
+    pub(crate) fn decode_payload(plain: &[u8]) -> Result<SyncMessage, String> {
+        let mut pos = 0;
+        let from = Self::get_str(plain, &mut pos).ok_or("truncated sender")?;
+        if from.is_empty() {
+            return Err("empty sender".to_owned());
+        }
+        let from = KalisId::try_new(from)?;
+        let count_end = pos.checked_add(2).ok_or("truncated count")?;
+        if plain.len() < count_end {
+            return Err("truncated count".to_owned());
+        }
+        let count = u16::from_be_bytes([plain[pos], plain[pos + 1]]) as usize;
+        pos = count_end;
+        if count > MAX_SYNC_KNOWGGETS {
+            return Err(format!(
+                "declared knowgget count {count} exceeds cap {MAX_SYNC_KNOWGGETS}"
+            ));
+        }
+        // A declared count larger than the remaining bytes could carry is
+        // hostile; reject before reserving anything for it.
+        if count.saturating_mul(MIN_KNOWGGET_WIRE) > plain.len().saturating_sub(pos) {
+            return Err("declared knowgget count exceeds payload size".to_owned());
+        }
+        let mut knowggets = Vec::with_capacity(count);
+        for _ in 0..count {
+            let label = Self::get_str(plain, &mut pos).ok_or("truncated label")?;
+            let value = Self::get_str(plain, &mut pos).ok_or("truncated value")?;
+            let creator = Self::get_str(plain, &mut pos).ok_or("truncated creator")?;
+            let entity = Self::get_str(plain, &mut pos).ok_or("truncated entity")?;
+            if label.is_empty() || creator.is_empty() {
+                return Err("empty label or creator".to_owned());
+            }
+            // Labels and entities become KB key segments; the key
+            // delimiters must not be smuggled in through the wire.
+            if label.contains(['$', '@']) {
+                return Err(format!("label `{label}` contains key delimiters"));
+            }
+            if entity.contains(['$', '@']) {
+                return Err(format!("entity `{entity}` contains key delimiters"));
+            }
+            knowggets.push(Knowgget {
+                label,
+                value: KnowValue::from_wire(&value),
+                creator: KalisId::try_new(creator)?,
+                entity: (!entity.is_empty()).then(|| Entity::new(entity)),
+            });
+        }
+        Ok(SyncMessage { from, knowggets })
+    }
+
+    /// Serialize and seal for transmission over `channel`.
+    pub fn seal(&self, channel: &dyn SecureChannel) -> Vec<u8> {
+        channel.seal(&self.encode_payload())
     }
 
     /// Open and parse a sealed message.
@@ -90,33 +166,7 @@ impl SyncMessage {
         let plain = channel
             .open(sealed)
             .ok_or_else(|| "authentication failed".to_owned())?;
-        let mut pos = 0;
-        let from = Self::get_str(&plain, &mut pos).ok_or("truncated sender")?;
-        if plain.len() < pos + 2 {
-            return Err("truncated count".to_owned());
-        }
-        let count = u16::from_be_bytes([plain[pos], plain[pos + 1]]) as usize;
-        pos += 2;
-        let mut knowggets = Vec::with_capacity(count);
-        for _ in 0..count {
-            let label = Self::get_str(&plain, &mut pos).ok_or("truncated label")?;
-            let value = Self::get_str(&plain, &mut pos).ok_or("truncated value")?;
-            let creator = Self::get_str(&plain, &mut pos).ok_or("truncated creator")?;
-            let entity = Self::get_str(&plain, &mut pos).ok_or("truncated entity")?;
-            if label.is_empty() || creator.is_empty() {
-                return Err("empty label or creator".to_owned());
-            }
-            knowggets.push(Knowgget {
-                label,
-                value: KnowValue::from_wire(&value),
-                creator: KalisId::new(creator),
-                entity: (!entity.is_empty()).then(|| Entity::new(entity)),
-            });
-        }
-        Ok(SyncMessage {
-            from: KalisId::new(from),
-            knowggets,
-        })
+        Self::decode_payload(&plain)
     }
 }
 
@@ -266,5 +316,80 @@ mod tests {
         let msg = SyncMessage::new(KalisId::new("K1"), vec![]);
         let back = SyncMessage::open(&msg.seal(&channel), &channel).unwrap();
         assert!(back.knowggets.is_empty());
+    }
+
+    #[test]
+    fn hostile_declared_count_is_rejected_before_allocation() {
+        // A payload claiming 65535 knowggets but carrying none: the size
+        // sanity check must reject it without reserving for the claim.
+        let channel = XorChannel::new(3);
+        let mut plain = Vec::new();
+        SyncMessage::put_str(&mut plain, "K1");
+        plain.extend_from_slice(&u16::MAX.to_be_bytes());
+        let err = SyncMessage::open(&channel.seal(&plain), &channel).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn knowgget_count_cap_is_enforced() {
+        // Over-cap count with enough padding to pass the size check: the
+        // explicit cap still rejects it.
+        let channel = XorChannel::new(3);
+        let mut plain = Vec::new();
+        SyncMessage::put_str(&mut plain, "K1");
+        plain.extend_from_slice(&((MAX_SYNC_KNOWGGETS as u16) + 1).to_be_bytes());
+        plain.resize(plain.len() + (MAX_SYNC_KNOWGGETS + 1) * 8, 0);
+        let err = SyncMessage::open(&channel.seal(&plain), &channel).unwrap_err();
+        assert!(err.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn empty_sender_is_rejected() {
+        // KalisId::new refuses empty ids locally, so craft the hostile
+        // payload by hand: zero-length sender, zero knowggets.
+        let channel = XorChannel::new(3);
+        let mut plain = Vec::new();
+        SyncMessage::put_str(&mut plain, "");
+        plain.extend_from_slice(&0u16.to_be_bytes());
+        let err = SyncMessage::open(&channel.seal(&plain), &channel).unwrap_err();
+        assert!(err.contains("empty sender"), "{err}");
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn corrupted_seals_never_panic(
+                noise in proptest::collection::vec(any::<u8>(), 0..256),
+                flips in proptest::collection::vec((0usize..4096, 0u32..8), 1..8),
+                key in any::<u64>(),
+            ) {
+                let channel = XorChannel::new(key);
+                let msg = sample_message();
+                let mut sealed = msg.seal(&channel);
+                sealed.extend_from_slice(&noise);
+                for (pos, bit) in flips {
+                    let len = sealed.len();
+                    if len > 0 {
+                        sealed[pos % len] ^= 1 << bit;
+                    }
+                }
+                // Corrupted seal and raw noise: must return, never panic
+                // or over-allocate.
+                let _ = SyncMessage::open(&sealed, &channel);
+                let _ = SyncMessage::open(&noise, &channel);
+            }
+
+            #[test]
+            fn arbitrary_plaintext_decodes_without_panic(
+                plain in proptest::collection::vec(any::<u8>(), 0..512),
+            ) {
+                if let Ok(msg) = SyncMessage::decode_payload(&plain) {
+                    prop_assert!(msg.knowggets.len() <= MAX_SYNC_KNOWGGETS);
+                }
+            }
+        }
     }
 }

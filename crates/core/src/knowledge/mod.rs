@@ -6,12 +6,17 @@ mod base;
 mod collective;
 mod key;
 mod peers;
+mod sync;
 mod value;
 
 pub use base::{ChangeEvent, KnowledgeBase};
-pub use collective::{SecureChannel, SyncMessage, XorChannel};
+pub use collective::{SecureChannel, SyncMessage, XorChannel, MAX_SYNC_KNOWGGETS};
 pub use key::{KnowKey, ParseKeyError};
-pub use peers::{PeerBeacon, PeerRegistry};
+pub use peers::{PeerBeacon, PeerRegistry, DEFAULT_PEER_TTL};
+pub use sync::{
+    CollectiveSync, PeerHealth, Receipt, ReceiptKind, SyncConfig, SyncEvent, SyncTransmit,
+    DEGRADED_LABEL,
+};
 pub use value::KnowValue;
 
 use kalis_packets::Entity;

@@ -11,8 +11,10 @@ use kalis_packets::Timestamp;
 
 use crate::id::KalisId;
 
-/// How long a peer stays listed without a fresh beacon.
-const PEER_TTL: Duration = Duration::from_secs(30);
+/// Default lifetime of a peer-list entry without a fresh beacon.
+/// Override per-registry with [`PeerRegistry::with_ttl`] (the node
+/// builder wires this to the `Sync.PeerTtl` a-priori knowgget).
+pub const DEFAULT_PEER_TTL: Duration = Duration::from_secs(30);
 
 /// A Kalis advertisement beacon, broadcast periodically on the local
 /// network. The wire form is a single line (`KALIS <id>`), small enough
@@ -61,16 +63,28 @@ impl PeerBeacon {
 #[derive(Debug)]
 pub struct PeerRegistry {
     local: KalisId,
+    ttl: Duration,
     last_seen: BTreeMap<KalisId, Timestamp>,
 }
 
 impl PeerRegistry {
-    /// An empty registry for `local`.
+    /// An empty registry for `local` with the default TTL.
     pub fn new(local: KalisId) -> Self {
+        Self::with_ttl(local, DEFAULT_PEER_TTL)
+    }
+
+    /// An empty registry with an explicit beacon TTL.
+    pub fn with_ttl(local: KalisId, ttl: Duration) -> Self {
         PeerRegistry {
             local,
+            ttl: ttl.max(Duration::from_micros(1)),
             last_seen: BTreeMap::new(),
         }
+    }
+
+    /// The beacon TTL this registry expires against.
+    pub fn ttl(&self) -> Duration {
+        self.ttl
     }
 
     /// The beacon this node should broadcast.
@@ -94,15 +108,16 @@ impl PeerRegistry {
     pub fn peers(&self, now: Timestamp) -> Vec<KalisId> {
         self.last_seen
             .iter()
-            .filter(|(_, seen)| now.saturating_since(**seen) <= PEER_TTL)
+            .filter(|(_, seen)| now.saturating_since(**seen) <= self.ttl)
             .map(|(id, _)| id.clone())
             .collect()
     }
 
     /// Drop peers that have not beaconed within the TTL.
     pub fn expire(&mut self, now: Timestamp) {
+        let ttl = self.ttl;
         self.last_seen
-            .retain(|_, seen| now.saturating_since(*seen) <= PEER_TTL);
+            .retain(|_, seen| now.saturating_since(*seen) <= ttl);
     }
 
     /// Total peers ever seen (live or stale, before expiry).
@@ -162,6 +177,23 @@ mod tests {
         let own = peers.own_beacon();
         assert!(!peers.observe(own, Timestamp::ZERO));
         assert!(peers.is_empty());
+    }
+
+    #[test]
+    fn configurable_ttl_changes_expiry() {
+        let mut peers = PeerRegistry::with_ttl(KalisId::new("K1"), Duration::from_secs(3));
+        assert_eq!(peers.ttl(), Duration::from_secs(3));
+        peers.observe(
+            PeerBeacon {
+                from: KalisId::new("K2"),
+            },
+            Timestamp::from_secs(1),
+        );
+        assert_eq!(peers.peers(Timestamp::from_secs(4)).len(), 1);
+        assert!(
+            peers.peers(Timestamp::from_secs(5)).is_empty(),
+            "3 s TTL expires well before the 30 s default"
+        );
     }
 
     #[test]

@@ -64,5 +64,8 @@ pub mod taxonomy;
 pub use alert::{Alert, AttackKind, Severity};
 pub use error::KalisError;
 pub use id::KalisId;
-pub use knowledge::{KnowKey, KnowValue, Knowgget, KnowledgeBase};
-pub use node::{Kalis, KalisBuilder};
+pub use knowledge::{
+    CollectiveSync, KnowKey, KnowValue, Knowgget, KnowledgeBase, PeerHealth, SyncConfig,
+    DEGRADED_LABEL,
+};
+pub use node::{Kalis, KalisBuilder, SyncPoll, SyncReceipt};

@@ -20,7 +20,10 @@ use crate::error::KalisError;
 use crate::id::KalisId;
 #[cfg(feature = "telemetry")]
 use crate::knowledge::ChangeEvent;
-use crate::knowledge::{KnowValue, KnowledgeBase, SyncMessage};
+use crate::knowledge::{
+    CollectiveSync, KnowValue, KnowledgeBase, PeerBeacon, PeerHealth, ReceiptKind, SecureChannel,
+    SyncConfig, SyncEvent, SyncMessage, SyncTransmit, XorChannel, DEGRADED_LABEL,
+};
 use crate::metrics::ResourceMeter;
 use crate::modules::{Module, ModuleCtx, ModuleManager, ModuleRegistry};
 use crate::response::ResponseEngine;
@@ -28,6 +31,15 @@ use crate::store::{DataStore, WindowConfig};
 
 /// How often [`Kalis::process_source`] injects ticks between packets.
 const TICK_EVERY: Duration = Duration::from_secs(1);
+
+/// Shared secret of the default [`XorChannel`] ("kalis" in ASCII) used
+/// when the embedder does not provide its own [`SecureChannel`].
+const DEFAULT_SYNC_KEY: u64 = 0x006b_616c_6973;
+
+/// A-priori knowgget keys (Fig. 6 config language) that tune the sync
+/// engine: TTL and beacon cadence in seconds.
+const SYNC_PEER_TTL_KEY: &str = "Sync.PeerTtl";
+const SYNC_BEACON_INTERVAL_KEY: &str = "Sync.BeaconInterval";
 
 /// Builder for [`Kalis`] nodes.
 ///
@@ -54,6 +66,8 @@ pub struct KalisBuilder {
     auto_response: bool,
     window: WindowConfig,
     extra_modules: Vec<(Box<dyn Module>, bool)>,
+    sync_config: Option<SyncConfig>,
+    sync_channel: Option<Box<dyn SecureChannel>>,
 }
 
 impl KalisBuilder {
@@ -67,6 +81,8 @@ impl KalisBuilder {
             auto_response: true,
             window: WindowConfig::default(),
             extra_modules: Vec::new(),
+            sync_config: None,
+            sync_channel: None,
         }
     }
 
@@ -115,6 +131,20 @@ impl KalisBuilder {
         self
     }
 
+    /// Override the fault-tolerant sync tunables. The `Sync.PeerTtl` and
+    /// `Sync.BeaconInterval` a-priori knowggets (seconds) still take
+    /// precedence over the corresponding fields.
+    pub fn with_sync_config(mut self, config: SyncConfig) -> Self {
+        self.sync_config = Some(config);
+        self
+    }
+
+    /// Replace the default [`XorChannel`] used to seal sync traffic.
+    pub fn with_sync_channel(mut self, channel: Box<dyn SecureChannel>) -> Self {
+        self.sync_channel = Some(channel);
+        self
+    }
+
     /// Build, surfacing configuration problems.
     ///
     /// # Errors
@@ -123,6 +153,26 @@ impl KalisBuilder {
     /// a module absent from the registry.
     pub fn try_build(self) -> Result<Kalis, KalisError> {
         let mut kb = KnowledgeBase::new(self.id.clone());
+        // Sync tunables ride the Fig. 6 config language as a-priori
+        // knowggets (seconds); they are stored like any knowledge and
+        // also applied to the engine. TTL first: it derives the beacon
+        // cadence, which an explicit interval then overrides.
+        let mut sync_config = self.sync_config.unwrap_or_default();
+        let seconds_knowgget = |wanted: &str| {
+            self.config
+                .knowggets
+                .iter()
+                .find(|(key, _)| key == wanted)
+                .and_then(|(_, value)| value.as_f64())
+                .filter(|secs| *secs > 0.0)
+                .map(Duration::from_secs_f64)
+        };
+        if let Some(ttl) = seconds_knowgget(SYNC_PEER_TTL_KEY) {
+            sync_config = sync_config.with_peer_ttl(ttl);
+        }
+        if let Some(interval) = seconds_knowgget(SYNC_BEACON_INTERVAL_KEY) {
+            sync_config.beacon_interval = interval;
+        }
         for (key, value) in &self.config.knowggets {
             // Config keys may carry an `@entity` suffix but never a
             // creator (paper §IV-B3).
@@ -135,6 +185,12 @@ impl KalisBuilder {
                 }
             }
         }
+        let syncer = CollectiveSync::new(
+            self.id.clone(),
+            self.sync_channel
+                .unwrap_or_else(|| Box::new(XorChannel::new(DEFAULT_SYNC_KEY))),
+            sync_config,
+        );
         let mut manager = if self.adaptive {
             ModuleManager::new()
         } else {
@@ -185,6 +241,7 @@ impl KalisBuilder {
             auto_response: self.auto_response,
             last_tick: None,
             bus: EventBus::new(),
+            syncer,
             #[cfg(feature = "telemetry")]
             stats: NodeStats::new(&tele),
             tele,
@@ -219,6 +276,13 @@ struct NodeStats {
     sync_bytes_in: Arc<Counter>,
     sync_knowggets_out: Arc<Counter>,
     sync_knowggets_in: Arc<Counter>,
+    sync_retransmits: Arc<Counter>,
+    sync_duplicates: Arc<Counter>,
+    sync_queue_dropped: Arc<Counter>,
+    peers_healthy: Arc<Gauge>,
+    peers_suspect: Arc<Gauge>,
+    peers_dead: Arc<Gauge>,
+    degraded: Arc<Gauge>,
 }
 
 #[cfg(feature = "telemetry")]
@@ -238,8 +302,42 @@ impl NodeStats {
             sync_bytes_in: registry.counter(names::SYNC_BYTES_IN),
             sync_knowggets_out: registry.counter(names::SYNC_KNOWGGETS_OUT),
             sync_knowggets_in: registry.counter(names::SYNC_KNOWGGETS_IN),
+            sync_retransmits: registry.counter(names::SYNC_RETRANSMITS),
+            sync_duplicates: registry.counter(names::SYNC_DUPLICATES),
+            sync_queue_dropped: registry.counter(names::SYNC_QUEUE_DROPPED),
+            peers_healthy: registry.gauge(names::PEERS_HEALTHY),
+            peers_suspect: registry.gauge(names::PEERS_SUSPECT),
+            peers_dead: registry.gauge(names::PEERS_DEAD),
+            degraded: registry.gauge(names::DEGRADED_MODE),
         }
     }
+}
+
+/// Outbound sync work produced by one [`Kalis::sync_poll`] pass.
+#[derive(Debug, Default)]
+pub struct SyncPoll {
+    /// This node's beacon, when the configured cadence says it is due.
+    pub beacon: Option<PeerBeacon>,
+    /// Sealed frames (first transmissions, retransmissions, and
+    /// full-resync snapshots) ready for the transport.
+    pub frames: Vec<SyncTransmit>,
+    /// Set when the bounded outbound queue dropped entries this pass.
+    pub overflow: Option<KalisError>,
+}
+
+/// The outcome of [`Kalis::receive_sync_frame`].
+#[derive(Debug)]
+pub struct SyncReceipt {
+    /// The authenticated sender.
+    pub from: KalisId,
+    /// Knowggets applied to the Knowledge Base (0 for acks and
+    /// duplicates).
+    pub accepted: usize,
+    /// Whether the frame was a replay/duplicate dropped by dedup.
+    pub duplicate: bool,
+    /// A sealed ack to hand back to the transport, when the frame
+    /// warrants one.
+    pub reply: Option<Vec<u8>>,
 }
 
 /// A Kalis IDS node.
@@ -259,6 +357,7 @@ pub struct Kalis {
     auto_response: bool,
     last_tick: Option<Timestamp>,
     bus: EventBus,
+    syncer: CollectiveSync,
     tele: Arc<Telemetry>,
     #[cfg(feature = "telemetry")]
     stats: NodeStats,
@@ -452,7 +551,7 @@ impl Kalis {
             .into_iter()
             .map(ModuleDef::new)
             .collect();
-        let knowggets = self
+        let mut knowggets: Vec<(String, KnowValue)> = self
             .kb
             .iter()
             .filter(|k| {
@@ -463,6 +562,21 @@ impl Kalis {
             })
             .map(|k| (k.label, k.value))
             .collect();
+        // The sync tunables carry dotted labels (excluded by the filter
+        // above) but belong in a deployable config: a node rebuilt from
+        // it keeps the same fault-tolerance posture. Normalize through
+        // the wire format so the emitted value re-parses to the exact
+        // same variant (`12.0` goes out as `12` and comes back as Int).
+        let sync = self.syncer.config();
+        for (key, secs) in [
+            (SYNC_PEER_TTL_KEY, sync.peer_ttl.as_secs_f64()),
+            (SYNC_BEACON_INTERVAL_KEY, sync.beacon_interval.as_secs_f64()),
+        ] {
+            knowggets.push((
+                key.to_owned(),
+                KnowValue::from_wire(&KnowValue::Float(secs).to_wire()),
+            ));
+        }
         Config { modules, knowggets }
     }
 
@@ -587,11 +701,12 @@ impl Kalis {
     /// Returns [`KalisError::SyncRejected`] when any knowgget violates the
     /// ownership rule; accepted knowggets before the violation are kept.
     pub fn accept_sync(&mut self, message: SyncMessage) -> Result<usize, KalisError> {
+        let sender = message.from.to_string();
         #[cfg(feature = "telemetry")]
-        let (peer, bytes) = {
+        let bytes = {
             let bytes = message.encoded_len() as u64;
             self.stats.sync_bytes_in.add(bytes);
-            (message.from.to_string(), bytes)
+            bytes
         };
         let mut accepted = 0;
         for knowgget in message.knowggets {
@@ -605,12 +720,15 @@ impl Kalis {
                         self.tele.journal().record(
                             self.capture_time_us(),
                             JournalEvent::SyncRejected {
-                                peer,
+                                peer: sender.clone(),
                                 reason: reason.clone(),
                             },
                         );
                     }
-                    return Err(KalisError::SyncRejected { reason });
+                    return Err(KalisError::SyncRejected {
+                        peer: sender,
+                        reason,
+                    });
                 }
             }
         }
@@ -621,7 +739,7 @@ impl Kalis {
             self.tele.journal().record(
                 self.capture_time_us(),
                 JournalEvent::SyncAccepted {
-                    peer,
+                    peer: sender,
                     knowggets: accepted as u64,
                     bytes,
                 },
@@ -632,6 +750,246 @@ impl Kalis {
             self.reconfigure_on_changes(now, false);
         }
         Ok(accepted)
+    }
+
+    /// Record a peer beacon heard on the local network. Returns whether
+    /// the peer is newly discovered (a new peer is owed a full
+    /// collective-state re-sync on the next [`Kalis::sync_poll`]).
+    pub fn observe_beacon(&mut self, beacon: &PeerBeacon, now: Timestamp) -> bool {
+        let newly = self.syncer.observe_peer(&beacon.from, now);
+        self.apply_sync_events(now);
+        newly
+    }
+
+    /// Drive the fault-tolerant sync engine one step: emit this node's
+    /// beacon when due, queue full-state snapshots for peers owed a
+    /// re-sync, broadcast freshly-dirty collective knowggets, and return
+    /// every sealed frame due for (re-)transmission.
+    pub fn sync_poll(&mut self, now: Timestamp) -> SyncPoll {
+        let beacon = self.syncer.beacon_due(now).then(|| PeerBeacon {
+            from: self.id.clone(),
+        });
+        for peer in self.syncer.take_resync_peers() {
+            let snapshot = self.kb.collective_knowggets();
+            self.syncer.enqueue_to(&peer, snapshot, now);
+        }
+        let dirty = self.kb.drain_dirty_collective();
+        if !dirty.is_empty() {
+            self.syncer.enqueue_broadcast(&dirty, now);
+        }
+        let frames = self.syncer.poll(now);
+        #[cfg(feature = "telemetry")]
+        for frame in &frames {
+            if frame.retransmit {
+                self.stats.sync_retransmits.inc();
+            } else {
+                self.stats.sync_sent.inc();
+                self.stats.sync_knowggets_out.add(frame.knowggets);
+                self.tele.journal().record(
+                    now.as_micros(),
+                    JournalEvent::SyncSent {
+                        peer: frame.to.to_string(),
+                        knowggets: frame.knowggets,
+                        bytes: frame.bytes.len() as u64,
+                    },
+                );
+            }
+            self.stats.sync_bytes_out.add(frame.bytes.len() as u64);
+        }
+        let overflow = self.apply_sync_events(now);
+        SyncPoll {
+            beacon,
+            frames,
+            overflow,
+        }
+    }
+
+    /// Open a sealed sync frame from the transport: acks settle pending
+    /// retransmissions, fresh data is applied to the Knowledge Base under
+    /// the ownership rule, and replays are dropped (but re-acked).
+    ///
+    /// # Errors
+    ///
+    /// [`KalisError::SyncRejected`] when authentication or decoding fails
+    /// (peer `"unknown"` if the sender was unreadable) or when a knowgget
+    /// violates the ownership rule.
+    pub fn receive_sync_frame(
+        &mut self,
+        sealed: &[u8],
+        now: Timestamp,
+    ) -> Result<SyncReceipt, KalisError> {
+        let receipt = self.syncer.receive(sealed, now).map_err(|reason| {
+            #[cfg(feature = "telemetry")]
+            {
+                self.stats.sync_rejected.inc();
+                self.tele.journal().record(
+                    now.as_micros(),
+                    JournalEvent::SyncRejected {
+                        peer: "unknown".to_owned(),
+                        reason: reason.clone(),
+                    },
+                );
+            }
+            KalisError::SyncRejected {
+                peer: "unknown".to_owned(),
+                reason,
+            }
+        })?;
+        let from = receipt.from.clone();
+        let seq = receipt.seq;
+        let result = match receipt.kind {
+            ReceiptKind::Fresh(message) => {
+                let accepted = self.accept_sync(message)?;
+                Ok(SyncReceipt {
+                    from,
+                    accepted,
+                    duplicate: false,
+                    reply: receipt.reply,
+                })
+            }
+            ReceiptKind::Duplicate => {
+                #[cfg(feature = "telemetry")]
+                {
+                    self.stats.sync_duplicates.inc();
+                    self.tele.journal().record(
+                        now.as_micros(),
+                        JournalEvent::SyncDuplicate {
+                            peer: from.to_string(),
+                            seq,
+                        },
+                    );
+                }
+                #[cfg(not(feature = "telemetry"))]
+                let _ = seq;
+                Ok(SyncReceipt {
+                    from,
+                    accepted: 0,
+                    duplicate: true,
+                    reply: receipt.reply,
+                })
+            }
+            ReceiptKind::Ack { .. } => Ok(SyncReceipt {
+                from,
+                accepted: 0,
+                duplicate: false,
+                reply: None,
+            }),
+        };
+        self.apply_sync_events(now);
+        result
+    }
+
+    /// Health of `peer` as tracked by the sync state machine.
+    ///
+    /// # Errors
+    ///
+    /// [`KalisError::PeerUnreachable`] when the peer is unknown or Dead.
+    pub fn peer_health(&self, peer: &KalisId) -> Result<PeerHealth, KalisError> {
+        match self.syncer.peer_health(peer) {
+            Some(PeerHealth::Dead) | None => Err(KalisError::PeerUnreachable {
+                peer: peer.to_string(),
+            }),
+            Some(health) => Ok(health),
+        }
+    }
+
+    /// Whether this node is in degraded local-only mode (all peers Dead
+    /// or sync backlog overflowed): local detection keeps running, but
+    /// collaborative-only verdicts are suppressed.
+    pub fn degraded(&self) -> bool {
+        self.syncer.degraded()
+    }
+
+    /// The active sync tunables (after config-knowgget overrides).
+    pub fn sync_config(&self) -> &SyncConfig {
+        self.syncer.config()
+    }
+
+    /// Drain the sync engine's state-machine events into the journal,
+    /// gauges, and the `DegradedMode` knowgget that collaborative modules
+    /// key off. Returns the backlog-overflow error for this pass, if any.
+    fn apply_sync_events(&mut self, now: Timestamp) -> Option<KalisError> {
+        let events = self.syncer.drain_events();
+        if events.is_empty() {
+            return None;
+        }
+        let mut overflow_dropped: u64 = 0;
+        let mut degraded_flip: Option<bool> = None;
+        for event in events {
+            match event {
+                SyncEvent::PeerDiscovered { .. } => {}
+                SyncEvent::Health { peer, from, to } => {
+                    #[cfg(feature = "telemetry")]
+                    self.tele.journal().record(
+                        now.as_micros(),
+                        JournalEvent::PeerHealthChanged {
+                            peer: peer.to_string(),
+                            from: from.as_str().to_owned(),
+                            to: to.as_str().to_owned(),
+                        },
+                    );
+                    #[cfg(not(feature = "telemetry"))]
+                    let _ = (peer, from, to);
+                }
+                SyncEvent::QueueOverflow { dropped, .. } => {
+                    overflow_dropped += dropped;
+                    #[cfg(feature = "telemetry")]
+                    self.stats.sync_queue_dropped.add(dropped);
+                }
+                SyncEvent::DegradedEntered { reason } => {
+                    degraded_flip = Some(true);
+                    #[cfg(feature = "telemetry")]
+                    self.tele
+                        .journal()
+                        .record(now.as_micros(), JournalEvent::DegradedEntered { reason });
+                    #[cfg(not(feature = "telemetry"))]
+                    let _ = reason;
+                }
+                SyncEvent::DegradedExited { healthy } => {
+                    degraded_flip = Some(false);
+                    #[cfg(feature = "telemetry")]
+                    self.tele.journal().record(
+                        now.as_micros(),
+                        JournalEvent::DegradedExited {
+                            healthy_peers: healthy,
+                        },
+                    );
+                    #[cfg(not(feature = "telemetry"))]
+                    let _ = healthy;
+                }
+            }
+        }
+        #[cfg(feature = "telemetry")]
+        {
+            let mut healthy = 0u64;
+            let mut suspect = 0u64;
+            let mut dead = 0u64;
+            for (_, health) in self.syncer.peers() {
+                match health {
+                    PeerHealth::Healthy => healthy += 1,
+                    PeerHealth::Suspect => suspect += 1,
+                    PeerHealth::Dead => dead += 1,
+                }
+            }
+            self.stats.peers_healthy.set(healthy);
+            self.stats.peers_suspect.set(suspect);
+            self.stats.peers_dead.set(dead);
+            self.stats.degraded.set(u64::from(self.syncer.degraded()));
+        }
+        if let Some(entered) = degraded_flip {
+            // The mode is itself knowledge: collaborative-only modules
+            // (e.g. wormhole correlation) suppress their verdicts while
+            // it is set, and the Module Manager re-evaluates activation.
+            if entered {
+                self.kb.insert(DEGRADED_LABEL, true);
+            } else {
+                self.kb.remove(DEGRADED_LABEL);
+            }
+            self.reconfigure_on_changes(now, true);
+        }
+        (overflow_dropped > 0).then_some(KalisError::SyncBacklogOverflow {
+            dropped: overflow_dropped,
+        })
     }
 
     /// The journal timestamp for events outside packet processing: the
@@ -844,6 +1202,59 @@ mod tests {
         assert!(small
             .active_modules()
             .contains(&"SelectiveForwardingModule"));
+    }
+
+    #[test]
+    fn sync_tunables_ride_the_config_language() {
+        // Both knobs set explicitly via the Fig. 6 text format.
+        let kalis = Kalis::builder(KalisId::new("K1"))
+            .with_config(
+                "knowggets = { Sync.PeerTtl = 12, Sync.BeaconInterval = 2 }"
+                    .parse()
+                    .unwrap(),
+            )
+            .build();
+        assert_eq!(kalis.sync_config().peer_ttl, Duration::from_secs(12));
+        assert_eq!(kalis.sync_config().beacon_interval, Duration::from_secs(2));
+        // The knobs are ordinary knowggets too — visible in the KB.
+        assert_eq!(kalis.knowledge().get_f64("Sync.PeerTtl"), Some(12.0));
+
+        // TTL alone derives the beacon cadence (ttl / 3).
+        let ttl_only = Kalis::builder(KalisId::new("K2"))
+            .with_config("knowggets = { Sync.PeerTtl = 9 }".parse().unwrap())
+            .build();
+        assert_eq!(ttl_only.sync_config().peer_ttl, Duration::from_secs(9));
+        assert_eq!(
+            ttl_only.sync_config().beacon_interval,
+            Duration::from_secs(3)
+        );
+
+        // File order does not matter: an explicit interval wins even
+        // when it appears before the TTL that would otherwise derive it.
+        let reordered = Kalis::builder(KalisId::new("K3"))
+            .with_config(
+                "knowggets = { Sync.BeaconInterval = 2, Sync.PeerTtl = 12 }"
+                    .parse()
+                    .unwrap(),
+            )
+            .build();
+        assert_eq!(reordered.sync_config().peer_ttl, Duration::from_secs(12));
+        assert_eq!(
+            reordered.sync_config().beacon_interval,
+            Duration::from_secs(2)
+        );
+
+        // The tunables survive a full recommend -> render -> parse ->
+        // rebuild round-trip (the compile-time deployment workflow).
+        let config = kalis.recommend_config();
+        let text = config.to_string();
+        let reparsed: Config = text.parse().unwrap();
+        assert_eq!(reparsed, config);
+        let redeployed = Kalis::builder(KalisId::new("K4"))
+            .with_config(reparsed)
+            .try_build()
+            .unwrap();
+        assert_eq!(redeployed.sync_config(), kalis.sync_config());
     }
 
     #[test]

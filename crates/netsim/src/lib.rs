@@ -16,6 +16,8 @@
 //! * ready-made traffic behaviors for the paper's testbed devices
 //!   ([`behaviors`], [`devices`]),
 //! * promiscuous observer taps — the Kalis vantage point ([`tap`]),
+//! * seeded fault injection — link loss, duplication, corruption,
+//!   crashes, and partitions ([`fault`]),
 //! * and trace recording/replay ([`trace`]).
 //!
 //! Everything is seeded: the same build of a scenario produces the same
@@ -44,6 +46,7 @@ pub mod behavior;
 pub mod behaviors;
 pub mod craft;
 pub mod devices;
+pub mod fault;
 pub mod geometry;
 pub mod mobility;
 pub mod node;
@@ -62,6 +65,7 @@ pub mod prelude {
         ZigbeeHubBehavior, ZigbeeSubBehavior,
     };
     pub use crate::devices::DeviceProfile;
+    pub use crate::fault::{FaultPlan, FaultStats, FaultWindow, LinkFaults};
     pub use crate::geometry::Position;
     pub use crate::mobility::MobilityModel;
     pub use crate::node::{NodeId, NodeSpec, Role};
@@ -71,6 +75,7 @@ pub mod prelude {
     pub use kalis_packets::{Medium, ShortAddr, Timestamp};
 }
 
+pub use fault::{FaultPlan, FaultStats, FaultWindow, LinkFaults};
 pub use geometry::Position;
 pub use node::{NodeId, NodeSpec, Role};
 pub use sim::Simulator;

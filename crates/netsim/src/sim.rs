@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::behavior::{Action, Behavior, Ctx, ReceivedFrame};
+use crate::fault::{Delivery, FaultPlan, FaultStats};
 use crate::geometry::Position;
 use crate::mobility::MobilityState;
 use crate::node::{Node, NodeId, NodeSpec};
@@ -84,6 +85,7 @@ pub struct Simulator {
     mobility: Vec<MobilityState>,
     taps: Vec<TapConfig>,
     rng: StdRng,
+    faults: Option<FaultPlan>,
     started: bool,
     stats: SimStats,
 }
@@ -101,6 +103,7 @@ impl Simulator {
             mobility: Vec::new(),
             taps: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
+            faults: None,
             started: false,
             stats: SimStats::default(),
         }
@@ -170,6 +173,21 @@ impl Simulator {
     /// Aggregate event counters.
     pub fn stats(&self) -> SimStats {
         self.stats
+    }
+
+    /// Install (or replace) a fault-injection plan. The plan judges
+    /// every node-to-node delivery — radio and wired — but never tap
+    /// captures: the tap is the IDS's own vantage point.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Counters of faults injected so far (zero without a plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+            .as_ref()
+            .map(FaultPlan::stats)
+            .unwrap_or_default()
     }
 
     /// Read a node's current state.
@@ -296,18 +314,55 @@ impl Simulator {
             }
             Action::Transmit { medium, raw } => self.broadcast(from, medium, raw),
             Action::Wired { to, raw } => {
-                let packet = Packet::decode(Medium::Ethernet, &raw).ok();
-                let frame = ReceivedFrame {
-                    medium: Medium::Ethernet,
-                    raw: raw.clone(),
-                    rssi_dbm: None,
-                    from,
-                    packet,
-                };
+                // The wired mirror tap sees the frame as sent, before
+                // any fault mangles the copy the receiver gets.
                 self.mirror_wired(from, to, &raw);
-                self.push(self.clock + WIRE_DELAY, EventKind::Deliver { to, frame });
+                let copies = self.judge_delivery(from, to);
+                for copy in copies {
+                    let (raw, packet) = self.faulted_bytes(Medium::Ethernet, &raw, copy.corrupt);
+                    let frame = ReceivedFrame {
+                        medium: Medium::Ethernet,
+                        raw,
+                        rssi_dbm: None,
+                        from,
+                        packet,
+                    };
+                    self.push(
+                        self.clock + WIRE_DELAY + copy.extra_delay,
+                        EventKind::Deliver { to, frame },
+                    );
+                }
             }
         }
+    }
+
+    /// Consult the fault plan for one `from -> to` delivery. Without a
+    /// plan every frame is delivered exactly once, undelayed.
+    fn judge_delivery(&mut self, from: NodeId, to: NodeId) -> Vec<Delivery> {
+        match self.faults.as_mut() {
+            Some(plan) => plan.judge(from.0, to.0, self.clock),
+            None => vec![Delivery::default()],
+        }
+    }
+
+    /// The bytes (and re-decode) actually handed to the receiver:
+    /// untouched, or with one bit flipped by the fault plan.
+    fn faulted_bytes(
+        &mut self,
+        medium: Medium,
+        raw: &Bytes,
+        corrupt: bool,
+    ) -> (Bytes, Option<Packet>) {
+        if !corrupt {
+            return (raw.clone(), Packet::decode(medium, raw).ok());
+        }
+        let mut bytes = raw.to_vec();
+        if let Some(plan) = self.faults.as_mut() {
+            plan.corrupt_payload(&mut bytes);
+        }
+        let raw = Bytes::from(bytes);
+        let packet = Packet::decode(medium, &raw).ok();
+        (raw, packet)
     }
 
     fn mirror_wired(&mut self, from: NodeId, to: NodeId, raw: &Bytes) {
@@ -344,14 +399,25 @@ impl Simulator {
                 continue;
             }
             let rssi = tx_radio.sample_rssi_dbm(dist, &mut self.rng);
-            let frame = ReceivedFrame {
-                medium,
-                raw: raw.clone(),
-                rssi_dbm: Some(rssi),
-                from,
-                packet: decoded.clone(),
-            };
-            self.push(self.clock + AIR_DELAY, EventKind::Deliver { to, frame });
+            let copies = self.judge_delivery(from, to);
+            for copy in copies {
+                let (raw, packet) = if copy.corrupt {
+                    self.faulted_bytes(medium, &raw, true)
+                } else {
+                    (raw.clone(), decoded.clone())
+                };
+                let frame = ReceivedFrame {
+                    medium,
+                    raw,
+                    rssi_dbm: Some(rssi),
+                    from,
+                    packet,
+                };
+                self.push(
+                    self.clock + AIR_DELAY + copy.extra_delay,
+                    EventKind::Deliver { to, frame },
+                );
+            }
         }
         // Tap captures.
         let ts = self.clock;
@@ -539,6 +605,61 @@ mod tests {
         let mut sim = Simulator::new(0);
         sim.run_for(Duration::from_secs(3));
         assert_eq!(sim.now(), Timestamp::from_secs(3));
+    }
+
+    #[test]
+    fn fault_plan_drops_frames_but_taps_still_capture() {
+        use crate::fault::{FaultPlan, LinkFaults};
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(NodeSpec::new("a").with_position(0.0, 0.0));
+        let b = sim.add_node(NodeSpec::new("b").with_position(5.0, 0.0));
+        let counter = Counter::default();
+        let handle = Arc::clone(&counter.received);
+        sim.set_behavior(a, Beeper { count: 5, sent: 0 });
+        sim.set_behavior(b, counter);
+        let tap = sim.add_tap("t0", Position::new(2.0, 0.0), &[Medium::Ieee802154]);
+        sim.set_fault_plan(FaultPlan::new(9).with_faults(LinkFaults {
+            drop: 1.0,
+            ..LinkFaults::default()
+        }));
+        sim.run_for(Duration::from_secs(10));
+        assert_eq!(*handle.lock(), 0, "all node deliveries dropped");
+        assert_eq!(tap.drain().len(), 5, "the IDS tap is never faulted");
+        assert_eq!(sim.fault_stats().dropped, 5);
+    }
+
+    #[test]
+    fn fault_plan_duplicates_wired_frames() {
+        use crate::fault::{FaultPlan, LinkFaults};
+        struct WiredSender {
+            to: NodeId,
+        }
+        impl Behavior for WiredSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                use kalis_packets::codec::Encode;
+                let frame = kalis_packets::ethernet::EthernetFrame::new(
+                    kalis_packets::MacAddr::from_index(1),
+                    kalis_packets::MacAddr::from_index(2),
+                    0x0800,
+                    b"x".to_vec(),
+                );
+                ctx.send_wired(self.to, frame.to_bytes());
+            }
+        }
+        let mut sim = Simulator::new(4);
+        let router = sim.add_node(NodeSpec::new("router"));
+        let cloud = sim.add_node(NodeSpec::new("cloud").with_position(1000.0, 0.0));
+        let counter = Counter::default();
+        let handle = Arc::clone(&counter.received);
+        sim.set_behavior(cloud, WiredSender { to: router });
+        sim.set_behavior(router, counter);
+        sim.set_fault_plan(FaultPlan::new(4).with_faults(LinkFaults {
+            duplicate: 1.0,
+            ..LinkFaults::default()
+        }));
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(*handle.lock(), 2, "the frame and its duplicate both arrive");
+        assert_eq!(sim.fault_stats().duplicated, 1);
     }
 
     #[test]

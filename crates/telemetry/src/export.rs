@@ -351,6 +351,21 @@ fn record_from_json(v: &JsonValue) -> Result<JournalRecord, JsonError> {
             peer: str_field("peer")?,
             reason: str_field("reason")?,
         },
+        "sync_duplicate" => JournalEvent::SyncDuplicate {
+            peer: str_field("peer")?,
+            seq: num_field("seq")?,
+        },
+        "peer_health_changed" => JournalEvent::PeerHealthChanged {
+            peer: str_field("peer")?,
+            from: str_field("from")?,
+            to: str_field("to")?,
+        },
+        "degraded_entered" => JournalEvent::DegradedEntered {
+            reason: str_field("reason")?,
+        },
+        "degraded_exited" => JournalEvent::DegradedExited {
+            healthy_peers: num_field("healthy_peers")?,
+        },
         "marker" => JournalEvent::Marker {
             kind: str_field("kind")?,
             detail: str_field("detail")?,

@@ -44,6 +44,20 @@ pub enum JournalEvent {
     /// A collective-sync message failed authentication or the
     /// ownership rule.
     SyncRejected { peer: String, reason: String },
+    /// A replayed or duplicated sync frame was dropped by receive-side
+    /// dedup (and re-acked so the sender stops retransmitting).
+    SyncDuplicate { peer: String, seq: u64 },
+    /// A peer moved between health states (`Healthy`/`Suspect`/`Dead`).
+    PeerHealthChanged {
+        peer: String,
+        from: String,
+        to: String,
+    },
+    /// The node entered degraded local-only mode: collaborative
+    /// detection is suspended, local modules keep running.
+    DegradedEntered { reason: String },
+    /// The node left degraded mode; `healthy_peers` peers are live again.
+    DegradedExited { healthy_peers: u64 },
     /// Free-form marker (bench stages, experiment boundaries).
     Marker { kind: String, detail: String },
 }
@@ -91,6 +105,20 @@ impl JournalEvent {
             JournalEvent::SyncRejected { peer, reason } => {
                 vec![("peer", Str(peer.clone())), ("reason", Str(reason.clone()))]
             }
+            JournalEvent::SyncDuplicate { peer, seq } => {
+                vec![("peer", Str(peer.clone())), ("seq", Num(*seq))]
+            }
+            JournalEvent::PeerHealthChanged { peer, from, to } => vec![
+                ("peer", Str(peer.clone())),
+                ("from", Str(from.clone())),
+                ("to", Str(to.clone())),
+            ],
+            JournalEvent::DegradedEntered { reason } => {
+                vec![("reason", Str(reason.clone()))]
+            }
+            JournalEvent::DegradedExited { healthy_peers } => {
+                vec![("healthy_peers", Num(*healthy_peers))]
+            }
             JournalEvent::Marker { kind, detail } => {
                 vec![("kind", Str(kind.clone())), ("detail", Str(detail.clone()))]
             }
@@ -106,6 +134,10 @@ impl JournalEvent {
             JournalEvent::SyncSent { .. } => "sync_sent",
             JournalEvent::SyncAccepted { .. } => "sync_accepted",
             JournalEvent::SyncRejected { .. } => "sync_rejected",
+            JournalEvent::SyncDuplicate { .. } => "sync_duplicate",
+            JournalEvent::PeerHealthChanged { .. } => "peer_health_changed",
+            JournalEvent::DegradedEntered { .. } => "degraded_entered",
+            JournalEvent::DegradedExited { .. } => "degraded_exited",
             JournalEvent::Marker { .. } => "marker",
         }
     }

@@ -81,6 +81,21 @@ pub mod names {
     pub const SYNC_KNOWGGETS_OUT: &str = "sync.knowggets_out";
     /// Knowggets applied from accepted sync messages (counter).
     pub const SYNC_KNOWGGETS_IN: &str = "sync.knowggets_in";
+    /// Sync data frames retransmitted after an ack timeout (counter).
+    pub const SYNC_RETRANSMITS: &str = "sync.retransmits";
+    /// Replayed/duplicated sync frames dropped by receive dedup (counter).
+    pub const SYNC_DUPLICATES: &str = "sync.duplicates_dropped";
+    /// Outbound sync queue entries dropped by the bounded-queue policy
+    /// (counter).
+    pub const SYNC_QUEUE_DROPPED: &str = "sync.queue_dropped";
+    /// Peers currently in the `Healthy` state (gauge).
+    pub const PEERS_HEALTHY: &str = "peers.healthy";
+    /// Peers currently in the `Suspect` state (gauge).
+    pub const PEERS_SUSPECT: &str = "peers.suspect";
+    /// Peers currently in the `Dead` state (gauge).
+    pub const PEERS_DEAD: &str = "peers.dead";
+    /// Whether the node is in degraded local-only mode (gauge, 0/1).
+    pub const DEGRADED_MODE: &str = "health.degraded";
     /// Abstract work units, the paper's CPU proxy (counter).
     pub const WORK_UNITS: &str = "work.units";
     /// Peak tracked state bytes, the paper's RAM proxy (gauge).
