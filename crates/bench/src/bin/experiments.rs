@@ -27,6 +27,7 @@ struct Args {
     reactivity: bool,
     knowledge_sharing: bool,
     resilience: bool,
+    supervisor: bool,
     extended: bool,
     symptoms: u32,
     replication_runs: u32,
@@ -43,6 +44,7 @@ fn parse_args() -> Args {
         reactivity: false,
         knowledge_sharing: false,
         resilience: false,
+        supervisor: false,
         extended: false,
         symptoms: 50,
         replication_runs: 10,
@@ -81,6 +83,10 @@ fn parse_args() -> Args {
                 args.resilience = true;
                 any = true;
             }
+            "--supervisor" => {
+                args.supervisor = true;
+                any = true;
+            }
             "--extended" => {
                 args.extended = true;
                 any = true;
@@ -115,7 +121,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--table1|--fig3|--table2|--fig8|--reactivity|--knowledge-sharing|--resilience|--all]\n\
+                    "usage: experiments [--table1|--fig3|--table2|--fig8|--reactivity|--knowledge-sharing|--resilience|--supervisor|--all]\n\
                      \x20                  [--symptoms N] [--replication-runs N] [--seed N] [--json PATH]"
                 );
                 std::process::exit(0);
@@ -234,6 +240,49 @@ fn main() {
             );
             println!("wormhole alerts         : {}", result.wormhole_alerts);
             println!("frames faulted away     : {}", result.faults_dropped);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        println!("(requires the `telemetry` feature)");
+        println!();
+    }
+    if args.supervisor {
+        println!("== Module supervisor under chaos (seed={}) ==", args.seed);
+        #[cfg(feature = "telemetry")]
+        {
+            let chaos = experiments::run_supervisor_chaos(args.seed);
+            println!(
+                "detection rate ctl/faulted : {} / {}",
+                report::pct(chaos.control_detection_rate),
+                report::pct(chaos.faulted_detection_rate),
+            );
+            println!("module panics caught       : {}", chaos.panics);
+            println!(
+                "quarantines / probations   : {}/{}",
+                chaos.quarantines, chaos.probations
+            );
+            println!(
+                "quarantined at end         : {}",
+                if chaos.quarantined_at_end.is_empty() {
+                    "-".to_owned()
+                } else {
+                    chaos.quarantined_at_end.join(", ")
+                }
+            );
+            let burst = experiments::run_burst_shedding(args.seed);
+            println!(
+                "burst shed engaged/released: {}/{}",
+                burst.shed_engaged, burst.shed_released
+            );
+            println!("dispatches shed            : {}", burst.shed_skips);
+            println!(
+                "pinned {} sheds : {}",
+                burst.pinned_module, burst.pinned_sheds
+            );
+            println!(
+                "detection rate calm/burst  : {} / {}",
+                report::pct(burst.baseline_detection_rate),
+                report::pct(burst.burst_detection_rate),
+            );
         }
         #[cfg(not(feature = "telemetry"))]
         println!("(requires the `telemetry` feature)");

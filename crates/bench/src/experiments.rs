@@ -309,6 +309,270 @@ pub struct KnowledgeSharingResult {
 #[cfg(feature = "telemetry")]
 pub use resilience::{run_sync_resilience, SyncResilienceResult};
 
+#[cfg(feature = "telemetry")]
+pub use supervisor::{
+    run_burst_shedding, run_supervisor_chaos, BurstSheddingResult, SupervisorChaosResult,
+    POISON_MODULE,
+};
+
+/// The supervisor experiments: a crash-prone module panicking on crafted
+/// packets (panic isolation + crash-loop quarantine) and a 10× ingest
+/// burst (overload shedding), both asserted against a control run on the
+/// same seeded scenario.
+#[cfg(feature = "telemetry")]
+mod supervisor {
+    use std::time::Duration;
+
+    use kalis_core::config::Config;
+    use kalis_core::knowledge::KnowledgeBase;
+    use kalis_core::modules::{Module, ModuleCtx, ModuleDescriptor, ShedMode, SupervisorConfig};
+    use kalis_core::{AttackKind, Kalis, KalisId};
+    use kalis_netsim::stress;
+    use kalis_netsim::trace::merge_traces;
+    use kalis_packets::{CapturedPacket, Timestamp};
+    use kalis_telemetry::{metric_name, names, JournalEvent, JournalSnapshot};
+
+    use crate::runner;
+    use crate::scenarios::{Scenario, ScenarioKind};
+    use crate::scoring;
+
+    /// Registry name of the deliberately crash-prone module.
+    pub const POISON_MODULE: &str = "PoisonModule";
+
+    /// A detection module that panics whenever it sees a packet carrying
+    /// the [`stress::POISON_MARKER`] — the stand-in for a buggy anomaly
+    /// technique crashing on hostile input.
+    struct PoisonModule {
+        processed: u64,
+    }
+
+    impl Module for PoisonModule {
+        fn descriptor(&self) -> ModuleDescriptor {
+            ModuleDescriptor::detection(POISON_MODULE, AttackKind::Sybil).heavy()
+        }
+
+        fn required(&self, _kb: &KnowledgeBase) -> bool {
+            true
+        }
+
+        fn on_packet(&mut self, _ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket) {
+            assert!(
+                !stress::is_poison(packet),
+                "PoisonModule choked on a crafted packet"
+            );
+            self.processed += 1;
+        }
+
+        fn reset(&mut self) {
+            self.processed = 0;
+        }
+    }
+
+    /// Suppress the default panic-to-stderr hook for the intentional
+    /// in-module panics; everything else still reaches the previous hook.
+    fn quiet_poison_panics() {
+        use std::sync::Once;
+        static QUIET: Once = Once::new();
+        QUIET.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let ours = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.contains(POISON_MODULE))
+                    || info
+                        .payload()
+                        .downcast_ref::<&str>()
+                        .is_some_and(|s| s.contains(POISON_MODULE));
+                if !ours {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    /// The outcome of one seeded [`run_supervisor_chaos`] run.
+    #[derive(Debug)]
+    pub struct SupervisorChaosResult {
+        /// Detection rate of the control node (no crash-prone module) on
+        /// the identical poisoned trace.
+        pub control_detection_rate: f64,
+        /// Detection rate of the faulted node (crash-prone module
+        /// loaded). Panic isolation means this matches the control.
+        pub faulted_detection_rate: f64,
+        /// `module_panicked` journal events on the faulted node.
+        pub panics: u64,
+        /// `module_quarantined` journal events (the crash-loop flip plus
+        /// any post-probation re-quarantines).
+        pub quarantines: u64,
+        /// `module_probation` journal events (backoff expiries).
+        pub probations: u64,
+        /// Modules still quarantined when the trace ended.
+        pub quarantined_at_end: Vec<String>,
+        /// The faulted node's `supervisor.panics` counter.
+        pub panic_counter: u64,
+        /// The faulted node's full journal, for fine-grained assertions.
+        pub journal: JournalSnapshot,
+    }
+
+    /// Run the panic-isolation experiment: an ICMP-flood scenario trace
+    /// interleaved with a train of crafted poison packets, replayed into
+    /// a control node and into a node carrying [`PoisonModule`]. The
+    /// supervisor must catch every panic, quarantine the module after
+    /// `panic_limit` strikes, release it on probation after the backoff,
+    /// and re-quarantine it with a doubled backoff when it crashes again
+    /// — all without costing the node a single real detection.
+    pub fn run_supervisor_chaos(seed: u64) -> SupervisorChaosResult {
+        quiet_poison_panics();
+        let scenario = Scenario::build(ScenarioKind::IcmpFlood, seed, 6);
+        let start = scenario
+            .captures
+            .first()
+            .map(|c| c.timestamp)
+            .unwrap_or(Timestamp::ZERO);
+        // Poison packets every 2 s across the run: the third strike
+        // quarantines (default limit 3), the 5 s backoff expires before
+        // the next one, which re-quarantines from probation.
+        let poison =
+            stress::poison_train(start + Duration::from_secs(4), 10, Duration::from_secs(2));
+        let merged = merge_traces(vec![scenario.captures.clone(), poison]);
+
+        let mut control = Kalis::builder(KalisId::new("K-ctl"))
+            .with_default_modules()
+            .build();
+        let control_outcome = runner::run_kalis_instance(&mut control, &merged);
+
+        let mut faulted = Kalis::builder(KalisId::new("K-chaos"))
+            .with_default_modules()
+            .with_module(Box::new(PoisonModule { processed: 0 }), false)
+            .build();
+        let faulted_outcome = runner::run_kalis_instance(&mut faulted, &merged);
+
+        let snapshot = faulted_outcome.telemetry.expect("telemetry enabled");
+        let count = |pred: fn(&JournalEvent) -> bool| {
+            snapshot
+                .journal
+                .records
+                .iter()
+                .filter(|r| pred(&r.event))
+                .count() as u64
+        };
+        SupervisorChaosResult {
+            control_detection_rate: scoring::score(&scenario.truth, &control_outcome.detections)
+                .detection_rate(),
+            faulted_detection_rate: scoring::score(&scenario.truth, &faulted_outcome.detections)
+                .detection_rate(),
+            panics: count(|e| matches!(e, JournalEvent::ModulePanicked { .. })),
+            quarantines: count(|e| matches!(e, JournalEvent::ModuleQuarantined { .. })),
+            probations: count(|e| matches!(e, JournalEvent::ModuleProbation { .. })),
+            quarantined_at_end: faulted
+                .quarantined_modules()
+                .iter()
+                .map(|n| (*n).to_owned())
+                .collect(),
+            panic_counter: snapshot.counter(names::MODULE_PANICS),
+            journal: snapshot.journal,
+        }
+    }
+
+    /// The outcome of one seeded [`run_burst_shedding`] run.
+    #[derive(Debug)]
+    pub struct BurstSheddingResult {
+        /// Whether the overload controller engaged during the burst.
+        pub shed_engaged: bool,
+        /// Whether it released once the burst drained.
+        pub shed_released: bool,
+        /// Dispatches sampled away (`supervisor.shed_skips`).
+        pub shed_skips: u64,
+        /// Shed count of the pinned signature module — must stay 0.
+        pub pinned_sheds: u64,
+        /// The pinned module the scenario's detections ride on.
+        pub pinned_module: &'static str,
+        /// Detection rate without the burst (same node config).
+        pub baseline_detection_rate: f64,
+        /// Detection rate with the 10× burst interleaved.
+        pub burst_detection_rate: f64,
+        /// Shed mode when the trace ended.
+        pub final_mode: ShedMode,
+        /// The burst node's full journal.
+        pub journal: JournalSnapshot,
+    }
+
+    /// Node under test for the burst experiment: the scenario's signature
+    /// module pinned by configuration, the rest of the library unpinned,
+    /// and a deliberately small `Supervisor.BurstPps` capacity so a 10×
+    /// burst is cheap to synthesize.
+    fn burst_node(name: &str, capacity: u64) -> Kalis {
+        let config: Config = "modules = { IcmpFloodModule }"
+            .parse()
+            .expect("valid burst config");
+        Kalis::builder(KalisId::new(name))
+            .with_config(config)
+            .with_default_modules()
+            .with_supervisor_config(SupervisorConfig {
+                burst_pps: capacity,
+                ..SupervisorConfig::default()
+            })
+            .build()
+    }
+
+    /// Run the overload experiment: the same ICMP-flood scenario with and
+    /// without a 10×-capacity burst of benign traffic spliced into the
+    /// middle. Shedding must engage during the burst, never touch the
+    /// pinned signature module, and release once the burst drains — with
+    /// the scenario's detections intact.
+    pub fn run_burst_shedding(seed: u64) -> BurstSheddingResult {
+        const CAPACITY_PPS: u64 = 300;
+        let scenario = Scenario::build(ScenarioKind::IcmpFlood, seed, 6);
+        let start = scenario
+            .captures
+            .first()
+            .map(|c| c.timestamp)
+            .unwrap_or(Timestamp::ZERO);
+
+        let mut baseline = burst_node("K-base", CAPACITY_PPS);
+        let baseline_outcome = runner::run_kalis_instance(&mut baseline, &scenario.captures);
+
+        let burst = stress::burst_trace(
+            seed,
+            start + Duration::from_secs(30),
+            CAPACITY_PPS * 10,
+            Duration::from_secs(5),
+        );
+        let merged = merge_traces(vec![scenario.captures.clone(), burst]);
+        let mut node = burst_node("K-burst", CAPACITY_PPS);
+        let burst_outcome = runner::run_kalis_instance(&mut node, &merged);
+
+        let snapshot = burst_outcome.telemetry.expect("telemetry enabled");
+        let engaged = snapshot
+            .journal
+            .records
+            .iter()
+            .any(|r| matches!(r.event, JournalEvent::LoadShedEngaged { .. }));
+        let released = snapshot
+            .journal
+            .records
+            .iter()
+            .any(|r| matches!(r.event, JournalEvent::LoadShedReleased { .. }));
+        BurstSheddingResult {
+            shed_engaged: engaged,
+            shed_released: released,
+            shed_skips: snapshot.counter(names::SHED_SKIPS),
+            pinned_sheds: snapshot.counter(&metric_name(
+                names::SHED_BY_MODULE,
+                &[("module", "IcmpFloodModule")],
+            )),
+            pinned_module: "IcmpFloodModule",
+            baseline_detection_rate: scoring::score(&scenario.truth, &baseline_outcome.detections)
+                .detection_rate(),
+            burst_detection_rate: scoring::score(&scenario.truth, &burst_outcome.detections)
+                .detection_rate(),
+            final_mode: node.shed_mode(),
+            journal: snapshot.journal,
+        }
+    }
+}
+
 /// The chaos experiment: two collaborating Kalis nodes synchronizing
 /// collective knowledge over a faulty link (seeded drops, duplicates,
 /// corruption, and a hard partition), exercising the fault-tolerant sync

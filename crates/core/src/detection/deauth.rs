@@ -86,6 +86,11 @@ impl Module for DeauthModule {
     fn state_bytes(&self) -> usize {
         self.deauths.len() * 96 + 128
     }
+
+    fn reset(&mut self) {
+        self.deauths.clear();
+        self.gate.clear();
+    }
 }
 
 #[cfg(test)]

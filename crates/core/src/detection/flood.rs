@@ -122,6 +122,12 @@ impl Module for IcmpFloodModule {
     fn state_bytes(&self) -> usize {
         self.replies.len() * 96 + self.spoofed_requests.len() * 48 + 128
     }
+
+    fn reset(&mut self) {
+        self.replies.clear();
+        self.spoofed_requests.clear();
+        self.gate.clear();
+    }
 }
 
 /// Detects Smurf attacks: spoofed Echo Requests (claiming the victim as
@@ -221,6 +227,12 @@ impl Module for SmurfModule {
     fn state_bytes(&self) -> usize {
         self.replies.len() * 48 + self.requests.len() * 96 + 128
     }
+
+    fn reset(&mut self) {
+        self.replies.clear();
+        self.requests.clear();
+        self.gate.clear();
+    }
 }
 
 /// Detects TCP SYN floods ("SYN flow" in the paper's module list): a high
@@ -315,6 +327,12 @@ impl Module for SynFloodModule {
     fn state_bytes(&self) -> usize {
         self.syns.len() * 96 + self.acks.len() * 48 + 128
     }
+
+    fn reset(&mut self) {
+        self.syns.clear();
+        self.acks.clear();
+        self.gate.clear();
+    }
 }
 
 /// Detects UDP datagram floods towards one device.
@@ -389,6 +407,11 @@ impl Module for UdpFloodModule {
 
     fn state_bytes(&self) -> usize {
         self.datagrams.len() * 96 + 128
+    }
+
+    fn reset(&mut self) {
+        self.datagrams.clear();
+        self.gate.clear();
     }
 }
 

@@ -91,6 +91,12 @@ impl Module for FragmentFloodModule {
     fn state_bytes(&self) -> usize {
         self.reassembler.pending() * 128 + 128
     }
+
+    fn reset(&mut self) {
+        self.reassembler = Reassembler::new();
+        self.last_expired = 0;
+        self.gate.clear();
+    }
 }
 
 #[cfg(test)]

@@ -179,7 +179,7 @@ impl Default for ReplicationStaticModule {
 
 impl Module for ReplicationStaticModule {
     fn descriptor(&self) -> ModuleDescriptor {
-        ModuleDescriptor::detection("ReplicationStaticModule", AttackKind::Replication)
+        ModuleDescriptor::detection("ReplicationStaticModule", AttackKind::Replication).heavy()
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {
@@ -223,6 +223,11 @@ impl Module for ReplicationStaticModule {
             .sum::<usize>()
             + 128
     }
+
+    fn reset(&mut self) {
+        self.samples.clear();
+        self.gate.clear();
+    }
 }
 
 /// Replication detector for **mobile** networks (RSSI teleportation).
@@ -250,7 +255,7 @@ impl Default for ReplicationMobileModule {
 
 impl Module for ReplicationMobileModule {
     fn descriptor(&self) -> ModuleDescriptor {
-        ModuleDescriptor::detection("ReplicationMobileModule", AttackKind::Replication)
+        ModuleDescriptor::detection("ReplicationMobileModule", AttackKind::Replication).heavy()
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {
@@ -287,6 +292,11 @@ impl Module for ReplicationMobileModule {
             .map(|s| s.points.len() * 16 + 64)
             .sum::<usize>()
             + 128
+    }
+
+    fn reset(&mut self) {
+        self.samples.clear();
+        self.gate.clear();
     }
 }
 

@@ -81,6 +81,11 @@ impl Module for ScanModule {
     fn state_bytes(&self) -> usize {
         self.touches.len() * 112 + 128
     }
+
+    fn reset(&mut self) {
+        self.touches.clear();
+        self.gate.clear();
+    }
 }
 
 #[cfg(test)]

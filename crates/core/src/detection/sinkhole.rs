@@ -69,6 +69,10 @@ impl Module for SinkholeModule {
         kb.get_bool(sense::MULTIHOP) == Some(true)
     }
 
+    fn reset(&mut self) {
+        self.gate.clear();
+    }
+
     fn on_packet(&mut self, ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket) {
         let Some(pkt) = packet.decoded() else { return };
         let now = packet.timestamp;

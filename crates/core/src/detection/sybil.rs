@@ -79,7 +79,7 @@ impl Default for SybilModule {
 
 impl Module for SybilModule {
     fn descriptor(&self) -> ModuleDescriptor {
-        ModuleDescriptor::detection("SybilModule", AttackKind::Sybil)
+        ModuleDescriptor::detection("SybilModule", AttackKind::Sybil).heavy()
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {
@@ -144,6 +144,11 @@ impl Module for SybilModule {
             .map(|f| f.samples.len() * 16 + 64)
             .sum::<usize>()
             + 128
+    }
+
+    fn reset(&mut self) {
+        self.fingerprints.clear();
+        self.gate.clear();
     }
 }
 

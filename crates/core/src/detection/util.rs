@@ -116,6 +116,11 @@ impl<K: PartialEq + Clone> SlidingCounter<K> {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
+
+    /// Drop every buffered event (supervisor `reset()` support).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
 }
 
 /// Deduplicates alerts: at most one alert per key per `cooldown`.
@@ -146,6 +151,11 @@ impl<K: PartialEq + Clone> AlertGate<K> {
         }
         self.last.push((key, now));
         true
+    }
+
+    /// Forget all firing history (supervisor `reset()` support).
+    pub fn clear(&mut self) {
+        self.last.clear();
     }
 }
 

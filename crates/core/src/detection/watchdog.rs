@@ -141,6 +141,11 @@ impl Watchdog {
     fn state_bytes(&self) -> usize {
         self.pending.len() * 48 + self.observations.len() * 40 + 128
     }
+
+    fn clear(&mut self) {
+        self.pending.clear();
+        self.observations.clear();
+    }
 }
 
 fn watchdog_required(kb: &KnowledgeBase) -> bool {
@@ -174,6 +179,7 @@ impl Default for SelectiveForwardingModule {
 impl Module for SelectiveForwardingModule {
     fn descriptor(&self) -> ModuleDescriptor {
         ModuleDescriptor::detection("SelectiveForwardingModule", AttackKind::SelectiveForwarding)
+            .heavy()
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {
@@ -194,6 +200,11 @@ impl Module for SelectiveForwardingModule {
 
     fn state_bytes(&self) -> usize {
         self.watchdog.state_bytes()
+    }
+
+    fn reset(&mut self) {
+        self.watchdog.clear();
+        self.gate.clear();
     }
 }
 
@@ -243,7 +254,7 @@ impl Default for BlackholeModule {
 
 impl Module for BlackholeModule {
     fn descriptor(&self) -> ModuleDescriptor {
-        ModuleDescriptor::detection("BlackholeModule", AttackKind::Blackhole)
+        ModuleDescriptor::detection("BlackholeModule", AttackKind::Blackhole).heavy()
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {
@@ -264,6 +275,11 @@ impl Module for BlackholeModule {
 
     fn state_bytes(&self) -> usize {
         self.watchdog.state_bytes()
+    }
+
+    fn reset(&mut self) {
+        self.watchdog.clear();
+        self.gate.clear();
     }
 }
 

@@ -70,7 +70,7 @@ fn parse_set(text: &str) -> BTreeSet<String> {
 
 impl Module for WormholeModule {
     fn descriptor(&self) -> ModuleDescriptor {
-        ModuleDescriptor::detection("WormholeModule", AttackKind::Wormhole)
+        ModuleDescriptor::detection("WormholeModule", AttackKind::Wormhole).heavy()
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {
@@ -163,6 +163,12 @@ impl Module for WormholeModule {
                 .map(|s| s.iter().map(|o| o.len() + 24).sum::<usize>() + 48)
                 .sum::<usize>()
             + 128
+    }
+
+    fn reset(&mut self) {
+        self.local_origins.clear();
+        self.exotic.clear();
+        self.gate.clear();
     }
 }
 

@@ -32,6 +32,22 @@ pub enum KalisError {
         /// How many queued knowggets were discarded.
         dropped: u64,
     },
+    /// A module is quarantined by the supervisor (crash loop or repeated
+    /// watchdog-budget overruns) and is excluded from dispatch until its
+    /// backoff expires.
+    ModuleQuarantined {
+        /// The quarantined module's registry name.
+        module: String,
+    },
+    /// The ingest rate exceeds what the pipeline sustains and the
+    /// overload controller is shedding work; callers that can apply
+    /// backpressure should slow down.
+    PipelineOverload {
+        /// Observed arrival rate (packets over the trailing second).
+        rate: u64,
+        /// Configured sustainable capacity (packets per second).
+        capacity: u64,
+    },
     /// An I/O failure (trace logging, config loading).
     Io(std::io::Error),
 }
@@ -56,6 +72,18 @@ impl fmt::Display for KalisError {
                 write!(
                     f,
                     "outbound sync backlog overflowed: {dropped} knowgget(s) dropped"
+                )
+            }
+            KalisError::ModuleQuarantined { module } => {
+                write!(
+                    f,
+                    "module `{module}` is quarantined by the supervisor (awaiting backoff expiry)"
+                )
+            }
+            KalisError::PipelineOverload { rate, capacity } => {
+                write!(
+                    f,
+                    "pipeline overloaded: {rate} pkt/s observed against {capacity} pkt/s capacity, shedding engaged"
                 )
             }
             KalisError::Io(e) => write!(f, "i/o error: {e}"),
@@ -106,6 +134,17 @@ mod tests {
         assert!(e.to_string().contains("K9"));
         let e = KalisError::SyncBacklogOverflow { dropped: 17 };
         assert!(e.to_string().contains("17"));
+        let e = KalisError::ModuleQuarantined {
+            module: "SybilModule".into(),
+        };
+        assert!(e.to_string().contains("SybilModule"));
+        assert!(e.to_string().contains("quarantined"));
+        let e = KalisError::PipelineOverload {
+            rate: 9001,
+            capacity: 5000,
+        };
+        assert!(e.to_string().contains("9001"));
+        assert!(e.to_string().contains("5000"));
     }
 
     #[test]
@@ -118,6 +157,13 @@ mod tests {
             KalisError::SyncRejected {
                 peer: "K2".into(),
                 reason: "bad".into(),
+            },
+            KalisError::ModuleQuarantined {
+                module: "SybilModule".into(),
+            },
+            KalisError::PipelineOverload {
+                rate: 2,
+                capacity: 1,
             },
         ] {
             assert!(plain.source().is_none());

@@ -1,18 +1,24 @@
 //! The Module Manager: routes packets to active modules and re-evaluates
 //! activation whenever the Knowledge Base changes.
+//!
+//! Every dispatch is supervised (see [`super::supervisor`]): panics are
+//! caught and isolated, watchdog-budget overruns are tracked, crash-looping
+//! modules are quarantined with exponential backoff, and under overload
+//! unpinned detection modules see sampled dispatch in priority order.
 
 use kalis_packets::CapturedPacket;
 
 use crate::knowledge::KnowledgeBase;
 
-use super::{Module, ModuleCtx, ModuleKind};
+use super::supervisor::{ModuleHealth, ShedMode, Supervision, SupervisorConfig, SupervisorVerdict};
+use super::{Module, ModuleCtx, ModuleKind, ModuleWeight};
 
 use kalis_telemetry::Telemetry;
 #[cfg(feature = "telemetry")]
 use kalis_telemetry::{metric_name, names, Counter, Gauge, Histogram, JournalEvent};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 #[cfg(feature = "telemetry")]
 use std::sync::Arc;
-#[cfg(feature = "telemetry")]
 use std::time::Instant;
 
 struct Slot {
@@ -20,12 +26,20 @@ struct Slot {
     active: bool,
     /// Activated by configuration: stays on regardless of knowledge.
     pinned: bool,
+    /// Panic/budget/quarantine bookkeeping for this module.
+    supervision: Supervision,
+    /// Shed-eligible dispatches seen; drives the deterministic 1-in-N
+    /// sampling while shedding.
+    shed_seq: u64,
     /// Cached per-module dispatch latency series (`dispatch.packet` /
     /// `dispatch.tick`), populated once telemetry is attached.
     #[cfg(feature = "telemetry")]
     packet_hist: Option<Arc<Histogram>>,
     #[cfg(feature = "telemetry")]
     tick_hist: Option<Arc<Histogram>>,
+    /// Per-module `supervisor.shed[module=...]` counter.
+    #[cfg(feature = "telemetry")]
+    shed_counter: Option<Arc<Counter>>,
 }
 
 /// Cached instrument handles for the manager itself.
@@ -36,13 +50,47 @@ struct ManagerTele {
     activated: Arc<Counter>,
     deactivated: Arc<Counter>,
     active: Arc<Gauge>,
+    panics: Arc<Counter>,
+    overruns: Arc<Counter>,
+    quarantines: Arc<Counter>,
+    quarantined: Arc<Gauge>,
+    shed_skips: Arc<Counter>,
 }
 
 /// Counters describing one packet dispatch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DispatchOutcome {
-    /// Modules that processed the packet (the work-unit cost).
+    /// Modules that processed the packet to completion.
     pub modules_run: u64,
+    /// Modules whose handler panicked; the unwind was caught, the
+    /// module's state reset, and the node kept going. Panicked
+    /// dispatches still cost work (they ran until the panic), so
+    /// `work.units` counts `modules_run + modules_panicked`.
+    pub modules_panicked: u64,
+    /// Modules skipped by overload shedding. Shed dispatches cost no
+    /// work and are *not* part of `work.units`.
+    pub modules_shed: u64,
+}
+
+impl DispatchOutcome {
+    /// Dispatches that consumed CPU (completed or panicked part-way) —
+    /// the value `ResourceMeter` charges as `work.units`.
+    pub fn work_units(&self) -> u64 {
+        self.modules_run + self.modules_panicked
+    }
+}
+
+/// Lifetime supervisor totals across all modules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Panics caught and isolated.
+    pub panics: u64,
+    /// Watchdog-budget overruns observed.
+    pub overruns: u64,
+    /// Quarantine transitions entered.
+    pub quarantines: u64,
+    /// Dispatches skipped by overload shedding.
+    pub sheds: u64,
 }
 
 /// Coordinates the module library (paper §IV-B4): "activating/deactivating
@@ -57,6 +105,8 @@ pub struct ModuleManager {
     adaptive: bool,
     activations: u64,
     deactivations: u64,
+    supervisor: SupervisorConfig,
+    stats: SupervisorStats,
     #[cfg(feature = "telemetry")]
     tele: Option<ManagerTele>,
     /// Dispatch sequence number driving latency sampling.
@@ -68,8 +118,34 @@ pub struct ModuleManager {
 /// `DISPATCH_SAMPLE + 1`: clock reads are the dominant instrumentation
 /// cost (N modules need N+1 reads), and sampling keeps them off the
 /// common path while the histograms stay statistically representative.
+/// (When a watchdog budget is configured, every dispatch is timed
+/// regardless — the budget check cannot sample.)
 #[cfg(feature = "telemetry")]
 const DISPATCH_SAMPLE_MASK: u64 = 7;
+
+/// Human-readable panic payload for the journal.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Keep one dispatch in N for this weight class under `mode`, or `None`
+/// when the class is not shed at all.
+fn shed_keep_interval(cfg: &SupervisorConfig, weight: ModuleWeight, mode: ShedMode) -> Option<u64> {
+    let n = cfg.shed_sample.max(2);
+    match (mode, weight) {
+        (ShedMode::None, _) => None,
+        (ShedMode::Heavy, ModuleWeight::Light) => None,
+        (ShedMode::Heavy, ModuleWeight::Heavy) => Some(n),
+        (ShedMode::All, ModuleWeight::Light) => Some(n),
+        (ShedMode::All, ModuleWeight::Heavy) => Some(n * 4),
+    }
+}
 
 impl ModuleManager {
     /// An adaptive (knowledge-driven) manager.
@@ -79,6 +155,8 @@ impl ModuleManager {
             adaptive: true,
             activations: 0,
             deactivations: 0,
+            supervisor: SupervisorConfig::default(),
+            stats: SupervisorStats::default(),
             #[cfg(feature = "telemetry")]
             tele: None,
             #[cfg(feature = "telemetry")]
@@ -100,23 +178,42 @@ impl ModuleManager {
         self.adaptive
     }
 
+    /// Replace the supervisor tuning knobs.
+    pub fn set_supervisor(&mut self, cfg: SupervisorConfig) {
+        self.supervisor = cfg;
+    }
+
+    /// The supervisor tuning knobs in effect.
+    pub fn supervisor_config(&self) -> &SupervisorConfig {
+        &self.supervisor
+    }
+
+    /// Lifetime supervisor totals.
+    pub fn supervisor_stats(&self) -> SupervisorStats {
+        self.stats
+    }
+
     /// Add a module. `pinned` modules (named in the configuration file)
     /// start active and stay active.
     pub fn add(&mut self, module: Box<dyn Module>, pinned: bool) {
         let active = pinned || !self.adaptive || module.descriptor().kind == ModuleKind::Sensing;
         #[cfg(feature = "telemetry")]
-        let (packet_hist, tick_hist) = match &self.tele {
-            Some(t) => Self::slot_hists(&t.registry, module.descriptor().name),
-            None => (None, None),
+        let (packet_hist, tick_hist, shed_counter) = match &self.tele {
+            Some(t) => Self::slot_instruments(&t.registry, module.descriptor().name),
+            None => (None, None, None),
         };
         self.slots.push(Slot {
             module,
             active,
             pinned,
+            supervision: Supervision::default(),
+            shed_seq: 0,
             #[cfg(feature = "telemetry")]
             packet_hist,
             #[cfg(feature = "telemetry")]
             tick_hist,
+            #[cfg(feature = "telemetry")]
+            shed_counter,
         });
         #[cfg(feature = "telemetry")]
         if let Some(t) = &self.tele {
@@ -134,12 +231,18 @@ impl ModuleManager {
             activated: registry.counter(names::MODULES_ACTIVATED),
             deactivated: registry.counter(names::MODULES_DEACTIVATED),
             active: registry.gauge(names::MODULES_ACTIVE),
+            panics: registry.counter(names::MODULE_PANICS),
+            overruns: registry.counter(names::BUDGET_OVERRUNS),
+            quarantines: registry.counter(names::MODULE_QUARANTINES),
+            quarantined: registry.gauge(names::MODULES_QUARANTINED),
+            shed_skips: registry.counter(names::SHED_SKIPS),
         };
         for slot in &mut self.slots {
-            let (packet_hist, tick_hist) =
-                Self::slot_hists(&tele.registry, slot.module.descriptor().name);
+            let (packet_hist, tick_hist, shed_counter) =
+                Self::slot_instruments(&tele.registry, slot.module.descriptor().name);
             slot.packet_hist = packet_hist;
             slot.tick_hist = tick_hist;
+            slot.shed_counter = shed_counter;
         }
         tele.active.set(self.active_count() as u64);
         self.tele = Some(tele);
@@ -151,13 +254,19 @@ impl ModuleManager {
     pub fn set_telemetry(&mut self, _registry: &std::sync::Arc<Telemetry>) {}
 
     #[cfg(feature = "telemetry")]
-    fn slot_hists(
+    #[allow(clippy::type_complexity)]
+    fn slot_instruments(
         registry: &Telemetry,
         name: &str,
-    ) -> (Option<Arc<Histogram>>, Option<Arc<Histogram>>) {
+    ) -> (
+        Option<Arc<Histogram>>,
+        Option<Arc<Histogram>>,
+        Option<Arc<Counter>>,
+    ) {
         (
             Some(registry.histogram(&metric_name(names::DISPATCH_PACKET, &[("module", name)]))),
             Some(registry.histogram(&metric_name(names::DISPATCH_TICK, &[("module", name)]))),
+            Some(registry.counter(&metric_name(names::SHED_BY_MODULE, &[("module", name)]))),
         )
     }
 
@@ -193,6 +302,11 @@ impl ModuleManager {
         let mut activated = 0;
         let mut deactivated = 0;
         for slot in &mut self.slots {
+            // Quarantined modules sit out activation entirely: the
+            // supervisor owns their lifecycle until probation.
+            if slot.supervision.is_quarantined() {
+                continue;
+            }
             // Sensing modules are the knowledge source; they stay on.
             let want = slot.pinned
                 || slot.module.descriptor().kind == ModuleKind::Sensing
@@ -238,61 +352,329 @@ impl ModuleManager {
         (activated, deactivated)
     }
 
-    /// Route one packet to every active module.
+    /// Route one packet to every active module (no shedding).
     pub fn dispatch_packet(
         &mut self,
         ctx: &mut ModuleCtx<'_>,
         packet: &CapturedPacket,
     ) -> DispatchOutcome {
+        self.dispatch_packet_shed(ctx, packet, ShedMode::None)
+    }
+
+    /// Route one packet to every active module under the given shed
+    /// mode. Every module call is supervised: panics are caught and
+    /// isolated, budget overruns tracked, quarantined modules skipped
+    /// (and released to probation when their backoff expires).
+    pub fn dispatch_packet_shed(
+        &mut self,
+        ctx: &mut ModuleCtx<'_>,
+        packet: &CapturedPacket,
+        shed: ShedMode,
+    ) -> DispatchOutcome {
         let mut outcome = DispatchOutcome::default();
+        let cfg = &self.supervisor;
+        let budget = cfg.budget;
         #[cfg(feature = "telemetry")]
-        let mut prev = {
+        let sampled = {
             self.dispatch_seq = self.dispatch_seq.wrapping_add(1);
-            let sampled = self.tele.is_some() && self.dispatch_seq & DISPATCH_SAMPLE_MASK == 0;
-            sampled.then(Instant::now)
+            self.tele.is_some() && self.dispatch_seq & DISPATCH_SAMPLE_MASK == 0
         };
+        #[cfg(not(feature = "telemetry"))]
+        let sampled = false;
+        let mut prev = (sampled || budget.is_some()).then(Instant::now);
+        let mut quarantine_flips: u64 = 0;
+        let mut quarantine_releases: u64 = 0;
+        let mut overruns: u64 = 0;
         for slot in &mut self.slots {
-            if slot.active {
-                slot.module.on_packet(ctx, packet);
-                outcome.modules_run += 1;
-                #[cfg(feature = "telemetry")]
-                if let Some(prev) = prev.as_mut() {
-                    if let Some(hist) = &slot.packet_hist {
-                        // Consecutive `Instant::now()` reads: N modules
-                        // cost N+1 clock reads, not 2N.
-                        let now = Instant::now();
-                        hist.record((now - *prev).as_nanos() as u64);
-                        *prev = now;
+            if !slot.active {
+                continue;
+            }
+            if slot.supervision.is_quarantined() {
+                if slot.supervision.try_release(ctx.now, cfg) {
+                    quarantine_releases += 1;
+                    #[cfg(feature = "telemetry")]
+                    if let Some(t) = &self.tele {
+                        t.registry.journal().record(
+                            ctx.now.as_micros(),
+                            JournalEvent::ModuleProbation {
+                                module: slot.module.descriptor().name.to_string(),
+                            },
+                        );
+                    }
+                } else {
+                    continue;
+                }
+            }
+            // Shed gate: sensing and pinned modules always run; unpinned
+            // detection modules see deterministic 1-in-N sampling while
+            // the overload controller is shedding.
+            let descriptor = slot.module.descriptor();
+            if descriptor.kind == ModuleKind::Detection && !slot.pinned {
+                if let Some(keep) = shed_keep_interval(cfg, descriptor.weight, shed) {
+                    let seq = slot.shed_seq;
+                    slot.shed_seq = slot.shed_seq.wrapping_add(1);
+                    if seq % keep != 0 {
+                        outcome.modules_shed += 1;
+                        #[cfg(feature = "telemetry")]
+                        if let Some(t) = &self.tele {
+                            t.shed_skips.inc();
+                            if let Some(c) = &slot.shed_counter {
+                                c.inc();
+                            }
+                        }
+                        continue;
+                    }
+                }
+            }
+            let result = {
+                let module = &mut slot.module;
+                catch_unwind(AssertUnwindSafe(|| module.on_packet(ctx, packet)))
+            };
+            // Timing: consecutive `Instant::now()` reads so N modules
+            // cost N+1 clock reads, not 2N.
+            let elapsed = prev.as_mut().map(|p| {
+                let now = Instant::now();
+                let e = now - *p;
+                *p = now;
+                e
+            });
+            match result {
+                Ok(()) => {
+                    outcome.modules_run += 1;
+                    #[cfg(feature = "telemetry")]
+                    if sampled {
+                        if let (Some(e), Some(hist)) = (elapsed, &slot.packet_hist) {
+                            hist.record(e.as_nanos() as u64);
+                        }
+                    }
+                    let overrun = matches!((elapsed, budget), (Some(e), Some(b)) if e > b);
+                    if overrun {
+                        overruns += 1;
+                        let verdict = slot.supervision.note_overrun(ctx.now, cfg);
+                        #[cfg(feature = "telemetry")]
+                        if let Some(t) = &self.tele {
+                            t.overruns.inc();
+                        }
+                        if let SupervisorVerdict::Quarantined { backoff, .. } = verdict {
+                            quarantine_flips += 1;
+                            #[cfg(feature = "telemetry")]
+                            if let Some(t) = &self.tele {
+                                t.quarantines.inc();
+                                t.registry.journal().record(
+                                    ctx.now.as_micros(),
+                                    JournalEvent::ModuleQuarantined {
+                                        module: descriptor.name.to_string(),
+                                        reason: "repeated watchdog budget overruns".to_string(),
+                                        backoff_ms: backoff.as_millis() as u64,
+                                    },
+                                );
+                            }
+                            #[cfg(not(feature = "telemetry"))]
+                            let _ = backoff;
+                        }
+                    } else {
+                        slot.supervision.note_clean(cfg);
+                    }
+                }
+                Err(payload) => {
+                    outcome.modules_panicked += 1;
+                    let message = panic_message(payload.as_ref());
+                    #[cfg(not(feature = "telemetry"))]
+                    let _ = &message;
+                    // The unwind may have left analysis state
+                    // half-updated; drop it before the next dispatch.
+                    slot.module.reset();
+                    let verdict = slot.supervision.note_panic(ctx.now, cfg);
+                    #[cfg(feature = "telemetry")]
+                    if let Some(t) = &self.tele {
+                        t.panics.inc();
+                        t.registry.journal().record(
+                            ctx.now.as_micros(),
+                            JournalEvent::ModulePanicked {
+                                module: descriptor.name.to_string(),
+                                message: message.clone(),
+                            },
+                        );
+                    }
+                    if let SupervisorVerdict::Quarantined { backoff, .. } = verdict {
+                        quarantine_flips += 1;
+                        #[cfg(feature = "telemetry")]
+                        if let Some(t) = &self.tele {
+                            t.quarantines.inc();
+                            t.registry.journal().record(
+                                ctx.now.as_micros(),
+                                JournalEvent::ModuleQuarantined {
+                                    module: descriptor.name.to_string(),
+                                    reason: format!("panic: {message}"),
+                                    backoff_ms: backoff.as_millis() as u64,
+                                },
+                            );
+                        }
+                        #[cfg(not(feature = "telemetry"))]
+                        let _ = backoff;
                     }
                 }
             }
         }
+        self.stats.panics += outcome.modules_panicked;
+        self.stats.sheds += outcome.modules_shed;
+        self.stats.overruns += overruns;
+        self.stats.quarantines += quarantine_flips;
+        #[cfg(feature = "telemetry")]
+        if quarantine_flips + quarantine_releases > 0 {
+            if let Some(t) = &self.tele {
+                t.quarantined.set(self.quarantined_count() as u64);
+                t.active.set(self.active_count() as u64);
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = quarantine_releases;
         outcome
     }
 
-    /// Route a tick to every active module.
+    /// Route a tick to every active module. Supervised like packet
+    /// dispatch (panic isolation, budgets, quarantine) but never shed:
+    /// ticks are rare and drive window expiry.
     pub fn dispatch_tick(&mut self, ctx: &mut ModuleCtx<'_>) -> DispatchOutcome {
         let mut outcome = DispatchOutcome::default();
+        let cfg = &self.supervisor;
+        let budget = cfg.budget;
         #[cfg(feature = "telemetry")]
-        let mut prev = Instant::now();
+        let timed = self.tele.is_some() || budget.is_some();
+        #[cfg(not(feature = "telemetry"))]
+        let timed = budget.is_some();
+        let mut prev = timed.then(Instant::now);
+        let mut quarantine_flips: u64 = 0;
+        let mut quarantine_releases: u64 = 0;
+        let mut overruns: u64 = 0;
         for slot in &mut self.slots {
-            if slot.active {
-                slot.module.on_tick(ctx);
-                outcome.modules_run += 1;
-                #[cfg(feature = "telemetry")]
-                if let Some(hist) = &slot.tick_hist {
-                    let now = Instant::now();
-                    hist.record((now - prev).as_nanos() as u64);
-                    prev = now;
+            if !slot.active {
+                continue;
+            }
+            if slot.supervision.is_quarantined() {
+                if slot.supervision.try_release(ctx.now, cfg) {
+                    quarantine_releases += 1;
+                    #[cfg(feature = "telemetry")]
+                    if let Some(t) = &self.tele {
+                        t.registry.journal().record(
+                            ctx.now.as_micros(),
+                            JournalEvent::ModuleProbation {
+                                module: slot.module.descriptor().name.to_string(),
+                            },
+                        );
+                    }
+                } else {
+                    continue;
+                }
+            }
+            #[cfg(feature = "telemetry")]
+            let descriptor = slot.module.descriptor();
+            let result = {
+                let module = &mut slot.module;
+                catch_unwind(AssertUnwindSafe(|| module.on_tick(ctx)))
+            };
+            let elapsed = prev.as_mut().map(|p| {
+                let now = Instant::now();
+                let e = now - *p;
+                *p = now;
+                e
+            });
+            match result {
+                Ok(()) => {
+                    outcome.modules_run += 1;
+                    #[cfg(feature = "telemetry")]
+                    if let (Some(e), Some(hist)) = (elapsed, &slot.tick_hist) {
+                        hist.record(e.as_nanos() as u64);
+                    }
+                    let overrun = matches!((elapsed, budget), (Some(e), Some(b)) if e > b);
+                    if overrun {
+                        overruns += 1;
+                        let verdict = slot.supervision.note_overrun(ctx.now, cfg);
+                        #[cfg(feature = "telemetry")]
+                        if let Some(t) = &self.tele {
+                            t.overruns.inc();
+                        }
+                        if let SupervisorVerdict::Quarantined { backoff, .. } = verdict {
+                            quarantine_flips += 1;
+                            #[cfg(feature = "telemetry")]
+                            if let Some(t) = &self.tele {
+                                t.quarantines.inc();
+                                t.registry.journal().record(
+                                    ctx.now.as_micros(),
+                                    JournalEvent::ModuleQuarantined {
+                                        module: descriptor.name.to_string(),
+                                        reason: "repeated watchdog budget overruns".to_string(),
+                                        backoff_ms: backoff.as_millis() as u64,
+                                    },
+                                );
+                            }
+                            #[cfg(not(feature = "telemetry"))]
+                            let _ = backoff;
+                        }
+                    } else {
+                        slot.supervision.note_clean(cfg);
+                    }
+                }
+                Err(payload) => {
+                    outcome.modules_panicked += 1;
+                    let message = panic_message(payload.as_ref());
+                    #[cfg(not(feature = "telemetry"))]
+                    let _ = &message;
+                    slot.module.reset();
+                    let verdict = slot.supervision.note_panic(ctx.now, cfg);
+                    #[cfg(feature = "telemetry")]
+                    if let Some(t) = &self.tele {
+                        t.panics.inc();
+                        t.registry.journal().record(
+                            ctx.now.as_micros(),
+                            JournalEvent::ModulePanicked {
+                                module: descriptor.name.to_string(),
+                                message: message.clone(),
+                            },
+                        );
+                    }
+                    if let SupervisorVerdict::Quarantined { backoff, .. } = verdict {
+                        quarantine_flips += 1;
+                        #[cfg(feature = "telemetry")]
+                        if let Some(t) = &self.tele {
+                            t.quarantines.inc();
+                            t.registry.journal().record(
+                                ctx.now.as_micros(),
+                                JournalEvent::ModuleQuarantined {
+                                    module: descriptor.name.to_string(),
+                                    reason: format!("panic: {message}"),
+                                    backoff_ms: backoff.as_millis() as u64,
+                                },
+                            );
+                        }
+                        #[cfg(not(feature = "telemetry"))]
+                        let _ = backoff;
+                    }
                 }
             }
         }
+        self.stats.panics += outcome.modules_panicked;
+        self.stats.overruns += overruns;
+        self.stats.quarantines += quarantine_flips;
+        #[cfg(feature = "telemetry")]
+        if quarantine_flips + quarantine_releases > 0 {
+            if let Some(t) = &self.tele {
+                t.quarantined.set(self.quarantined_count() as u64);
+                t.active.set(self.active_count() as u64);
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = quarantine_releases;
         outcome
     }
 
-    /// Number of modules currently active.
+    /// Number of modules currently active (quarantined modules are not
+    /// active: they are excluded from dispatch until probation).
     pub fn active_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.active).count()
+        self.slots
+            .iter()
+            .filter(|s| s.active && !s.supervision.is_quarantined())
+            .count()
     }
 
     /// Total number of modules loaded.
@@ -305,13 +687,40 @@ impl ModuleManager {
         self.slots.is_empty()
     }
 
-    /// Names of the currently active modules.
+    /// Names of the currently active modules (excluding quarantined
+    /// ones, so `recommend_config()` never recommends a module the
+    /// supervisor has benched).
     pub fn active_names(&self) -> Vec<&'static str> {
         self.slots
             .iter()
-            .filter(|s| s.active)
+            .filter(|s| s.active && !s.supervision.is_quarantined())
             .map(|s| s.module.descriptor().name)
             .collect()
+    }
+
+    /// Names of the currently quarantined modules.
+    pub fn quarantined_names(&self) -> Vec<&'static str> {
+        self.slots
+            .iter()
+            .filter(|s| s.supervision.is_quarantined())
+            .map(|s| s.module.descriptor().name)
+            .collect()
+    }
+
+    /// Number of currently quarantined modules.
+    pub fn quarantined_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.supervision.is_quarantined())
+            .count()
+    }
+
+    /// The supervision health of the named module.
+    pub fn module_health(&self, name: &str) -> Option<ModuleHealth> {
+        self.slots
+            .iter()
+            .find(|s| s.module.descriptor().name == name)
+            .map(|s| s.supervision.health())
     }
 
     /// Lifetime activation/deactivation counts.
@@ -337,6 +746,7 @@ impl core::fmt::Debug for ModuleManager {
         f.debug_struct("ModuleManager")
             .field("modules", &self.slots.len())
             .field("active", &self.active_count())
+            .field("quarantined", &self.quarantined_count())
             .field("adaptive", &self.adaptive)
             .finish()
     }
@@ -349,6 +759,7 @@ mod tests {
     use crate::id::KalisId;
     use crate::modules::ModuleDescriptor;
     use bytes::Bytes;
+    use core::time::Duration;
     use kalis_packets::{Medium, Timestamp};
 
     /// A detection module active only when `Multihop == true`.
@@ -368,12 +779,58 @@ mod tests {
         }
     }
 
+    /// A module that panics on every Nth packet.
+    struct Crashy {
+        seen: u64,
+        every: u64,
+        resets: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    impl Module for Crashy {
+        fn descriptor(&self) -> ModuleDescriptor {
+            ModuleDescriptor::detection("Crashy", AttackKind::Smurf)
+        }
+        fn required(&self, _kb: &KnowledgeBase) -> bool {
+            true
+        }
+        fn on_packet(&mut self, _ctx: &mut ModuleCtx<'_>, _packet: &CapturedPacket) {
+            self.seen += 1;
+            if self.seen % self.every == 0 {
+                panic!("crafted packet tripped Crashy");
+            }
+        }
+        fn reset(&mut self) {
+            self.resets
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
     fn packet() -> CapturedPacket {
         CapturedPacket::capture(Timestamp::ZERO, Medium::Wifi, None, "w", Bytes::new())
     }
 
     fn ctx_parts() -> (KnowledgeBase, Vec<crate::alert::Alert>) {
         (KnowledgeBase::new(KalisId::new("K1")), Vec::new())
+    }
+
+    /// Suppress the default panic-to-stderr hook for tests that
+    /// intentionally panic inside modules.
+    fn quiet_panics() {
+        use std::sync::Once;
+        static QUIET: Once = Once::new();
+        QUIET.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let caught = std::thread::current().name() == Some("main")
+                    || info
+                        .payload()
+                        .downcast_ref::<&str>()
+                        .is_some_and(|s| s.contains("Crashy"));
+                if !caught {
+                    prev(info);
+                }
+            }));
+        });
     }
 
     #[test]
@@ -439,5 +896,211 @@ mod tests {
         let mut mgr = ModuleManager::all_always_active();
         mgr.add(Box::new(NeedsMultihop { processed: 0 }), false);
         assert_eq!(mgr.active_names(), vec!["NeedsMultihop"]);
+    }
+
+    #[test]
+    fn panic_is_isolated_and_state_reset() {
+        quiet_panics();
+        let resets = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let (mut kb, mut alerts) = ctx_parts();
+        let mut mgr = ModuleManager::all_always_active();
+        mgr.add(
+            Box::new(Crashy {
+                seen: 0,
+                every: 1,
+                resets: std::sync::Arc::clone(&resets),
+            }),
+            false,
+        );
+        mgr.add(Box::new(NeedsMultihop { processed: 0 }), false);
+        let mut ctx = ModuleCtx {
+            now: Timestamp::from_secs(1),
+            kb: &mut kb,
+            alerts: &mut alerts,
+        };
+        let outcome = mgr.dispatch_packet(&mut ctx, &packet());
+        assert_eq!(outcome.modules_panicked, 1, "panic caught, not propagated");
+        assert_eq!(outcome.modules_run, 1, "other module still ran");
+        assert_eq!(outcome.work_units(), 2);
+        assert_eq!(resets.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(mgr.supervisor_stats().panics, 1);
+        assert_eq!(mgr.module_health("Crashy"), Some(ModuleHealth::Degraded));
+    }
+
+    #[test]
+    fn crash_loop_quarantines_then_probation() {
+        quiet_panics();
+        let resets = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let (mut kb, mut alerts) = ctx_parts();
+        let mut mgr = ModuleManager::all_always_active();
+        let cfg = SupervisorConfig::default();
+        mgr.add(
+            Box::new(Crashy {
+                seen: 0,
+                every: 1,
+                resets,
+            }),
+            false,
+        );
+        for i in 0..cfg.panic_limit as u64 {
+            let mut ctx = ModuleCtx {
+                now: Timestamp::from_secs(i),
+                kb: &mut kb,
+                alerts: &mut alerts,
+            };
+            mgr.dispatch_packet(&mut ctx, &packet());
+        }
+        assert_eq!(
+            mgr.module_health("Crashy"),
+            Some(ModuleHealth::Quarantined),
+            "panic limit reached"
+        );
+        assert_eq!(mgr.quarantined_names(), vec!["Crashy"]);
+        assert_eq!(mgr.active_count(), 0);
+        assert!(mgr.active_names().is_empty(), "quarantined ≠ active");
+
+        // While quarantined, dispatch skips it entirely.
+        let mut ctx = ModuleCtx {
+            now: Timestamp::from_secs(3),
+            kb: &mut kb,
+            alerts: &mut alerts,
+        };
+        let outcome = mgr.dispatch_packet(&mut ctx, &packet());
+        assert_eq!(outcome.modules_run + outcome.modules_panicked, 0);
+
+        // After the backoff expires it re-enters on probation.
+        let after = Timestamp::from_secs(cfg.panic_limit as u64) + cfg.backoff_base;
+        let mut ctx = ModuleCtx {
+            now: after,
+            kb: &mut kb,
+            alerts: &mut alerts,
+        };
+        let outcome = mgr.dispatch_packet(&mut ctx, &packet());
+        assert_eq!(outcome.modules_panicked, 1, "probation dispatch happened");
+        assert_eq!(
+            mgr.module_health("Crashy"),
+            Some(ModuleHealth::Quarantined),
+            "one probation strike re-quarantines"
+        );
+        assert_eq!(mgr.supervisor_stats().quarantines, 2);
+    }
+
+    #[test]
+    fn budget_overruns_quarantine() {
+        struct Slow;
+        impl Module for Slow {
+            fn descriptor(&self) -> ModuleDescriptor {
+                ModuleDescriptor::detection("Slow", AttackKind::Smurf)
+            }
+            fn required(&self, _kb: &KnowledgeBase) -> bool {
+                true
+            }
+            fn on_packet(&mut self, _ctx: &mut ModuleCtx<'_>, _packet: &CapturedPacket) {
+                std::thread::sleep(Duration::from_millis(3));
+            }
+        }
+        let (mut kb, mut alerts) = ctx_parts();
+        let mut mgr = ModuleManager::all_always_active();
+        let cfg = SupervisorConfig {
+            budget: Some(Duration::from_micros(100)),
+            overrun_limit: 3,
+            ..SupervisorConfig::default()
+        };
+        mgr.set_supervisor(cfg);
+        mgr.add(Box::new(Slow), false);
+        for i in 0..3 {
+            let mut ctx = ModuleCtx {
+                now: Timestamp::from_secs(i),
+                kb: &mut kb,
+                alerts: &mut alerts,
+            };
+            mgr.dispatch_packet(&mut ctx, &packet());
+        }
+        assert_eq!(mgr.module_health("Slow"), Some(ModuleHealth::Quarantined));
+        assert_eq!(mgr.supervisor_stats().overruns, 3);
+        assert_eq!(mgr.supervisor_stats().quarantines, 1);
+    }
+
+    #[test]
+    fn shedding_samples_unpinned_detection_only() {
+        struct Heavy {
+            seen: u64,
+        }
+        impl Module for Heavy {
+            fn descriptor(&self) -> ModuleDescriptor {
+                ModuleDescriptor::detection("HeavyMod", AttackKind::Wormhole).heavy()
+            }
+            fn required(&self, _kb: &KnowledgeBase) -> bool {
+                true
+            }
+            fn on_packet(&mut self, _ctx: &mut ModuleCtx<'_>, _packet: &CapturedPacket) {
+                self.seen += 1;
+            }
+        }
+        let (mut kb, mut alerts) = ctx_parts();
+        let mut mgr = ModuleManager::all_always_active();
+        mgr.add(Box::new(Heavy { seen: 0 }), false);
+        // Pinned module: must never be shed.
+        mgr.add(Box::new(NeedsMultihop { processed: 0 }), true);
+        let mut ran = 0;
+        let mut shed = 0;
+        for _ in 0..32 {
+            let mut ctx = ModuleCtx {
+                now: Timestamp::from_secs(1),
+                kb: &mut kb,
+                alerts: &mut alerts,
+            };
+            let o = mgr.dispatch_packet_shed(&mut ctx, &packet(), ShedMode::Heavy);
+            ran += o.modules_run;
+            shed += o.modules_shed;
+        }
+        // Pinned ran all 32 times; heavy unpinned ran 1-in-4 (= 8).
+        assert_eq!(ran, 32 + 8);
+        assert_eq!(shed, 24);
+        assert_eq!(mgr.supervisor_stats().sheds, 24);
+        // Light unpinned modules are untouched in Heavy mode.
+        let mut mgr2 = ModuleManager::all_always_active();
+        mgr2.add(Box::new(NeedsMultihop { processed: 0 }), false);
+        let mut ctx = ModuleCtx {
+            now: Timestamp::from_secs(1),
+            kb: &mut kb,
+            alerts: &mut alerts,
+        };
+        let o = mgr2.dispatch_packet_shed(&mut ctx, &packet(), ShedMode::Heavy);
+        assert_eq!((o.modules_run, o.modules_shed), (1, 0));
+    }
+
+    #[test]
+    fn quarantined_modules_sit_out_reconfigure() {
+        quiet_panics();
+        let resets = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let (mut kb, mut alerts) = ctx_parts();
+        let mut mgr = ModuleManager::new();
+        mgr.add(
+            Box::new(Crashy {
+                seen: 0,
+                every: 1,
+                resets,
+            }),
+            false,
+        );
+        mgr.reconfigure(&kb);
+        assert_eq!(mgr.active_count(), 1);
+        for i in 0..3 {
+            let mut ctx = ModuleCtx {
+                now: Timestamp::from_secs(i),
+                kb: &mut kb,
+                alerts: &mut alerts,
+            };
+            mgr.dispatch_packet(&mut ctx, &packet());
+        }
+        assert_eq!(mgr.quarantined_count(), 1);
+        let (act, deact) = mgr.reconfigure(&kb);
+        assert_eq!(
+            (act, deact),
+            (0, 0),
+            "reconfigure leaves quarantined slots alone"
+        );
+        assert_eq!(mgr.quarantined_count(), 1);
     }
 }

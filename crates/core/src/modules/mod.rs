@@ -4,9 +4,13 @@
 
 mod manager;
 mod registry;
+mod supervisor;
 
 pub use manager::{DispatchOutcome, ModuleManager};
 pub use registry::ModuleRegistry;
+pub use supervisor::{
+    ModuleHealth, OverloadController, ShedMode, Supervision, SupervisorConfig, SupervisorVerdict,
+};
 
 use kalis_packets::{CapturedPacket, Timestamp};
 
@@ -22,6 +26,21 @@ pub enum ModuleKind {
     Detection,
 }
 
+/// How much a module costs per dispatch, used by the overload
+/// controller's shed priority order: under moderate overload only
+/// `Heavy` unpinned detection modules see sampled dispatch; under severe
+/// overload all unpinned detection modules do (heavy ones more
+/// aggressively). Sensing and pinned modules are never shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ModuleWeight {
+    /// Cheap per-packet work (stateless checks, small counters).
+    #[default]
+    Light,
+    /// Stateful anomaly analysis (reassembly, per-flow maps, fingerprint
+    /// tables) — the first candidates for shedding.
+    Heavy,
+}
+
 /// Static facts about a module.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModuleDescriptor {
@@ -31,6 +50,8 @@ pub struct ModuleDescriptor {
     pub kind: ModuleKind,
     /// The attack this module detects, for detection modules.
     pub detects: Option<AttackKind>,
+    /// Per-dispatch cost class, for the shed priority order.
+    pub weight: ModuleWeight,
 }
 
 impl ModuleDescriptor {
@@ -40,6 +61,7 @@ impl ModuleDescriptor {
             name,
             kind: ModuleKind::Sensing,
             detects: None,
+            weight: ModuleWeight::Light,
         }
     }
 
@@ -49,7 +71,15 @@ impl ModuleDescriptor {
             name,
             kind: ModuleKind::Detection,
             detects: Some(attack),
+            weight: ModuleWeight::Light,
         }
+    }
+
+    /// Mark the module as heavyweight (first in the shed priority
+    /// order).
+    pub fn heavy(mut self) -> Self {
+        self.weight = ModuleWeight::Heavy;
+        self
     }
 }
 
@@ -102,4 +132,15 @@ pub trait Module: Send {
     fn state_bytes(&self) -> usize {
         256
     }
+
+    /// Discard accumulated analysis state, returning the module to its
+    /// just-constructed condition.
+    ///
+    /// Called by the supervisor after a panic unwound out of
+    /// [`Module::on_packet`]/[`Module::on_tick`]: the panic may have
+    /// left windows, reassembly buffers, or per-flow maps half-updated,
+    /// and dispatch is wrapped in `AssertUnwindSafe`, so the module must
+    /// drop that state rather than keep analyzing on top of it. Stateless
+    /// modules can keep the default no-op.
+    fn reset(&mut self) {}
 }

@@ -25,7 +25,10 @@ use crate::knowledge::{
     SyncConfig, SyncEvent, SyncMessage, SyncTransmit, XorChannel, DEGRADED_LABEL,
 };
 use crate::metrics::ResourceMeter;
-use crate::modules::{Module, ModuleCtx, ModuleManager, ModuleRegistry};
+use crate::modules::{
+    Module, ModuleCtx, ModuleHealth, ModuleManager, ModuleRegistry, OverloadController, ShedMode,
+    SupervisorConfig,
+};
 use crate::response::ResponseEngine;
 use crate::store::{DataStore, WindowConfig};
 
@@ -40,6 +43,14 @@ const DEFAULT_SYNC_KEY: u64 = 0x006b_616c_6973;
 /// engine: TTL and beacon cadence in seconds.
 const SYNC_PEER_TTL_KEY: &str = "Sync.PeerTtl";
 const SYNC_BEACON_INTERVAL_KEY: &str = "Sync.BeaconInterval";
+
+/// A-priori knowgget keys (Fig. 6 config language) that tune the module
+/// supervisor: panic allowance before quarantine, optional per-dispatch
+/// watchdog budget in milliseconds, and the sustained ingest rate
+/// (packets/second) beyond which overload shedding engages.
+const SUPERVISOR_PANIC_LIMIT_KEY: &str = "Supervisor.PanicLimit";
+const SUPERVISOR_BUDGET_MS_KEY: &str = "Supervisor.BudgetMs";
+const SUPERVISOR_BURST_PPS_KEY: &str = "Supervisor.BurstPps";
 
 /// Builder for [`Kalis`] nodes.
 ///
@@ -68,6 +79,7 @@ pub struct KalisBuilder {
     extra_modules: Vec<(Box<dyn Module>, bool)>,
     sync_config: Option<SyncConfig>,
     sync_channel: Option<Box<dyn SecureChannel>>,
+    supervisor_config: Option<SupervisorConfig>,
 }
 
 impl KalisBuilder {
@@ -83,6 +95,7 @@ impl KalisBuilder {
             extra_modules: Vec::new(),
             sync_config: None,
             sync_channel: None,
+            supervisor_config: None,
         }
     }
 
@@ -145,6 +158,16 @@ impl KalisBuilder {
         self
     }
 
+    /// Override the module-supervisor tunables (panic allowance, watchdog
+    /// budget, quarantine backoff, overload capacity). The
+    /// `Supervisor.PanicLimit`, `Supervisor.BudgetMs`, and
+    /// `Supervisor.BurstPps` a-priori knowggets still take precedence
+    /// over the corresponding fields.
+    pub fn with_supervisor_config(mut self, config: SupervisorConfig) -> Self {
+        self.supervisor_config = Some(config);
+        self
+    }
+
     /// Build, surfacing configuration problems.
     ///
     /// # Errors
@@ -173,6 +196,25 @@ impl KalisBuilder {
         if let Some(interval) = seconds_knowgget(SYNC_BEACON_INTERVAL_KEY) {
             sync_config.beacon_interval = interval;
         }
+        // Supervisor tunables ride the config language the same way.
+        let mut supervisor_config = self.supervisor_config.unwrap_or_default();
+        let positive_knowgget = |wanted: &str| {
+            self.config
+                .knowggets
+                .iter()
+                .find(|(key, _)| key == wanted)
+                .and_then(|(_, value)| value.as_f64())
+                .filter(|n| *n > 0.0)
+        };
+        if let Some(limit) = positive_knowgget(SUPERVISOR_PANIC_LIMIT_KEY) {
+            supervisor_config.panic_limit = limit as u32;
+        }
+        if let Some(ms) = positive_knowgget(SUPERVISOR_BUDGET_MS_KEY) {
+            supervisor_config.budget = Some(Duration::from_secs_f64(ms / 1_000.0));
+        }
+        if let Some(pps) = positive_knowgget(SUPERVISOR_BURST_PPS_KEY) {
+            supervisor_config.burst_pps = pps as u64;
+        }
         for (key, value) in &self.config.knowggets {
             // Config keys may carry an `@entity` suffix but never a
             // creator (paper §IV-B3).
@@ -196,6 +238,7 @@ impl KalisBuilder {
         } else {
             ModuleManager::all_always_active()
         };
+        manager.set_supervisor(supervisor_config);
         let mut pinned_names = Vec::new();
         for def in &self.config.modules {
             let module = self.registry.build(def)?;
@@ -242,6 +285,7 @@ impl KalisBuilder {
             last_tick: None,
             bus: EventBus::new(),
             syncer,
+            overload: OverloadController::default(),
             #[cfg(feature = "telemetry")]
             stats: NodeStats::new(&tele),
             tele,
@@ -283,6 +327,7 @@ struct NodeStats {
     peers_suspect: Arc<Gauge>,
     peers_dead: Arc<Gauge>,
     degraded: Arc<Gauge>,
+    pipeline_degraded: Arc<Gauge>,
 }
 
 #[cfg(feature = "telemetry")]
@@ -309,6 +354,7 @@ impl NodeStats {
             peers_suspect: registry.gauge(names::PEERS_SUSPECT),
             peers_dead: registry.gauge(names::PEERS_DEAD),
             degraded: registry.gauge(names::DEGRADED_MODE),
+            pipeline_degraded: registry.gauge(names::PIPELINE_DEGRADED),
         }
     }
 }
@@ -358,6 +404,7 @@ pub struct Kalis {
     last_tick: Option<Timestamp>,
     bus: EventBus,
     syncer: CollectiveSync,
+    overload: OverloadController,
     tele: Arc<Telemetry>,
     #[cfg(feature = "telemetry")]
     stats: NodeStats,
@@ -375,8 +422,15 @@ impl Kalis {
     }
 
     /// Ingest one captured packet: store it, route it to the active
-    /// modules, apply knowledge changes to module activation, and run
-    /// countermeasures for any new alerts.
+    /// modules under the overload controller's current shed mode, apply
+    /// knowledge changes to module activation, and run countermeasures
+    /// for any new alerts.
+    ///
+    /// Every dispatch is supervised: module panics are caught and
+    /// isolated, crash-looping modules are quarantined, and under a
+    /// sustained ingest burst unpinned detection modules see sampled
+    /// dispatch (heavyweight anomaly modules first, pinned signature
+    /// modules never) instead of the node falling behind the capture.
     pub fn ingest(&mut self, packet: CapturedPacket) {
         #[cfg(feature = "telemetry")]
         let pipeline = Arc::clone(&self.stats.pipeline);
@@ -388,6 +442,7 @@ impl Kalis {
         self.meter.count_packet();
         let now = packet.timestamp;
         self.maybe_tick(now);
+        let shed = self.observe_arrival(now);
         self.store.push(packet);
         let packet = self.store.window().last().cloned().expect("just pushed");
         let mut ctx = ModuleCtx {
@@ -395,12 +450,67 @@ impl Kalis {
             kb: &mut self.kb,
             alerts: &mut self.alerts,
         };
-        let outcome = self.manager.dispatch_packet(&mut ctx, &packet);
+        let outcome = self.manager.dispatch_packet_shed(&mut ctx, &packet, shed);
+        self.overload.episode_skipped += outcome.modules_shed;
         #[cfg(feature = "telemetry")]
-        self.stats.work.add(outcome.modules_run);
+        self.stats.work.add(outcome.work_units());
         #[cfg(not(feature = "telemetry"))]
-        self.meter.add_work(outcome.modules_run);
+        self.meter.add_work(outcome.work_units());
         self.after_dispatch(now);
+    }
+
+    /// [`Kalis::ingest`] with backpressure signalling: the packet is
+    /// always processed (the shed policy bounds the per-packet work, so
+    /// nothing is dropped silently), but while the overload controller is
+    /// in severe shedding the call reports
+    /// [`KalisError::PipelineOverload`] so callers that *can* slow the
+    /// capture down know to do so.
+    ///
+    /// # Errors
+    ///
+    /// [`KalisError::PipelineOverload`] while the observed arrival rate
+    /// holds at ≥ 2× the configured `Supervisor.BurstPps` capacity.
+    pub fn try_ingest(&mut self, packet: CapturedPacket) -> Result<(), KalisError> {
+        self.ingest(packet);
+        if self.overload.mode() == ShedMode::All {
+            return Err(KalisError::PipelineOverload {
+                rate: self.overload.rate(),
+                capacity: self.manager.supervisor_config().burst_pps,
+            });
+        }
+        Ok(())
+    }
+
+    /// Feed one arrival to the overload controller and journal shedding
+    /// episode transitions. Returns the shed mode to dispatch under.
+    fn observe_arrival(&mut self, now: Timestamp) -> ShedMode {
+        let was_shedding = self.overload.shedding();
+        let mode = self.overload.observe(now, self.manager.supervisor_config());
+        let shedding = mode != ShedMode::None;
+        if shedding != was_shedding {
+            #[cfg(feature = "telemetry")]
+            {
+                let event = if shedding {
+                    JournalEvent::LoadShedEngaged {
+                        rate: self.overload.rate(),
+                        capacity: self.manager.supervisor_config().burst_pps,
+                    }
+                } else {
+                    JournalEvent::LoadShedReleased {
+                        skipped: self.overload.episode_skipped,
+                    }
+                };
+                self.tele.journal().record(now.as_micros(), event);
+            }
+            if !shedding {
+                self.overload.episode_skipped = 0;
+            }
+        }
+        #[cfg(feature = "telemetry")]
+        self.stats
+            .pipeline_degraded
+            .set(u64::from(shedding || self.manager.quarantined_count() > 0));
+        mode
     }
 
     /// Advance time without a packet: runs module housekeeping and
@@ -416,9 +526,9 @@ impl Kalis {
         };
         let outcome = self.manager.dispatch_tick(&mut ctx);
         #[cfg(feature = "telemetry")]
-        self.stats.work.add(outcome.modules_run);
+        self.stats.work.add(outcome.work_units());
         #[cfg(not(feature = "telemetry"))]
-        self.meter.add_work(outcome.modules_run);
+        self.meter.add_work(outcome.work_units());
         self.response.expire(now);
         self.after_dispatch(now);
     }
@@ -577,6 +687,25 @@ impl Kalis {
                 KnowValue::from_wire(&KnowValue::Float(secs).to_wire()),
             ));
         }
+        // The supervisor knobs round-trip the same way: a node rebuilt
+        // from the recommendation keeps the same crash-loop and overload
+        // posture. Quarantined modules were already excluded above
+        // (`active_names()` skips them).
+        let supervisor = self.manager.supervisor_config();
+        knowggets.push((
+            SUPERVISOR_PANIC_LIMIT_KEY.to_owned(),
+            KnowValue::Int(i64::from(supervisor.panic_limit)),
+        ));
+        if let Some(budget) = supervisor.budget {
+            knowggets.push((
+                SUPERVISOR_BUDGET_MS_KEY.to_owned(),
+                KnowValue::Int(budget.as_millis() as i64),
+            ));
+        }
+        knowggets.push((
+            SUPERVISOR_BURST_PPS_KEY.to_owned(),
+            KnowValue::Int(supervisor.burst_pps as i64),
+        ));
         Config { modules, knowggets }
     }
 
@@ -898,6 +1027,50 @@ impl Kalis {
     /// collaborative-only verdicts are suppressed.
     pub fn degraded(&self) -> bool {
         self.syncer.degraded()
+    }
+
+    /// Whether the *detection pipeline itself* is degraded: overload
+    /// shedding is in effect or at least one module is quarantined. The
+    /// collective-sync notion of degradation ([`Kalis::degraded`]) is
+    /// independent of this one.
+    pub fn degraded_pipeline(&self) -> bool {
+        self.overload.shedding() || self.manager.quarantined_count() > 0
+    }
+
+    /// The shed mode decided by the overload controller at the last
+    /// ingest.
+    pub fn shed_mode(&self) -> ShedMode {
+        self.overload.mode()
+    }
+
+    /// Names of modules currently quarantined by the supervisor.
+    pub fn quarantined_modules(&self) -> Vec<&'static str> {
+        self.manager.quarantined_names()
+    }
+
+    /// Supervision health of the named module, mirroring
+    /// [`Kalis::peer_health`]: the degenerate states are errors.
+    ///
+    /// # Errors
+    ///
+    /// [`KalisError::UnknownModule`] when no module by that name is
+    /// loaded; [`KalisError::ModuleQuarantined`] while the module is
+    /// quarantined (its backoff has not yet released it to probation).
+    pub fn module_health(&self, name: &str) -> Result<ModuleHealth, KalisError> {
+        match self.manager.module_health(name) {
+            None => Err(KalisError::UnknownModule {
+                name: name.to_owned(),
+            }),
+            Some(ModuleHealth::Quarantined) => Err(KalisError::ModuleQuarantined {
+                module: name.to_owned(),
+            }),
+            Some(health) => Ok(health),
+        }
+    }
+
+    /// The active supervisor tunables (after config-knowgget overrides).
+    pub fn supervisor_config(&self) -> &SupervisorConfig {
+        self.manager.supervisor_config()
     }
 
     /// The active sync tunables (after config-knowgget overrides).
@@ -1294,5 +1467,91 @@ mod tests {
         assert!(kalis
             .response()
             .is_revoked(&attacker, Timestamp::from_secs(1)));
+    }
+
+    #[test]
+    fn supervisor_knowggets_override_builder_config() {
+        let kalis = Kalis::builder(KalisId::new("K1"))
+            .with_config(
+                "modules = { TrafficStatsModule } knowggets = { Supervisor.PanicLimit = 7, Supervisor.BudgetMs = 50, Supervisor.BurstPps = 123 }"
+                    .parse()
+                    .unwrap(),
+            )
+            .build();
+        let cfg = kalis.supervisor_config();
+        assert_eq!(cfg.panic_limit, 7);
+        assert_eq!(cfg.budget, Some(Duration::from_millis(50)));
+        assert_eq!(cfg.burst_pps, 123);
+    }
+
+    #[test]
+    fn recommend_config_round_trips_supervisor_knobs() {
+        let base = SupervisorConfig {
+            panic_limit: 5,
+            budget: Some(Duration::from_millis(20)),
+            burst_pps: 777,
+            ..SupervisorConfig::default()
+        };
+        let kalis = Kalis::builder(KalisId::new("K1"))
+            .with_default_modules()
+            .with_supervisor_config(base)
+            .build();
+        let recommended = kalis.recommend_config();
+        let text = recommended.to_string();
+        let rebuilt = Kalis::builder(KalisId::new("K2"))
+            .with_config(text.parse().expect("recommendation re-parses"))
+            .build();
+        let cfg = rebuilt.supervisor_config();
+        assert_eq!(cfg.panic_limit, 5);
+        assert_eq!(cfg.budget, Some(Duration::from_millis(20)));
+        assert_eq!(cfg.burst_pps, 777);
+    }
+
+    #[test]
+    fn burst_engages_shedding_and_flags_pipeline_degraded() {
+        let supervisor = SupervisorConfig {
+            burst_pps: 50,
+            ..SupervisorConfig::default()
+        };
+        let mut kalis = Kalis::builder(KalisId::new("K1"))
+            .with_default_modules()
+            .with_supervisor_config(supervisor)
+            .build();
+        assert!(!kalis.degraded_pipeline());
+        // ~10× capacity: 500 packets over one second of capture time.
+        let mut overloaded = 0;
+        for i in 0..500u64 {
+            let packet = ctp_packet(i * 2, 0);
+            if kalis.try_ingest(packet).is_err() {
+                overloaded += 1;
+            }
+        }
+        assert!(
+            kalis.shed_mode() != ShedMode::None,
+            "burst engages shedding"
+        );
+        assert!(kalis.degraded_pipeline());
+        assert!(overloaded > 0, "severe overload surfaces PipelineOverload");
+        // Calm traffic releases the shed (rate falls below ¾ capacity).
+        for i in 0..60u64 {
+            kalis.ingest(ctp_packet(2_000 + i * 100, 0));
+        }
+        assert_eq!(kalis.shed_mode(), ShedMode::None);
+        assert!(!kalis.degraded_pipeline());
+    }
+
+    #[test]
+    fn module_health_mirrors_peer_health_errors() {
+        let kalis = Kalis::builder(KalisId::new("K1"))
+            .with_default_modules()
+            .build();
+        assert!(matches!(
+            kalis.module_health("TrafficStatsModule"),
+            Ok(ModuleHealth::Healthy)
+        ));
+        assert!(matches!(
+            kalis.module_health("NoSuchModule"),
+            Err(KalisError::UnknownModule { .. })
+        ));
     }
 }

@@ -112,6 +112,12 @@ impl Module for MobilityAwarenessModule {
     fn state_bytes(&self) -> usize {
         self.estimates.len() * 64 + 128
     }
+
+    fn reset(&mut self) {
+        self.estimates.clear();
+        self.last_deviation = None;
+        self.started = None;
+    }
 }
 
 #[cfg(test)]

@@ -147,6 +147,12 @@ impl Module for TopologyDiscoveryModule {
             .map(|t| t.len() + 32)
             .sum::<usize>()
     }
+
+    fn reset(&mut self) {
+        self.frames_seen = 0;
+        self.multihop_evidence = false;
+        self.transmitters.clear();
+    }
 }
 
 #[cfg(test)]

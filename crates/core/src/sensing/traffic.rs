@@ -122,6 +122,11 @@ impl Module for TrafficStatsModule {
     fn state_bytes(&self) -> usize {
         self.events.len() * 48 + self.written.len() * 64 + 128
     }
+
+    fn reset(&mut self) {
+        self.events.clear();
+        self.written.clear();
+    }
 }
 
 #[cfg(test)]

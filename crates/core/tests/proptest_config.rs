@@ -1,0 +1,130 @@
+//! Hostile-input fuzz for the Fig. 6 configuration parser: the parser is
+//! fed adaptation commands from remote peers, so it must survive
+//! arbitrary garbage — never panic, always report *where* a rejection
+//! happened, and faithfully round-trip everything its own `Display`
+//! emits (the supervisor knobs ride on that round-trip via
+//! `recommend_config()`).
+
+use kalis_core::config::Config;
+use kalis_core::KnowValue;
+use proptest::prelude::*;
+
+/// Wire-safe values: single tokens `Display` can emit without quoting.
+fn value_strategy() -> impl Strategy<Value = KnowValue> {
+    prop_oneof![
+        any::<bool>().prop_map(KnowValue::Bool),
+        any::<i64>().prop_map(KnowValue::Int),
+        (-1.0e12f64..1.0e12).prop_map(KnowValue::Float),
+        "[A-Za-z][A-Za-z0-9_.-]{0,16}".prop_map(KnowValue::Text),
+    ]
+}
+
+/// Fragments of the config grammar, shuffled into almost-valid soup —
+/// far more likely to reach deep parser states than uniform bytes.
+fn grammar_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("modules".to_owned()),
+            Just("knowggets".to_owned()),
+            Just("=".to_owned()),
+            Just("{".to_owned()),
+            Just("}".to_owned()),
+            Just("(".to_owned()),
+            Just(")".to_owned()),
+            Just(",".to_owned()),
+            Just("@".to_owned()),
+            Just("\"".to_owned()),
+            Just("#".to_owned()),
+            Just("\n".to_owned()),
+            "[A-Za-z][A-Za-z0-9_.]{0,8}",
+            "-?[0-9]{1,6}",
+            "-?[0-9]{1,4}\\.[0-9]{1,3}",
+        ],
+        0..24,
+    )
+    .prop_map(|parts| parts.join(" "))
+}
+
+proptest! {
+    /// The parser never panics, whatever bytes arrive.
+    #[test]
+    fn parse_never_panics_on_arbitrary_text(text in "\\PC{0,256}") {
+        let _ = text.parse::<Config>();
+    }
+
+    /// Nor on strings built from the grammar's own vocabulary.
+    #[test]
+    fn parse_never_panics_on_grammar_soup(text in grammar_soup()) {
+        let _ = text.parse::<Config>();
+    }
+
+    /// Every rejection names a position inside (or just past) the input.
+    #[test]
+    fn rejections_carry_positions(text in grammar_soup()) {
+        if let Err(err) = text.parse::<Config>() {
+            let lines: Vec<&str> = text.split('\n').collect();
+            prop_assert!(err.pos.line >= 1, "lines are 1-based");
+            prop_assert!(err.pos.column >= 1, "columns are 1-based");
+            prop_assert!(
+                err.pos.line <= lines.len().max(1),
+                "error line {} beyond input ({} lines)",
+                err.pos.line,
+                lines.len()
+            );
+            if let Some(line) = lines.get(err.pos.line - 1) {
+                // Column may point one past the end (unexpected EOF).
+                prop_assert!(
+                    err.pos.column <= line.chars().count() + 1,
+                    "error column {} beyond line of {} chars",
+                    err.pos.column,
+                    line.chars().count()
+                );
+            }
+            // The rendered error is self-describing.
+            let rendered = err.to_string();
+            prop_assert!(rendered.contains(&format!("{}:{}", err.pos.line, err.pos.column)));
+            prop_assert!(!err.message.is_empty());
+        }
+    }
+
+    /// Whatever `Display` emits, `parse` accepts and reproduces —
+    /// including dotted knowgget keys like `Supervisor.PanicLimit`.
+    #[test]
+    fn display_parse_round_trips(
+        modules in proptest::collection::vec("[A-Z][A-Za-z0-9]{0,12}", 0..5),
+        knowggets in proptest::collection::vec(
+            (
+                prop_oneof![
+                    "[A-Za-z][A-Za-z0-9]{0,12}",
+                    "[A-Za-z][A-Za-z0-9]{0,8}\\.[A-Za-z][A-Za-z0-9]{0,8}",
+                ],
+                value_strategy(),
+            ),
+            0..6,
+        ),
+    ) {
+        let config = Config {
+            modules: modules
+                .into_iter()
+                .map(kalis_core::config::ModuleDef::new)
+                .collect(),
+            knowggets,
+        };
+        let printed = config.to_string();
+        let reparsed: Config = printed
+            .parse()
+            .unwrap_or_else(|e| panic!("Display output rejected: {e}\n{printed}"));
+        prop_assert_eq!(
+            reparsed.modules.iter().map(|m| &m.name).collect::<Vec<_>>(),
+            config.modules.iter().map(|m| &m.name).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(reparsed.knowggets.len(), config.knowggets.len());
+        for (a, b) in reparsed.knowggets.iter().zip(&config.knowggets) {
+            prop_assert_eq!(&a.0, &b.0);
+            prop_assert_eq!(a.1.to_wire(), b.1.to_wire());
+        }
+        // Printing the reparse reproduces the text exactly: Display is a
+        // fixed point after one round.
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+}

@@ -18,6 +18,8 @@
 //! * promiscuous observer taps — the Kalis vantage point ([`tap`]),
 //! * seeded fault injection — link loss, duplication, corruption,
 //!   crashes, and partitions ([`fault`]),
+//! * seeded stress traces — ingest bursts and crafted poison packets for
+//!   supervisor experiments ([`stress`]),
 //! * and trace recording/replay ([`trace`]).
 //!
 //! Everything is seeded: the same build of a scenario produces the same
@@ -52,6 +54,7 @@ pub mod mobility;
 pub mod node;
 pub mod radio;
 pub mod sim;
+pub mod stress;
 pub mod tap;
 pub mod topology;
 pub mod trace;

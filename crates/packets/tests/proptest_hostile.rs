@@ -1,0 +1,166 @@
+//! Hostile-input fuzz for the capture path: a Kalis node ingests frames
+//! straight off the air, so every decoder must survive truncation, bit
+//! rot, and outright garbage without panicking — a malformed frame must
+//! never be able to crash the pipeline (the module supervisor is the
+//! second line of defense, not the first).
+//!
+//! Complements `proptest_roundtrips.rs`: that file fuzzes uniform random
+//! bytes; this one mutates *valid* encodings, which reaches much deeper
+//! decoder states (length fields, demux branches, fragment headers).
+
+use bytes::Bytes;
+use kalis_packets::ble::{BleAdvPdu, BleAdvType};
+use kalis_packets::codec::{Decode, Encode};
+use kalis_packets::ctp::CtpFrame;
+use kalis_packets::ethernet::EthernetFrame;
+use kalis_packets::icmpv4::Icmpv4Packet;
+use kalis_packets::ieee802154::{Address, Ieee802154Frame};
+use kalis_packets::ipv4::{IpProtocol, Ipv4Packet};
+use kalis_packets::reassembly::{DatagramKey, Reassembler};
+use kalis_packets::sixlowpan::SixLowpanFrame;
+use kalis_packets::wifi::WifiFrame;
+use kalis_packets::zigbee::ZigbeeFrame;
+use kalis_packets::{CapturedPacket, MacAddr, Medium, Packet, PanId, ShortAddr, Timestamp};
+use proptest::prelude::*;
+
+/// One representative valid frame per medium, deep enough to demux the
+/// full stack (MAC → net → transport where applicable).
+fn valid_frames() -> Vec<(Medium, Bytes)> {
+    let ipv4 = Ipv4Packet::new(
+        "10.0.0.2".parse().unwrap(),
+        "10.0.0.1".parse().unwrap(),
+        IpProtocol::Icmp,
+        Icmpv4Packet::echo_request(7, 1, b"ping".to_vec()).to_bytes(),
+    )
+    .to_bytes();
+    let ieee = |payload: Bytes| {
+        Ieee802154Frame::data(
+            PanId(1),
+            Address::Short(ShortAddr(1)),
+            Address::Short(ShortAddr(2)),
+            9,
+            payload,
+        )
+        .to_bytes()
+    };
+    vec![
+        (
+            Medium::Ieee802154,
+            ieee(CtpFrame::data(ShortAddr(5), 1, 2, b"reading".to_vec()).to_bytes()),
+        ),
+        (
+            Medium::Ieee802154,
+            ieee(SixLowpanFrame::ipv6(b"truncate me please".to_vec()).to_bytes()),
+        ),
+        (
+            Medium::Ieee802154,
+            ieee(ZigbeeFrame::data(ShortAddr(3), ShortAddr(4), 5, b"z".to_vec()).to_bytes()),
+        ),
+        (
+            Medium::Wifi,
+            WifiFrame::data(
+                MacAddr::from_index(2),
+                MacAddr::from_index(0),
+                MacAddr::from_index(0),
+                11,
+                0x0800,
+                ipv4.clone(),
+            )
+            .to_bytes(),
+        ),
+        (
+            Medium::Ethernet,
+            EthernetFrame::new(MacAddr::from_index(3), MacAddr::from_index(0), 0x0800, ipv4)
+                .to_bytes(),
+        ),
+        (
+            Medium::Ble,
+            BleAdvPdu::new(
+                BleAdvType::AdvInd,
+                MacAddr::from_index(9),
+                b"\x02\x01\x06".to_vec(),
+            )
+            .to_bytes(),
+        ),
+    ]
+}
+
+proptest! {
+    /// Every prefix of a valid frame decodes or cleanly errors — never
+    /// panics — and the capture path still yields a usable record.
+    #[test]
+    fn truncated_frames_never_panic(pick in 0usize..6, cut in 0usize..200) {
+        let (medium, raw) = valid_frames().swap_remove(pick);
+        let cut = cut.min(raw.len());
+        let truncated = raw.slice(..cut);
+        let _ = Packet::decode(medium, &truncated);
+        let captured = CapturedPacket::capture(
+            Timestamp::from_secs(1),
+            medium,
+            Some(-50.0),
+            "fuzz",
+            truncated,
+        );
+        // Undecodable frames still classify (as Other) instead of
+        // poisoning downstream consumers.
+        let _ = captured.traffic_class();
+    }
+
+    /// Single-byte corruption anywhere in a valid frame never panics,
+    /// and whatever still decodes does so deterministically.
+    #[test]
+    fn bit_flips_never_panic(pick in 0usize..6, idx in 0usize..200, mask in 1u8..=255) {
+        let (medium, raw) = valid_frames().swap_remove(pick);
+        let mut bytes = raw.to_vec();
+        let idx = idx % bytes.len().max(1);
+        if let Some(b) = bytes.get_mut(idx) {
+            *b ^= mask;
+        }
+        let mutated = Bytes::from(bytes);
+        if let Ok(pkt) = Packet::decode(medium, &mutated) {
+            prop_assert_eq!(Packet::decode(medium, &mutated).unwrap(), pkt);
+        }
+    }
+
+    /// Trailing garbage after a valid frame never panics any decoder.
+    #[test]
+    fn trailing_garbage_never_panics(
+        pick in 0usize..6,
+        tail in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let (medium, raw) = valid_frames().swap_remove(pick);
+        let mut bytes = raw.to_vec();
+        bytes.extend_from_slice(&tail);
+        let _ = Packet::decode(medium, &Bytes::from(bytes));
+    }
+
+    /// The 6LoWPAN reassembler survives hostile fragment headers:
+    /// arbitrary bytes that happen to decode as fragments — lying sizes,
+    /// overlapping offsets, mismatched tags — must never panic it, and
+    /// any datagram it does hand back respects the advertised size.
+    #[test]
+    fn reassembler_survives_hostile_fragments(
+        blobs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..48), 1..12),
+        origin in any::<u16>(),
+    ) {
+        let mut reassembler = Reassembler::new();
+        for (i, blob) in blobs.iter().enumerate() {
+            if let Ok(frame) = SixLowpanFrame::from_slice(blob) {
+                let key = DatagramKey {
+                    origin: ShortAddr(origin),
+                    tag: (i % 3) as u16,
+                };
+                let now = Timestamp::from_secs(1 + i as u64);
+                if let Some(datagram) = reassembler.push(key, &frame, now) {
+                    prop_assert!(
+                        datagram.len() <= u16::MAX as usize,
+                        "reassembled datagram larger than any advertised size"
+                    );
+                }
+            }
+        }
+        // Expiry sweeps hostile partials without panicking either.
+        reassembler.expire(Timestamp::from_secs(3600));
+        prop_assert_eq!(reassembler.pending(), 0);
+    }
+}

@@ -58,6 +58,40 @@ pub enum JournalEvent {
     DegradedEntered { reason: String },
     /// The node left degraded mode; `healthy_peers` peers are live again.
     DegradedExited { healthy_peers: u64 },
+    /// A module panicked during dispatch; the supervisor caught the
+    /// unwind, reset the module's state, and kept the node alive.
+    ModulePanicked {
+        module: String,
+        /// The panic payload, when it was a string (`"<non-string>"`
+        /// otherwise).
+        message: String,
+    },
+    /// A module exhausted its panic or budget allowance and was
+    /// quarantined: excluded from dispatch and `recommend_config()`
+    /// until its backoff expires.
+    ModuleQuarantined {
+        module: String,
+        /// The evidence that triggered the flip (last panic message or
+        /// budget-overrun summary).
+        reason: String,
+        /// Backoff before the module is re-probed, in milliseconds.
+        backoff_ms: u64,
+    },
+    /// A quarantined module's backoff expired; it re-enters dispatch
+    /// on probation (one more strike re-quarantines with a doubled
+    /// backoff).
+    ModuleProbation { module: String },
+    /// The overload controller started shedding work: unpinned
+    /// detection modules now see sampled dispatch.
+    LoadShedEngaged {
+        /// Observed ingest rate (packets/s) when shedding engaged.
+        rate: u64,
+        /// Configured sustainable capacity (packets/s).
+        capacity: u64,
+    },
+    /// The overload controller stopped shedding; `skipped` dispatches
+    /// were sampled away during the episode.
+    LoadShedReleased { skipped: u64 },
     /// Free-form marker (bench stages, experiment boundaries).
     Marker { kind: String, detail: String },
 }
@@ -119,6 +153,28 @@ impl JournalEvent {
             JournalEvent::DegradedExited { healthy_peers } => {
                 vec![("healthy_peers", Num(*healthy_peers))]
             }
+            JournalEvent::ModulePanicked { module, message } => vec![
+                ("module", Str(module.clone())),
+                ("message", Str(message.clone())),
+            ],
+            JournalEvent::ModuleQuarantined {
+                module,
+                reason,
+                backoff_ms,
+            } => vec![
+                ("module", Str(module.clone())),
+                ("reason", Str(reason.clone())),
+                ("backoff_ms", Num(*backoff_ms)),
+            ],
+            JournalEvent::ModuleProbation { module } => {
+                vec![("module", Str(module.clone()))]
+            }
+            JournalEvent::LoadShedEngaged { rate, capacity } => {
+                vec![("rate", Num(*rate)), ("capacity", Num(*capacity))]
+            }
+            JournalEvent::LoadShedReleased { skipped } => {
+                vec![("skipped", Num(*skipped))]
+            }
             JournalEvent::Marker { kind, detail } => {
                 vec![("kind", Str(kind.clone())), ("detail", Str(detail.clone()))]
             }
@@ -138,6 +194,11 @@ impl JournalEvent {
             JournalEvent::PeerHealthChanged { .. } => "peer_health_changed",
             JournalEvent::DegradedEntered { .. } => "degraded_entered",
             JournalEvent::DegradedExited { .. } => "degraded_exited",
+            JournalEvent::ModulePanicked { .. } => "module_panicked",
+            JournalEvent::ModuleQuarantined { .. } => "module_quarantined",
+            JournalEvent::ModuleProbation { .. } => "module_probation",
+            JournalEvent::LoadShedEngaged { .. } => "load_shed_engaged",
+            JournalEvent::LoadShedReleased { .. } => "load_shed_released",
             JournalEvent::Marker { .. } => "marker",
         }
     }

@@ -100,4 +100,19 @@ pub mod names {
     pub const WORK_UNITS: &str = "work.units";
     /// Peak tracked state bytes, the paper's RAM proxy (gauge).
     pub const PEAK_STATE_BYTES: &str = "state.peak_bytes";
+    /// Module panics caught and isolated by the supervisor (counter).
+    pub const MODULE_PANICS: &str = "supervisor.panics";
+    /// Module watchdog-budget overruns observed (counter).
+    pub const BUDGET_OVERRUNS: &str = "supervisor.budget_overruns";
+    /// Quarantine transitions entered by any module (counter).
+    pub const MODULE_QUARANTINES: &str = "supervisor.quarantines";
+    /// Modules currently quarantined (gauge).
+    pub const MODULES_QUARANTINED: &str = "modules.quarantined";
+    /// Dispatches skipped by overload shedding, total (counter).
+    pub const SHED_SKIPS: &str = "supervisor.shed_skips";
+    /// Per-module shed family (counter, labelled `[module=...]`).
+    pub const SHED_BY_MODULE: &str = "supervisor.shed";
+    /// Whether the detection pipeline is degraded — shedding load or
+    /// running with quarantined modules (gauge, 0/1).
+    pub const PIPELINE_DEGRADED: &str = "pipeline.degraded";
 }

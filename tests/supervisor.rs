@@ -1,0 +1,169 @@
+//! Chaos integration test for the module supervisor (robustness of the
+//! detection pipeline itself): a deliberately crash-prone module panics
+//! on crafted poison packets interleaved with an ICMP-flood scenario,
+//! and a 10× ingest burst drives the overload controller into shedding.
+//!
+//! The node must keep producing correct alerts throughout — panic
+//! isolation means the faulted node's recall matches a control node, and
+//! load shedding must never sample away the pinned signature module the
+//! detections ride on. Everything runs on the virtual capture clock, so
+//! the runs are deterministic per seed.
+
+use kalis_bench::experiments::{run_burst_shedding, run_supervisor_chaos, POISON_MODULE};
+use kalis_core::modules::ShedMode;
+use kalis_telemetry::JournalEvent;
+
+/// Seeds under test: `KALIS_CHAOS_SEED` (the CI chaos matrix) or a
+/// default trio.
+fn seeds() -> Vec<u64> {
+    match std::env::var("KALIS_CHAOS_SEED") {
+        Ok(s) => vec![s.trim().parse().expect("KALIS_CHAOS_SEED must be a u64")],
+        Err(_) => vec![7, 21, 1042],
+    }
+}
+
+#[test]
+fn panics_are_isolated_and_recall_is_preserved() {
+    for seed in seeds() {
+        let result = run_supervisor_chaos(seed);
+        // The crash-prone module must not cost a single detection: the
+        // supervisor catches the unwind and the rest of the pipeline
+        // still sees the packet.
+        assert!(
+            result.faulted_detection_rate >= result.control_detection_rate,
+            "seed {seed}: recall dropped under panics ({} < {})",
+            result.faulted_detection_rate,
+            result.control_detection_rate
+        );
+        assert!(
+            result.control_detection_rate > 0.9,
+            "seed {seed}: the control node missed the flood"
+        );
+        // The poison train fires more often than the panic limit, so the
+        // crash loop must trip quarantine at least once.
+        assert!(
+            result.panics >= 3,
+            "seed {seed}: expected >= panic_limit panics, saw {}",
+            result.panics
+        );
+        assert_eq!(
+            result.panics, result.panic_counter,
+            "seed {seed}: journal and `supervisor.panics` counter disagree"
+        );
+        assert!(
+            result.quarantines >= 1,
+            "seed {seed}: the crash loop never tripped quarantine"
+        );
+        // The trace outlives the first backoff, so probation must fire.
+        assert!(
+            result.probations >= 1,
+            "seed {seed}: backoff expiry never journaled probation"
+        );
+    }
+}
+
+#[test]
+fn quarantine_evidence_lands_in_the_journal() {
+    for seed in seeds() {
+        let result = run_supervisor_chaos(seed);
+        let records = &result.journal.records;
+        let first_panic = records
+            .iter()
+            .position(|r| {
+                matches!(&r.event, JournalEvent::ModulePanicked { module, message }
+                    if module == POISON_MODULE && !message.is_empty())
+            })
+            .expect("module_panicked journal event for the poison module");
+        let first_quarantine = records
+            .iter()
+            .position(|r| {
+                matches!(&r.event, JournalEvent::ModuleQuarantined { module, reason, backoff_ms }
+                    if module == POISON_MODULE && !reason.is_empty() && *backoff_ms > 0)
+            })
+            .expect("module_quarantined journal event with evidence and a backoff");
+        assert!(
+            first_panic < first_quarantine,
+            "seed {seed}: a panic must be journaled before the quarantine flip"
+        );
+        // The audit trail stays consistent across the flip: probation
+        // can only be journaled after a quarantine.
+        if let Some(first_probation) = records.iter().position(|r| {
+            matches!(&r.event, JournalEvent::ModuleProbation { module }
+                if module == POISON_MODULE)
+        }) {
+            assert!(
+                first_quarantine < first_probation,
+                "seed {seed}: probation journaled before any quarantine"
+            );
+        }
+        // Every re-quarantine doubles the backoff: the journaled
+        // backoffs for the poison module must be non-decreasing.
+        let backoffs: Vec<u64> = records
+            .iter()
+            .filter_map(|r| match &r.event {
+                JournalEvent::ModuleQuarantined {
+                    module, backoff_ms, ..
+                } if module == POISON_MODULE => Some(*backoff_ms),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            backoffs.windows(2).all(|w| w[0] <= w[1]),
+            "seed {seed}: quarantine backoffs went backwards: {backoffs:?}"
+        );
+    }
+}
+
+#[test]
+fn burst_sheds_unpinned_work_but_never_the_signature_module() {
+    for seed in seeds() {
+        let result = run_burst_shedding(seed);
+        assert!(
+            result.shed_engaged,
+            "seed {seed}: a 10x burst never engaged the overload controller"
+        );
+        assert!(
+            result.shed_released,
+            "seed {seed}: shedding never released after the burst drained"
+        );
+        assert!(
+            result.shed_skips > 0,
+            "seed {seed}: shedding engaged but sampled away no dispatches"
+        );
+        assert_eq!(
+            result.pinned_sheds, 0,
+            "seed {seed}: the pinned {} module was shed",
+            result.pinned_module
+        );
+        assert_eq!(
+            result.final_mode,
+            ShedMode::None,
+            "seed {seed}: node still shedding when the trace ended"
+        );
+        // Shedding bounds per-packet work without costing the signature
+        // path its recall.
+        assert!(
+            result.burst_detection_rate >= result.baseline_detection_rate - 0.05,
+            "seed {seed}: burst recall {} fell more than 5pp below calm recall {}",
+            result.burst_detection_rate,
+            result.baseline_detection_rate
+        );
+        // The journal narrates the episode in order.
+        let engaged = result
+            .journal
+            .records
+            .iter()
+            .position(|r| matches!(r.event, JournalEvent::LoadShedEngaged { .. }))
+            .expect("load_shed_engaged journal event");
+        let released = result
+            .journal
+            .records
+            .iter()
+            .position(|r| matches!(r.event, JournalEvent::LoadShedReleased { .. }))
+            .expect("load_shed_released journal event");
+        assert!(
+            engaged < released,
+            "seed {seed}: shed release journaled before engagement"
+        );
+    }
+}
