@@ -3,10 +3,15 @@
 //!
 //! ```text
 //! experiments [--table1] [--fig3] [--table2] [--fig8] [--reactivity]
-//!             [--knowledge-sharing] [--all]
+//!             [--knowledge-sharing] [--lint] [--all]
 //!             [--symptoms N] [--replication-runs N] [--seed N]
 //!             [--json PATH]
 //! ```
+//!
+//! `--lint` runs the knowgget-contract static analysis (`kalis-lint`)
+//! over the module library as a preflight and exits non-zero on
+//! contract errors — every experiment below activates modules through
+//! the same knowledge graph the lint verifies.
 //!
 //! `--json PATH` additionally writes a machine-readable `BENCH_*.json`
 //! report (Table II rows plus the Kalis node's full telemetry snapshot:
@@ -29,6 +34,7 @@ struct Args {
     resilience: bool,
     supervisor: bool,
     extended: bool,
+    lint: bool,
     symptoms: u32,
     replication_runs: u32,
     seed: u64,
@@ -46,6 +52,7 @@ fn parse_args() -> Args {
         resilience: false,
         supervisor: false,
         extended: false,
+        lint: false,
         symptoms: 50,
         replication_runs: 10,
         seed: 42,
@@ -91,6 +98,10 @@ fn parse_args() -> Args {
                 args.extended = true;
                 any = true;
             }
+            "--lint" => {
+                args.lint = true;
+                any = true;
+            }
             "--all" => any = false,
             "--symptoms" => {
                 args.symptoms = iter
@@ -121,7 +132,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--table1|--fig3|--table2|--fig8|--reactivity|--knowledge-sharing|--resilience|--supervisor|--all]\n\
+                    "usage: experiments [--table1|--fig3|--table2|--fig8|--reactivity|--knowledge-sharing|--resilience|--supervisor|--lint|--all]\n\
                      \x20                  [--symptoms N] [--replication-runs N] [--seed N] [--json PATH]"
                 );
                 std::process::exit(0);
@@ -148,6 +159,22 @@ fn die(msg: &str) -> ! {
 fn main() {
     let args = parse_args();
 
+    if args.lint {
+        println!("== kalis-lint: knowgget-contract analysis ==");
+        let registry = kalis_core::modules::ModuleRegistry::with_defaults();
+        let diags = kalis_lint::lint_system(&registry);
+        if diags.is_empty() {
+            println!("module library contracts: clean");
+        } else {
+            for diag in &diags {
+                println!("{}", diag.render(None));
+            }
+        }
+        if kalis_lint::has_errors(&diags) {
+            std::process::exit(1);
+        }
+        println!();
+    }
     if args.table1 {
         println!("== Table I: taxonomy of IoT attacks by target ==");
         println!("{}", kalis_core::taxonomy::render_table1());

@@ -82,6 +82,81 @@ impl Config {
     }
 }
 
+/// A `key = value` pair with the source positions of both sides —
+/// parameter entries and a-priori knowggets share this shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedEntry {
+    /// The key text.
+    pub key: String,
+    /// Where the key starts.
+    pub key_pos: SourcePos,
+    /// The parsed value.
+    pub value: KnowValue,
+    /// Where the value starts.
+    pub value_pos: SourcePos,
+}
+
+/// A module reference with the position of its name and of each parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedModule {
+    /// The module's registry name.
+    pub name: String,
+    /// Where the name starts.
+    pub name_pos: SourcePos,
+    /// Constructor parameters, in source order.
+    pub params: Vec<SpannedEntry>,
+}
+
+/// A parse that remembers where everything came from.
+///
+/// `Config` (via [`FromStr`]) is the runtime-facing view and stays
+/// position-free; static analysis (`kalis-lint`) parses with
+/// [`SpannedConfig::parse`] instead so its diagnostics can point at the
+/// offending token rather than the whole file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpannedConfig {
+    /// Modules in the `modules = { ... }` section, in source order.
+    pub modules: Vec<SpannedModule>,
+    /// Entries in the `knowggets = { ... }` section, in source order.
+    pub knowggets: Vec<SpannedEntry>,
+}
+
+impl SpannedConfig {
+    /// Parse source text, keeping token positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`ConfigError`]s as `text.parse::<Config>()`.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let tokens = lex(text)?;
+        let mut parser = Parser { tokens, index: 0 };
+        parser.config()
+    }
+
+    /// Drop the positions, yielding the runtime [`Config`].
+    pub fn to_config(&self) -> Config {
+        Config {
+            modules: self
+                .modules
+                .iter()
+                .map(|m| ModuleDef {
+                    name: m.name.clone(),
+                    params: m
+                        .params
+                        .iter()
+                        .map(|p| (p.key.clone(), p.value.clone()))
+                        .collect(),
+                })
+                .collect(),
+            knowggets: self
+                .knowggets
+                .iter()
+                .map(|k| (k.key.clone(), k.value.clone()))
+                .collect(),
+        }
+    }
+}
+
 /// Where in the source an error occurred.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SourcePos {
@@ -272,12 +347,12 @@ impl Parser {
         }
     }
 
-    fn ident(&mut self, what: &str) -> Result<String, ConfigError> {
+    fn ident(&mut self, what: &str) -> Result<(String, SourcePos), ConfigError> {
         match self.next() {
             Some(Spanned {
                 token: Token::Ident(s),
-                ..
-            }) => Ok(s),
+                pos,
+            }) => Ok((s, pos)),
             Some(t) => Err(ConfigError {
                 pos: t.pos,
                 message: format!("expected {what}, found {:?}", t.token),
@@ -289,16 +364,16 @@ impl Parser {
         }
     }
 
-    fn value(&mut self) -> Result<KnowValue, ConfigError> {
+    fn value(&mut self) -> Result<(KnowValue, SourcePos), ConfigError> {
         match self.next() {
             Some(Spanned {
                 token: Token::Ident(s),
-                ..
-            }) => Ok(KnowValue::from_wire(&s)),
+                pos,
+            }) => Ok((KnowValue::from_wire(&s), pos)),
             Some(Spanned {
                 token: Token::Value(s),
-                ..
-            }) => Ok(KnowValue::Text(s)),
+                pos,
+            }) => Ok((KnowValue::Text(s), pos)),
             Some(t) => Err(ConfigError {
                 pos: t.pos,
                 message: format!("expected a value, found {:?}", t.token),
@@ -310,7 +385,7 @@ impl Parser {
         }
     }
 
-    fn key_value_list(&mut self) -> Result<Vec<(String, KnowValue)>, ConfigError> {
+    fn key_value_list(&mut self) -> Result<Vec<SpannedEntry>, ConfigError> {
         let mut out = Vec::new();
         loop {
             if matches!(
@@ -319,9 +394,15 @@ impl Parser {
             ) {
                 break;
             }
-            let key = self.ident("a key")?;
+            let (key, key_pos) = self.ident("a key")?;
             self.expect(Token::Equals, "`=`")?;
-            out.push((key, self.value()?));
+            let (value, value_pos) = self.value()?;
+            out.push(SpannedEntry {
+                key,
+                key_pos,
+                value,
+                value_pos,
+            });
             if matches!(self.peek().map(|t| &t.token), Some(Token::Comma)) {
                 self.next();
             } else {
@@ -331,14 +412,18 @@ impl Parser {
         Ok(out)
     }
 
-    fn module_list(&mut self) -> Result<Vec<ModuleDef>, ConfigError> {
+    fn module_list(&mut self) -> Result<Vec<SpannedModule>, ConfigError> {
         let mut out = Vec::new();
         loop {
             if matches!(self.peek().map(|t| &t.token), Some(Token::RBrace)) {
                 break;
             }
-            let name = self.ident("a module name")?;
-            let mut def = ModuleDef::new(name);
+            let (name, name_pos) = self.ident("a module name")?;
+            let mut def = SpannedModule {
+                name,
+                name_pos,
+                params: Vec::new(),
+            };
             if matches!(self.peek().map(|t| &t.token), Some(Token::LParen)) {
                 self.next();
                 def.params = self.key_value_list()?;
@@ -354,12 +439,12 @@ impl Parser {
         Ok(out)
     }
 
-    fn config(&mut self) -> Result<Config, ConfigError> {
-        let mut config = Config::default();
+    fn config(&mut self) -> Result<SpannedConfig, ConfigError> {
+        let mut config = SpannedConfig::default();
         let mut seen_modules = false;
         let mut seen_knowggets = false;
         while self.peek().is_some() {
-            let section = self.ident("`modules` or `knowggets`")?;
+            let (section, _) = self.ident("`modules` or `knowggets`")?;
             self.expect(Token::Equals, "`=`")?;
             self.expect(Token::LBrace, "`{`")?;
             match section.as_str() {
@@ -386,9 +471,7 @@ impl FromStr for Config {
     type Err = ConfigError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let tokens = lex(s)?;
-        let mut parser = Parser { tokens, index: 0 };
-        parser.config()
+        Ok(SpannedConfig::parse(s)?.to_config())
     }
 }
 
@@ -528,6 +611,32 @@ mod tests {
             .parse::<Config>()
             .unwrap_err();
         assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn spanned_parse_records_positions() {
+        let text = "modules = {\n  TrafficStatsModule (\n    windowSecs = 2\n  )\n}\nknowggets = {\n  Mobile = false\n}";
+        let spanned = SpannedConfig::parse(text).unwrap();
+        assert_eq!(spanned.modules.len(), 1);
+        let m = &spanned.modules[0];
+        assert_eq!(m.name, "TrafficStatsModule");
+        assert_eq!(m.name_pos, SourcePos { line: 2, column: 3 });
+        assert_eq!(m.params[0].key, "windowSecs");
+        assert_eq!(m.params[0].key_pos, SourcePos { line: 3, column: 5 });
+        assert_eq!(
+            m.params[0].value_pos,
+            SourcePos {
+                line: 3,
+                column: 18
+            }
+        );
+        assert_eq!(spanned.knowggets[0].key, "Mobile");
+        assert_eq!(
+            spanned.knowggets[0].key_pos,
+            SourcePos { line: 7, column: 3 }
+        );
+        // The position-free view matches what FromStr yields.
+        assert_eq!(spanned.to_config(), text.parse::<Config>().unwrap());
     }
 
     #[test]

@@ -8,8 +8,8 @@ use kalis_packets::wifi::WifiBody;
 use kalis_packets::{CapturedPacket, Entity};
 
 use crate::alert::{Alert, AttackKind};
-use crate::knowledge::KnowledgeBase;
-use crate::modules::{Module, ModuleCtx, ModuleDescriptor};
+use crate::knowledge::{KnowKey, KnowledgeBase};
+use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ParamSpec, ValueType};
 use crate::sensing::labels as sense;
 
 use super::util::{AlertGate, SlidingCounter};
@@ -45,8 +45,14 @@ impl Module for DeauthModule {
         ModuleDescriptor::detection("DeauthModule", AttackKind::Deauth)
     }
 
+    fn contract(&self) -> KnowggetContract {
+        KnowggetContract::new()
+            .reads_activation(KnowKey::scoped(sense::MEDIUM_SEEN, "wifi"), ValueType::Bool)
+            .accepts_param(ParamSpec::number("threshold", 1.0))
+    }
+
     fn required(&self, kb: &KnowledgeBase) -> bool {
-        kb.get_bool(&format!("{}.wifi", sense::MEDIUM_SEEN)) == Some(true)
+        kb.get_bool(&KnowKey::scoped(sense::MEDIUM_SEEN, "wifi")) == Some(true)
     }
 
     fn on_packet(&mut self, ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket) {

@@ -11,8 +11,8 @@ use std::time::Duration;
 use kalis_packets::{CapturedPacket, Entity, TrafficClass};
 
 use crate::alert::{Alert, AttackKind};
-use crate::knowledge::KnowledgeBase;
-use crate::modules::{Module, ModuleCtx, ModuleDescriptor};
+use crate::knowledge::{KnowKey, KnowledgeBase};
+use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ParamSpec, ValueType};
 use crate::sensing::labels as sense;
 
 use super::util::{AlertGate, SlidingCounter};
@@ -56,6 +56,12 @@ impl Default for IcmpFloodModule {
 impl Module for IcmpFloodModule {
     fn descriptor(&self) -> ModuleDescriptor {
         ModuleDescriptor::detection("IcmpFloodModule", AttackKind::IcmpFlood)
+    }
+
+    fn contract(&self) -> KnowggetContract {
+        KnowggetContract::new()
+            .reads_activation(sense::MULTIHOP, ValueType::Bool)
+            .accepts_param(ParamSpec::number("threshold", 1.0))
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {
@@ -167,6 +173,12 @@ impl Module for SmurfModule {
         ModuleDescriptor::detection("SmurfModule", AttackKind::Smurf)
     }
 
+    fn contract(&self) -> KnowggetContract {
+        KnowggetContract::new()
+            .reads_activation(sense::MULTIHOP, ValueType::Bool)
+            .accepts_param(ParamSpec::number("threshold", 1.0))
+    }
+
     fn required(&self, kb: &KnowledgeBase) -> bool {
         kb.get_bool(sense::MULTIHOP) == Some(true)
     }
@@ -270,8 +282,14 @@ impl Module for SynFloodModule {
         ModuleDescriptor::detection("SynFloodModule", AttackKind::SynFlood)
     }
 
+    fn contract(&self) -> KnowggetContract {
+        KnowggetContract::new()
+            .reads_activation(KnowKey::scoped(sense::PROTOCOL_SEEN, "IP"), ValueType::Bool)
+            .accepts_param(ParamSpec::number("threshold", 1.0))
+    }
+
     fn required(&self, kb: &KnowledgeBase) -> bool {
-        kb.get_bool(&format!("{}.IP", sense::PROTOCOL_SEEN)) == Some(true)
+        kb.get_bool(&KnowKey::scoped(sense::PROTOCOL_SEEN, "IP")) == Some(true)
     }
 
     fn on_packet(&mut self, ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket) {
@@ -366,8 +384,14 @@ impl Module for UdpFloodModule {
         ModuleDescriptor::detection("UdpFloodModule", AttackKind::UdpFlood)
     }
 
+    fn contract(&self) -> KnowggetContract {
+        KnowggetContract::new()
+            .reads_activation(KnowKey::scoped(sense::PROTOCOL_SEEN, "IP"), ValueType::Bool)
+            .accepts_param(ParamSpec::number("threshold", 1.0))
+    }
+
     fn required(&self, kb: &KnowledgeBase) -> bool {
-        kb.get_bool(&format!("{}.IP", sense::PROTOCOL_SEEN)) == Some(true)
+        kb.get_bool(&KnowKey::scoped(sense::PROTOCOL_SEEN, "IP")) == Some(true)
     }
 
     fn on_packet(&mut self, ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket) {

@@ -10,8 +10,8 @@ use kalis_packets::reassembly::{DatagramKey, Reassembler};
 use kalis_packets::{CapturedPacket, Entity, ShortAddr};
 
 use crate::alert::{Alert, AttackKind};
-use crate::knowledge::KnowledgeBase;
-use crate::modules::{Module, ModuleCtx, ModuleDescriptor};
+use crate::knowledge::{KnowKey, KnowledgeBase};
+use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ParamSpec, ValueType};
 use crate::sensing::labels as sense;
 
 use super::util::AlertGate;
@@ -49,8 +49,17 @@ impl Module for FragmentFloodModule {
         ModuleDescriptor::detection("FragmentFloodModule", AttackKind::FragmentFlood)
     }
 
+    fn contract(&self) -> KnowggetContract {
+        KnowggetContract::new()
+            .reads_activation(
+                KnowKey::scoped(sense::PROTOCOL_SEEN, "SIXLOWPAN"),
+                ValueType::Bool,
+            )
+            .accepts_param(ParamSpec::number("threshold", 1.0))
+    }
+
     fn required(&self, kb: &KnowledgeBase) -> bool {
-        kb.get_bool(&format!("{}.SIXLOWPAN", sense::PROTOCOL_SEEN)) == Some(true)
+        kb.get_bool(&KnowKey::scoped(sense::PROTOCOL_SEEN, "SIXLOWPAN")) == Some(true)
     }
 
     fn on_packet(&mut self, _ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket) {

@@ -25,7 +25,7 @@ use kalis_packets::{CapturedPacket, Entity, Timestamp};
 
 use crate::alert::{Alert, AttackKind};
 use crate::knowledge::KnowledgeBase;
-use crate::modules::{Module, ModuleCtx, ModuleDescriptor};
+use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ValueType};
 use crate::sensing::labels as sense;
 
 use super::util::{fingerprint_identity, AlertGate};
@@ -182,6 +182,10 @@ impl Module for ReplicationStaticModule {
         ModuleDescriptor::detection("ReplicationStaticModule", AttackKind::Replication).heavy()
     }
 
+    fn contract(&self) -> KnowggetContract {
+        KnowggetContract::new().reads_activation(sense::MOBILE, ValueType::Bool)
+    }
+
     fn required(&self, kb: &KnowledgeBase) -> bool {
         kb.get_bool(sense::MOBILE) == Some(false)
     }
@@ -256,6 +260,10 @@ impl Default for ReplicationMobileModule {
 impl Module for ReplicationMobileModule {
     fn descriptor(&self) -> ModuleDescriptor {
         ModuleDescriptor::detection("ReplicationMobileModule", AttackKind::Replication).heavy()
+    }
+
+    fn contract(&self) -> KnowggetContract {
+        KnowggetContract::new().reads_activation(sense::MOBILE, ValueType::Bool)
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {

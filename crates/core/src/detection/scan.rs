@@ -6,8 +6,8 @@ use std::time::Duration;
 use kalis_packets::{CapturedPacket, Entity, TrafficClass};
 
 use crate::alert::{Alert, AttackKind};
-use crate::knowledge::KnowledgeBase;
-use crate::modules::{Module, ModuleCtx, ModuleDescriptor};
+use crate::knowledge::{KnowKey, KnowledgeBase};
+use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ParamSpec, ValueType};
 use crate::sensing::labels as sense;
 
 use super::util::{AlertGate, SlidingCounter};
@@ -43,8 +43,14 @@ impl Module for ScanModule {
         ModuleDescriptor::detection("ScanModule", AttackKind::Scan)
     }
 
+    fn contract(&self) -> KnowggetContract {
+        KnowggetContract::new()
+            .reads_activation(KnowKey::scoped(sense::PROTOCOL_SEEN, "IP"), ValueType::Bool)
+            .accepts_param(ParamSpec::number("threshold", 1.0))
+    }
+
     fn required(&self, kb: &KnowledgeBase) -> bool {
-        kb.get_bool(&format!("{}.IP", sense::PROTOCOL_SEEN)) == Some(true)
+        kb.get_bool(&KnowKey::scoped(sense::PROTOCOL_SEEN, "IP")) == Some(true)
     }
 
     fn on_packet(&mut self, ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket) {

@@ -14,7 +14,7 @@ use kalis_packets::{CapturedPacket, Entity};
 
 use crate::alert::{Alert, AttackKind};
 use crate::knowledge::KnowledgeBase;
-use crate::modules::{Module, ModuleCtx, ModuleDescriptor};
+use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ValueType};
 use crate::sensing::labels as sense;
 
 use super::util::AlertGate;
@@ -62,6 +62,12 @@ impl Default for SinkholeModule {
 impl Module for SinkholeModule {
     fn descriptor(&self) -> ModuleDescriptor {
         ModuleDescriptor::detection("SinkholeModule", AttackKind::Sinkhole)
+    }
+
+    fn contract(&self) -> KnowggetContract {
+        KnowggetContract::new()
+            .reads_activation(sense::MULTIHOP, ValueType::Bool)
+            .reads(sense::CTP_ROOT, ValueType::Text)
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {

@@ -8,8 +8,8 @@ use std::time::Duration;
 use kalis_packets::{CapturedPacket, Entity, Timestamp};
 
 use crate::alert::{Alert, AttackKind};
-use crate::knowledge::KnowledgeBase;
-use crate::modules::{Module, ModuleCtx, ModuleDescriptor};
+use crate::knowledge::{KnowKey, KnowledgeBase};
+use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ValueType};
 use crate::sensing::labels as sense;
 
 use super::util::{fingerprint_identity, AlertGate};
@@ -82,9 +82,16 @@ impl Module for SybilModule {
         ModuleDescriptor::detection("SybilModule", AttackKind::Sybil).heavy()
     }
 
+    fn contract(&self) -> KnowggetContract {
+        KnowggetContract::new().reads_activation(
+            KnowKey::scoped(sense::MEDIUM_SEEN, "802.15.4"),
+            ValueType::Bool,
+        )
+    }
+
     fn required(&self, kb: &KnowledgeBase) -> bool {
         // RSSI fingerprinting needs a wireless constrained medium.
-        kb.get_bool(&format!("{}.802.15.4", sense::MEDIUM_SEEN)) == Some(true)
+        kb.get_bool(&KnowKey::scoped(sense::MEDIUM_SEEN, "802.15.4")) == Some(true)
     }
 
     fn on_packet(&mut self, ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket) {

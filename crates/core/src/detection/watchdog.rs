@@ -17,7 +17,7 @@ use kalis_packets::{CapturedPacket, Entity, ShortAddr, Timestamp};
 
 use crate::alert::{Alert, AttackKind};
 use crate::knowledge::KnowledgeBase;
-use crate::modules::{Module, ModuleCtx, ModuleDescriptor};
+use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ValueType};
 use crate::sensing::labels as sense;
 
 use super::labels;
@@ -182,6 +182,12 @@ impl Module for SelectiveForwardingModule {
             .heavy()
     }
 
+    fn contract(&self) -> KnowggetContract {
+        KnowggetContract::new()
+            .reads_activation(sense::MULTIHOP, ValueType::Bool)
+            .reads(sense::CTP_ROOT, ValueType::Text)
+    }
+
     fn required(&self, kb: &KnowledgeBase) -> bool {
         watchdog_required(kb)
     }
@@ -255,6 +261,14 @@ impl Default for BlackholeModule {
 impl Module for BlackholeModule {
     fn descriptor(&self) -> ModuleDescriptor {
         ModuleDescriptor::detection("BlackholeModule", AttackKind::Blackhole).heavy()
+    }
+
+    fn contract(&self) -> KnowggetContract {
+        KnowggetContract::new()
+            .reads_activation(sense::MULTIHOP, ValueType::Bool)
+            .reads(sense::CTP_ROOT, ValueType::Text)
+            .reads_per_entity(super::wormhole_confirmed_label(), ValueType::Bool)
+            .writes_collective(labels::DROPPED_ORIGINS, ValueType::Text)
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {

@@ -17,7 +17,7 @@ use kalis_packets::{CapturedPacket, Entity};
 
 use crate::alert::{Alert, AttackKind};
 use crate::knowledge::KnowledgeBase;
-use crate::modules::{Module, ModuleCtx, ModuleDescriptor};
+use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ValueType};
 use crate::sensing::labels as sense;
 
 use super::labels;
@@ -71,6 +71,19 @@ fn parse_set(text: &str) -> BTreeSet<String> {
 impl Module for WormholeModule {
     fn descriptor(&self) -> ModuleDescriptor {
         ModuleDescriptor::detection("WormholeModule", AttackKind::Wormhole).heavy()
+    }
+
+    fn contract(&self) -> KnowggetContract {
+        KnowggetContract::new()
+            .reads_activation(sense::MULTIHOP, ValueType::Bool)
+            // Degraded (local-only) sync mode suppresses collective
+            // correlation; produced by the node's sync layer, not by a
+            // module.
+            .reads(crate::knowledge::DEGRADED_LABEL, ValueType::Bool)
+            .reads_collective(labels::DROPPED_ORIGINS, ValueType::Text)
+            .reads_collective(labels::EXOTIC_ORIGINS, ValueType::Text)
+            .writes_collective(labels::EXOTIC_ORIGINS, ValueType::Text)
+            .writes_collective(WORMHOLE_CONFIRMED, ValueType::Bool)
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {

@@ -68,6 +68,19 @@ impl KnowKey {
     pub fn root_label(&self) -> &str {
         self.label.split('.').next().unwrap_or(&self.label)
     }
+
+    /// Build a multilevel (dot-suffixed) label from a family root and a
+    /// leaf, e.g. `KnowKey::scoped(sense::PROTOCOL_SEEN, "IP")` →
+    /// `"ProtocolSeen.IP"`.
+    ///
+    /// This is the one sanctioned way to construct family-member labels:
+    /// ad-hoc `format!("{}.{}", root, leaf)` at call sites hides the key
+    /// from contract declarations and from the `kalis-lint` analysis,
+    /// whereas every `scoped` site names its family root explicitly.
+    pub fn scoped(root: &str, leaf: &str) -> String {
+        debug_assert!(!root.is_empty() && !leaf.is_empty());
+        format!("{root}.{leaf}")
+    }
 }
 
 impl fmt::Display for KnowKey {

@@ -68,4 +68,5 @@ pub use knowledge::{
     CollectiveSync, KnowKey, KnowValue, Knowgget, KnowledgeBase, PeerHealth, SyncConfig,
     DEGRADED_LABEL,
 };
-pub use node::{Kalis, KalisBuilder, SyncPoll, SyncReceipt};
+pub use modules::{KeyPattern, KeyUse, KnowggetContract, ParamSpec, ValueType};
+pub use node::{system_contract, Kalis, KalisBuilder, SyncPoll, SyncReceipt};

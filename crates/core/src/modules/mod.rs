@@ -2,10 +2,12 @@
 //! Module Manager that activates them according to the Knowledge Base,
 //! and the registry that constructs them by name from configuration text.
 
+mod contract;
 mod manager;
 mod registry;
 mod supervisor;
 
+pub use contract::{KeyPattern, KeyUse, KnowggetContract, ParamSpec, ValueType};
 pub use manager::{DispatchOutcome, ModuleManager};
 pub use registry::ModuleRegistry;
 pub use supervisor::{
@@ -112,6 +114,16 @@ impl ModuleCtx<'_> {
 pub trait Module: Send {
     /// Static facts about this module.
     fn descriptor(&self) -> ModuleDescriptor;
+
+    /// The module's declarative knowgget contract: every key it reads
+    /// (and whether the read gates activation), every key it writes, and
+    /// the constructor parameters it accepts — the machine-checked form
+    /// of the knowledge links that `kalis-lint` analyzes. The default is
+    /// an empty contract, which the lint pass treats as "undeclared" and
+    /// stays silent about; built-in modules all declare theirs.
+    fn contract(&self) -> KnowggetContract {
+        KnowggetContract::new()
+    }
 
     /// Whether this module's services are required under the current
     /// knowledge. Sensing modules usually return `true` unconditionally;

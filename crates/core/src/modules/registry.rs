@@ -128,6 +128,26 @@ impl ModuleRegistry {
     pub fn contains(&self, name: &str) -> bool {
         self.factories.contains_key(name)
     }
+
+    /// The knowgget contract of a registered module, obtained by building
+    /// it with a default (parameterless) definition — contracts are
+    /// construction-independent by design.
+    pub fn contract(&self, name: &str) -> Option<super::KnowggetContract> {
+        let def = ModuleDef::new(name);
+        self.factories.get(name).map(|f| f(&def).contract())
+    }
+
+    /// Every registered module's `(name, descriptor, contract)`, sorted by
+    /// name — the whole-system view the `kalis-lint` analysis consumes.
+    pub fn contracts(&self) -> Vec<(String, super::ModuleDescriptor, super::KnowggetContract)> {
+        self.factories
+            .iter()
+            .map(|(name, f)| {
+                let module = f(&ModuleDef::new(name));
+                (name.clone(), module.descriptor(), module.contract())
+            })
+            .collect()
+    }
 }
 
 impl Default for ModuleRegistry {

@@ -39,18 +39,39 @@ const TICK_EVERY: Duration = Duration::from_secs(1);
 /// when the embedder does not provide its own [`SecureChannel`].
 const DEFAULT_SYNC_KEY: u64 = 0x006b_616c_6973;
 
-/// A-priori knowgget keys (Fig. 6 config language) that tune the sync
-/// engine: TTL and beacon cadence in seconds.
-const SYNC_PEER_TTL_KEY: &str = "Sync.PeerTtl";
-const SYNC_BEACON_INTERVAL_KEY: &str = "Sync.BeaconInterval";
+/// A-priori knowgget key (Fig. 6 config language): sync peer TTL in
+/// seconds.
+pub const SYNC_PEER_TTL_KEY: &str = "Sync.PeerTtl";
+/// A-priori knowgget key (Fig. 6 config language): sync beacon cadence in
+/// seconds.
+pub const SYNC_BEACON_INTERVAL_KEY: &str = "Sync.BeaconInterval";
 
-/// A-priori knowgget keys (Fig. 6 config language) that tune the module
-/// supervisor: panic allowance before quarantine, optional per-dispatch
-/// watchdog budget in milliseconds, and the sustained ingest rate
-/// (packets/second) beyond which overload shedding engages.
-const SUPERVISOR_PANIC_LIMIT_KEY: &str = "Supervisor.PanicLimit";
-const SUPERVISOR_BUDGET_MS_KEY: &str = "Supervisor.BudgetMs";
-const SUPERVISOR_BURST_PPS_KEY: &str = "Supervisor.BurstPps";
+/// A-priori knowgget key: panic allowance before the supervisor
+/// quarantines a module.
+pub const SUPERVISOR_PANIC_LIMIT_KEY: &str = "Supervisor.PanicLimit";
+/// A-priori knowgget key: optional per-dispatch watchdog budget in
+/// milliseconds.
+pub const SUPERVISOR_BUDGET_MS_KEY: &str = "Supervisor.BudgetMs";
+/// A-priori knowgget key: sustained ingest rate (packets/second) beyond
+/// which overload shedding engages.
+pub const SUPERVISOR_BURST_PPS_KEY: &str = "Supervisor.BurstPps";
+
+/// The node's own knowgget contract — the keys [`KalisBuilder::try_build`]
+/// and the sync engine touch outside any module: the sync/supervisor
+/// tuning knobs (read from a-priori configuration) and the `DegradedMode`
+/// flag (written by the sync state machine, consumed by
+/// collaborative-only modules). `kalis-lint` folds this into the
+/// whole-system analysis alongside the per-module contracts.
+pub fn system_contract() -> crate::modules::KnowggetContract {
+    use crate::modules::{KnowggetContract, ValueType};
+    KnowggetContract::new()
+        .reads(SYNC_PEER_TTL_KEY, ValueType::Float)
+        .reads(SYNC_BEACON_INTERVAL_KEY, ValueType::Float)
+        .reads(SUPERVISOR_PANIC_LIMIT_KEY, ValueType::Int)
+        .reads(SUPERVISOR_BUDGET_MS_KEY, ValueType::Int)
+        .reads(SUPERVISOR_BURST_PPS_KEY, ValueType::Int)
+        .writes(DEGRADED_LABEL, ValueType::Bool)
+}
 
 /// Builder for [`Kalis`] nodes.
 ///
@@ -665,10 +686,16 @@ impl Kalis {
             .kb
             .iter()
             .filter(|k| {
+                // Stable local single-level knowledge only. DegradedMode
+                // is runtime sync state, not deployable configuration —
+                // baking it into a recommendation would pin a fresh node
+                // into degraded mode (and name a knowgget no contract
+                // registers as a-priori input).
                 k.creator == self.id
                     && k.entity.is_none()
                     && !k.label.contains('.')
                     && k.label != crate::sensing::labels::MONITORED_NODES
+                    && k.label != DEGRADED_LABEL
             })
             .map(|k| (k.label, k.value))
             .collect();

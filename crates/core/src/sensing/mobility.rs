@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use kalis_packets::{CapturedPacket, Entity, Timestamp};
 
 use crate::knowledge::KnowledgeBase;
-use crate::modules::{Module, ModuleCtx, ModuleDescriptor};
+use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ParamSpec, ValueType};
 use crate::sensing::labels;
 
 /// How strongly new samples update the per-entity RSSI estimate.
@@ -54,6 +54,17 @@ impl Default for MobilityAwarenessModule {
 impl Module for MobilityAwarenessModule {
     fn descriptor(&self) -> ModuleDescriptor {
         ModuleDescriptor::sensing("MobilityAwarenessModule")
+    }
+
+    fn contract(&self) -> KnowggetContract {
+        KnowggetContract::new()
+            // Reads its own published estimate back to publish at 1 dB
+            // granularity.
+            .reads_per_entity(labels::SIGNAL_STRENGTH, ValueType::Float)
+            .writes_collective(labels::SIGNAL_STRENGTH, ValueType::Float)
+            .exported()
+            .writes(labels::MOBILE, ValueType::Bool)
+            .accepts_param(ParamSpec::number("thresholdDb", 0.5))
     }
 
     fn required(&self, _kb: &KnowledgeBase) -> bool {

@@ -11,8 +11,8 @@ use kalis_packets::icmpv6::Icmpv6Packet;
 use kalis_packets::packet::{NetworkLayer, Transport};
 use kalis_packets::CapturedPacket;
 
-use crate::knowledge::KnowledgeBase;
-use crate::modules::{Module, ModuleCtx, ModuleDescriptor};
+use crate::knowledge::{KnowKey, KnowledgeBase};
+use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ValueType};
 use crate::sensing::labels;
 
 /// How many frames without any forwarding indicator are needed before the
@@ -39,7 +39,7 @@ impl TopologyDiscoveryModule {
 
     fn note_protocol(ctx: &mut ModuleCtx<'_>, proto: &str) {
         ctx.kb
-            .insert(format!("{}.{proto}", labels::PROTOCOL_SEEN), true);
+            .insert(KnowKey::scoped(labels::PROTOCOL_SEEN, proto), true);
     }
 }
 
@@ -48,14 +48,30 @@ impl Module for TopologyDiscoveryModule {
         ModuleDescriptor::sensing("TopologyDiscoveryModule")
     }
 
+    fn contract(&self) -> KnowggetContract {
+        KnowggetContract::new()
+            // Root establishment consults existing knowledge before
+            // writing (first claimant wins, §V sinkhole discussion).
+            .reads(labels::CTP_ROOT, ValueType::Text)
+            .reads(labels::MULTIHOP, ValueType::Bool)
+            .writes(labels::MULTIHOP, ValueType::Bool)
+            .writes(labels::MONITORED_NODES, ValueType::Int)
+            .exported()
+            .writes(labels::CTP_ROOT, ValueType::Text)
+            .writes_family(labels::MEDIUM_SEEN, ValueType::Bool)
+            .writes_family(labels::PROTOCOL_SEEN, ValueType::Bool)
+    }
+
     fn required(&self, _kb: &KnowledgeBase) -> bool {
         true
     }
 
     fn on_packet(&mut self, ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket) {
         self.frames_seen += 1;
-        ctx.kb
-            .insert(format!("{}.{}", labels::MEDIUM_SEEN, packet.medium), true);
+        ctx.kb.insert(
+            KnowKey::scoped(labels::MEDIUM_SEEN, &packet.medium.to_string()),
+            true,
+        );
         let Some(pkt) = packet.decoded() else { return };
 
         if let Some(tx) = pkt.transmitter() {

@@ -7,8 +7,8 @@ use std::time::Duration;
 
 use kalis_packets::{CapturedPacket, Entity, Timestamp, TrafficClass};
 
-use crate::knowledge::KnowledgeBase;
-use crate::modules::{Module, ModuleCtx, ModuleDescriptor};
+use crate::knowledge::{KnowKey, KnowledgeBase};
+use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ParamSpec, ValueType};
 use crate::sensing::labels;
 
 /// The Traffic Statistics sensing module.
@@ -41,7 +41,7 @@ impl TrafficStatsModule {
     }
 
     fn key(class: TrafficClass) -> String {
-        format!("{}.{}", labels::TRAFFIC_FREQUENCY, class.label())
+        KnowKey::scoped(labels::TRAFFIC_FREQUENCY, class.label())
     }
 
     fn publish(&mut self, ctx: &mut ModuleCtx<'_>, now: Timestamp) {
@@ -97,6 +97,15 @@ impl Default for TrafficStatsModule {
 impl Module for TrafficStatsModule {
     fn descriptor(&self) -> ModuleDescriptor {
         ModuleDescriptor::sensing("TrafficStatsModule")
+    }
+
+    fn contract(&self) -> KnowggetContract {
+        KnowggetContract::new()
+            // Operator-facing traffic statistics: exported knowledge even
+            // when no detection module consumes them directly.
+            .writes_family(labels::TRAFFIC_FREQUENCY, ValueType::Float)
+            .exported()
+            .accepts_param(ParamSpec::number("windowSecs", 0.1))
     }
 
     fn required(&self, _kb: &KnowledgeBase) -> bool {

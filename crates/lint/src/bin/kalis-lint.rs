@@ -1,0 +1,107 @@
+//! The `kalis-lint` command: knowgget-contract static analysis.
+//!
+//! ```text
+//! kalis-lint [--json] [--system-only] [CONFIG.kalis ...]
+//! ```
+//!
+//! With no files, only the whole-system contract analysis runs. With
+//! files, each is additionally validated against the module registry.
+//! Exits 1 when any error-severity diagnostic is found (warnings alone
+//! exit 0), 2 on usage or I/O problems.
+
+use std::process::ExitCode;
+
+use kalis_core::modules::ModuleRegistry;
+use kalis_lint::{has_errors, lint_config, lint_system, Diagnostic, Severity};
+
+struct Options {
+    json: bool,
+    system_only: bool,
+    files: Vec<String>,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        system_only: false,
+        files: Vec::new(),
+    };
+    for arg in args {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--system-only" => opts.system_only = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
+            _ => opts.files.push(arg),
+        }
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "usage: kalis-lint [--json] [--system-only] [CONFIG.kalis ...]";
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let registry = ModuleRegistry::with_defaults();
+    // (diagnostic, source text for the caret line, if any)
+    let mut findings: Vec<(Diagnostic, Option<String>)> = lint_system(&registry)
+        .into_iter()
+        .map(|d| (d, None))
+        .collect();
+
+    if !opts.system_only {
+        for file in &opts.files {
+            let text = match std::fs::read_to_string(file) {
+                Ok(text) => text,
+                Err(err) => {
+                    eprintln!("kalis-lint: cannot read {file}: {err}");
+                    return ExitCode::from(2);
+                }
+            };
+            for diag in lint_config(file, &text, &registry) {
+                findings.push((diag, Some(text.clone())));
+            }
+        }
+    }
+
+    let diags: Vec<Diagnostic> = findings.iter().map(|(d, _)| d.clone()).collect();
+    if opts.json {
+        let mut out = String::from("[");
+        for (i, diag) in diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&diag.to_json());
+        }
+        out.push(']');
+        println!("{out}");
+    } else {
+        for (diag, source) in &findings {
+            println!("{}\n", diag.render(source.as_deref()));
+        }
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        let warnings = diags.len() - errors;
+        let scope = if opts.files.is_empty() {
+            "system contracts".to_owned()
+        } else {
+            format!("system contracts + {} config file(s)", opts.files.len())
+        };
+        println!("kalis-lint: {scope}: {errors} error(s), {warnings} warning(s)");
+    }
+
+    if has_errors(&diags) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,56 @@
+//! # kalis-lint
+//!
+//! Knowgget-contract static analysis for the Kalis IDS.
+//!
+//! Kalis activates detection modules from *knowledge*: sensing modules
+//! write knowggets, detection modules subscribe to them. Each module
+//! declares that surface as a [`KnowggetContract`](kalis_core::modules::KnowggetContract);
+//! this crate cross-checks the declarations so broken knowledge edges are
+//! caught in CI rather than as silently-inactive detectors in the field.
+//!
+//! Two analyses:
+//!
+//! * **System** ([`lint_system`]): the whole registered module library at
+//!   once — orphan reads (`KL001`), reader/writer type mismatches
+//!   (`KL002`), near-miss key typos (`KL003`), dead writes (`KL004`),
+//!   conflicting writers (`KL005`), and never-activatable modules
+//!   (`KL006`).
+//! * **Config** ([`lint_config`]): one Fig. 6 configuration file against
+//!   the registry — parse errors (`KL100`), unknown modules (`KL101`),
+//!   bad or unknown parameters (`KL102`/`KL103`), unknown or mistyped
+//!   a-priori knowggets (`KL104`/`KL105`), and reads unsatisfiable
+//!   within the configured module set (`KL106`).
+//!
+//! The `kalis-lint` binary wraps both with rustc-style rendering, a
+//! `--json` mode, and a non-zero exit on errors so CI can gate on it.
+//!
+//! # Examples
+//!
+//! ```
+//! use kalis_core::modules::ModuleRegistry;
+//!
+//! let registry = ModuleRegistry::with_defaults();
+//! // The shipped module library is contract-clean.
+//! assert!(kalis_lint::lint_system(&registry).is_empty());
+//!
+//! // A config with a typo'd a-priori knowgget is caught with a hint.
+//! let diags = kalis_lint::lint_config(
+//!     "net.kalis",
+//!     "modules = { TopologyDiscoveryModule } knowggets = { Mutlihop = true }",
+//!     &registry,
+//! );
+//! assert_eq!(diags[0].code.as_str(), "KL104");
+//! assert!(diags[0].notes[0].contains("Multihop"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod diagnostics;
+pub mod distance;
+mod system;
+
+pub use config::lint_config;
+pub use diagnostics::{has_errors, Code, Diagnostic, Severity};
+pub use system::{lint_system, overlaps, suggestion_candidates, SystemModel, SYSTEM_OWNER};
