@@ -34,6 +34,7 @@ struct Args {
     resilience: bool,
     supervisor: bool,
     extended: bool,
+    tracing_overhead: bool,
     lint: bool,
     symptoms: u32,
     replication_runs: u32,
@@ -52,6 +53,7 @@ fn parse_args() -> Args {
         resilience: false,
         supervisor: false,
         extended: false,
+        tracing_overhead: false,
         lint: false,
         symptoms: 50,
         replication_runs: 10,
@@ -98,6 +100,10 @@ fn parse_args() -> Args {
                 args.extended = true;
                 any = true;
             }
+            "--tracing-overhead" => {
+                args.tracing_overhead = true;
+                any = true;
+            }
             "--lint" => {
                 args.lint = true;
                 any = true;
@@ -126,13 +132,15 @@ fn parse_args() -> Args {
                     iter.next()
                         .unwrap_or_else(|| die("--json needs an output path")),
                 );
-                // The JSON report is built from the Table II run.
+                // The JSON report is built from the Table II run and
+                // carries the tracing-overhead comparison.
                 args.table2 = true;
+                args.tracing_overhead = true;
                 any = true;
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--table1|--fig3|--table2|--fig8|--reactivity|--knowledge-sharing|--resilience|--supervisor|--lint|--all]\n\
+                    "usage: experiments [--table1|--fig3|--table2|--fig8|--reactivity|--knowledge-sharing|--resilience|--supervisor|--tracing-overhead|--lint|--all]\n\
                      \x20                  [--symptoms N] [--replication-runs N] [--seed N] [--json PATH]"
                 );
                 std::process::exit(0);
@@ -158,6 +166,9 @@ fn die(msg: &str) -> ! {
 
 fn main() {
     let args = parse_args();
+    let tracing = args
+        .tracing_overhead
+        .then(|| experiments::run_tracing_overhead(args.seed, args.symptoms.max(50), 3));
 
     if args.lint {
         println!("== kalis-lint: knowgget-contract analysis ==");
@@ -214,7 +225,7 @@ fn main() {
             println!("{}", report::render_telemetry(snapshot));
         }
         if let Some(path) = &args.json {
-            let json = report::bench_json(&table);
+            let json = report::bench_json(&table, tracing.as_ref());
             std::fs::write(path, &json)
                 .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
             println!("wrote {path} ({} bytes)", json.len());
@@ -314,6 +325,10 @@ fn main() {
         #[cfg(not(feature = "telemetry"))]
         println!("(requires the `telemetry` feature)");
         println!();
+    }
+    if let Some(result) = &tracing {
+        println!("== Tracing overhead (seed={}) ==", args.seed);
+        println!("{}", report::render_tracing_overhead(result));
     }
     if args.knowledge_sharing {
         println!("== Knowledge sharing (§VI-D) ==");

@@ -583,12 +583,12 @@ mod resilience {
     use std::time::Duration;
 
     use kalis_core::config::Config;
-    use kalis_core::detection::labels as detect;
     use kalis_core::knowledge::PeerBeacon;
     use kalis_core::{AttackKind, Kalis, KalisId};
     use kalis_netsim::fault::{FaultPlan, FaultWindow, LinkFaults};
-    use kalis_packets::{CapturedPacket, Entity, Medium, ShortAddr, Timestamp};
-    use kalis_telemetry::{names, JournalEvent, JournalSnapshot};
+    use kalis_netsim::wire::Wire;
+    use kalis_packets::{CapturedPacket, Medium, ShortAddr, Timestamp};
+    use kalis_telemetry::{names, AlertProvenance, JournalEvent, JournalSnapshot};
 
     /// Virtual-time step of the harness loop.
     const STEP: Duration = Duration::from_millis(250);
@@ -620,46 +620,26 @@ mod resilience {
         /// Wormhole alerts raised across both nodes (the collaborative
         /// verdict that degraded mode suppresses).
         pub wormhole_alerts: usize,
+        /// Provenance records of those wormhole alerts, captured before
+        /// draining — one per alert, naming the evidence chain across
+        /// both nodes.
+        pub wormhole_provenance: Vec<AlertProvenance>,
         /// Frames the fault plan dropped (loss + partition).
         pub faults_dropped: u64,
         /// Node K2's full event journal, for fine-grained assertions.
         pub journal: JournalSnapshot,
     }
 
-    /// A frame (beacon, sync data, or ack) on the virtual wire.
-    struct InFlight {
-        at: Timestamp,
-        to: u8,
-        bytes: Vec<u8>,
-    }
-
-    /// Route `bytes` from endpoint `from` through the fault plan.
-    fn send(
-        plan: &mut FaultPlan,
-        wire: &mut Vec<InFlight>,
-        from: u8,
-        bytes: &[u8],
-        now: Timestamp,
-    ) {
-        for copy in plan.judge(u32::from(from), u32::from(1 - from), now) {
-            let mut bytes = bytes.to_vec();
-            if copy.corrupt {
-                plan.corrupt_payload(&mut bytes);
-            }
-            wire.push(InFlight {
-                at: now + LINK_DELAY + copy.extra_delay,
-                to: 1 - from,
-                bytes,
-            });
-        }
-    }
-
     /// A Kalis node with chaos-friendly sync tunables carried by the
     /// Fig. 6 config language: a 3-second peer TTL and 1-second beacons
-    /// so health transitions happen within the 90-second run.
+    /// so health transitions happen within the 90-second run, plus full
+    /// trace sampling so every sync contribution carries its origin
+    /// trace across the faulty link.
     fn node(name: &str, extra_knowggets: &str) -> Kalis {
-        let text =
-            format!("knowggets = {{ Sync.PeerTtl = 3, Sync.BeaconInterval = 1{extra_knowggets} }}");
+        let text = format!(
+            "knowggets = {{ Sync.PeerTtl = 3, Sync.BeaconInterval = 1, \
+             Trace.SampleRate = 1{extra_knowggets} }}"
+        );
         let config: Config = text.parse().expect("valid resilience config");
         Kalis::builder(KalisId::new(name))
             .with_config(config)
@@ -677,6 +657,22 @@ mod resilience {
             ShortAddr(origin),
             seq,
             3,
+            b"x",
+        );
+        CapturedPacket::capture(at, Medium::Ieee802154, Some(-50.0), "chaos", raw)
+    }
+
+    /// A CTP data frame from `origin` addressed (MAC-layer) to
+    /// `forwarder`, which the watchdog then expects to overhear being
+    /// relayed — blackhole-evidence traffic when the relay never comes.
+    fn toward(at: Timestamp, forwarder: u16, origin: u16, seq: u8) -> CapturedPacket {
+        let raw = kalis_netsim::craft::ctp_data(
+            ShortAddr(origin),
+            ShortAddr(forwarder),
+            seq,
+            ShortAddr(origin),
+            seq,
+            0,
             b"x",
         );
         CapturedPacket::capture(at, Medium::Ieee802154, Some(-50.0), "chaos", raw)
@@ -713,7 +709,7 @@ mod resilience {
         drop_rate: f64,
         replay_factor: f64,
     ) -> SyncResilienceResult {
-        let mut plan = FaultPlan::new(seed)
+        let plan = FaultPlan::new(seed)
             .with_faults(LinkFaults {
                 drop: drop_rate,
                 duplicate: replay_factor,
@@ -732,29 +728,28 @@ mod resilience {
                     Timestamp::from_secs(PARTITION.1),
                 ),
             );
-        let mut k1 = node("K1", "");
-        // Multihop a-priori knowledge activates the wormhole module on K2
-        // only: the collaborative verdict has a single owner, so replayed
-        // sync frames causing double alerts would be visible.
+        // Multihop a-priori knowledge activates the watchdog detectors on
+        // K1 (so its blackhole module authors the DroppedOrigins evidence
+        // from real overheard traffic, under a causal trace) and the
+        // wormhole correlator on both nodes. Replayed sync frames causing
+        // double alerts remain visible through the replay-vs-control
+        // alert-count comparison.
+        let mut k1 = node("K1", ", Multihop = true");
         let mut k2 = node("K2", ", Multihop = true");
-        let mut wire: Vec<InFlight> = Vec::new();
+        let mut wire = Wire::new(plan, LINK_DELAY);
         let mut fed_exotic = false;
         let mut fed_dropped = false;
         let end = Timestamp::from_secs(RUN_SECS);
         let mut now = Timestamp::ZERO;
         loop {
             // Deliver everything due by `now`, oldest first.
-            wire.sort_by_key(|m| m.at);
-            let due: Vec<InFlight> = wire
-                .drain(..wire.partition_point(|m| m.at <= now))
-                .collect();
-            for msg in due {
+            for msg in wire.due(now) {
                 let node = if msg.to == 0 { &mut k1 } else { &mut k2 };
                 if let Some(beacon) = PeerBeacon::decode(&msg.bytes) {
                     node.observe_beacon(&beacon, now);
                 } else if let Ok(receipt) = node.receive_sync_frame(&msg.bytes, now) {
                     if let Some(reply) = receipt.reply {
-                        send(&mut plan, &mut wire, msg.to, &reply, now);
+                        wire.send(msg.to, 1 - msg.to, &reply, now);
                     }
                 }
                 // Rejected frames (corruption) are already counted in
@@ -769,27 +764,35 @@ mod resilience {
             }
             if !fed_dropped && now >= Timestamp::from_secs(6) {
                 fed_dropped = true;
-                k1.knowledge_mut().insert_about_collective(
-                    detect::DROPPED_ORIGINS,
-                    Entity::from(ShortAddr(10)),
-                    format!("{},{}", ShortAddr(30), ShortAddr(31)),
-                );
+                // K1 overhears traffic from origins 30/31 addressed to
+                // forwarder B1 (node 10), which never relays it: the
+                // watchdog registers the drops and the blackhole module
+                // publishes `DroppedOrigins@10` collectively — a traced
+                // module write, so the evidence carries its origin trace
+                // across the faulty link.
+                for (i, (origin, seq)) in [(30, 1), (30, 2), (30, 3), (31, 1), (31, 2), (31, 3)]
+                    .into_iter()
+                    .enumerate()
+                {
+                    let at = now + Duration::from_millis(10 * i as u64);
+                    k1.ingest(toward(at, 10, origin, seq));
+                }
             }
             // Outbound work: beacons, first transmissions, retransmits,
             // and resync snapshots — all through the fault plan.
             let poll = k1.sync_poll(now);
             if let Some(beacon) = poll.beacon {
-                send(&mut plan, &mut wire, 0, &beacon.encode(), now);
+                wire.send(0, 1, &beacon.encode(), now);
             }
             for frame in &poll.frames {
-                send(&mut plan, &mut wire, 0, &frame.bytes, now);
+                wire.send(0, 1, &frame.bytes, now);
             }
             let poll = k2.sync_poll(now);
             if let Some(beacon) = poll.beacon {
-                send(&mut plan, &mut wire, 1, &beacon.encode(), now);
+                wire.send(1, 0, &beacon.encode(), now);
             }
             for frame in &poll.frames {
-                send(&mut plan, &mut wire, 1, &frame.bytes, now);
+                wire.send(1, 0, &frame.bytes, now);
             }
             k1.tick(now);
             k2.tick(now);
@@ -804,6 +807,18 @@ mod resilience {
         let count_events = |pred: fn(&JournalEvent) -> bool| {
             s2.journal.records.iter().filter(|r| pred(&r.event)).count() as u64
         };
+        // Capture wormhole provenance before draining discards it.
+        let wormhole_provenance: Vec<AlertProvenance> = [&k1, &k2]
+            .into_iter()
+            .flat_map(|node| {
+                node.alerts()
+                    .iter()
+                    .zip(node.alert_provenance())
+                    .filter(|(alert, _)| alert.attack == AttackKind::Wormhole)
+                    .map(|(_, record)| record.clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
         let alerts_k1 = k1.drain_alerts();
         let alerts_k2 = k2.drain_alerts();
         let wormhole_alerts = alerts_k1
@@ -821,7 +836,8 @@ mod resilience {
             queue_overflow_dropped: s1.counter(names::SYNC_QUEUE_DROPPED)
                 + s2.counter(names::SYNC_QUEUE_DROPPED),
             wormhole_alerts,
-            faults_dropped: plan.stats().dropped,
+            wormhole_provenance,
+            faults_dropped: wire.fault_stats().dropped,
             journal: s2.journal.clone(),
         }
     }
@@ -861,5 +877,65 @@ pub fn run_knowledge_sharing(seed: u64, symptoms: u32) -> KnowledgeSharingResult
         collaborative_kinds,
         wormhole_identified,
         score,
+    }
+}
+
+/// The tracing-overhead measurement: identical traffic through a node
+/// with sampling off (the default fast path) and a node at 100%
+/// sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct TracingOverheadResult {
+    /// Packets per run.
+    pub packets: u64,
+    /// Best-of-N throughput with tracing off.
+    pub off_pps: f64,
+    /// Best-of-N throughput at 100% head-based sampling.
+    pub full_pps: f64,
+}
+
+impl TracingOverheadResult {
+    /// Throughput lost to full sampling, as a percentage of the off
+    /// throughput (negative when full sampling measured faster — noise).
+    pub fn overhead_pct(&self) -> f64 {
+        if self.off_pps <= 0.0 {
+            return 0.0;
+        }
+        (self.off_pps - self.full_pps) / self.off_pps * 100.0
+    }
+}
+
+/// Measure ingest throughput with tracing off vs 100% sampling over the
+/// ICMP-flood workload. Each configuration runs `repeats` times on a
+/// fresh node and the best (least-interfered) run wins, criterion-style.
+pub fn run_tracing_overhead(seed: u64, symptoms: u32, repeats: u32) -> TracingOverheadResult {
+    use kalis_telemetry::SampleRate;
+
+    let scenario = Scenario::build(ScenarioKind::IcmpFlood, seed, symptoms);
+    let captures = scenario.captures;
+    let measure = |rate: SampleRate| -> f64 {
+        let mut best_pps = 0.0f64;
+        for _ in 0..repeats.max(1) {
+            let mut kalis = Kalis::builder(KalisId::new("K1"))
+                .with_default_modules()
+                .with_trace_sampling(rate)
+                .build();
+            let start = std::time::Instant::now();
+            for packet in &captures {
+                kalis.ingest(packet.clone());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            // Keep the run honest: the alert stream must not be
+            // optimized away.
+            std::hint::black_box(kalis.alerts().len());
+            if elapsed > 0.0 {
+                best_pps = best_pps.max(captures.len() as f64 / elapsed);
+            }
+        }
+        best_pps
+    };
+    TracingOverheadResult {
+        packets: captures.len() as u64,
+        off_pps: measure(SampleRate::off()),
+        full_pps: measure(SampleRate::full()),
     }
 }

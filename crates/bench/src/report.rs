@@ -6,7 +6,7 @@ use kalis_core::taxonomy::{relation, Feature, Relation};
 use kalis_core::AttackKind;
 use kalis_telemetry::{names, TelemetrySnapshot};
 
-use crate::experiments::{ScenarioResult, Table2};
+use crate::experiments::{ScenarioResult, Table2, TracingOverheadResult};
 
 /// Format a ratio as a percentage.
 pub fn pct(x: f64) -> String {
@@ -216,10 +216,25 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Render the tracing-overhead comparison.
+pub fn render_tracing_overhead(result: &TracingOverheadResult) -> String {
+    format!(
+        "tracing overhead ({} packets, best-of-N):\n\
+         \x20 sampling off  : {:>12.0} pps\n\
+         \x20 sampling 100% : {:>12.0} pps\n\
+         \x20 overhead      : {:>11.2}%\n",
+        result.packets,
+        result.off_pps,
+        result.full_pps,
+        result.overhead_pct(),
+    )
+}
+
 /// Build the machine-readable `BENCH_*.json` report: the Table II rows
 /// plus the full telemetry snapshot of the Kalis run (per-stage latency
-/// histograms, KB churn, activation journal).
-pub fn bench_json(table: &Table2) -> String {
+/// histograms, KB churn, activation journal) and, when measured, the
+/// tracing-overhead comparison.
+pub fn bench_json(table: &Table2, tracing: Option<&TracingOverheadResult>) -> String {
     let mut out = String::from("{\n  \"table2\": [\n");
     let rows = table.rows();
     for (i, row) in rows.iter().enumerate() {
@@ -235,7 +250,19 @@ pub fn bench_json(table: &Table2) -> String {
         ));
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ],\n  \"telemetry\": ");
+    out.push_str("  ],\n  \"tracing_overhead\": ");
+    match tracing {
+        Some(t) => out.push_str(&format!(
+            "{{\"packets\": {}, \"off_pps\": {:.2}, \"full_pps\": {:.2}, \
+             \"overhead_pct\": {:.4}}}",
+            t.packets,
+            t.off_pps,
+            t.full_pps,
+            t.overhead_pct(),
+        )),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\n  \"telemetry\": ");
     let snapshot = table
         .icmp_flood
         .systems

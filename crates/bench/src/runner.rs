@@ -126,11 +126,39 @@ pub fn run_kalis_pair(
     captures_a: &[CapturedPacket],
     captures_b: &[CapturedPacket],
 ) -> (RunOutcome, RunOutcome) {
+    let (mut a, mut b) =
+        run_kalis_pair_nodes(captures_a, captures_b, kalis_telemetry::SampleRate::off());
+    let out_a = RunOutcome {
+        detections: a.drain_alerts().into_iter().map(Detection::from).collect(),
+        meter: a.meter(),
+        revocations: a.response().history().to_vec(),
+        telemetry: Some(a.telemetry().snapshot()),
+    };
+    let out_b = RunOutcome {
+        detections: b.drain_alerts().into_iter().map(Detection::from).collect(),
+        meter: b.meter(),
+        revocations: b.response().history().to_vec(),
+        telemetry: Some(b.telemetry().snapshot()),
+    };
+    (out_a, out_b)
+}
+
+/// Same collaborative run as [`run_kalis_pair`], but returns the nodes
+/// themselves (alerts undrained) so callers can inspect alert
+/// provenance, traces, and knowledge state — with causal tracing at the
+/// given sample rate on both vantage points.
+pub fn run_kalis_pair_nodes(
+    captures_a: &[CapturedPacket],
+    captures_b: &[CapturedPacket],
+    sampling: kalis_telemetry::SampleRate,
+) -> (Kalis, Kalis) {
     let mut a = Kalis::builder(KalisId::new("K1"))
         .with_default_modules()
+        .with_trace_sampling(sampling)
         .build();
     let mut b = Kalis::builder(KalisId::new("K2"))
         .with_default_modules()
+        .with_trace_sampling(sampling)
         .build();
     let channel = XorChannel::new(0x6b616c6973);
     // Discovery-through-advertisement (paper §V): each node learns of the
@@ -196,19 +224,7 @@ pub fn run_kalis_pair(
         + Duration::from_secs(2);
     a.tick(end);
     b.tick(end);
-    let out_a = RunOutcome {
-        detections: a.drain_alerts().into_iter().map(Detection::from).collect(),
-        meter: a.meter(),
-        revocations: a.response().history().to_vec(),
-        telemetry: Some(a.telemetry().snapshot()),
-    };
-    let out_b = RunOutcome {
-        detections: b.drain_alerts().into_iter().map(Detection::from).collect(),
-        meter: b.meter(),
-        revocations: b.response().history().to_vec(),
-        telemetry: Some(b.telemetry().snapshot()),
-    };
-    (out_a, out_b)
+    (a, b)
 }
 
 fn exchange(a: &mut Kalis, b: &mut Kalis, channel: &XorChannel) {

@@ -123,6 +123,10 @@ pub struct Alert {
     pub suspects: Vec<Entity>,
     /// Free-form supporting evidence.
     pub details: String,
+    /// The causal trace this alert was raised under (0 = untraced, e.g.
+    /// sampling was off for the triggering packet).
+    #[serde(default)]
+    pub trace_id: u64,
 }
 
 impl Alert {
@@ -136,6 +140,7 @@ impl Alert {
             victim: None,
             suspects: Vec::new(),
             details: String::new(),
+            trace_id: 0,
         }
     }
 
@@ -166,6 +171,12 @@ impl Alert {
     /// Set the details text.
     pub fn with_details(mut self, details: impl Into<String>) -> Self {
         self.details = details.into();
+        self
+    }
+
+    /// Stamp the causal trace the alert was raised under.
+    pub fn with_trace(mut self, trace_id: u64) -> Self {
+        self.trace_id = trace_id;
         self
     }
 }

@@ -29,6 +29,10 @@ pub enum KalisEvent {
         value: KnowValue,
         /// Whether the knowgget was removed.
         removed: bool,
+        /// Causal trace the write belongs to (0 = untraced), so
+        /// subscribers can correlate knowledge churn with the packet
+        /// that caused it.
+        trace_id: u64,
     },
     /// The Module Manager changed the active module set.
     ModulesReconfigured {
@@ -140,6 +144,7 @@ mod tests {
             key: KnowKey::new(KalisId::new("K1"), "Multihop"),
             value: KnowValue::Bool(true),
             removed: false,
+            trace_id: 7,
         });
         let got = handle.join().unwrap();
         assert!(matches!(got, KalisEvent::KnowledgeChanged { .. }));

@@ -7,7 +7,7 @@ use kalis_packets::Entity;
 
 use crate::id::KalisId;
 
-use super::{KnowKey, KnowValue, Knowgget};
+use super::{KnowKey, KnowValue, Knowgget, KnowggetOrigin};
 
 #[cfg(feature = "telemetry")]
 use kalis_telemetry::{metric_name, names, Counter, Gauge, Telemetry};
@@ -39,6 +39,8 @@ pub struct ChangeEvent {
     pub value: KnowValue,
     /// Whether the knowgget was removed.
     pub removed: bool,
+    /// Causal trace the write belongs to (0 = untraced).
+    pub trace_id: u64,
 }
 
 /// The centralized store of knowggets for one Kalis node.
@@ -69,6 +71,17 @@ pub struct KnowledgeBase {
     dirty_collective: BTreeSet<String>,
     changes: Vec<ChangeEvent>,
     revision: u64,
+    /// Write provenance per encoded key: which module last changed the
+    /// value, and under which trace. Only updated when the stored value
+    /// actually changes, so replayed/duplicated writes cannot churn the
+    /// recorded provenance.
+    attribution: BTreeMap<String, KnowggetOrigin>,
+    /// The module currently dispatching (set by the Module Manager
+    /// around each callback); empty = operator/config/embedder write.
+    writer: String,
+    /// The trace context of the packet/tick being dispatched
+    /// (`(trace_id, span_id)`; zeros = untraced).
+    trace: (u64, u32),
     #[cfg(feature = "telemetry")]
     stats: Option<KbStats>,
 }
@@ -83,6 +96,9 @@ impl KnowledgeBase {
             dirty_collective: BTreeSet::new(),
             changes: Vec::new(),
             revision: 0,
+            attribution: BTreeMap::new(),
+            writer: String::new(),
+            trace: (0, 0),
             #[cfg(feature = "telemetry")]
             stats: None,
         }
@@ -161,6 +177,17 @@ impl KnowledgeBase {
     }
 
     fn set_raw(&mut self, key: KnowKey, value: KnowValue, collective: bool) -> bool {
+        let origin = self.current_origin();
+        self.set_raw_with_origin(key, value, collective, origin)
+    }
+
+    fn set_raw_with_origin(
+        &mut self,
+        key: KnowKey,
+        value: KnowValue,
+        collective: bool,
+        origin: Option<KnowggetOrigin>,
+    ) -> bool {
         let encoded = key.encode();
         let wire = value.to_wire();
         let changed = self.entries.get(&encoded) != Some(&wire);
@@ -168,6 +195,18 @@ impl KnowledgeBase {
             self.collective.insert(encoded.clone());
         }
         if changed {
+            let trace_id = origin.as_ref().map_or(0, |o| o.trace_id);
+            // Provenance follows the value: only a *real* change
+            // re-attributes the knowgget (duplicated sync frames and
+            // idempotent re-writes leave it untouched).
+            match origin {
+                Some(o) => {
+                    self.attribution.insert(encoded.clone(), o);
+                }
+                None => {
+                    self.attribution.remove(&encoded);
+                }
+            }
             self.entries.insert(encoded.clone(), wire);
             self.revision += 1;
             if self.collective.contains(&encoded) {
@@ -177,10 +216,61 @@ impl KnowledgeBase {
                 key,
                 value,
                 removed: false,
+                trace_id,
             });
             self.note_churn();
         }
         true
+    }
+
+    /// The origin the next local write will be attributed to, from the
+    /// ambient writer/trace set by the dispatch loop.
+    fn current_origin(&self) -> Option<KnowggetOrigin> {
+        if self.writer.is_empty() && self.trace == (0, 0) {
+            return None;
+        }
+        Some(KnowggetOrigin {
+            module: self.writer.clone(),
+            trace_id: self.trace.0,
+            span_id: self.trace.1,
+        })
+    }
+
+    /// Declare the module about to perform writes (called by the Module
+    /// Manager around each dispatch). Empty string = no module
+    /// (operator/config writes).
+    pub fn set_writer(&mut self, module: &str) {
+        if self.writer != module {
+            self.writer.clear();
+            self.writer.push_str(module);
+        }
+    }
+
+    /// Clear the ambient writer attribution.
+    pub fn clear_writer(&mut self) {
+        self.writer.clear();
+    }
+
+    /// Declare the trace context writes should be attributed to
+    /// (`(0, 0)` = untraced).
+    pub fn set_trace(&mut self, trace_id: u64, span_id: u32) {
+        self.trace = (trace_id, span_id);
+    }
+
+    /// Clear the ambient trace attribution.
+    pub fn clear_trace(&mut self) {
+        self.trace = (0, 0);
+    }
+
+    /// Write provenance for an encoded key (`creator$label@entity`), if
+    /// any was recorded.
+    pub fn origin_of_encoded(&self, encoded: &str) -> Option<&KnowggetOrigin> {
+        self.attribution.get(encoded)
+    }
+
+    /// Write provenance for a key, if any was recorded.
+    pub fn origin_of(&self, key: &KnowKey) -> Option<&KnowggetOrigin> {
+        self.attribution.get(&key.encode())
     }
 
     /// Insert or update a local network-level knowgget. Returns whether
@@ -255,10 +345,12 @@ impl KnowledgeBase {
             self.revision += 1;
             self.collective.remove(&encoded);
             self.dirty_collective.remove(&encoded);
+            self.attribution.remove(&encoded);
             self.changes.push(ChangeEvent {
                 key,
                 value: KnowValue::from_wire(&old),
                 removed: true,
+                trace_id: self.trace.0,
             });
             self.note_churn();
             true
@@ -357,6 +449,7 @@ impl KnowledgeBase {
                 value: KnowValue::from_wire(w),
                 creator: key.creator,
                 entity: key.entity,
+                origin: self.attribution.get(k).cloned(),
             })
         })
     }
@@ -403,6 +496,7 @@ impl KnowledgeBase {
                     value: KnowValue::from_wire(wire),
                     creator: key.creator,
                     entity: key.entity,
+                    origin: self.attribution.get(&encoded).cloned(),
                 })
             })
             .collect()
@@ -422,6 +516,7 @@ impl KnowledgeBase {
                     value: KnowValue::from_wire(wire),
                     creator: key.creator,
                     entity: key.entity,
+                    origin: self.attribution.get(encoded).cloned(),
                 })
             })
             .collect()
@@ -450,7 +545,10 @@ impl KnowledgeBase {
         }
         let key = knowgget.key();
         let before = self.revision;
-        self.set_raw(key, knowgget.value, false);
+        // A remote knowgget carries its own provenance (or none, for
+        // peers predating the provenance wire extension) — never the
+        // local ambient writer.
+        self.set_raw_with_origin(key, knowgget.value, false, knowgget.origin);
         Ok(self.revision != before)
     }
 }
@@ -601,6 +699,73 @@ mod tests {
         let empty = kb.state_bytes();
         kb.insert("TrafficFrequency.TCPSYN", 0.037);
         assert!(kb.state_bytes() > empty);
+    }
+
+    #[test]
+    fn writes_are_attributed_to_the_ambient_writer_and_trace() {
+        let mut kb = kb();
+        kb.set_writer("TopologyModule");
+        kb.set_trace(0xABCD, 7);
+        kb.insert("Multihop", true);
+        let key = KnowKey::new(KalisId::new("K1"), "Multihop");
+        let origin = kb.origin_of(&key).expect("attributed");
+        assert_eq!(origin.module, "TopologyModule");
+        assert_eq!(origin.trace_id, 0xABCD);
+        assert_eq!(origin.span_id, 7);
+        // Idempotent re-write under a different trace keeps the original
+        // attribution: provenance follows the value.
+        kb.set_trace(0xEEEE, 9);
+        kb.insert("Multihop", true);
+        assert_eq!(kb.origin_of(&key).unwrap().trace_id, 0xABCD);
+        // A real change re-attributes.
+        kb.insert("Multihop", false);
+        assert_eq!(kb.origin_of(&key).unwrap().trace_id, 0xEEEE);
+        // Operator writes (no writer, no trace) clear the attribution.
+        kb.clear_writer();
+        kb.clear_trace();
+        kb.insert("Multihop", true);
+        assert!(kb.origin_of(&key).is_none());
+        // iter() carries the recorded origin on each knowgget.
+        kb.set_writer("MobilityModule");
+        kb.insert("Mobile", true);
+        let got = kb
+            .iter()
+            .find(|k| k.label == "Mobile")
+            .expect("knowgget present");
+        assert_eq!(got.origin.as_ref().unwrap().module, "MobilityModule");
+    }
+
+    #[test]
+    fn remote_origin_rides_the_knowgget_not_the_local_writer() {
+        let mut kb = kb();
+        kb.set_writer("LocalModule");
+        let k2 = KalisId::new("K2");
+        let remote = Knowgget::new("Multihop", KnowValue::Bool(true), k2.clone()).with_origin(
+            KnowggetOrigin {
+                module: "TrafficModule".into(),
+                trace_id: 42,
+                span_id: 3,
+            },
+        );
+        kb.accept_remote(&k2, remote.clone()).unwrap();
+        let key = KnowKey::new(k2.clone(), "Multihop");
+        let origin = kb.origin_of(&key).expect("remote origin stored");
+        assert_eq!(origin.module, "TrafficModule");
+        assert_eq!(origin.trace_id, 42);
+        // A duplicated frame (same value) must not churn provenance.
+        let dup = remote.with_origin(KnowggetOrigin {
+            module: "Imposter".into(),
+            trace_id: 99,
+            span_id: 1,
+        });
+        kb.accept_remote(&k2, dup).unwrap();
+        assert_eq!(kb.origin_of(&key).unwrap().module, "TrafficModule");
+        // Removal drops the attribution entry alongside the value.
+        kb.set_writer("");
+        kb.insert("Gone", 1i64);
+        kb.remove("Gone");
+        let gone = KnowKey::new(KalisId::new("K1"), "Gone");
+        assert!(kb.origin_of(&gone).is_none());
     }
 
     #[test]

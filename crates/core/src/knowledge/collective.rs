@@ -14,17 +14,18 @@ use kalis_packets::Entity;
 
 use crate::id::KalisId;
 
-use super::{KnowValue, Knowgget};
+use super::{KnowValue, Knowgget, KnowggetOrigin};
 
 /// Upper bound on knowggets per sync message. Senders chunk larger
 /// batches; receivers reject anything claiming more — a hostile length
 /// field must never drive allocation.
 pub const MAX_SYNC_KNOWGGETS: usize = 512;
 
-/// Minimum encoded size of one knowgget (four empty length-prefixed
-/// strings), used to sanity-check a declared count against the actual
-/// payload size before allocating.
-const MIN_KNOWGGET_WIRE: usize = 8;
+/// Minimum encoded size of one knowgget (six empty length-prefixed
+/// strings: label, value, creator, entity, origin module, trace), used to
+/// sanity-check a declared count against the actual payload size before
+/// allocating.
+const MIN_KNOWGGET_WIRE: usize = 12;
 
 /// A batch of collective knowggets announced by one Kalis node.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +67,29 @@ impl SyncMessage {
         Some(s)
     }
 
+    /// Wire form of a knowgget's trace attribution: `trace_id:span_id`
+    /// in decimal, or empty when untraced.
+    fn trace_wire(origin: Option<&KnowggetOrigin>) -> String {
+        match origin {
+            Some(o) if o.trace_id != 0 || o.span_id != 0 => format!("{}:{}", o.trace_id, o.span_id),
+            _ => String::new(),
+        }
+    }
+
+    /// Parse the `trace_id:span_id` wire form back; empty means
+    /// untraced. Anything else malformed is a hostile frame.
+    fn parse_trace_wire(s: &str) -> Result<(u64, u32), String> {
+        if s.is_empty() {
+            return Ok((0, 0));
+        }
+        let (id, span) = s
+            .split_once(':')
+            .ok_or_else(|| format!("malformed trace `{s}`"))?;
+        let trace_id: u64 = id.parse().map_err(|_| format!("malformed trace `{s}`"))?;
+        let span_id: u32 = span.parse().map_err(|_| format!("malformed trace `{s}`"))?;
+        Ok((trace_id, span_id))
+    }
+
     /// Plaintext wire size in bytes (what [`SyncMessage::seal`] encodes
     /// before the channel adds its own overhead) — the basis of the
     /// sync-traffic byte counters.
@@ -76,6 +100,8 @@ impl SyncMessage {
             len += 2 + k.value.to_wire().len();
             len += 2 + k.creator.as_str().len();
             len += 2 + k.entity.as_ref().map_or(0, |e| e.as_str().len());
+            len += 2 + k.origin.as_ref().map_or(0, |o| o.module.len());
+            len += 2 + Self::trace_wire(k.origin.as_ref()).len();
         }
         len
     }
@@ -93,6 +119,11 @@ impl SyncMessage {
             Self::put_str(&mut plain, &k.value.to_wire());
             Self::put_str(&mut plain, k.creator.as_str());
             Self::put_str(&mut plain, k.entity.as_ref().map_or("", |e| e.as_str()));
+            Self::put_str(
+                &mut plain,
+                k.origin.as_ref().map_or("", |o| o.module.as_str()),
+            );
+            Self::put_str(&mut plain, &Self::trace_wire(k.origin.as_ref()));
         }
         plain
     }
@@ -130,6 +161,8 @@ impl SyncMessage {
             let value = Self::get_str(plain, &mut pos).ok_or("truncated value")?;
             let creator = Self::get_str(plain, &mut pos).ok_or("truncated creator")?;
             let entity = Self::get_str(plain, &mut pos).ok_or("truncated entity")?;
+            let origin_module = Self::get_str(plain, &mut pos).ok_or("truncated origin")?;
+            let trace = Self::get_str(plain, &mut pos).ok_or("truncated trace")?;
             if label.is_empty() || creator.is_empty() {
                 return Err("empty label or creator".to_owned());
             }
@@ -141,11 +174,20 @@ impl SyncMessage {
             if entity.contains(['$', '@']) {
                 return Err(format!("entity `{entity}` contains key delimiters"));
             }
+            let (trace_id, span_id) = Self::parse_trace_wire(&trace)?;
+            let origin = (!origin_module.is_empty() || trace_id != 0 || span_id != 0).then_some(
+                KnowggetOrigin {
+                    module: origin_module,
+                    trace_id,
+                    span_id,
+                },
+            );
             knowggets.push(Knowgget {
                 label,
                 value: KnowValue::from_wire(&value),
                 creator: KalisId::try_new(creator)?,
                 entity: (!entity.is_empty()).then(|| Entity::new(entity)),
+                origin,
             });
         }
         Ok(SyncMessage { from, knowggets })
@@ -250,7 +292,12 @@ mod tests {
                     KnowValue::Float(-84.5),
                     KalisId::new("K2"),
                     Entity::new("SensorA"),
-                ),
+                )
+                .with_origin(KnowggetOrigin {
+                    module: "SignalStrengthModule".into(),
+                    trace_id: 0x1234_5678_9abc_def0,
+                    span_id: 17,
+                }),
             ],
         )
     }
@@ -341,6 +388,53 @@ mod tests {
         plain.resize(plain.len() + (MAX_SYNC_KNOWGGETS + 1) * 8, 0);
         let err = SyncMessage::open(&channel.seal(&plain), &channel).unwrap_err();
         assert!(err.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn origin_and_trace_survive_the_wire() {
+        let channel = XorChannel::new(11);
+        let msg = sample_message();
+        let back = SyncMessage::open(&msg.seal(&channel), &channel).unwrap();
+        assert_eq!(back.knowggets[0].origin, None, "untraced stays untraced");
+        let origin = back.knowggets[1].origin.as_ref().expect("origin carried");
+        assert_eq!(origin.module, "SignalStrengthModule");
+        assert_eq!(origin.trace_id, 0x1234_5678_9abc_def0);
+        assert_eq!(origin.span_id, 17);
+        // A module-only origin (untraced write) also survives.
+        let msg = SyncMessage::new(
+            KalisId::new("K2"),
+            vec![
+                Knowgget::new("Mobile", KnowValue::Bool(true), KalisId::new("K2")).with_origin(
+                    KnowggetOrigin {
+                        module: "MobilityModule".into(),
+                        trace_id: 0,
+                        span_id: 0,
+                    },
+                ),
+            ],
+        );
+        let back = SyncMessage::open(&msg.seal(&channel), &channel).unwrap();
+        let origin = back.knowggets[0].origin.as_ref().unwrap();
+        assert_eq!(origin.module, "MobilityModule");
+        assert_eq!((origin.trace_id, origin.span_id), (0, 0));
+    }
+
+    #[test]
+    fn malformed_trace_wire_is_rejected() {
+        let channel = XorChannel::new(13);
+        for hostile in ["no-colon", "12:", ":7", "x:y", "-1:2", "1:2:3"] {
+            let mut plain = Vec::new();
+            SyncMessage::put_str(&mut plain, "K2");
+            plain.extend_from_slice(&1u16.to_be_bytes());
+            SyncMessage::put_str(&mut plain, "Mobile");
+            SyncMessage::put_str(&mut plain, "true");
+            SyncMessage::put_str(&mut plain, "K2");
+            SyncMessage::put_str(&mut plain, "");
+            SyncMessage::put_str(&mut plain, "M");
+            SyncMessage::put_str(&mut plain, hostile);
+            let err = SyncMessage::open(&channel.seal(&plain), &channel).unwrap_err();
+            assert!(err.contains("malformed trace"), "{hostile}: {err}");
+        }
     }
 
     #[test]

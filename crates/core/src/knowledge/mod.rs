@@ -50,6 +50,28 @@ pub struct Knowgget {
     pub creator: KalisId,
     /// The monitored entity this knowgget is about, if any.
     pub entity: Option<Entity>,
+    /// Provenance of the write that produced the current value: the
+    /// module that wrote it and the trace it was written under. Absent
+    /// for operator/config-seeded knowledge and for peers that predate
+    /// the provenance wire extension (the creator field already names
+    /// the originating node).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub origin: Option<KnowggetOrigin>,
+}
+
+/// Who wrote a knowgget's current value, and under which trace.
+///
+/// `trace_id == 0` means the write was untraced (sampling off); the
+/// origin still names the writing module. The originating *node* is the
+/// knowgget's `creator`, so it is not repeated here.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct KnowggetOrigin {
+    /// The module that performed the write (empty for operator/config).
+    pub module: String,
+    /// The trace the write happened under (0 = untraced).
+    pub trace_id: u64,
+    /// The span within the trace (0 = untraced).
+    pub span_id: u32,
 }
 
 impl Knowgget {
@@ -60,6 +82,7 @@ impl Knowgget {
             value,
             creator,
             entity: None,
+            origin: None,
         }
     }
 
@@ -75,7 +98,14 @@ impl Knowgget {
             value,
             creator,
             entity: Some(entity),
+            origin: None,
         }
+    }
+
+    /// Attach write provenance.
+    pub fn with_origin(mut self, origin: KnowggetOrigin) -> Self {
+        self.origin = Some(origin);
+        self
     }
 
     /// The encoded key for this knowgget.

@@ -64,9 +64,12 @@ pub mod taxonomy;
 pub use alert::{Alert, AttackKind, Severity};
 pub use error::KalisError;
 pub use id::KalisId;
+pub use kalis_telemetry::{
+    AlertProvenance, EvidenceKnowgget, PacketRef, SampleRate, TraceContext, TraceRef, Tracer,
+};
 pub use knowledge::{
-    CollectiveSync, KnowKey, KnowValue, Knowgget, KnowledgeBase, PeerHealth, SyncConfig,
-    DEGRADED_LABEL,
+    CollectiveSync, KnowKey, KnowValue, Knowgget, KnowggetOrigin, KnowledgeBase, PeerHealth,
+    SyncConfig, DEGRADED_LABEL,
 };
 pub use modules::{KeyPattern, KeyUse, KnowggetContract, ParamSpec, ValueType};
 pub use node::{system_contract, Kalis, KalisBuilder, SyncPoll, SyncReceipt};

@@ -169,6 +169,11 @@ pub struct KeyUse {
     /// pass must not flag it as a dead write even when no module reads
     /// it back.
     pub exported: bool,
+    /// Inclusive lower bound for numeric reads (config knobs);
+    /// `kalis-lint` checks configured a-priori values against it.
+    pub min: Option<f64>,
+    /// Inclusive upper bound for numeric reads.
+    pub max: Option<f64>,
 }
 
 impl KeyUse {
@@ -180,6 +185,8 @@ impl KeyUse {
             per_entity: false,
             collective: false,
             exported: false,
+            min: None,
+            max: None,
         }
     }
 }
@@ -319,6 +326,18 @@ impl KnowggetContract {
         self
     }
 
+    /// Constrain the most recently declared *read* to an inclusive
+    /// numeric range. Intended for configuration knobs
+    /// (`Trace.SampleRate` ∈ [0, 1]): `kalis-lint` checks configured
+    /// a-priori values against the range.
+    pub fn bounded(mut self, min: f64, max: f64) -> Self {
+        if let Some(last) = self.reads.last_mut() {
+            last.min = Some(min);
+            last.max = Some(max);
+        }
+        self
+    }
+
     /// Declare an accepted constructor parameter.
     pub fn accepts_param(mut self, spec: ParamSpec) -> Self {
         self.params.push(spec);
@@ -389,12 +408,17 @@ mod tests {
         let c = KnowggetContract::new()
             .reads_activation("Mobile", ValueType::Bool)
             .reads_collective("DroppedOrigins", ValueType::Text)
+            .reads("Trace.SampleRate", ValueType::Float)
+            .bounded(0.0, 1.0)
             .writes_collective("ExoticOrigins", ValueType::Text)
             .writes("Multihop", ValueType::Bool)
             .exported()
             .accepts_param(ParamSpec::number("threshold", 1.0));
         assert!(c.reads[0].activation && !c.reads[0].collective);
         assert!(c.reads[1].collective && c.reads[1].per_entity);
+        assert_eq!(c.reads[2].min, Some(0.0));
+        assert_eq!(c.reads[2].max, Some(1.0));
+        assert_eq!(c.reads[0].min, None, "bounds land only where declared");
         assert!(c.writes[0].collective && c.writes[0].per_entity);
         assert!(c.writes[1].exported);
         assert_eq!(c.params[0].name, "threshold");

@@ -426,6 +426,9 @@ impl ModuleManager {
                     }
                 }
             }
+            // Attribute KB writes from the callback to this module, so
+            // alert provenance can name who produced each knowgget.
+            ctx.kb.set_writer(descriptor.name);
             let result = {
                 let module = &mut slot.module;
                 catch_unwind(AssertUnwindSafe(|| module.on_packet(ctx, packet)))
@@ -516,6 +519,7 @@ impl ModuleManager {
                 }
             }
         }
+        ctx.kb.clear_writer();
         self.stats.panics += outcome.modules_panicked;
         self.stats.sheds += outcome.modules_shed;
         self.stats.overruns += overruns;
@@ -567,8 +571,8 @@ impl ModuleManager {
                     continue;
                 }
             }
-            #[cfg(feature = "telemetry")]
             let descriptor = slot.module.descriptor();
+            ctx.kb.set_writer(descriptor.name);
             let result = {
                 let module = &mut slot.module;
                 catch_unwind(AssertUnwindSafe(|| module.on_tick(ctx)))
@@ -653,6 +657,7 @@ impl ModuleManager {
                 }
             }
         }
+        ctx.kb.clear_writer();
         self.stats.panics += outcome.modules_panicked;
         self.stats.overruns += overruns;
         self.stats.quarantines += quarantine_flips;
@@ -666,6 +671,25 @@ impl ModuleManager {
         #[cfg(not(feature = "telemetry"))]
         let _ = quarantine_releases;
         outcome
+    }
+
+    /// The declared knowgget contract of the named module, if loaded —
+    /// how the provenance assembler knows which KB keys an alerting
+    /// module consulted.
+    pub fn contract_of(&self, name: &str) -> Option<super::KnowggetContract> {
+        self.slots
+            .iter()
+            .find(|s| s.module.descriptor().name == name)
+            .map(|s| s.module.contract())
+    }
+
+    /// Whether the named module is currently active — recorded into an
+    /// alert's provenance as the activation state that made the module
+    /// eligible to raise it.
+    pub fn is_active(&self, name: &str) -> bool {
+        self.slots.iter().any(|s| {
+            s.active && !s.supervision.is_quarantined() && s.module.descriptor().name == name
+        })
     }
 
     /// Number of modules currently active (quarantined modules are not

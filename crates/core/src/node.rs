@@ -7,7 +7,10 @@ use std::time::Duration;
 
 use kalis_packets::{CapturedPacket, Entity, Timestamp};
 
-use kalis_telemetry::Telemetry;
+use kalis_telemetry::{
+    AlertProvenance, EvidenceKnowgget, PacketRef, SampleRate, Telemetry, TraceContext, TraceRef,
+    Tracer, DEFAULT_TRACE_CAPACITY, ROOT_SPAN, SAMPLE_SCALE,
+};
 
 #[cfg(feature = "telemetry")]
 use kalis_telemetry::{metric_name, names, Counter, Gauge, Histogram, JournalEvent};
@@ -21,13 +24,13 @@ use crate::id::KalisId;
 #[cfg(feature = "telemetry")]
 use crate::knowledge::ChangeEvent;
 use crate::knowledge::{
-    CollectiveSync, KnowValue, KnowledgeBase, PeerBeacon, PeerHealth, ReceiptKind, SecureChannel,
-    SyncConfig, SyncEvent, SyncMessage, SyncTransmit, XorChannel, DEGRADED_LABEL,
+    CollectiveSync, KnowKey, KnowValue, KnowledgeBase, PeerBeacon, PeerHealth, ReceiptKind,
+    SecureChannel, SyncConfig, SyncEvent, SyncMessage, SyncTransmit, XorChannel, DEGRADED_LABEL,
 };
 use crate::metrics::ResourceMeter;
 use crate::modules::{
-    Module, ModuleCtx, ModuleHealth, ModuleManager, ModuleRegistry, OverloadController, ShedMode,
-    SupervisorConfig,
+    KeyPattern, KeyUse, Module, ModuleCtx, ModuleHealth, ModuleManager, ModuleRegistry,
+    OverloadController, ShedMode, SupervisorConfig,
 };
 use crate::response::ResponseEngine;
 use crate::store::{DataStore, WindowConfig};
@@ -56,6 +59,12 @@ pub const SUPERVISOR_BUDGET_MS_KEY: &str = "Supervisor.BudgetMs";
 /// which overload shedding engages.
 pub const SUPERVISOR_BURST_PPS_KEY: &str = "Supervisor.BurstPps";
 
+/// A-priori knowgget key: head-based causal-trace sampling rate, a
+/// fraction in `[0, 1]` of ingested packets whose causal chain (module
+/// dispatch, knowledge writes, alerts, sync contributions) is recorded.
+/// `0` (the default) disables tracing entirely.
+pub const TRACE_SAMPLE_RATE_KEY: &str = "Trace.SampleRate";
+
 /// The node's own knowgget contract — the keys [`KalisBuilder::try_build`]
 /// and the sync engine touch outside any module: the sync/supervisor
 /// tuning knobs (read from a-priori configuration) and the `DegradedMode`
@@ -70,6 +79,8 @@ pub fn system_contract() -> crate::modules::KnowggetContract {
         .reads(SUPERVISOR_PANIC_LIMIT_KEY, ValueType::Int)
         .reads(SUPERVISOR_BUDGET_MS_KEY, ValueType::Int)
         .reads(SUPERVISOR_BURST_PPS_KEY, ValueType::Int)
+        .reads(TRACE_SAMPLE_RATE_KEY, ValueType::Float)
+        .bounded(0.0, 1.0)
         .writes(DEGRADED_LABEL, ValueType::Bool)
 }
 
@@ -101,6 +112,8 @@ pub struct KalisBuilder {
     sync_config: Option<SyncConfig>,
     sync_channel: Option<Box<dyn SecureChannel>>,
     supervisor_config: Option<SupervisorConfig>,
+    trace_sampling: Option<SampleRate>,
+    trace_capacity: Option<usize>,
 }
 
 impl KalisBuilder {
@@ -117,6 +130,8 @@ impl KalisBuilder {
             sync_config: None,
             sync_channel: None,
             supervisor_config: None,
+            trace_sampling: None,
+            trace_capacity: None,
         }
     }
 
@@ -189,6 +204,22 @@ impl KalisBuilder {
         self
     }
 
+    /// Set the head-based causal-trace sampling rate. The
+    /// `Trace.SampleRate` a-priori knowgget (a fraction in `[0, 1]`)
+    /// still takes precedence. The default is sampling off, which keeps
+    /// the per-packet tracing cost to a single atomic load.
+    pub fn with_trace_sampling(mut self, rate: SampleRate) -> Self {
+        self.trace_sampling = Some(rate);
+        self
+    }
+
+    /// Override the bounded trace-buffer capacity (events retained;
+    /// oldest are dropped and counted beyond it).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
     /// Build, surfacing configuration problems.
     ///
     /// # Errors
@@ -236,6 +267,22 @@ impl KalisBuilder {
         if let Some(pps) = positive_knowgget(SUPERVISOR_BURST_PPS_KEY) {
             supervisor_config.burst_pps = pps as u64;
         }
+        // The tracing knob rides the config language the same way; only
+        // fractions in [0, 1] are honored (kalis-lint flags the rest).
+        let tracer = Arc::new(Tracer::new(
+            self.trace_capacity.unwrap_or(DEFAULT_TRACE_CAPACITY),
+        ));
+        let sample_rate = self
+            .config
+            .knowggets
+            .iter()
+            .find(|(key, _)| key == TRACE_SAMPLE_RATE_KEY)
+            .and_then(|(_, value)| value.as_f64())
+            .filter(|fraction| (0.0..=1.0).contains(fraction))
+            .map(SampleRate::from_fraction)
+            .or(self.trace_sampling)
+            .unwrap_or_else(SampleRate::off);
+        tracer.set_sample_rate(sample_rate);
         for (key, value) in &self.config.knowggets {
             // Config keys may carry an `@entity` suffix but never a
             // creator (paper §IV-B3).
@@ -299,6 +346,11 @@ impl KalisBuilder {
             manager,
             alerts: Vec::new(),
             pending_alert_cursor: 0,
+            provenance: Vec::new(),
+            tracer,
+            ingest_seq: 0,
+            current_trace: TraceContext::none(),
+            current_packet_seq: None,
             #[cfg(not(feature = "telemetry"))]
             meter: ResourceMeter::new(),
             response: ResponseEngine::new(),
@@ -349,6 +401,8 @@ struct NodeStats {
     peers_dead: Arc<Gauge>,
     degraded: Arc<Gauge>,
     pipeline_degraded: Arc<Gauge>,
+    trace_sampled: Arc<Counter>,
+    trace_dropped: Arc<Gauge>,
 }
 
 #[cfg(feature = "telemetry")]
@@ -376,6 +430,8 @@ impl NodeStats {
             peers_dead: registry.gauge(names::PEERS_DEAD),
             degraded: registry.gauge(names::DEGRADED_MODE),
             pipeline_degraded: registry.gauge(names::PIPELINE_DEGRADED),
+            trace_sampled: registry.counter(names::TRACE_SAMPLED),
+            trace_dropped: registry.gauge(names::TRACE_DROPPED),
         }
     }
 }
@@ -418,6 +474,17 @@ pub struct Kalis {
     manager: ModuleManager,
     alerts: Vec<Alert>,
     pending_alert_cursor: usize,
+    /// Provenance records parallel to `alerts` (one per alert, assembled
+    /// at emission time).
+    provenance: Vec<AlertProvenance>,
+    tracer: Arc<Tracer>,
+    /// Monotonic ingest counter seeding deterministic trace ids.
+    ingest_seq: u64,
+    /// The trace context of the packet currently being dispatched
+    /// (`none` outside ingest).
+    current_trace: TraceContext,
+    /// Ingest sequence of the packet currently being dispatched.
+    current_packet_seq: Option<u64>,
     #[cfg(not(feature = "telemetry"))]
     meter: ResourceMeter,
     response: ResponseEngine,
@@ -462,10 +529,37 @@ impl Kalis {
         #[cfg(not(feature = "telemetry"))]
         self.meter.count_packet();
         let now = packet.timestamp;
+        self.ingest_seq = self.ingest_seq.wrapping_add(1);
+        // Tracing-off fast path: one relaxed atomic load, nothing else.
+        if self.tracer.enabled() {
+            let ctx = self.tracer.root(self.id.as_str(), self.ingest_seq);
+            if ctx.sampled {
+                #[cfg(feature = "telemetry")]
+                self.stats.trace_sampled.inc();
+                self.tracer.record(
+                    &ctx,
+                    0,
+                    now.as_micros(),
+                    "ingest",
+                    self.id.as_str(),
+                    format!(
+                        "seq={} medium={:?} bytes={}",
+                        self.ingest_seq,
+                        packet.medium,
+                        packet.raw.len()
+                    ),
+                );
+                // Knowledge writes during this dispatch inherit the
+                // packet's causal trace.
+                self.kb.set_trace(ctx.trace_id, ctx.span_id);
+            }
+            self.current_trace = ctx;
+        }
         self.maybe_tick(now);
         let shed = self.observe_arrival(now);
         self.store.push(packet);
         let packet = self.store.window().last().cloned().expect("just pushed");
+        self.current_packet_seq = Some(self.ingest_seq);
         let mut ctx = ModuleCtx {
             now,
             kb: &mut self.kb,
@@ -477,7 +571,25 @@ impl Kalis {
         self.stats.work.add(outcome.work_units());
         #[cfg(not(feature = "telemetry"))]
         self.meter.add_work(outcome.work_units());
+        if self.current_trace.sampled {
+            let dispatch = self.current_trace.child(0);
+            self.tracer.record(
+                &dispatch,
+                self.current_trace.span_id,
+                now.as_micros(),
+                "dispatch",
+                self.id.as_str(),
+                format!("shed={shed:?} work={}", outcome.work_units()),
+            );
+        }
         self.after_dispatch(now);
+        if self.current_trace.sampled {
+            self.kb.clear_trace();
+            #[cfg(feature = "telemetry")]
+            self.stats.trace_dropped.set(self.tracer.dropped());
+        }
+        self.current_trace = TraceContext::none();
+        self.current_packet_seq = None;
     }
 
     /// [`Kalis::ingest`] with backpressure signalling: the packet is
@@ -540,6 +652,30 @@ impl Kalis {
         #[cfg(feature = "telemetry")]
         self.stats.ticks.inc();
         self.last_tick = Some(now);
+        // Housekeeping alerts (e.g. the collaborative wormhole verdict,
+        // raised by correlation between packets) deserve a causal trace
+        // too: when no packet context is active, the tick itself becomes
+        // the root span. Ticks nested in `ingest` inherit the packet's
+        // trace instead.
+        let own_trace = !self.current_trace.is_some() && self.tracer.enabled();
+        if own_trace {
+            self.ingest_seq = self.ingest_seq.wrapping_add(1);
+            let ctx = self.tracer.root(self.id.as_str(), self.ingest_seq);
+            if ctx.sampled {
+                #[cfg(feature = "telemetry")]
+                self.stats.trace_sampled.inc();
+                self.tracer.record(
+                    &ctx,
+                    0,
+                    now.as_micros(),
+                    "tick",
+                    self.id.as_str(),
+                    String::new(),
+                );
+                self.kb.set_trace(ctx.trace_id, ctx.span_id);
+            }
+            self.current_trace = ctx;
+        }
         let mut ctx = ModuleCtx {
             now,
             kb: &mut self.kb,
@@ -552,6 +688,14 @@ impl Kalis {
         self.meter.add_work(outcome.work_units());
         self.response.expire(now);
         self.after_dispatch(now);
+        if own_trace {
+            if self.current_trace.sampled {
+                self.kb.clear_trace();
+                #[cfg(feature = "telemetry")]
+                self.stats.trace_dropped.set(self.tracer.dropped());
+            }
+            self.current_trace = TraceContext::none();
+        }
     }
 
     fn maybe_tick(&mut self, now: Timestamp) {
@@ -598,6 +742,7 @@ impl Kalis {
                     key: change.key,
                     value: change.value,
                     removed: change.removed,
+                    trace_id: change.trace_id,
                 });
             }
         }
@@ -623,6 +768,29 @@ impl Kalis {
                     deactivated,
                 });
             }
+        }
+        // Stamp the causal trace on freshly raised alerts *before* the
+        // bus/journal clone below, and assemble each one's provenance
+        // record while the triggering state is still in place.
+        if self.current_trace.sampled {
+            for alert in &mut self.alerts[self.pending_alert_cursor..] {
+                alert.trace_id = self.current_trace.trace_id;
+            }
+        }
+        for index in self.pending_alert_cursor..self.alerts.len() {
+            let record = self.assemble_provenance(index, now.as_micros());
+            if self.current_trace.sampled {
+                let span = self.current_trace.child(1 + index as u32);
+                self.tracer.record(
+                    &span,
+                    self.current_trace.span_id,
+                    now.as_micros(),
+                    format!("alert:{}", record.attack),
+                    self.id.as_str(),
+                    format!("module={} victim={}", record.module, record.victim),
+                );
+            }
+            self.provenance.push(record);
         }
         let new_alerts: Vec<Alert> = self.alerts[self.pending_alert_cursor..].to_vec();
         for alert in &new_alerts {
@@ -733,6 +901,18 @@ impl Kalis {
             SUPERVISOR_BURST_PPS_KEY.to_owned(),
             KnowValue::Int(supervisor.burst_pps as i64),
         ));
+        // The tracing knob rides along only when sampling is on, so a
+        // node rebuilt from the recommendation keeps the same
+        // observability posture (and a default node stays on the
+        // tracing-off fast path).
+        let threshold = self.tracer.sample_rate().threshold();
+        if threshold > 0 {
+            let fraction = f64::from(threshold) / f64::from(SAMPLE_SCALE);
+            knowggets.push((
+                TRACE_SAMPLE_RATE_KEY.to_owned(),
+                KnowValue::from_wire(&KnowValue::Float(fraction).to_wire()),
+            ));
+        }
         Config { modules, knowggets }
     }
 
@@ -749,10 +929,135 @@ impl Kalis {
         &self.alerts
     }
 
-    /// Remove and return all alerts.
+    /// Remove and return all alerts. The provenance records assembled
+    /// for them are discarded with them — export what you need (via
+    /// [`Kalis::explain_alert`]) first.
     pub fn drain_alerts(&mut self) -> Vec<Alert> {
         self.pending_alert_cursor = 0;
+        self.provenance.clear();
         std::mem::take(&mut self.alerts)
+    }
+
+    /// The provenance record assembled for `alerts()[index]`: the
+    /// triggering packet, the knowggets the raising module read (with
+    /// the module/node/trace that wrote each), the activation state that
+    /// made the module eligible, and any remote evidence contributed
+    /// over collective sync.
+    pub fn explain_alert(&self, index: usize) -> Option<&AlertProvenance> {
+        self.provenance.get(index)
+    }
+
+    /// Provenance records parallel to [`Kalis::alerts`].
+    pub fn alert_provenance(&self) -> &[AlertProvenance] {
+        &self.provenance
+    }
+
+    /// The causal tracer: sampling control, the bounded trace buffer,
+    /// and trace JSON export for `kalis-trace`.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Build the evidence chain for `alerts()[index]` from the raising
+    /// module's declared contract, resolved against the Knowledge Base
+    /// at emission time.
+    fn assemble_provenance(&self, index: usize, time_us: u64) -> AlertProvenance {
+        let alert = &self.alerts[index];
+        let contract = self.manager.contract_of(&alert.module).unwrap_or_default();
+        let mut activation = Vec::new();
+        for input in contract.activation_inputs() {
+            let label = input.pattern.root();
+            let value = self
+                .kb
+                .get(label)
+                .map_or_else(|| "unset".to_owned(), |v| v.to_string());
+            activation.push(format!("{label} = {value}"));
+        }
+        let mut evidence = Vec::new();
+        for read in &contract.reads {
+            self.resolve_evidence(read, &mut evidence);
+        }
+        let packet = self.current_packet_seq.map(|seq| PacketRef {
+            seq,
+            summary: self.store.window().last().map_or_else(String::new, |p| {
+                format!("medium={:?} bytes={}", p.medium, p.raw.len())
+            }),
+        });
+        AlertProvenance {
+            attack: alert.attack.to_string(),
+            severity: alert.severity.to_string(),
+            module: alert.module.clone(),
+            victim: alert
+                .victim
+                .as_ref()
+                .map_or_else(String::new, |v| v.to_string()),
+            trace: TraceRef {
+                node: self.id.to_string(),
+                trace_id: alert.trace_id,
+                span_id: if alert.trace_id == 0 { 0 } else { ROOT_SPAN },
+            },
+            time_us,
+            packet,
+            activation,
+            evidence,
+        }
+    }
+
+    /// Resolve one declared read against the Knowledge Base: collective
+    /// reads enumerate every creator's copy (remote evidence), family
+    /// reads enumerate the discovered members, per-entity reads every
+    /// entity, and plain reads the single local knowgget.
+    fn resolve_evidence(&self, read: &KeyUse, out: &mut Vec<EvidenceKnowgget>) {
+        let label = read.pattern.root();
+        if read.collective {
+            for (creator, entity, value) in self.kb.get_all_creators(label) {
+                let remote = creator != self.id;
+                let key = KnowKey {
+                    creator,
+                    label: label.to_owned(),
+                    entity,
+                };
+                out.push(self.evidence_entry(key, &value, remote));
+            }
+            return;
+        }
+        match &read.pattern {
+            KeyPattern::Family(root) => {
+                for (member, value) in self.kb.sublabels(root) {
+                    let key = KnowKey::new(self.id.clone(), member);
+                    out.push(self.evidence_entry(key, &value, false));
+                }
+            }
+            KeyPattern::Exact(label) if read.per_entity => {
+                for (entity, value) in self.kb.entities_with(label) {
+                    let key = KnowKey::about(self.id.clone(), label.clone(), entity);
+                    out.push(self.evidence_entry(key, &value, false));
+                }
+            }
+            KeyPattern::Exact(label) => {
+                if let Some(value) = self.kb.get(label) {
+                    let key = KnowKey::new(self.id.clone(), label.clone());
+                    out.push(self.evidence_entry(key, &value, false));
+                }
+            }
+        }
+    }
+
+    fn evidence_entry(&self, key: KnowKey, value: &KnowValue, remote: bool) -> EvidenceKnowgget {
+        let node = key.creator.to_string();
+        let encoded = key.encode();
+        let origin = self.kb.origin_of_encoded(&encoded);
+        EvidenceKnowgget {
+            key: encoded,
+            value: value.to_string(),
+            writer_module: origin.map_or_else(String::new, |o| o.module.clone()),
+            origin: TraceRef {
+                node,
+                trace_id: origin.map_or(0, |o| o.trace_id),
+                span_id: origin.map_or(0, |o| o.span_id),
+            },
+            remote,
+        }
     }
 
     /// The Knowledge Base (read view).
@@ -864,10 +1169,42 @@ impl Kalis {
             self.stats.sync_bytes_in.add(bytes);
             bytes
         };
+        let trace_enabled = self.tracer.enabled();
         let mut accepted = 0;
         for knowgget in message.knowggets {
+            // Capture the wire-carried provenance before the knowgget is
+            // consumed, so an accepted contribution can be recorded
+            // against its *originating* node's trace.
+            let traced = trace_enabled
+                .then(|| knowgget.origin.clone().filter(|o| o.trace_id != 0))
+                .flatten()
+                .map(|origin| {
+                    let key = KnowKey {
+                        creator: knowgget.creator.clone(),
+                        label: knowgget.label.clone(),
+                        entity: knowgget.entity.clone(),
+                    };
+                    (origin, key.encode())
+                });
             match self.kb.accept_remote(&message.from, knowgget) {
-                Ok(true) => accepted += 1,
+                Ok(true) => {
+                    accepted += 1;
+                    if let Some((origin, encoded)) = traced {
+                        let ctx = TraceContext {
+                            trace_id: origin.trace_id,
+                            span_id: origin.span_id,
+                            sampled: self.tracer.sample_rate().decide(origin.trace_id),
+                        };
+                        self.tracer.record(
+                            &ctx,
+                            0,
+                            self.capture_time_us(),
+                            format!("sync.accept:{encoded}"),
+                            self.id.as_str(),
+                            format!("from {sender} written by {}", origin.module),
+                        );
+                    }
+                }
                 Ok(false) => {}
                 Err(reason) => {
                     #[cfg(feature = "telemetry")]
@@ -1192,9 +1529,8 @@ impl Kalis {
         })
     }
 
-    /// The journal timestamp for events outside packet processing: the
-    /// latest capture-clock time this node has seen.
-    #[cfg(feature = "telemetry")]
+    /// The journal/trace timestamp for events outside packet processing:
+    /// the latest capture-clock time this node has seen.
     fn capture_time_us(&self) -> u64 {
         self.last_tick.map_or(0, Timestamp::as_micros)
     }
@@ -1565,6 +1901,177 @@ mod tests {
         }
         assert_eq!(kalis.shed_mode(), ShedMode::None);
         assert!(!kalis.degraded_pipeline());
+    }
+
+    #[test]
+    fn tracing_knob_rides_the_config_language_and_round_trips() {
+        let kalis = Kalis::builder(KalisId::new("K1"))
+            .with_default_modules()
+            .with_config("knowggets = { Trace.SampleRate = 0.5 }".parse().unwrap())
+            .build();
+        assert!(kalis.tracer().enabled());
+        assert_eq!(kalis.tracer().sample_rate(), SampleRate::from_fraction(0.5));
+        // Out-of-range values are ignored (and flagged by kalis-lint).
+        let bogus = Kalis::builder(KalisId::new("K2"))
+            .with_config("knowggets = { Trace.SampleRate = 7 }".parse().unwrap())
+            .build();
+        assert!(!bogus.tracer().enabled());
+        // recommend -> render -> parse -> rebuild keeps the posture.
+        let config = kalis.recommend_config();
+        let rebuilt = Kalis::builder(KalisId::new("K3"))
+            .with_config(config.to_string().parse().unwrap())
+            .try_build()
+            .unwrap();
+        assert_eq!(rebuilt.tracer().sample_rate(), kalis.tracer().sample_rate());
+        // Sampling-off nodes leave the knob out of the recommendation.
+        let quiet = Kalis::builder(KalisId::new("K4")).build();
+        assert!(!quiet
+            .recommend_config()
+            .knowggets
+            .iter()
+            .any(|(k, _)| k == TRACE_SAMPLE_RATE_KEY));
+    }
+
+    #[test]
+    fn full_sampling_traces_ingest_and_knowledge_writes() {
+        let mut kalis = Kalis::builder(KalisId::new("K1"))
+            .with_default_modules()
+            .with_trace_sampling(SampleRate::full())
+            .build();
+        for i in 0..5 {
+            kalis.ingest(ctp_packet(i * 100, 1));
+        }
+        let events = kalis.tracer().events();
+        assert!(events.iter().any(|e| e.name == "ingest"));
+        assert!(events.iter().any(|e| e.name == "dispatch"));
+        // Every event belongs to a real trace recorded on this node.
+        assert!(events.iter().all(|e| e.trace_id != 0 && e.node == "K1"));
+        // Knowledge written during a traced dispatch is attributed to
+        // the writing module and the packet's trace.
+        let origin = kalis
+            .knowledge()
+            .origin_of_encoded("K1$Multihop")
+            .expect("Multihop write is attributed");
+        assert_eq!(origin.module, "TopologyDiscoveryModule");
+        assert_ne!(origin.trace_id, 0);
+        // The tracing-off default records nothing.
+        let mut quiet = Kalis::builder(KalisId::new("K2"))
+            .with_default_modules()
+            .build();
+        quiet.ingest(ctp_packet(0, 1));
+        assert!(quiet.tracer().events().is_empty());
+        assert!(
+            quiet.knowledge().origin_of_encoded("K2$Multihop").is_none()
+                || quiet
+                    .knowledge()
+                    .origin_of_encoded("K2$Multihop")
+                    .unwrap()
+                    .trace_id
+                    == 0
+        );
+    }
+
+    #[test]
+    fn alerts_carry_trace_ids_and_provenance() {
+        let mut kalis = Kalis::builder(KalisId::new("K1"))
+            .with_config(
+                "modules = { IcmpFloodModule (threshold = 5) } knowggets = { Multihop = false, Trace.SampleRate = 1 }"
+                    .parse()
+                    .unwrap(),
+            )
+            .build();
+        for i in 0..10u64 {
+            let ip = kalis_netsim::craft::ipv4_echo_reply(
+                std::net::Ipv4Addr::new(1, 1, 1, 1),
+                std::net::Ipv4Addr::new(10, 0, 0, 7),
+                1,
+                i as u16,
+            );
+            let raw = kalis_netsim::craft::wifi_ipv4(
+                kalis_packets::MacAddr::from_index(66),
+                kalis_packets::MacAddr::BROADCAST,
+                kalis_packets::MacAddr::from_index(0),
+                i as u16,
+                &ip,
+            );
+            kalis.ingest(CapturedPacket::capture(
+                Timestamp::from_millis(i * 50),
+                Medium::Wifi,
+                Some(-48.0),
+                "w",
+                raw,
+            ));
+        }
+        assert!(!kalis.alerts().is_empty());
+        let alert = &kalis.alerts()[0];
+        assert_ne!(alert.trace_id, 0, "sampled alert is stamped");
+        assert_eq!(kalis.alert_provenance().len(), kalis.alerts().len());
+        let provenance = kalis.explain_alert(0).expect("assembled at emission");
+        assert_eq!(provenance.module, alert.module);
+        assert_eq!(provenance.trace.trace_id, alert.trace_id);
+        assert_eq!(provenance.trace.node, "K1");
+        let packet = provenance.packet.as_ref().expect("packet-triggered");
+        assert!(packet.seq > 0);
+        assert!(packet.summary.contains("Wifi"));
+        // The module's activation inputs are captured as evidence.
+        assert!(provenance
+            .activation
+            .iter()
+            .any(|a| a.contains("Multihop = false")));
+        // The trace contains the alert emission itself.
+        assert!(kalis
+            .tracer()
+            .events()
+            .iter()
+            .any(|e| e.name == "alert:icmp-flood" && e.trace_id == alert.trace_id));
+        // JSON explain format round-trips.
+        let back = AlertProvenance::from_json(&provenance.to_json()).unwrap();
+        assert_eq!(&back, provenance);
+        // Draining alerts discards the parallel provenance table.
+        kalis.drain_alerts();
+        assert!(kalis.alert_provenance().is_empty());
+        assert!(kalis.explain_alert(0).is_none());
+    }
+
+    #[test]
+    fn remote_sync_contributions_carry_their_origin_trace() {
+        let mut k1 = Kalis::builder(KalisId::new("K1"))
+            .with_default_modules()
+            .with_trace_sampling(SampleRate::full())
+            .build();
+        let mut k2 = Kalis::builder(KalisId::new("K2"))
+            .with_default_modules()
+            .with_trace_sampling(SampleRate::full())
+            .build();
+        k1.ingest(ctp_packet(0, 0));
+        let msg = k1.collective_outbox().expect("collective knowledge");
+        let traced: Vec<_> = msg
+            .knowggets
+            .iter()
+            .filter(|k| k.origin.as_ref().is_some_and(|o| o.trace_id != 0))
+            .cloned()
+            .collect();
+        assert!(!traced.is_empty(), "K1's writes carry trace provenance");
+        k2.accept_sync(msg).unwrap();
+        // K2's knowledge remembers the remote origin...
+        let sample = &traced[0];
+        let key = KnowKey {
+            creator: sample.creator.clone(),
+            label: sample.label.clone(),
+            entity: sample.entity.clone(),
+        };
+        let origin = k2
+            .knowledge()
+            .origin_of_encoded(&key.encode())
+            .expect("remote origin stored");
+        assert_eq!(origin, sample.origin.as_ref().unwrap());
+        // ...and K2's trace buffer shows the contribution arriving,
+        // recorded under K1's trace id.
+        assert!(k2
+            .tracer()
+            .events()
+            .iter()
+            .any(|e| e.name.starts_with("sync.accept:K1$") && e.trace_id == origin.trace_id));
     }
 
     #[test]

@@ -173,6 +173,27 @@ fn check_knowgget(
             ));
             return; // one mismatch per entry is enough signal
         }
+        if let Some(v) = entry.value.as_f64() {
+            let low = key_use.min.is_some_and(|min| v < min);
+            let high = key_use.max.is_some_and(|max| v > max);
+            if low || high {
+                let bound = if low {
+                    format!(">= {}", key_use.min.unwrap_or_default())
+                } else {
+                    format!("<= {}", key_use.max.unwrap_or_default())
+                };
+                diags.push(Diagnostic::at(
+                    Code::KnowggetOutOfRange,
+                    file,
+                    entry.value_pos,
+                    format!(
+                        "knowgget `{label}` must be {bound} for `{owner}`, got `{}`",
+                        entry.value
+                    ),
+                ));
+                return; // one range violation per entry is enough signal
+            }
+        }
     }
 }
 
@@ -312,6 +333,29 @@ mod tests {
     fn knowgget_type_mismatch_is_kl105() {
         let diags = lint("modules = { TopologyDiscoveryModule } knowggets = { Multihop = 3 }");
         assert_eq!(codes(&diags), vec!["KL105"]);
+    }
+
+    #[test]
+    fn out_of_range_knowgget_is_kl107() {
+        // `Trace.SampleRate` is declared `bounded(0.0, 1.0)` by the
+        // node-level contract; a-priori values outside that are rejected.
+        let diags =
+            lint("modules = { TopologyDiscoveryModule } knowggets = { Trace.SampleRate = 7 }");
+        assert_eq!(codes(&diags), vec!["KL107"]);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("<= 1"), "got {:#?}", diags);
+
+        let diags =
+            lint("modules = { TopologyDiscoveryModule } knowggets = { Trace.SampleRate = -0.5 }");
+        assert_eq!(codes(&diags), vec!["KL107"]);
+        assert!(diags[0].message.contains(">= 0"), "got {:#?}", diags);
+    }
+
+    #[test]
+    fn in_range_trace_rate_is_clean() {
+        let diags =
+            lint("modules = { TopologyDiscoveryModule } knowggets = { Trace.SampleRate = 0.5 }");
+        assert!(diags.is_empty(), "got {:#?}", diags);
     }
 
     #[test]

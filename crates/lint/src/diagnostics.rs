@@ -40,6 +40,9 @@ pub enum Code {
     /// In the scope of this configuration's module set, a read has no
     /// producer (missing sensing module or a-priori knowgget).
     UnsatisfiedRead,
+    /// An a-priori knowgget value outside the bounds a reading contract
+    /// declares (e.g. `Trace.SampleRate` outside `[0, 1]`).
+    KnowggetOutOfRange,
 }
 
 impl Code {
@@ -59,6 +62,7 @@ impl Code {
             Code::UnknownKnowgget => "KL104",
             Code::KnowggetTypeMismatch => "KL105",
             Code::UnsatisfiedRead => "KL106",
+            Code::KnowggetOutOfRange => "KL107",
         }
     }
 
@@ -254,6 +258,7 @@ mod tests {
             Code::UnknownKnowgget,
             Code::KnowggetTypeMismatch,
             Code::UnsatisfiedRead,
+            Code::KnowggetOutOfRange,
         ];
         let mut seen = std::collections::BTreeSet::new();
         for code in all {

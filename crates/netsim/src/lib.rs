@@ -17,7 +17,8 @@
 //!   ([`behaviors`], [`devices`]),
 //! * promiscuous observer taps — the Kalis vantage point ([`tap`]),
 //! * seeded fault injection — link loss, duplication, corruption,
-//!   crashes, and partitions ([`fault`]),
+//!   crashes, and partitions ([`fault`]), plus a faultable out-of-band
+//!   control link for collective-sync frames ([`wire`]),
 //! * seeded stress traces — ingest bursts and crafted poison packets for
 //!   supervisor experiments ([`stress`]),
 //! * and trace recording/replay ([`trace`]).
@@ -58,6 +59,7 @@ pub mod stress;
 pub mod tap;
 pub mod topology;
 pub mod trace;
+pub mod wire;
 
 /// Convenient glob-import surface for scenario builders.
 pub mod prelude {

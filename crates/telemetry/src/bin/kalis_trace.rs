@@ -1,0 +1,223 @@
+//! `kalis-trace`: render, validate, and export causal traces captured by
+//! the Kalis tracing layer.
+//!
+//! ```text
+//! kalis-trace FILE...                 render ASCII causal trees
+//! kalis-trace --explain FILE         render an alert-provenance record
+//! kalis-trace --chrome OUT FILE...   export Chrome trace-event JSON
+//! kalis-trace --check FILE...        validate trace files (exit 1 on error)
+//! ```
+//!
+//! Trace files are the `Tracer::to_json` documents a node exports (see
+//! `examples/collaborative_wormhole.rs --trace-out`). The Chrome export
+//! opens directly in Perfetto / `chrome://tracing`.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use kalis_telemetry::trace::{events_from_json, events_to_chrome_json};
+use kalis_telemetry::{AlertProvenance, TraceEvent};
+
+fn die(msg: &str) -> ! {
+    eprintln!("kalis-trace: {msg}");
+    std::process::exit(2);
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")))
+}
+
+fn load(path: &str) -> (Vec<TraceEvent>, u64) {
+    events_from_json(&read(path)).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+}
+
+/// Render every trace in `events` as an ASCII causal tree, oldest trace
+/// first. Spans whose parent was evicted from the bounded buffer are
+/// shown at the root with a `~` marker.
+fn render_trees(events: &[TraceEvent]) -> String {
+    let mut by_trace: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+    for event in events {
+        by_trace.entry(event.trace_id).or_default().push(event);
+    }
+    let mut traces: Vec<_> = by_trace.into_iter().collect();
+    traces.sort_by_key(|(_, evs)| evs.iter().map(|e| e.time_us).min().unwrap_or(0));
+
+    let mut out = String::new();
+    for (trace_id, mut evs) in traces {
+        evs.sort_by_key(|e| e.time_us);
+        out.push_str(&format!("trace {trace_id:016x} ({} events)\n", evs.len()));
+        let known: Vec<u32> = evs.iter().map(|e| e.span_id).collect();
+        // Children grouped under their parent, roots (parent 0 or
+        // evicted) at depth zero.
+        let mut children: BTreeMap<u32, Vec<&TraceEvent>> = BTreeMap::new();
+        let mut roots: Vec<(&TraceEvent, bool)> = Vec::new();
+        for event in &evs {
+            if event.parent_span != 0 && known.contains(&event.parent_span) {
+                children.entry(event.parent_span).or_default().push(event);
+            } else {
+                roots.push((event, event.parent_span != 0));
+            }
+        }
+        for (root, orphaned) in roots {
+            render_span(&mut out, root, orphaned, &children, "", true);
+        }
+    }
+    out
+}
+
+fn render_span(
+    out: &mut String,
+    event: &TraceEvent,
+    orphaned: bool,
+    children: &BTreeMap<u32, Vec<&TraceEvent>>,
+    prefix: &str,
+    last: bool,
+) {
+    let branch = if last { "└─" } else { "├─" };
+    let marker = if orphaned { "~" } else { "" };
+    let detail = if event.detail.is_empty() {
+        String::new()
+    } else {
+        format!("  {}", event.detail)
+    };
+    out.push_str(&format!(
+        "{prefix}{branch}{marker} [{}us] {} {}{detail}\n",
+        event.time_us, event.node, event.name
+    ));
+    let next_prefix = format!("{prefix}{}  ", if last { " " } else { "│" });
+    if let Some(kids) = children.get(&event.span_id) {
+        for (i, kid) in kids.iter().enumerate() {
+            // A span may record several events; only recurse from the
+            // first occurrence of each child span to avoid cycles.
+            if kid.span_id == event.span_id {
+                continue;
+            }
+            render_span(out, kid, false, children, &next_prefix, i + 1 == kids.len());
+        }
+    }
+}
+
+/// Validate one trace file. Returns a list of problems (empty = ok).
+fn check(path: &str) -> Vec<String> {
+    let input = read(path);
+    let (events, dropped) = match events_from_json(&input) {
+        Ok(parsed) => parsed,
+        Err(e) => return vec![format!("{path}: parse error: {e}")],
+    };
+    let mut problems = Vec::new();
+    let mut spans_by_trace: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+    for event in &events {
+        spans_by_trace
+            .entry(event.trace_id)
+            .or_default()
+            .push(event.span_id);
+    }
+    for (i, event) in events.iter().enumerate() {
+        if event.trace_id == 0 {
+            problems.push(format!("{path}: event {i} has trace_id 0"));
+        }
+        if event.span_id == 0 {
+            problems.push(format!("{path}: event {i} ({}) has span_id 0", event.name));
+        }
+        let parent_resolves = event.parent_span == 0
+            || spans_by_trace
+                .get(&event.trace_id)
+                .is_some_and(|spans| spans.contains(&event.parent_span));
+        // A bounded buffer may have evicted the parent; only flag
+        // dangling parents when nothing was dropped.
+        if !parent_resolves && dropped == 0 {
+            problems.push(format!(
+                "{path}: event {i} ({}) has dangling parent span {} in trace {:016x}",
+                event.name, event.parent_span, event.trace_id
+            ));
+        }
+    }
+    problems
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.split_first() {
+        Some((&"--help", _)) | Some((&"-h", _)) | None => {
+            println!(
+                "usage: kalis-trace FILE...              render ASCII causal trees\n\
+                 \x20      kalis-trace --explain FILE      render alert provenance\n\
+                 \x20      kalis-trace --chrome OUT FILE... export Chrome trace JSON\n\
+                 \x20      kalis-trace --check FILE...     validate trace files"
+            );
+            ExitCode::SUCCESS
+        }
+        Some((&"--explain", rest)) => {
+            let [path] = rest else {
+                die("--explain takes exactly one provenance JSON file");
+            };
+            let provenance = AlertProvenance::from_json(&read(path))
+                .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            print!("{}", provenance.render_tree());
+            ExitCode::SUCCESS
+        }
+        Some((&"--chrome", rest)) => {
+            let Some((out_path, files)) = rest.split_first() else {
+                die("--chrome needs an output path and at least one trace file");
+            };
+            if files.is_empty() {
+                die("--chrome needs at least one trace file");
+            }
+            let mut events = Vec::new();
+            for path in files {
+                events.extend(load(path).0);
+            }
+            events.sort_by_key(|e| e.time_us);
+            let json = events_to_chrome_json(&events);
+            std::fs::write(out_path, &json)
+                .unwrap_or_else(|e| die(&format!("cannot write {out_path}: {e}")));
+            println!(
+                "wrote {out_path} ({} events from {} files)",
+                events.len(),
+                files.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Some((&"--check", rest)) => {
+            if rest.is_empty() {
+                die("--check needs at least one trace file");
+            }
+            let mut failed = false;
+            for path in rest {
+                let problems = check(path);
+                if problems.is_empty() {
+                    let (events, dropped) = load(path);
+                    println!("{path}: ok ({} events, {dropped} dropped)", events.len());
+                } else {
+                    failed = true;
+                    for problem in problems {
+                        eprintln!("{problem}");
+                    }
+                }
+            }
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Some((flag, _)) if flag.starts_with("--") => {
+            die(&format!("unknown flag `{flag}` (try --help)"))
+        }
+        Some(_) => {
+            let mut events = Vec::new();
+            let mut dropped = 0;
+            for path in &strs {
+                let (evs, d) = load(path);
+                events.extend(evs);
+                dropped += d;
+            }
+            print!("{}", render_trees(&events));
+            if dropped > 0 {
+                println!("({dropped} events dropped by the bounded trace buffer)");
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}

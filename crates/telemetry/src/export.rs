@@ -37,6 +37,15 @@ fn prom_name(family: &str) -> String {
     out
 }
 
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and line feed are the three characters the text format
+/// requires escaped — a raw newline would split the sample line.
+fn prom_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
 fn prom_labels(labels: &[(&str, &str)], extra: Option<(&str, String)>) -> String {
     if labels.is_empty() && extra.is_none() {
         return String::new();
@@ -48,17 +57,13 @@ fn prom_labels(labels: &[(&str, &str)], extra: Option<(&str, String)>) -> String
             out.push(',');
         }
         first = false;
-        let _ = write!(
-            out,
-            "{k}=\"{}\"",
-            v.replace('\\', "\\\\").replace('"', "\\\"")
-        );
+        let _ = write!(out, "{k}=\"{}\"", prom_label_value(v));
     }
     if let Some((k, v)) = extra {
         if !first {
             out.push(',');
         }
-        let _ = write!(out, "{k}=\"{v}\"");
+        let _ = write!(out, "{k}=\"{}\"", prom_label_value(&v));
     }
     out.push('}');
     out
@@ -136,8 +141,14 @@ impl TelemetrySnapshot {
         for (kind, count) in by_kind {
             let _ = writeln!(out, "kalis_journal_events{{type=\"{kind}\"}} {count}");
         }
-        type_line(&mut out, "kalis_journal_dropped_total", "counter");
-        let _ = writeln!(out, "kalis_journal_dropped_total {}", self.journal.dropped);
+        // Registries attach a live `journal.dropped` counter which lands
+        // in the loop above as `kalis_journal_dropped_total`; synthesize
+        // the family from the journal snapshot only for older snapshots
+        // that lack it, so the exposition never carries the series twice.
+        if !self.counters.contains_key(crate::names::JOURNAL_DROPPED) {
+            type_line(&mut out, "kalis_journal_dropped_total", "counter");
+            let _ = writeln!(out, "kalis_journal_dropped_total {}", self.journal.dropped);
+        }
         out
     }
 
@@ -366,6 +377,25 @@ fn record_from_json(v: &JsonValue) -> Result<JournalRecord, JsonError> {
         "degraded_exited" => JournalEvent::DegradedExited {
             healthy_peers: num_field("healthy_peers")?,
         },
+        "module_panicked" => JournalEvent::ModulePanicked {
+            module: str_field("module")?,
+            message: str_field("message")?,
+        },
+        "module_quarantined" => JournalEvent::ModuleQuarantined {
+            module: str_field("module")?,
+            reason: str_field("reason")?,
+            backoff_ms: num_field("backoff_ms")?,
+        },
+        "module_probation" => JournalEvent::ModuleProbation {
+            module: str_field("module")?,
+        },
+        "load_shed_engaged" => JournalEvent::LoadShedEngaged {
+            rate: num_field("rate")?,
+            capacity: num_field("capacity")?,
+        },
+        "load_shed_released" => JournalEvent::LoadShedReleased {
+            skipped: num_field("skipped")?,
+        },
         "marker" => JournalEvent::Marker {
             kind: str_field("kind")?,
             detail: str_field("detail")?,
@@ -456,6 +486,92 @@ mod tests {
                 "malformed line: {line}"
             );
         }
+    }
+
+    #[test]
+    fn hostile_label_values_stay_line_parseable() {
+        let t = Telemetry::new();
+        // A module name carrying every character the exposition format
+        // requires escaped: backslash, double quote, and a raw newline.
+        let hostile = "evil\"na\\me\nstage2";
+        t.counter(&metric_name("dispatch.packet", &[("module", hostile)]))
+            .inc();
+        t.histogram(&metric_name("dispatch.packet", &[("module", hostile)]))
+            .record(500);
+        let text = t.snapshot().to_prometheus();
+        assert!(
+            text.contains("module=\"evil\\\"na\\\\me\\nstage2\""),
+            "label value not escaped: {text}"
+        );
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(
+                line.rsplit_once(' ')
+                    .is_some_and(|(_, v)| v.parse::<f64>().is_ok() || v == "+Inf"),
+                "malformed line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn supervisor_events_round_trip() {
+        let t = Telemetry::new();
+        t.journal().record(
+            3,
+            JournalEvent::ModulePanicked {
+                module: "Wormhole".into(),
+                message: "index out of bounds".into(),
+            },
+        );
+        t.journal().record(
+            4,
+            JournalEvent::ModuleQuarantined {
+                module: "Wormhole".into(),
+                reason: "crash loop".into(),
+                backoff_ms: 250,
+            },
+        );
+        t.journal().record(
+            5,
+            JournalEvent::ModuleProbation {
+                module: "Wormhole".into(),
+            },
+        );
+        t.journal().record(
+            6,
+            JournalEvent::LoadShedEngaged {
+                rate: 4,
+                capacity: 128,
+            },
+        );
+        t.journal()
+            .record(7, JournalEvent::LoadShedReleased { skipped: 17 });
+        let snap = t.snapshot();
+        let back = TelemetrySnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn journal_dropped_family_is_not_duplicated() {
+        // Live registries attach a `journal.dropped` counter; the
+        // exposition must carry the family exactly once.
+        let text = Telemetry::new().snapshot().to_prometheus();
+        let series = text
+            .lines()
+            .filter(|l| l.starts_with("kalis_journal_dropped_total"))
+            .count();
+        assert_eq!(series, 1, "exposition: {text}");
+        // Snapshots parsed from older JSON (no such counter) still
+        // surface the synthesized family.
+        let legacy = TelemetrySnapshot {
+            journal: JournalSnapshot {
+                dropped: 9,
+                records: Vec::new(),
+            },
+            ..TelemetrySnapshot::default()
+        };
+        assert!(legacy
+            .to_prometheus()
+            .contains("kalis_journal_dropped_total 9"));
     }
 
     #[test]

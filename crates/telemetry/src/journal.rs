@@ -11,6 +11,9 @@
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::counter::{Counter, Gauge};
 
 /// Default number of records retained.
 pub const DEFAULT_JOURNAL_CAPACITY: usize = 1024;
@@ -220,12 +223,23 @@ struct JournalState {
     records: VecDeque<JournalRecord>,
     next_seq: u64,
     dropped: u64,
+    /// Most records ever retained at once (capacity saturation signal).
+    high_water: usize,
+}
+
+/// Registry instruments mirroring the ring's eviction behaviour, so a
+/// scrape sees drops without needing a full journal snapshot.
+#[derive(Clone)]
+struct JournalInstruments {
+    dropped: Arc<Counter>,
+    high_water: Arc<Gauge>,
 }
 
 /// Bounded ring of [`JournalRecord`]s.
 pub struct Journal {
     state: Mutex<JournalState>,
     capacity: usize,
+    instruments: Mutex<Option<JournalInstruments>>,
 }
 
 impl Default for Journal {
@@ -242,9 +256,22 @@ impl Journal {
                 records: VecDeque::with_capacity(capacity.min(DEFAULT_JOURNAL_CAPACITY)),
                 next_seq: 0,
                 dropped: 0,
+                high_water: 0,
             }),
             capacity: capacity.max(1),
+            instruments: Mutex::new(None),
         }
+    }
+
+    /// Mirror eviction accounting into registry instruments: `dropped`
+    /// counts every record the ring overwrote, `high_water` tracks the
+    /// most records ever retained at once. Called by the registry that
+    /// owns this journal.
+    pub(crate) fn attach_instruments(&self, dropped: Arc<Counter>, high_water: Arc<Gauge>) {
+        *self.instruments.lock() = Some(JournalInstruments {
+            dropped,
+            high_water,
+        });
     }
 
     /// Append an event stamped with `time_us`.
@@ -252,15 +279,33 @@ impl Journal {
         let mut state = self.state.lock();
         let seq = state.next_seq;
         state.next_seq += 1;
+        let mut evicted = false;
         if state.records.len() == self.capacity {
             state.records.pop_front();
             state.dropped += 1;
+            evicted = true;
         }
         state.records.push_back(JournalRecord {
             seq,
             time_us,
             event,
         });
+        let len = state.records.len();
+        let grew = len > state.high_water;
+        if grew {
+            state.high_water = len;
+        }
+        drop(state);
+        if evicted || grew {
+            if let Some(instruments) = self.instruments.lock().as_ref() {
+                if evicted {
+                    instruments.dropped.inc();
+                }
+                if grew {
+                    instruments.high_water.set(len as u64);
+                }
+            }
+        }
     }
 
     /// Records currently retained.
@@ -271,6 +316,16 @@ impl Journal {
     /// Whether nothing has been retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Records evicted so far to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().dropped
+    }
+
+    /// Most records ever retained at once.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().high_water
     }
 
     /// Point-in-time copy of the retained records plus the eviction
@@ -317,5 +372,26 @@ mod tests {
             vec![2, 3, 4],
             "oldest evicted first, seq numbers stable"
         );
+        assert_eq!(j.dropped(), 2);
+        assert_eq!(j.high_water(), 3);
+    }
+
+    #[test]
+    fn attached_instruments_mirror_evictions() {
+        let dropped = Arc::new(Counter::default());
+        let high_water = Arc::new(Gauge::default());
+        let j = Journal::new(2);
+        j.attach_instruments(Arc::clone(&dropped), Arc::clone(&high_water));
+        for i in 0..5u64 {
+            j.record(
+                i,
+                JournalEvent::Marker {
+                    kind: "t".into(),
+                    detail: String::new(),
+                },
+            );
+        }
+        assert_eq!(dropped.get(), 3, "3 of 5 records were overwritten");
+        assert_eq!(high_water.get(), 2, "ring filled to capacity");
     }
 }

@@ -23,16 +23,22 @@ mod export;
 mod histogram;
 mod journal;
 pub mod json;
+pub mod provenance;
 mod registry;
 mod span;
+pub mod trace;
 
 pub use counter::{Counter, Gauge};
 pub use histogram::{Bucket, Histogram, HistogramSnapshot, MAX_TRACKABLE};
 pub use journal::{
     Journal, JournalEvent, JournalField, JournalRecord, JournalSnapshot, DEFAULT_JOURNAL_CAPACITY,
 };
+pub use provenance::{AlertProvenance, EvidenceKnowgget, PacketRef, TraceRef};
 pub use registry::{metric_name, Telemetry, TelemetrySnapshot};
 pub use span::SpanTimer;
+pub use trace::{
+    SampleRate, TraceContext, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY, ROOT_SPAN, SAMPLE_SCALE,
+};
 
 /// Canonical metric names shared by the instrumented crates, so
 /// producers and consumers (exporters, benches, tests, dashboards)
@@ -115,4 +121,13 @@ pub mod names {
     /// Whether the detection pipeline is degraded — shedding load or
     /// running with quarantined modules (gauge, 0/1).
     pub const PIPELINE_DEGRADED: &str = "pipeline.degraded";
+    /// Journal records overwritten by the bounded ring (counter; the
+    /// Prometheus family is `kalis_journal_dropped_total`).
+    pub const JOURNAL_DROPPED: &str = "journal.dropped";
+    /// Most journal records ever retained at once (gauge).
+    pub const JOURNAL_HIGH_WATER: &str = "journal.high_water";
+    /// Packets stamped with a sampled trace context (counter).
+    pub const TRACE_SAMPLED: &str = "trace.sampled";
+    /// Trace events overwritten by the bounded trace buffer (counter).
+    pub const TRACE_DROPPED: &str = "trace.dropped";
 }

@@ -68,12 +68,19 @@ impl Telemetry {
 
     /// An empty registry retaining up to `capacity` journal records.
     pub fn with_journal_capacity(capacity: usize) -> Self {
-        Telemetry {
+        let registry = Telemetry {
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
             journal: Journal::new(capacity),
-        }
+        };
+        // The ring overwrites its oldest records when full; surface that
+        // as scrapeable instruments instead of a silent loss.
+        registry.journal.attach_instruments(
+            registry.counter(crate::names::JOURNAL_DROPPED),
+            registry.gauge(crate::names::JOURNAL_HIGH_WATER),
+        );
+        registry
     }
 
     /// Get or register the counter called `name`.

@@ -5,10 +5,32 @@
 //! they classify the wormhole.
 //!
 //! Run with: `cargo run --example collaborative_wormhole`
+//!
+//! Pass `--trace-out DIR` to re-run the collaborative pair with 100%
+//! causal-trace sampling and export each node's trace buffer
+//! (`k1.trace.json`, `k2.trace.json` — feed them to `kalis-trace`) plus
+//! the wormhole alert's provenance record (`wormhole.provenance.json`,
+//! render it with `kalis-trace --explain`).
 
 use kalis_bench::experiments;
+use kalis_bench::runner::run_kalis_pair_nodes;
+use kalis_bench::scenarios::{Scenario, ScenarioKind};
+use kalis_core::AttackKind;
+use kalis_telemetry::SampleRate;
 
 fn main() {
+    let trace_out = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match args.as_slice() {
+            [] => None,
+            [flag, dir] if flag == "--trace-out" => Some(dir.clone()),
+            _ => {
+                eprintln!("usage: collaborative_wormhole [--trace-out DIR]");
+                std::process::exit(2);
+            }
+        }
+    };
+
     let result = experiments::run_knowledge_sharing(42, 30);
     println!(
         "isolated verdicts     : {:?}",
@@ -42,4 +64,35 @@ fn main() {
             .any(|k| k.label() == "wormhole"),
         "isolated nodes must not be able to identify the wormhole"
     );
+
+    // Replay the collaborative run with full causal-trace sampling and
+    // explain the wormhole verdict end to end.
+    let scenario = Scenario::build(ScenarioKind::Wormhole, 42, 30);
+    let captures_b = scenario.captures_b.as_ref().expect("wormhole has two taps");
+    let (k1, k2) = run_kalis_pair_nodes(&scenario.captures, captures_b, SampleRate::full());
+    let (node, index) = [&k1, &k2]
+        .into_iter()
+        .find_map(|node| {
+            node.alerts()
+                .iter()
+                .position(|alert| alert.attack == AttackKind::Wormhole)
+                .map(|i| (node, i))
+        })
+        .expect("the traced run classifies the wormhole too");
+    let provenance = node.explain_alert(index).expect("provenance record");
+    println!();
+    println!("why the wormhole verdict (raised by {}):", node.id());
+    print!("{}", provenance.render_tree());
+
+    if let Some(dir) = trace_out {
+        std::fs::create_dir_all(&dir).expect("create trace-out dir");
+        let write = |name: &str, contents: String| {
+            let path = format!("{dir}/{name}");
+            std::fs::write(&path, contents).expect("write trace artifact");
+            println!("wrote {path}");
+        };
+        write("k1.trace.json", k1.tracer().to_json());
+        write("k2.trace.json", k2.tracer().to_json());
+        write("wormhole.provenance.json", provenance.to_json());
+    }
 }

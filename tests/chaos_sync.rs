@@ -103,3 +103,41 @@ fn replayed_frames_do_not_duplicate_alerts() {
         );
     }
 }
+
+#[test]
+fn wormhole_provenance_survives_chaos() {
+    for seed in seeds() {
+        // Heavy loss + replays: dropped frames must not corrupt the
+        // evidence chain and duplicated frames must not duplicate or
+        // rewrite it.
+        let result = run_sync_resilience(seed, 0.3, 0.5);
+        assert_eq!(
+            result.wormhole_provenance.len(),
+            result.wormhole_alerts,
+            "seed {seed}: every wormhole alert carries exactly one provenance record"
+        );
+        for provenance in &result.wormhole_provenance {
+            let nodes = provenance.nodes();
+            assert!(
+                nodes.contains(&"K1".to_owned()) && nodes.contains(&"K2".to_owned()),
+                "seed {seed}: wormhole provenance must span both nodes (got {nodes:?})"
+            );
+            let remote: Vec<_> = provenance.remote_evidence().collect();
+            assert!(
+                !remote.is_empty(),
+                "seed {seed}: the collaborative verdict rests on remote evidence"
+            );
+            let raising = &provenance.trace.node;
+            for evidence in &remote {
+                assert_ne!(
+                    &evidence.origin.node, raising,
+                    "seed {seed}: remote evidence must name the other node"
+                );
+                assert_ne!(
+                    evidence.origin.trace_id, 0,
+                    "seed {seed}: remote evidence must carry the originating trace id"
+                );
+            }
+        }
+    }
+}

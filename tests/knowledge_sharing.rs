@@ -2,8 +2,11 @@
 //! Kalis nodes can classify the wormhole.
 
 use kalis_bench::experiments::run_knowledge_sharing;
+use kalis_bench::runner::run_kalis_pair_nodes;
+use kalis_bench::scenarios::{Scenario, ScenarioKind};
 use kalis_core::knowledge::{SyncMessage, XorChannel};
 use kalis_core::{AttackKind, Kalis, KalisId, KnowValue, Knowgget};
+use kalis_telemetry::SampleRate;
 
 #[test]
 fn collaboration_identifies_the_wormhole() {
@@ -19,6 +22,57 @@ fn collaboration_identifies_the_wormhole() {
         "the node watching B1 sees a blackhole"
     );
     assert!(result.score.detection_rate() > 0.6);
+}
+
+/// The acceptance criterion of the tracing layer: a collaborative
+/// wormhole alert's provenance must span both vantage points — the local
+/// blackhole evidence plus the remote traffic-source knowgget, stamped
+/// with the originating node and its trace id.
+#[test]
+fn wormhole_provenance_spans_both_nodes() {
+    let scenario = Scenario::build(ScenarioKind::Wormhole, 42, 25);
+    let captures_b = scenario.captures_b.as_ref().expect("wormhole has two taps");
+    let (a, b) = run_kalis_pair_nodes(&scenario.captures, captures_b, SampleRate::full());
+
+    let (node, index, alert) = [&a, &b]
+        .into_iter()
+        .find_map(|node| {
+            node.alerts()
+                .iter()
+                .enumerate()
+                .find(|(_, alert)| alert.attack == AttackKind::Wormhole)
+                .map(|(i, alert)| (node, i, alert))
+        })
+        .expect("the collaborating pair classifies the wormhole");
+
+    assert_ne!(alert.trace_id, 0, "wormhole alert must carry its trace");
+    let provenance = node
+        .explain_alert(index)
+        .expect("every alert has a provenance record");
+    assert_eq!(provenance.attack, AttackKind::Wormhole.label());
+    assert_eq!(provenance.trace.trace_id, alert.trace_id);
+
+    let nodes = provenance.nodes();
+    assert!(
+        nodes.contains(&"K1".to_owned()) && nodes.contains(&"K2".to_owned()),
+        "provenance must span both vantage points (got {nodes:?})"
+    );
+    let remote: Vec<_> = provenance.remote_evidence().collect();
+    assert!(
+        !remote.is_empty(),
+        "the wormhole verdict rests on remote evidence"
+    );
+    let raising = node.id().to_string();
+    for evidence in &remote {
+        assert_ne!(
+            evidence.origin.node, raising,
+            "remote evidence must name the other node"
+        );
+        assert_ne!(
+            evidence.origin.trace_id, 0,
+            "remote evidence must carry the originating trace id"
+        );
+    }
 }
 
 #[test]

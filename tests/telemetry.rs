@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use kalis_bench::scenarios::{Scenario, ScenarioKind};
 use kalis_core::{Kalis, KalisId};
-use kalis_telemetry::{names, TelemetrySnapshot};
+use kalis_telemetry::{names, JournalEvent, Telemetry, TelemetrySnapshot};
 
 fn run_scenario(kind: ScenarioKind) -> (Kalis, usize) {
     let scenario = Scenario::build(kind, 42, 8);
@@ -140,6 +140,36 @@ fn exporters_round_trip_the_same_snapshot() {
         // Histogram sample counts survive as `_count` series.
         assert!(prom.contains(&format!(" {}", hist.count)));
     }
+}
+
+#[test]
+fn journal_eviction_is_visible_as_counter_and_gauge() {
+    // A deliberately tiny ring: 12 events into 4 slots must evict 8 and
+    // report it through the registry, not just the snapshot struct.
+    let telemetry = Telemetry::with_journal_capacity(4);
+    for i in 0..12u64 {
+        telemetry.journal().record(
+            i,
+            JournalEvent::AlertRaised {
+                kind: "IcmpFlood".into(),
+                severity: "High".into(),
+                module: format!("m{i}"),
+            },
+        );
+    }
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.journal.records.len(), 4);
+    assert_eq!(snap.journal.dropped, 8);
+    assert_eq!(snap.counter(names::JOURNAL_DROPPED), 8);
+    assert_eq!(snap.gauge(names::JOURNAL_HIGH_WATER), 4);
+
+    // A healthy scenario run keeps the same two instruments coherent:
+    // the gauge never exceeds the retained capacity and the counter
+    // matches the snapshot's own dropped tally.
+    let (kalis, _) = run_scenario(ScenarioKind::IcmpFlood);
+    let snap = kalis.telemetry().snapshot();
+    assert_eq!(snap.counter(names::JOURNAL_DROPPED), snap.journal.dropped);
+    assert!(snap.gauge(names::JOURNAL_HIGH_WATER) >= snap.journal.records.len() as u64);
 }
 
 #[test]
