@@ -35,6 +35,7 @@ struct Args {
     supervisor: bool,
     extended: bool,
     tracing_overhead: bool,
+    ops_overhead: bool,
     lint: bool,
     symptoms: u32,
     replication_runs: u32,
@@ -54,6 +55,7 @@ fn parse_args() -> Args {
         supervisor: false,
         extended: false,
         tracing_overhead: false,
+        ops_overhead: false,
         lint: false,
         symptoms: 50,
         replication_runs: 10,
@@ -100,6 +102,10 @@ fn parse_args() -> Args {
                 args.extended = true;
                 any = true;
             }
+            "--ops-overhead" => {
+                args.ops_overhead = true;
+                any = true;
+            }
             "--tracing-overhead" => {
                 args.tracing_overhead = true;
                 any = true;
@@ -132,15 +138,15 @@ fn parse_args() -> Args {
                     iter.next()
                         .unwrap_or_else(|| die("--json needs an output path")),
                 );
-                // The JSON report is built from the Table II run and
-                // carries the tracing-overhead comparison.
+                // The JSON report is built from the Table II run;
+                // the overhead comparisons ride along when their
+                // flags are also given.
                 args.table2 = true;
-                args.tracing_overhead = true;
                 any = true;
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--table1|--fig3|--table2|--fig8|--reactivity|--knowledge-sharing|--resilience|--supervisor|--tracing-overhead|--lint|--all]\n\
+                    "usage: experiments [--table1|--fig3|--table2|--fig8|--reactivity|--knowledge-sharing|--resilience|--supervisor|--tracing-overhead|--ops-overhead|--lint|--all]\n\
                      \x20                  [--symptoms N] [--replication-runs N] [--seed N] [--json PATH]"
                 );
                 std::process::exit(0);
@@ -169,6 +175,9 @@ fn main() {
     let tracing = args
         .tracing_overhead
         .then(|| experiments::run_tracing_overhead(args.seed, args.symptoms.max(50), 3));
+    let ops = args
+        .ops_overhead
+        .then(|| experiments::run_ops_overhead(args.seed, args.symptoms.max(50), 5));
 
     if args.lint {
         println!("== kalis-lint: knowgget-contract analysis ==");
@@ -225,7 +234,7 @@ fn main() {
             println!("{}", report::render_telemetry(snapshot));
         }
         if let Some(path) = &args.json {
-            let json = report::bench_json(&table, tracing.as_ref());
+            let json = report::bench_json(&table, tracing.as_ref(), ops.as_ref());
             std::fs::write(path, &json)
                 .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
             println!("wrote {path} ({} bytes)", json.len());
@@ -329,6 +338,10 @@ fn main() {
     if let Some(result) = &tracing {
         println!("== Tracing overhead (seed={}) ==", args.seed);
         println!("{}", report::render_tracing_overhead(result));
+    }
+    if let Some(result) = &ops {
+        println!("== Ops-surface overhead (seed={}) ==", args.seed);
+        println!("{}", report::render_ops_overhead(result));
     }
     if args.knowledge_sharing {
         println!("== Knowledge sharing (§VI-D) ==");

@@ -939,3 +939,123 @@ pub fn run_tracing_overhead(seed: u64, symptoms: u32, repeats: u32) -> TracingOv
         full_pps: measure(SampleRate::full()),
     }
 }
+
+/// The ops-surface overhead measurement: identical traffic through a
+/// plain node and a node with the kalis-ops listener, profiler,
+/// hot-entity sketch, and SLO tracker all enabled, plus the measured
+/// cost of serving a real `/metrics` scrape over TCP.
+///
+/// Hot-path overhead and scrape cost are reported separately on
+/// purpose: a production Prometheus scrapes on the order of seconds,
+/// so interleaving scrapes with a sub-second ingest run would charge
+/// the hot path for contention that never occurs at a realistic
+/// scrape-to-packet ratio (especially on single-core hosts, where the
+/// render steals the only core).
+#[derive(Debug, Clone, Copy)]
+pub struct OpsOverheadResult {
+    /// Packets per run.
+    pub packets: u64,
+    /// Best-of-N throughput with the ops surface disabled.
+    pub off_pps: f64,
+    /// Best-of-N throughput with the ops surface fully enabled.
+    pub on_pps: f64,
+    /// `/metrics` scrapes served when timing scrape cost.
+    pub scrapes: u64,
+    /// Mean wall-clock time to serve one `/metrics` scrape, in
+    /// milliseconds (connect + render + transfer).
+    pub scrape_ms: f64,
+}
+
+impl OpsOverheadResult {
+    /// Throughput lost to the ops surface, as a percentage of the
+    /// disabled throughput (negative when the enabled runs measured
+    /// faster — noise).
+    pub fn overhead_pct(&self) -> f64 {
+        if self.off_pps <= 0.0 {
+            return 0.0;
+        }
+        (self.off_pps - self.on_pps) / self.off_pps * 100.0
+    }
+}
+
+/// Measure ingest throughput with the ops surface off vs fully enabled
+/// over the ICMP-flood workload. Off and on runs are interleaved and
+/// each side keeps its best run, criterion-style, so slow drift on a
+/// shared host biases both sides equally. After the timed runs, a node
+/// that absorbed the full trace is scraped over real TCP to time
+/// `/metrics` service (snapshot + exposition render + transfer).
+pub fn run_ops_overhead(seed: u64, symptoms: u32, repeats: u32) -> OpsOverheadResult {
+    use std::io::{Read, Write};
+
+    use kalis_core::OpsConfig;
+
+    let scenario = Scenario::build(ScenarioKind::IcmpFlood, seed, symptoms);
+    let captures = scenario.captures;
+    let run_once = |ops: bool| -> (f64, Kalis) {
+        let mut builder = Kalis::builder(KalisId::new("K1")).with_default_modules();
+        if ops {
+            builder = builder.with_ops(OpsConfig {
+                slo_p99_us: Some(250_000),
+                ..OpsConfig::default()
+            });
+        }
+        let mut kalis = builder.build();
+        let start = std::time::Instant::now();
+        for packet in &captures {
+            kalis.ingest(packet.clone());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        // Keep the run honest: the alert stream must not be optimized
+        // away.
+        std::hint::black_box(kalis.alerts().len());
+        let pps = if elapsed > 0.0 {
+            captures.len() as f64 / elapsed
+        } else {
+            0.0
+        };
+        (pps, kalis)
+    };
+
+    let mut off_pps = 0.0f64;
+    let mut on_pps = 0.0f64;
+    let mut node = None;
+    for _ in 0..repeats.max(1) {
+        let (pps, _) = run_once(false);
+        off_pps = off_pps.max(pps);
+        let (pps, kalis) = run_once(true);
+        on_pps = on_pps.max(pps);
+        node = Some(kalis);
+    }
+
+    // Time real scrapes against the last enabled node, which stays
+    // alive (held by `node`) while we pull from it.
+    let addr = node.as_ref().and_then(Kalis::ops_addr);
+    let mut scrapes = 0u64;
+    let mut scrape_secs = 0.0f64;
+    if let Some(addr) = addr {
+        for _ in 0..5 {
+            let start = std::time::Instant::now();
+            let served = std::net::TcpStream::connect(addr).is_ok_and(|mut stream| {
+                let sent = stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n");
+                let mut body = String::new();
+                sent.is_ok() && stream.read_to_string(&mut body).is_ok() && !body.is_empty()
+            });
+            if served {
+                scrapes += 1;
+                scrape_secs += start.elapsed().as_secs_f64();
+            }
+        }
+    }
+    drop(node);
+    OpsOverheadResult {
+        packets: captures.len() as u64,
+        off_pps,
+        on_pps,
+        scrapes,
+        scrape_ms: if scrapes > 0 {
+            scrape_secs / scrapes as f64 * 1000.0
+        } else {
+            0.0
+        },
+    }
+}

@@ -6,7 +6,7 @@ use kalis_core::taxonomy::{relation, Feature, Relation};
 use kalis_core::AttackKind;
 use kalis_telemetry::{names, TelemetrySnapshot};
 
-use crate::experiments::{ScenarioResult, Table2, TracingOverheadResult};
+use crate::experiments::{OpsOverheadResult, ScenarioResult, Table2, TracingOverheadResult};
 
 /// Format a ratio as a percentage.
 pub fn pct(x: f64) -> String {
@@ -230,11 +230,32 @@ pub fn render_tracing_overhead(result: &TracingOverheadResult) -> String {
     )
 }
 
+/// Render the ops-overhead comparison for the terminal.
+pub fn render_ops_overhead(result: &OpsOverheadResult) -> String {
+    format!(
+        "ops-surface overhead ({} packets, interleaved best-of-N):\n\
+         \x20 ops off       : {:>12.0} pps\n\
+         \x20 ops on        : {:>12.0} pps\n\
+         \x20 overhead      : {:>11.2}%\n\
+         \x20 /metrics cost : {:>11.2}ms per scrape ({} timed)\n",
+        result.packets,
+        result.off_pps,
+        result.on_pps,
+        result.overhead_pct(),
+        result.scrape_ms,
+        result.scrapes,
+    )
+}
+
 /// Build the machine-readable `BENCH_*.json` report: the Table II rows
 /// plus the full telemetry snapshot of the Kalis run (per-stage latency
 /// histograms, KB churn, activation journal) and, when measured, the
 /// tracing-overhead comparison.
-pub fn bench_json(table: &Table2, tracing: Option<&TracingOverheadResult>) -> String {
+pub fn bench_json(
+    table: &Table2,
+    tracing: Option<&TracingOverheadResult>,
+    ops: Option<&OpsOverheadResult>,
+) -> String {
     let mut out = String::from("{\n  \"table2\": [\n");
     let rows = table.rows();
     for (i, row) in rows.iter().enumerate() {
@@ -259,6 +280,20 @@ pub fn bench_json(table: &Table2, tracing: Option<&TracingOverheadResult>) -> St
             t.off_pps,
             t.full_pps,
             t.overhead_pct(),
+        )),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\n  \"ops_overhead\": ");
+    match ops {
+        Some(o) => out.push_str(&format!(
+            "{{\"packets\": {}, \"off_pps\": {:.2}, \"on_pps\": {:.2}, \
+             \"overhead_pct\": {:.4}, \"scrape_ms\": {:.3}, \"scrapes\": {}}}",
+            o.packets,
+            o.off_pps,
+            o.on_pps,
+            o.overhead_pct(),
+            o.scrape_ms,
+            o.scrapes,
         )),
         None => out.push_str("null"),
     }

@@ -129,6 +129,10 @@ impl Module for IcmpFloodModule {
         self.replies.len() * 96 + self.spoofed_requests.len() * 48 + 128
     }
 
+    fn occupancy(&self) -> usize {
+        self.replies.len() + self.spoofed_requests.len()
+    }
+
     fn reset(&mut self) {
         self.replies.clear();
         self.spoofed_requests.clear();
@@ -240,6 +244,10 @@ impl Module for SmurfModule {
         self.replies.len() * 48 + self.requests.len() * 96 + 128
     }
 
+    fn occupancy(&self) -> usize {
+        self.replies.len() + self.requests.len()
+    }
+
     fn reset(&mut self) {
         self.replies.clear();
         self.requests.clear();
@@ -346,6 +354,10 @@ impl Module for SynFloodModule {
         self.syns.len() * 96 + self.acks.len() * 48 + 128
     }
 
+    fn occupancy(&self) -> usize {
+        self.syns.len() + self.acks.len()
+    }
+
     fn reset(&mut self) {
         self.syns.clear();
         self.acks.clear();
@@ -431,6 +443,10 @@ impl Module for UdpFloodModule {
 
     fn state_bytes(&self) -> usize {
         self.datagrams.len() * 96 + 128
+    }
+
+    fn occupancy(&self) -> usize {
+        self.datagrams.len()
     }
 
     fn reset(&mut self) {

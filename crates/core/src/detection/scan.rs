@@ -88,6 +88,10 @@ impl Module for ScanModule {
         self.touches.len() * 112 + 128
     }
 
+    fn occupancy(&self) -> usize {
+        self.touches.len()
+    }
+
     fn reset(&mut self) {
         self.touches.clear();
         self.gate.clear();

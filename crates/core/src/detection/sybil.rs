@@ -153,6 +153,10 @@ impl Module for SybilModule {
             + 128
     }
 
+    fn occupancy(&self) -> usize {
+        self.fingerprints.len()
+    }
+
     fn reset(&mut self) {
         self.fingerprints.clear();
         self.gate.clear();

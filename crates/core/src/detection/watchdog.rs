@@ -142,6 +142,10 @@ impl Watchdog {
         self.pending.len() * 48 + self.observations.len() * 40 + 128
     }
 
+    fn occupancy(&self) -> usize {
+        self.pending.len() + self.observations.len()
+    }
+
     fn clear(&mut self) {
         self.pending.clear();
         self.observations.clear();
@@ -206,6 +210,10 @@ impl Module for SelectiveForwardingModule {
 
     fn state_bytes(&self) -> usize {
         self.watchdog.state_bytes()
+    }
+
+    fn occupancy(&self) -> usize {
+        self.watchdog.occupancy()
     }
 
     fn reset(&mut self) {
@@ -289,6 +297,10 @@ impl Module for BlackholeModule {
 
     fn state_bytes(&self) -> usize {
         self.watchdog.state_bytes()
+    }
+
+    fn occupancy(&self) -> usize {
+        self.watchdog.occupancy()
     }
 
     fn reset(&mut self) {

@@ -55,6 +55,7 @@ pub mod knowledge;
 pub mod metrics;
 pub mod modules;
 pub mod node;
+pub mod ops;
 pub mod response;
 pub mod sensing;
 pub mod siem;
@@ -73,3 +74,4 @@ pub use knowledge::{
 };
 pub use modules::{KeyPattern, KeyUse, KnowggetContract, ParamSpec, ValueType};
 pub use node::{system_contract, Kalis, KalisBuilder, SyncPoll, SyncReceipt};
+pub use ops::{OpsConfig, OpsServer, Readiness, StatusReport};

@@ -31,6 +31,14 @@ struct Slot {
     /// Shed-eligible dispatches seen; drives the deterministic 1-in-N
     /// sampling while shedding.
     shed_seq: u64,
+    /// Cumulative measured CPU self-time, ns. Only timed dispatches
+    /// contribute (see [`DISPATCH_SAMPLE_MASK`]), so this is a sampled
+    /// lower bound on true self-time.
+    cpu_ns: u64,
+    /// Dispatches that consumed work (completed or panicked part-way).
+    dispatches: u64,
+    /// Dispatches skipped by overload shedding.
+    sheds: u64,
     /// Cached per-module dispatch latency series (`dispatch.packet` /
     /// `dispatch.tick`), populated once telemetry is attached.
     #[cfg(feature = "telemetry")]
@@ -40,6 +48,16 @@ struct Slot {
     /// Per-module `supervisor.shed[module=...]` counter.
     #[cfg(feature = "telemetry")]
     shed_counter: Option<Arc<Counter>>,
+    /// Per-module `module.cpu_ns[module=...]` counter.
+    #[cfg(feature = "telemetry")]
+    cpu_counter: Option<Arc<Counter>>,
+    /// Per-module `module.occupancy[module=...]` gauge, refreshed by
+    /// [`ModuleManager::publish_profiles`].
+    #[cfg(feature = "telemetry")]
+    occupancy_gauge: Option<Arc<Gauge>>,
+    /// Per-module `module.work_units[module=...]` gauge.
+    #[cfg(feature = "telemetry")]
+    work_gauge: Option<Arc<Gauge>>,
 }
 
 /// Cached instrument handles for the manager itself.
@@ -70,6 +88,10 @@ pub struct DispatchOutcome {
     /// Modules skipped by overload shedding. Shed dispatches cost no
     /// work and are *not* part of `work.units`.
     pub modules_shed: u64,
+    /// Measured CPU self-time spent inside module handlers during this
+    /// dispatch, ns. Zero when the dispatch was untimed (timing is
+    /// sampled; see `DISPATCH_SAMPLE_MASK`).
+    pub cpu_ns: u64,
 }
 
 impl DispatchOutcome {
@@ -78,6 +100,32 @@ impl DispatchOutcome {
     pub fn work_units(&self) -> u64 {
         self.modules_run + self.modules_panicked
     }
+}
+
+/// Point-in-time resource and health profile of one loaded module,
+/// assembled by [`ModuleManager::module_profiles`] for the ops surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleProfile {
+    /// Registry name.
+    pub name: &'static str,
+    /// Sensing or detection.
+    pub kind: ModuleKind,
+    /// Pinned by configuration (always on, never shed).
+    pub pinned: bool,
+    /// Currently in the dispatch set.
+    pub active: bool,
+    /// Supervisor health state.
+    pub health: ModuleHealth,
+    /// Cumulative measured CPU self-time, ns (sampled lower bound).
+    pub cpu_ns: u64,
+    /// Dispatches that consumed work (completed or panicked part-way).
+    pub dispatches: u64,
+    /// Dispatches skipped by overload shedding.
+    pub sheds: u64,
+    /// Entries currently held in the module's per-entity tracking maps.
+    pub occupancy: usize,
+    /// Rough live-state size, bytes.
+    pub state_bytes: usize,
 }
 
 /// Lifetime supervisor totals across all modules.
@@ -197,26 +245,34 @@ impl ModuleManager {
     /// start active and stay active.
     pub fn add(&mut self, module: Box<dyn Module>, pinned: bool) {
         let active = pinned || !self.adaptive || module.descriptor().kind == ModuleKind::Sensing;
-        #[cfg(feature = "telemetry")]
-        let (packet_hist, tick_hist, shed_counter) = match &self.tele {
-            Some(t) => Self::slot_instruments(&t.registry, module.descriptor().name),
-            None => (None, None, None),
-        };
         self.slots.push(Slot {
             module,
             active,
             pinned,
             supervision: Supervision::default(),
             shed_seq: 0,
+            cpu_ns: 0,
+            dispatches: 0,
+            sheds: 0,
             #[cfg(feature = "telemetry")]
-            packet_hist,
+            packet_hist: None,
             #[cfg(feature = "telemetry")]
-            tick_hist,
+            tick_hist: None,
             #[cfg(feature = "telemetry")]
-            shed_counter,
+            shed_counter: None,
+            #[cfg(feature = "telemetry")]
+            cpu_counter: None,
+            #[cfg(feature = "telemetry")]
+            occupancy_gauge: None,
+            #[cfg(feature = "telemetry")]
+            work_gauge: None,
         });
         #[cfg(feature = "telemetry")]
         if let Some(t) = &self.tele {
+            let registry = Arc::clone(&t.registry);
+            if let Some(slot) = self.slots.last_mut() {
+                Self::slot_instruments(slot, &registry);
+            }
             t.active.set(self.active_count() as u64);
         }
     }
@@ -238,11 +294,7 @@ impl ModuleManager {
             shed_skips: registry.counter(names::SHED_SKIPS),
         };
         for slot in &mut self.slots {
-            let (packet_hist, tick_hist, shed_counter) =
-                Self::slot_instruments(&tele.registry, slot.module.descriptor().name);
-            slot.packet_hist = packet_hist;
-            slot.tick_hist = tick_hist;
-            slot.shed_counter = shed_counter;
+            Self::slot_instruments(slot, &tele.registry);
         }
         tele.active.set(self.active_count() as u64);
         self.tele = Some(tele);
@@ -254,20 +306,20 @@ impl ModuleManager {
     pub fn set_telemetry(&mut self, _registry: &std::sync::Arc<Telemetry>) {}
 
     #[cfg(feature = "telemetry")]
-    #[allow(clippy::type_complexity)]
-    fn slot_instruments(
-        registry: &Telemetry,
-        name: &str,
-    ) -> (
-        Option<Arc<Histogram>>,
-        Option<Arc<Histogram>>,
-        Option<Arc<Counter>>,
-    ) {
-        (
-            Some(registry.histogram(&metric_name(names::DISPATCH_PACKET, &[("module", name)]))),
-            Some(registry.histogram(&metric_name(names::DISPATCH_TICK, &[("module", name)]))),
-            Some(registry.counter(&metric_name(names::SHED_BY_MODULE, &[("module", name)]))),
-        )
+    fn slot_instruments(slot: &mut Slot, registry: &Telemetry) {
+        let name = slot.module.descriptor().name;
+        slot.packet_hist =
+            Some(registry.histogram(&metric_name(names::DISPATCH_PACKET, &[("module", name)])));
+        slot.tick_hist =
+            Some(registry.histogram(&metric_name(names::DISPATCH_TICK, &[("module", name)])));
+        slot.shed_counter =
+            Some(registry.counter(&metric_name(names::SHED_BY_MODULE, &[("module", name)])));
+        slot.cpu_counter =
+            Some(registry.counter(&metric_name(names::MODULE_CPU_NS, &[("module", name)])));
+        slot.occupancy_gauge =
+            Some(registry.gauge(&metric_name(names::MODULE_OCCUPANCY, &[("module", name)])));
+        slot.work_gauge =
+            Some(registry.gauge(&metric_name(names::MODULE_WORK_UNITS, &[("module", name)])));
     }
 
     /// Re-evaluate every module's activation against the Knowledge Base.
@@ -415,6 +467,7 @@ impl ModuleManager {
                     slot.shed_seq = slot.shed_seq.wrapping_add(1);
                     if seq % keep != 0 {
                         outcome.modules_shed += 1;
+                        slot.sheds += 1;
                         #[cfg(feature = "telemetry")]
                         if let Some(t) = &self.tele {
                             t.shed_skips.inc();
@@ -441,6 +494,16 @@ impl ModuleManager {
                 *p = now;
                 e
             });
+            slot.dispatches += 1;
+            if let Some(e) = elapsed {
+                let ns = e.as_nanos() as u64;
+                outcome.cpu_ns += ns;
+                slot.cpu_ns += ns;
+                #[cfg(feature = "telemetry")]
+                if let Some(c) = &slot.cpu_counter {
+                    c.add(ns);
+                }
+            }
             match result {
                 Ok(()) => {
                     outcome.modules_run += 1;
@@ -583,6 +646,16 @@ impl ModuleManager {
                 *p = now;
                 e
             });
+            slot.dispatches += 1;
+            if let Some(e) = elapsed {
+                let ns = e.as_nanos() as u64;
+                outcome.cpu_ns += ns;
+                slot.cpu_ns += ns;
+                #[cfg(feature = "telemetry")]
+                if let Some(c) = &slot.cpu_counter {
+                    c.add(ns);
+                }
+            }
             match result {
                 Ok(()) => {
                     outcome.modules_run += 1;
@@ -729,6 +802,60 @@ impl ModuleManager {
             .filter(|s| s.supervision.is_quarantined())
             .map(|s| s.module.descriptor().name)
             .collect()
+    }
+
+    /// Names of quarantined modules that are *pinned* by configuration.
+    /// The operator asked for these explicitly, so losing one flips
+    /// `/readyz` — an unpinned module benched by the supervisor only
+    /// degrades the node.
+    pub fn quarantined_pinned_names(&self) -> Vec<&'static str> {
+        self.slots
+            .iter()
+            .filter(|s| s.pinned && s.supervision.is_quarantined())
+            .map(|s| s.module.descriptor().name)
+            .collect()
+    }
+
+    /// Resource and health profiles for every loaded module, in load
+    /// order — the per-module view `/status` serves.
+    pub fn module_profiles(&self) -> Vec<ModuleProfile> {
+        self.slots
+            .iter()
+            .map(|s| {
+                let descriptor = s.module.descriptor();
+                ModuleProfile {
+                    name: descriptor.name,
+                    kind: descriptor.kind,
+                    pinned: s.pinned,
+                    active: s.active && !s.supervision.is_quarantined(),
+                    health: s.supervision.health(),
+                    cpu_ns: s.cpu_ns,
+                    dispatches: s.dispatches,
+                    sheds: s.sheds,
+                    occupancy: s.module.occupancy(),
+                    state_bytes: s.module.state_bytes(),
+                }
+            })
+            .collect()
+    }
+
+    /// Refresh the per-module `module.occupancy` and `module.work_units`
+    /// gauges from live module state. Called at tick cadence by the ops
+    /// profiler — occupancy needs a walk over module maps, so it stays
+    /// off the per-packet path.
+    #[cfg(feature = "telemetry")]
+    pub fn publish_profiles(&mut self) {
+        if self.tele.is_none() {
+            return;
+        }
+        for slot in &mut self.slots {
+            if let Some(g) = &slot.occupancy_gauge {
+                g.set(slot.module.occupancy() as u64);
+            }
+            if let Some(g) = &slot.work_gauge {
+                g.set(slot.dispatches);
+            }
+        }
     }
 
     /// Number of currently quarantined modules.

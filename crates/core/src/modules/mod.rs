@@ -8,7 +8,7 @@ mod registry;
 mod supervisor;
 
 pub use contract::{KeyPattern, KeyUse, KnowggetContract, ParamSpec, ValueType};
-pub use manager::{DispatchOutcome, ModuleManager};
+pub use manager::{DispatchOutcome, ModuleManager, ModuleProfile};
 pub use registry::ModuleRegistry;
 pub use supervisor::{
     ModuleHealth, OverloadController, ShedMode, Supervision, SupervisorConfig, SupervisorVerdict,
@@ -143,6 +143,16 @@ pub trait Module: Send {
     /// Rough live-state size (RAM proxy).
     fn state_bytes(&self) -> usize {
         256
+    }
+
+    /// Entries currently held in the module's per-entity tracking maps
+    /// (flow tables, sliding counters, fingerprint maps). The resource
+    /// profiler exports this as the `module.occupancy` gauge so
+    /// operators can watch detector state grow before it becomes a RAM
+    /// problem on a constrained node. Stateless modules keep the
+    /// default 0.
+    fn occupancy(&self) -> usize {
+        0
     }
 
     /// Discard accumulated analysis state, returning the module to its

@@ -2,6 +2,7 @@
 //! Knowledge Base, Module Manager, response engine, and collective
 //! synchronization into the paper's Fig. 4 architecture.
 
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -32,11 +33,25 @@ use crate::modules::{
     KeyPattern, KeyUse, Module, ModuleCtx, ModuleHealth, ModuleManager, ModuleRegistry,
     OverloadController, ShedMode, SupervisorConfig,
 };
+#[cfg(feature = "telemetry")]
+use crate::ops::SloStatus;
+use crate::ops::{
+    HotEntity, ModuleStatus, OpsConfig, OpsServer, OpsShared, Readiness, SpaceSaving, StatusReport,
+};
 use crate::response::ResponseEngine;
 use crate::store::{DataStore, WindowConfig};
 
 /// How often [`Kalis::process_source`] injects ticks between packets.
 const TICK_EVERY: Duration = Duration::from_secs(1);
+
+/// Minimum wall-clock spacing between full `/status` report renders on
+/// the packet-driven (unforced) refresh path. Capture clocks can run
+/// arbitrarily faster than real time during replay and benchmarks;
+/// throttling by wall time keeps the ops surface off the hot path while
+/// scrapers — which live in wall time — still see state at most this
+/// stale. Explicit `tick()` calls and readiness transitions always
+/// render immediately.
+const OPS_RENDER_MIN_INTERVAL: Duration = Duration::from_millis(100);
 
 /// Shared secret of the default [`XorChannel`] ("kalis" in ASCII) used
 /// when the embedder does not provide its own [`SecureChannel`].
@@ -65,6 +80,20 @@ pub const SUPERVISOR_BURST_PPS_KEY: &str = "Supervisor.BurstPps";
 /// `0` (the default) disables tracing entirely.
 pub const TRACE_SAMPLE_RATE_KEY: &str = "Trace.SampleRate";
 
+/// A-priori knowgget key: TCP port for the kalis-ops HTTP surface
+/// (`/metrics`, `/healthz`, `/readyz`, `/status`) on loopback. Absent
+/// (the default) means no listener; the builder's
+/// [`KalisBuilder::with_ops`] can also enable it (with an ephemeral
+/// port if desired — the knowgget only accepts explicit ports).
+pub const OPS_PORT_KEY: &str = "Ops.Port";
+/// A-priori knowgget key: p99 whole-ingest latency target in
+/// microseconds for the detection-latency SLO. Setting it turns on the
+/// `slo.*` gauges and the breach/recovery journal events.
+pub const OPS_SLO_KEY: &str = "Ops.LatencySloUs";
+/// A-priori knowgget key: how many hot source entities the space-saving
+/// sketch monitors (the `kalis_hot_entity` cardinality cap).
+pub const OPS_HOT_ENTITIES_KEY: &str = "Ops.HotEntities";
+
 /// The node's own knowgget contract — the keys [`KalisBuilder::try_build`]
 /// and the sync engine touch outside any module: the sync/supervisor
 /// tuning knobs (read from a-priori configuration) and the `DegradedMode`
@@ -81,6 +110,9 @@ pub fn system_contract() -> crate::modules::KnowggetContract {
         .reads(SUPERVISOR_BURST_PPS_KEY, ValueType::Int)
         .reads(TRACE_SAMPLE_RATE_KEY, ValueType::Float)
         .bounded(0.0, 1.0)
+        .reads(OPS_PORT_KEY, ValueType::Int)
+        .reads(OPS_SLO_KEY, ValueType::Int)
+        .reads(OPS_HOT_ENTITIES_KEY, ValueType::Int)
         .writes(DEGRADED_LABEL, ValueType::Bool)
 }
 
@@ -114,6 +146,7 @@ pub struct KalisBuilder {
     supervisor_config: Option<SupervisorConfig>,
     trace_sampling: Option<SampleRate>,
     trace_capacity: Option<usize>,
+    ops: Option<OpsConfig>,
 }
 
 impl KalisBuilder {
@@ -132,6 +165,7 @@ impl KalisBuilder {
             supervisor_config: None,
             trace_sampling: None,
             trace_capacity: None,
+            ops: None,
         }
     }
 
@@ -220,12 +254,23 @@ impl KalisBuilder {
         self
     }
 
+    /// Enable the kalis-ops HTTP surface: a loopback listener serving
+    /// `/metrics`, `/healthz`, `/readyz`, and `/status`, plus the
+    /// per-module resource profiler feeding it. The `Ops.Port`,
+    /// `Ops.LatencySloUs`, and `Ops.HotEntities` a-priori knowggets
+    /// still take precedence over the corresponding fields.
+    pub fn with_ops(mut self, config: OpsConfig) -> Self {
+        self.ops = Some(config);
+        self
+    }
+
     /// Build, surfacing configuration problems.
     ///
     /// # Errors
     ///
     /// Returns [`KalisError::UnknownModule`] when the configuration names
-    /// a module absent from the registry.
+    /// a module absent from the registry, and [`KalisError::Io`] when the
+    /// ops listener cannot bind its configured address.
     pub fn try_build(self) -> Result<Kalis, KalisError> {
         let mut kb = KnowledgeBase::new(self.id.clone());
         // Sync tunables ride the Fig. 6 config language as a-priori
@@ -266,6 +311,25 @@ impl KalisBuilder {
         }
         if let Some(pps) = positive_knowgget(SUPERVISOR_BURST_PPS_KEY) {
             supervisor_config.burst_pps = pps as u64;
+        }
+        // The ops surface rides the config language the same way: any
+        // `Ops.*` knowgget enables the runtime (with a loopback
+        // ephemeral port unless `Ops.Port` names one), and each knob
+        // takes precedence over the corresponding `with_ops` field.
+        let mut ops_config = self.ops;
+        if let Some(port) = positive_knowgget(OPS_PORT_KEY).filter(|p| *p <= f64::from(u16::MAX)) {
+            ops_config
+                .get_or_insert_with(OpsConfig::default)
+                .bind
+                .set_port(port as u16);
+        }
+        if let Some(us) = positive_knowgget(OPS_SLO_KEY) {
+            ops_config.get_or_insert_with(OpsConfig::default).slo_p99_us = Some(us as u64);
+        }
+        if let Some(k) = positive_knowgget(OPS_HOT_ENTITIES_KEY) {
+            ops_config
+                .get_or_insert_with(OpsConfig::default)
+                .hot_entities = k as usize;
         }
         // The tracing knob rides the config language the same way; only
         // fractions in [0, 1] are honored (kalis-lint flags the rest).
@@ -339,7 +403,15 @@ impl KalisBuilder {
             kb.drain_changes();
             manager.reconfigure(&kb);
         }
-        Ok(Kalis {
+        let ops = match ops_config {
+            None => None,
+            Some(cfg) => {
+                let shared = Arc::new(OpsShared::new(self.id.as_str(), Arc::clone(&tele)));
+                let server = OpsServer::bind(cfg.bind, Arc::clone(&shared))?;
+                Some(OpsRuntime::new(server, shared, &cfg, &tele))
+            }
+        };
+        let mut kalis = Kalis {
             id: self.id,
             kb,
             store: DataStore::with_config(self.window),
@@ -362,7 +434,14 @@ impl KalisBuilder {
             #[cfg(feature = "telemetry")]
             stats: NodeStats::new(&tele),
             tele,
-        })
+            ops,
+        };
+        // Publish an initial report so `/status` and `/readyz` answer
+        // correctly before the first packet or tick.
+        if kalis.ops.is_some() {
+            kalis.ops_refresh(Timestamp::ZERO, true);
+        }
+        Ok(kalis)
     }
 
     /// Build, panicking on configuration errors.
@@ -436,6 +515,80 @@ impl NodeStats {
     }
 }
 
+/// The ops surface runtime: the HTTP listener, the state shared with
+/// it, the hot-entity sketch, and the SLO tracker. Present only when
+/// the surface was enabled (builder or `Ops.*` knowggets).
+struct OpsRuntime {
+    server: OpsServer,
+    shared: Arc<OpsShared>,
+    /// Top-K source-entity heavy-hitter sketch, fed one observation per
+    /// ingested packet.
+    sketch: SpaceSaving<Entity>,
+    /// Capture-clock micros of the first ingested packet (uptime base).
+    started_us: Option<u64>,
+    /// Wall-clock instant of the last full report render, gating
+    /// unforced refreshes to [`OPS_RENDER_MIN_INTERVAL`].
+    last_render: Option<std::time::Instant>,
+    /// Readiness reasons at the last publish — the cheap comparison key
+    /// that lets `after_dispatch` detect a readiness transition without
+    /// rebuilding the whole report.
+    last_reasons: Vec<String>,
+    /// Configured p99 latency target (µs). Kept outside the tracker so
+    /// `recommend_config` round-trips it in every build flavor; actual
+    /// measurement needs the `telemetry` feature's pipeline histogram.
+    slo_target_us: Option<u64>,
+    #[cfg(feature = "telemetry")]
+    slo: Option<SloTracker>,
+}
+
+/// Detection-latency SLO state: gauges plus the breach latch that turns
+/// p99-vs-target transitions into journal events.
+#[cfg(feature = "telemetry")]
+struct SloTracker {
+    target_us: u64,
+    breached: bool,
+    p99: Arc<Gauge>,
+    target: Arc<Gauge>,
+    burn: Arc<Gauge>,
+    breached_gauge: Arc<Gauge>,
+}
+
+impl OpsRuntime {
+    fn new(
+        server: OpsServer,
+        shared: Arc<OpsShared>,
+        config: &OpsConfig,
+        tele: &Telemetry,
+    ) -> Self {
+        #[cfg(feature = "telemetry")]
+        let slo = config.slo_p99_us.map(|target_us| {
+            let tracker = SloTracker {
+                target_us,
+                breached: false,
+                p99: tele.gauge(names::SLO_LATENCY_P99_US),
+                target: tele.gauge(names::SLO_TARGET_US),
+                burn: tele.gauge(names::SLO_BURN_PERMILLE),
+                breached_gauge: tele.gauge(names::SLO_BREACHED),
+            };
+            tracker.target.set(target_us);
+            tracker
+        });
+        #[cfg(not(feature = "telemetry"))]
+        let _ = tele;
+        OpsRuntime {
+            server,
+            shared,
+            sketch: SpaceSaving::new(config.hot_entities),
+            started_us: None,
+            last_render: None,
+            last_reasons: Vec::new(),
+            slo_target_us: config.slo_p99_us,
+            #[cfg(feature = "telemetry")]
+            slo,
+        }
+    }
+}
+
 /// Outbound sync work produced by one [`Kalis::sync_poll`] pass.
 #[derive(Debug, Default)]
 pub struct SyncPoll {
@@ -496,6 +649,7 @@ pub struct Kalis {
     tele: Arc<Telemetry>,
     #[cfg(feature = "telemetry")]
     stats: NodeStats,
+    ops: Option<OpsRuntime>,
 }
 
 impl Kalis {
@@ -559,6 +713,20 @@ impl Kalis {
         let shed = self.observe_arrival(now);
         self.store.push(packet);
         let packet = self.store.window().last().cloned().expect("just pushed");
+        if let Some(ops) = &mut self.ops {
+            if ops.started_us.is_none() {
+                ops.started_us = Some(now.as_micros());
+            }
+            // Hot-entity accounting: one sketch observation per packet,
+            // keyed by the network source (falling back to the link
+            // transmitter for captures without one).
+            if let Some(entity) = packet
+                .decoded()
+                .and_then(|p| p.net_src().or_else(|| p.transmitter()))
+            {
+                ops.sketch.observe(&entity);
+            }
+        }
         self.current_packet_seq = Some(self.ingest_seq);
         let mut ctx = ModuleCtx {
             now,
@@ -649,6 +817,13 @@ impl Kalis {
     /// Advance time without a packet: runs module housekeeping and
     /// reconfiguration.
     pub fn tick(&mut self, now: Timestamp) {
+        self.tick_inner(now, true);
+    }
+
+    /// The tick body. Explicit [`Kalis::tick`] calls force a full ops
+    /// report render; the packet-driven cadence (`maybe_tick`) leaves
+    /// rendering to the wall-clock throttle.
+    fn tick_inner(&mut self, now: Timestamp, force_ops: bool) {
         #[cfg(feature = "telemetry")]
         self.stats.ticks.inc();
         self.last_tick = Some(now);
@@ -688,6 +863,11 @@ impl Kalis {
         self.meter.add_work(outcome.work_units());
         self.response.expire(now);
         self.after_dispatch(now);
+        // The ops surface refreshes at tick cadence: profiler gauges,
+        // SLO posture, and the pre-rendered /status document.
+        if self.ops.is_some() {
+            self.ops_refresh(now, force_ops);
+        }
         if own_trace {
             if self.current_trace.sampled {
                 self.kb.clear_trace();
@@ -704,7 +884,7 @@ impl Kalis {
             Some(last) => now.saturating_since(last) >= TICK_EVERY,
         };
         if due {
-            self.tick(now);
+            self.tick_inner(now, false);
         }
     }
 
@@ -825,6 +1005,14 @@ impl Kalis {
         self.stats.peak_state.set_max(state as u64);
         #[cfg(not(feature = "telemetry"))]
         self.meter.observe_state_bytes(state);
+        // Readiness transitions must reach /readyz immediately, not at
+        // the next tick: compare the (usually empty) reason set against
+        // the last published one and republish only on change.
+        if let Some(ops) = &self.ops {
+            if ops.last_reasons != self.readiness().reasons {
+                self.ops_refresh(now, true);
+            }
+        }
     }
 
     /// Subscribe to this node's event stream (alerts, knowledge changes,
@@ -912,6 +1100,25 @@ impl Kalis {
                 TRACE_SAMPLE_RATE_KEY.to_owned(),
                 KnowValue::from_wire(&KnowValue::Float(fraction).to_wire()),
             ));
+        }
+        // The ops knobs ride along when the surface is enabled: the
+        // bound port (resolved from 0 to the actual ephemeral one, so a
+        // node rebuilt from the recommendation is scrapeable at a known
+        // place), the SLO target, and any non-default sketch capacity.
+        if let Some(ops) = &self.ops {
+            knowggets.push((
+                OPS_PORT_KEY.to_owned(),
+                KnowValue::Int(i64::from(ops.server.addr().port())),
+            ));
+            if let Some(target) = ops.slo_target_us {
+                knowggets.push((OPS_SLO_KEY.to_owned(), KnowValue::Int(target as i64)));
+            }
+            if ops.sketch.capacity() != crate::ops::DEFAULT_HOT_ENTITIES {
+                knowggets.push((
+                    OPS_HOT_ENTITIES_KEY.to_owned(),
+                    KnowValue::Int(ops.sketch.capacity() as i64),
+                ));
+            }
         }
         Config { modules, knowggets }
     }
@@ -1407,6 +1614,170 @@ impl Kalis {
         self.overload.mode()
     }
 
+    /// Address of the kalis-ops HTTP listener, when the surface is
+    /// enabled (resolves port 0 to the actual ephemeral port).
+    pub fn ops_addr(&self) -> Option<SocketAddr> {
+        self.ops.as_ref().map(|ops| ops.server.addr())
+    }
+
+    /// The node's current readiness verdict: empty reasons means fit
+    /// for duty. `/readyz` serves the same verdict as published at the
+    /// last transition or tick; this accessor recomputes it live.
+    ///
+    /// A node stays *live* through all of these, but loses *readiness*
+    /// when any pinned module sits in quarantine
+    /// (`pinned_module_quarantined:<name>`), overload shedding is
+    /// engaged (`overload_shedding:<heavy|all>`), or collective sync
+    /// fell into degraded local-only mode (`sync_degraded`). Unpinned
+    /// quarantined modules do not flip readiness: the knowledge-driven
+    /// activation contract never promised they would run.
+    pub fn readiness(&self) -> Readiness {
+        let mut reasons = Vec::new();
+        for name in self.manager.quarantined_pinned_names() {
+            reasons.push(format!("pinned_module_quarantined:{name}"));
+        }
+        match self.overload.mode() {
+            ShedMode::None => {}
+            ShedMode::Heavy => reasons.push("overload_shedding:heavy".to_owned()),
+            ShedMode::All => reasons.push("overload_shedding:all".to_owned()),
+        }
+        if self.syncer.degraded() {
+            reasons.push("sync_degraded".to_owned());
+        }
+        Readiness { reasons }
+    }
+
+    fn shed_label(mode: ShedMode) -> &'static str {
+        match mode {
+            ShedMode::None => "none",
+            ShedMode::Heavy => "heavy",
+            ShedMode::All => "all",
+        }
+    }
+
+    /// Rebuild and publish everything the ops listener serves: profiler
+    /// gauges, SLO posture (with breach/recovery journal events), the
+    /// hot-entity exposition block, and the pre-rendered `/status` and
+    /// `/readyz` documents. Runs at tick cadence plus on every
+    /// readiness transition; scrapes between refreshes see the last
+    /// published state without touching node internals.
+    ///
+    /// Only the profiler gauges and the readiness comparison run on
+    /// every call. The full report render is throttled to
+    /// [`OPS_RENDER_MIN_INTERVAL`] of wall time unless `force` is set
+    /// (explicit ticks, readiness transitions, build) — capture clocks
+    /// compress time under replay, and re-rendering kilobytes of JSON
+    /// per capture-second would tax the ingest hot path for staleness
+    /// no wall-clock scraper could ever observe.
+    fn ops_refresh(&mut self, now: Timestamp, force: bool) {
+        if self.ops.is_none() {
+            return;
+        }
+        #[cfg(feature = "telemetry")]
+        self.manager.publish_profiles();
+        let readiness = self.readiness();
+        {
+            let ops = self.ops.as_mut().expect("checked above");
+            let due = force
+                || ops.last_reasons != readiness.reasons
+                || !ops
+                    .last_render
+                    .is_some_and(|at| at.elapsed() < OPS_RENDER_MIN_INTERVAL);
+            if !due {
+                return;
+            }
+            ops.last_render = Some(std::time::Instant::now());
+        }
+        let modules: Vec<ModuleStatus> = self
+            .manager
+            .module_profiles()
+            .iter()
+            .map(ModuleStatus::from)
+            .collect();
+        let peers: Vec<(String, String)> = self
+            .syncer
+            .peers()
+            .into_iter()
+            .map(|(id, health)| (id.to_string(), health.as_str().to_owned()))
+            .collect();
+        #[cfg(feature = "telemetry")]
+        let alerts = self.stats.alerts.get();
+        #[cfg(not(feature = "telemetry"))]
+        let alerts = self.alerts.len() as u64;
+        // SLO posture: p99 of the whole-ingest pipeline histogram (ns)
+        // against the configured target, latched so only transitions
+        // reach the journal.
+        #[cfg(feature = "telemetry")]
+        let slo = {
+            let p99_us = self.stats.pipeline.snapshot().quantile(0.99) / 1_000;
+            let tele = &self.tele;
+            let ops = self.ops.as_mut().expect("checked above");
+            ops.slo.as_mut().map(|tracker| {
+                let breached = p99_us > tracker.target_us;
+                tracker.p99.set(p99_us);
+                tracker
+                    .burn
+                    .set(p99_us.saturating_mul(1000) / tracker.target_us.max(1));
+                tracker.breached_gauge.set(u64::from(breached));
+                if breached != tracker.breached {
+                    tracker.breached = breached;
+                    let event = if breached {
+                        JournalEvent::SloBreached {
+                            p99_us,
+                            target_us: tracker.target_us,
+                        }
+                    } else {
+                        JournalEvent::SloRecovered {
+                            p99_us,
+                            target_us: tracker.target_us,
+                        }
+                    };
+                    tele.journal().record(now.as_micros(), event);
+                }
+                SloStatus {
+                    target_us: tracker.target_us,
+                    p99_us,
+                    breached,
+                }
+            })
+        };
+        #[cfg(not(feature = "telemetry"))]
+        let slo = None;
+        let journal_dropped = self.tele.journal().dropped();
+        let trace_dropped = self.tracer.dropped();
+        let ops = self.ops.as_mut().expect("checked above");
+        let hot_entities: Vec<HotEntity> = ops
+            .sketch
+            .top()
+            .into_iter()
+            .map(|entry| HotEntity {
+                entity: entry.key.to_string(),
+                count: entry.count,
+                error: entry.error,
+            })
+            .collect();
+        let uptime_us = ops
+            .started_us
+            .map_or(0, |start| now.as_micros().saturating_sub(start));
+        let report = StatusReport {
+            node: self.id.to_string(),
+            readiness,
+            capture_time_us: now.as_micros(),
+            uptime_us,
+            shed_mode: Self::shed_label(self.overload.mode()).to_owned(),
+            sync_degraded: self.syncer.degraded(),
+            modules,
+            peers,
+            hot_entities,
+            journal_dropped,
+            trace_dropped,
+            alerts,
+            slo,
+        };
+        ops.last_reasons = report.readiness.reasons.clone();
+        ops.shared.publish(&report);
+    }
+
     /// Names of modules currently quarantined by the supervisor.
     pub fn quarantined_modules(&self) -> Vec<&'static str> {
         self.manager.quarantined_names()
@@ -1523,6 +1894,13 @@ impl Kalis {
                 self.kb.remove(DEGRADED_LABEL);
             }
             self.reconfigure_on_changes(now, true);
+        }
+        // Degraded-mode flips change readiness; publish them to /readyz
+        // immediately rather than waiting for the next tick or packet.
+        if let Some(ops) = &self.ops {
+            if ops.last_reasons != self.readiness().reasons {
+                self.ops_refresh(now, true);
+            }
         }
         (overflow_dropped > 0).then_some(KalisError::SyncBacklogOverflow {
             dropped: overflow_dropped,

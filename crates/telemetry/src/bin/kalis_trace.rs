@@ -6,6 +6,7 @@
 //! kalis-trace --explain FILE         render an alert-provenance record
 //! kalis-trace --chrome OUT FILE...   export Chrome trace-event JSON
 //! kalis-trace --check FILE...        validate trace files (exit 1 on error)
+//! kalis-trace --ops-url HOST:PORT    summarize a live node's /status
 //! ```
 //!
 //! Trace files are the `Tracer::to_json` documents a node exports (see
@@ -13,8 +14,12 @@
 //! opens directly in Perfetto / `chrome://tracing`.
 
 use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::process::ExitCode;
+use std::time::Duration;
 
+use kalis_telemetry::json::JsonValue;
 use kalis_telemetry::trace::{events_from_json, events_to_chrome_json};
 use kalis_telemetry::{AlertProvenance, TraceEvent};
 
@@ -135,6 +140,133 @@ fn check(path: &str) -> Vec<String> {
     problems
 }
 
+/// Fetch `/status` from a node's kalis-ops listener. Accepts
+/// `HOST:PORT` or `http://HOST:PORT` (with or without a trailing `/`).
+fn fetch_status(target: &str) -> Result<String, String> {
+    let hostport = target
+        .strip_prefix("http://")
+        .unwrap_or(target)
+        .trim_end_matches('/');
+    let mut stream =
+        TcpStream::connect(hostport).map_err(|e| format!("cannot connect to {hostport}: {e}"))?;
+    let timeout = Some(Duration::from_secs(5));
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
+    write!(stream, "GET /status HTTP/1.0\r\nHost: {hostport}\r\n\r\n")
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    let code = response.split_whitespace().nth(1).unwrap_or("");
+    if code != "200" {
+        return Err(format!("{hostport}/status answered {code}"));
+    }
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .ok_or_else(|| "malformed HTTP response (no body)".to_string())
+}
+
+/// Render a `/status` document as an operator summary: readiness with
+/// reasons, sync posture, the per-module resource profile, and the
+/// hot-entity top-K.
+fn render_status(doc: &JsonValue) -> String {
+    let str_of = |key: &str| doc.get(key).and_then(JsonValue::as_str).unwrap_or("?");
+    let num_of = |key: &str| doc.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "node {}  uptime {:.1}s  alerts {}\n",
+        str_of("node"),
+        num_of("uptime_us") as f64 / 1e6,
+        num_of("alerts")
+    ));
+    if num_of("ready") == 1 {
+        out.push_str("ready: yes\n");
+    } else {
+        let reasons: Vec<&str> = doc
+            .get("reasons")
+            .and_then(JsonValue::as_arr)
+            .map(|arr| arr.iter().filter_map(JsonValue::as_str).collect())
+            .unwrap_or_default();
+        out.push_str(&format!("ready: NO ({})\n", reasons.join(", ")));
+    }
+    out.push_str(&format!(
+        "shed mode {}  sync degraded {}  journal dropped {}  trace dropped {}\n",
+        str_of("shed_mode"),
+        if num_of("sync_degraded") == 1 {
+            "yes"
+        } else {
+            "no"
+        },
+        num_of("journal_dropped"),
+        num_of("trace_dropped")
+    ));
+    if let Some(slo) = doc.get("slo") {
+        let slo_num = |key: &str| slo.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        out.push_str(&format!(
+            "slo: p99 {}us vs target {}us ({})\n",
+            slo_num("p99_us"),
+            slo_num("target_us"),
+            if slo_num("breached") == 1 {
+                "BREACHED"
+            } else {
+                "ok"
+            }
+        ));
+    }
+    if let Some(peers) = doc.get("peers").and_then(JsonValue::as_arr) {
+        for peer in peers {
+            out.push_str(&format!(
+                "peer {}  {}\n",
+                peer.get("id").and_then(JsonValue::as_str).unwrap_or("?"),
+                peer.get("health")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?")
+            ));
+        }
+    }
+    if let Some(modules) = doc.get("modules").and_then(JsonValue::as_arr) {
+        out.push_str("modules:\n");
+        for module in modules {
+            let m_str = |key: &str| module.get(key).and_then(JsonValue::as_str).unwrap_or("?");
+            let m_num = |key: &str| module.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+            let flags = match (m_num("pinned") == 1, m_num("active") == 1) {
+                (true, true) => " pinned",
+                (true, false) => " pinned inactive",
+                (false, true) => "",
+                (false, false) => " inactive",
+            };
+            out.push_str(&format!(
+                "  {:<28} {:<11} cpu {:>8}us  dispatches {:>7}  sheds {:>5}  occupancy {:>5}{flags}\n",
+                m_str("name"),
+                m_str("health"),
+                m_num("cpu_ns") / 1_000,
+                m_num("dispatches"),
+                m_num("sheds"),
+                m_num("occupancy"),
+            ));
+        }
+    }
+    if let Some(hot) = doc.get("hot_entities").and_then(JsonValue::as_arr) {
+        if !hot.is_empty() {
+            out.push_str("hot entities:\n");
+            for entry in hot {
+                out.push_str(&format!(
+                    "  {:<24} ~{} packets (err {})\n",
+                    entry
+                        .get("entity")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("?"),
+                    entry.get("count").and_then(JsonValue::as_u64).unwrap_or(0),
+                    entry.get("error").and_then(JsonValue::as_u64).unwrap_or(0),
+                ));
+            }
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let strs: Vec<&str> = args.iter().map(String::as_str).collect();
@@ -144,8 +276,19 @@ fn main() -> ExitCode {
                 "usage: kalis-trace FILE...              render ASCII causal trees\n\
                  \x20      kalis-trace --explain FILE      render alert provenance\n\
                  \x20      kalis-trace --chrome OUT FILE... export Chrome trace JSON\n\
-                 \x20      kalis-trace --check FILE...     validate trace files"
+                 \x20      kalis-trace --check FILE...     validate trace files\n\
+                 \x20      kalis-trace --ops-url HOST:PORT summarize a live node's /status"
             );
+            ExitCode::SUCCESS
+        }
+        Some((&"--ops-url", rest)) => {
+            let [target] = rest else {
+                die("--ops-url takes exactly one HOST:PORT (or http://HOST:PORT)");
+            };
+            let body = fetch_status(target).unwrap_or_else(|e| die(&e));
+            let doc = kalis_telemetry::json::parse(&body)
+                .unwrap_or_else(|e| die(&format!("{target}/status: invalid JSON: {e}")));
+            print!("{}", render_status(&doc));
             ExitCode::SUCCESS
         }
         Some((&"--explain", rest)) => {
@@ -219,5 +362,80 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CANNED_STATUS: &str = concat!(
+        r#"{"node":"K1","ready":0,"reasons":["overload_shedding:heavy"],"#,
+        r#""capture_time_us":5000000,"uptime_us":4500000,"shed_mode":"heavy","#,
+        r#""sync_degraded":0,"modules":[{"name":"ScanModule","kind":"detection","#,
+        r#""health":"healthy","pinned":1,"active":1,"cpu_ns":2500000,"#,
+        r#""dispatches":120,"sheds":4,"occupancy":17,"state_bytes":2032}],"#,
+        r#""peers":[{"id":"K2","health":"Suspect"}],"#,
+        r#""hot_entities":[{"entity":"10.0.0.9","count":41,"error":2}],"#,
+        r#""journal_dropped":0,"trace_dropped":3,"alerts":2,"#,
+        r#""slo":{"target_us":500,"p99_us":710,"breached":1}}"#
+    );
+
+    /// One-shot canned ops endpoint on an ephemeral loopback port.
+    fn canned_server(body: &'static str) -> std::net::SocketAddr {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            if let Ok((mut stream, _)) = listener.accept() {
+                let mut buf = [0u8; 1024];
+                let _ = stream.read(&mut buf);
+                let response = format!(
+                    "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\n\
+                     Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                );
+                let _ = stream.write_all(response.as_bytes());
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn ops_url_fetches_and_summarizes_a_canned_status() {
+        let addr = canned_server(CANNED_STATUS);
+        let body = fetch_status(&format!("http://{addr}/")).expect("fetch");
+        let doc = kalis_telemetry::json::parse(&body).expect("canned JSON parses");
+        let summary = render_status(&doc);
+        assert!(summary.contains("node K1"), "{summary}");
+        assert!(summary.contains("uptime 4.5s"), "{summary}");
+        assert!(
+            summary.contains("ready: NO (overload_shedding:heavy)"),
+            "{summary}"
+        );
+        assert!(
+            summary.contains("slo: p99 710us vs target 500us (BREACHED)"),
+            "{summary}"
+        );
+        assert!(summary.contains("peer K2  Suspect"), "{summary}");
+        assert!(summary.contains("ScanModule"), "{summary}");
+        assert!(summary.contains("cpu     2500us"), "{summary}");
+        assert!(summary.contains("10.0.0.9"), "{summary}");
+        assert!(summary.contains("~41 packets (err 2)"), "{summary}");
+    }
+
+    #[test]
+    fn ops_url_reports_non_200_answers() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            if let Ok((mut stream, _)) = listener.accept() {
+                let mut buf = [0u8; 1024];
+                let _ = stream.read(&mut buf);
+                let _ = stream
+                    .write_all(b"HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n");
+            }
+        });
+        let err = fetch_status(&addr.to_string()).expect_err("non-200 must error");
+        assert!(err.contains("503"), "{err}");
     }
 }

@@ -1,0 +1,480 @@
+//! A strict, dependency-free checker for Prometheus text exposition
+//! (version 0.0.4), used by the ops smoke tests to validate live
+//! `/metrics` scrapes.
+//!
+//! Beyond "every line parses", the checker enforces the family-level
+//! invariants a real scraper relies on:
+//!
+//! - exactly one `# HELP` and one `# TYPE` per family, both before any
+//!   sample of that family;
+//! - all samples of a family contiguous (no interleaved blocks, which
+//!   scrapers treat as a duplicate family);
+//! - metric/label names well-formed, label values escaped (`\\`, `\"`,
+//!   `\n` only);
+//! - no duplicate series (same name + label set);
+//! - counters named `*_total`;
+//! - histograms coherent: `_bucket` counts cumulative and
+//!   non-decreasing, `le` increasing, `+Inf` bucket present and equal
+//!   to `_count`, `_sum`/`_count` present.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Validate one exposition document. Returns a list of problems; empty
+/// means the text is scrape-clean.
+pub fn check_exposition(text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut helped: BTreeSet<String> = BTreeSet::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut finished: BTreeSet<String> = BTreeSet::new();
+    let mut current: Option<String> = None;
+    let mut series: BTreeSet<String> = BTreeSet::new();
+    // (family, labels-without-le) → observed histogram pieces.
+    let mut hist: BTreeMap<(String, String), HistogramPieces> = BTreeMap::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let Some((family, _doc)) = rest.split_once(' ') else {
+                problems.push(format!("line {lineno}: HELP without docstring: {line}"));
+                continue;
+            };
+            meta_line(
+                family,
+                "HELP",
+                lineno,
+                &mut helped,
+                &finished,
+                &current,
+                &mut problems,
+            );
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let Some((family, kind)) = rest.split_once(' ') else {
+                problems.push(format!("line {lineno}: TYPE without a type: {line}"));
+                continue;
+            };
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                problems.push(format!("line {lineno}: unknown type {kind:?} for {family}"));
+            }
+            if kind == "counter" && !family.ends_with("_total") {
+                problems.push(format!(
+                    "line {lineno}: counter family {family} must end in _total"
+                ));
+            }
+            let mut seen_types: BTreeSet<String> = types.keys().cloned().collect();
+            meta_line(
+                family,
+                "TYPE",
+                lineno,
+                &mut seen_types,
+                &finished,
+                &current,
+                &mut problems,
+            );
+            types.insert(family.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment, legal and ignored
+        }
+
+        let Some(sample) = parse_sample(line) else {
+            problems.push(format!("line {lineno}: malformed sample: {line}"));
+            continue;
+        };
+        for problem in &sample.problems {
+            problems.push(format!("line {lineno}: {problem}"));
+        }
+
+        let family = resolve_family(&sample.name, &types);
+        let Some(family) = family else {
+            problems.push(format!(
+                "line {lineno}: sample {} has no # TYPE declaration",
+                sample.name
+            ));
+            continue;
+        };
+        if current.as_deref() != Some(family.as_str()) {
+            if let Some(prev) = current.take() {
+                finished.insert(prev);
+            }
+            if finished.contains(&family) {
+                problems.push(format!(
+                    "line {lineno}: family {family} reopened — samples must be contiguous"
+                ));
+            }
+            current = Some(family.clone());
+        }
+
+        let key = format!("{}{{{}}}", sample.name, sample.labels_canonical());
+        if !series.insert(key.clone()) {
+            problems.push(format!("line {lineno}: duplicate series {key}"));
+        }
+
+        if types.get(&family).map(String::as_str) == Some("histogram") {
+            collect_histogram(&family, &sample, lineno, &mut hist, &mut problems);
+        }
+    }
+
+    for ((family, labels), pieces) in &hist {
+        let ctx = if labels.is_empty() {
+            family.clone()
+        } else {
+            format!("{family}{{{labels}}}")
+        };
+        check_histogram(&ctx, pieces, &mut problems);
+    }
+    for family in types.keys() {
+        if !helped.contains(family) {
+            problems.push(format!("family {family} has # TYPE but no # HELP"));
+        }
+    }
+    problems
+}
+
+fn meta_line(
+    family: &str,
+    what: &str,
+    lineno: usize,
+    seen: &mut BTreeSet<String>,
+    finished: &BTreeSet<String>,
+    current: &Option<String>,
+    problems: &mut Vec<String>,
+) {
+    if !valid_metric_name(family) {
+        problems.push(format!("line {lineno}: invalid family name {family:?}"));
+    }
+    if !seen.insert(family.to_string()) {
+        problems.push(format!("line {lineno}: duplicate # {what} for {family}"));
+    }
+    if finished.contains(family) || current.as_deref() == Some(family) {
+        problems.push(format!(
+            "line {lineno}: # {what} for {family} after its samples"
+        ));
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// A parsed sample line.
+struct Sample {
+    name: String,
+    /// (name, raw escaped value) pairs in appearance order.
+    labels: Vec<(String, String)>,
+    value: f64,
+    problems: Vec<String>,
+}
+
+impl Sample {
+    fn labels_canonical(&self) -> String {
+        let mut sorted: Vec<_> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        sorted.sort();
+        sorted.join(",")
+    }
+
+    fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn parse_sample(line: &str) -> Option<Sample> {
+    let mut problems = Vec::new();
+    let (head, value_str) = line.rsplit_once(' ')?;
+    let value = match value_str {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        other => other.parse().ok()?,
+    };
+    let (name, labels) = match head.split_once('{') {
+        None => (head.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}')?;
+            (name.to_string(), parse_labels(body, &mut problems)?)
+        }
+    };
+    if !valid_metric_name(&name) {
+        problems.push(format!("invalid metric name {name:?}"));
+    }
+    let mut seen = BTreeSet::new();
+    for (k, _) in &labels {
+        if !valid_label_name(k) {
+            problems.push(format!("invalid label name {k:?}"));
+        }
+        if !seen.insert(k.clone()) {
+            problems.push(format!("label {k} repeated in one sample"));
+        }
+    }
+    Some(Sample {
+        name,
+        labels,
+        value,
+        problems,
+    })
+}
+
+/// Parse `k="v",k2="v2"`, validating escapes. Returns the raw (still
+/// escaped) values so canonicalization stays lossless.
+fn parse_labels(body: &str, problems: &mut Vec<String>) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if chars.next() != Some('"') {
+            return None;
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next()? {
+                '"' => break,
+                '\\' => {
+                    let escaped = chars.next()?;
+                    if !matches!(escaped, '\\' | '"' | 'n') {
+                        problems.push(format!("invalid escape \\{escaped} in label {key}"));
+                    }
+                    value.push('\\');
+                    value.push(escaped);
+                }
+                '\n' => return None,
+                c => value.push(c),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            None => return Some(labels),
+            Some(',') => continue,
+            Some(_) => return None,
+        }
+    }
+}
+
+/// Map a sample name onto its declared family: itself, or — for
+/// histogram series — the name with `_bucket`/`_sum`/`_count` stripped.
+fn resolve_family(name: &str, types: &BTreeMap<String, String>) -> Option<String> {
+    if types.contains_key(name) {
+        return Some(name.to_string());
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            if types.get(stem).map(String::as_str) == Some("histogram") {
+                return Some(stem.to_string());
+            }
+        }
+    }
+    None
+}
+
+#[derive(Default)]
+struct HistogramPieces {
+    /// (le, cumulative count) in appearance order.
+    buckets: Vec<(f64, f64)>,
+    sum: Option<f64>,
+    count: Option<f64>,
+}
+
+fn collect_histogram(
+    family: &str,
+    sample: &Sample,
+    lineno: usize,
+    hist: &mut BTreeMap<(String, String), HistogramPieces>,
+    problems: &mut Vec<String>,
+) {
+    let base_labels = {
+        let mut kept: Vec<_> = sample
+            .labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        kept.sort();
+        kept.join(",")
+    };
+    let entry = hist.entry((family.to_string(), base_labels)).or_default();
+    if sample.name.ends_with("_bucket") {
+        let Some(le) = sample.label("le") else {
+            problems.push(format!("line {lineno}: _bucket sample without le label"));
+            return;
+        };
+        let le = match le {
+            "+Inf" => f64::INFINITY,
+            other => match other.parse() {
+                Ok(v) => v,
+                Err(_) => {
+                    problems.push(format!("line {lineno}: unparseable le {le:?}"));
+                    return;
+                }
+            },
+        };
+        entry.buckets.push((le, sample.value));
+    } else if sample.name.ends_with("_sum") {
+        entry.sum = Some(sample.value);
+    } else if sample.name.ends_with("_count") {
+        entry.count = Some(sample.value);
+    }
+}
+
+fn check_histogram(ctx: &str, pieces: &HistogramPieces, problems: &mut Vec<String>) {
+    if pieces.sum.is_none() {
+        problems.push(format!("histogram {ctx} missing _sum"));
+    }
+    let Some(count) = pieces.count else {
+        problems.push(format!("histogram {ctx} missing _count"));
+        return;
+    };
+    let mut last_le = f64::NEG_INFINITY;
+    let mut last_count = 0.0;
+    for &(le, bucket_count) in &pieces.buckets {
+        if le <= last_le {
+            problems.push(format!("histogram {ctx}: le {le} not increasing"));
+        }
+        if bucket_count < last_count {
+            problems.push(format!(
+                "histogram {ctx}: bucket counts not cumulative at le {le}"
+            ));
+        }
+        last_le = le;
+        last_count = bucket_count;
+    }
+    match pieces.buckets.last() {
+        Some(&(le, top)) if le.is_infinite() => {
+            if (top - count).abs() > f64::EPSILON {
+                problems.push(format!(
+                    "histogram {ctx}: +Inf bucket {top} != _count {count}"
+                ));
+            }
+        }
+        _ => problems.push(format!("histogram {ctx} missing +Inf bucket")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{metric_name, JournalEvent, Telemetry};
+
+    fn assert_clean(text: &str) {
+        let problems = check_exposition(text);
+        assert!(problems.is_empty(), "problems: {problems:?}\n{text}");
+    }
+
+    #[test]
+    fn live_snapshot_is_clean() {
+        let t = Telemetry::new();
+        t.counter(crate::names::PACKETS_INGESTED).add(100);
+        t.counter(&metric_name(crate::names::KB_OPS, &[("op", "insert")]))
+            .add(3);
+        t.counter(&metric_name(crate::names::KB_OPS, &[("op", "remove")]))
+            .inc();
+        t.gauge(crate::names::KB_REVISION).set(12);
+        for module in ["HelloFlood", "evil\"na\\me\nstage2"] {
+            let h = t.histogram(&metric_name(
+                crate::names::DISPATCH_PACKET,
+                &[("module", module)],
+            ));
+            for v in [800, 1_200, 45_000, 2_000_000] {
+                h.record(v);
+            }
+        }
+        t.journal().record(
+            5,
+            JournalEvent::Marker {
+                kind: "test".into(),
+                detail: "seed".into(),
+            },
+        );
+        assert_clean(&t.snapshot().to_prometheus());
+    }
+
+    #[test]
+    fn catches_missing_help() {
+        let text = "# TYPE kalis_x_total counter\nkalis_x_total 1\n";
+        assert!(check_exposition(text)
+            .iter()
+            .any(|p| p.contains("no # HELP")));
+    }
+
+    #[test]
+    fn catches_duplicate_type_and_help() {
+        let text = "# HELP kalis_x_total x\n# TYPE kalis_x_total counter\n\
+                    # HELP kalis_x_total x\n# TYPE kalis_x_total counter\nkalis_x_total 1\n";
+        let problems = check_exposition(text);
+        assert!(problems.iter().any(|p| p.contains("duplicate # TYPE")));
+        assert!(problems.iter().any(|p| p.contains("duplicate # HELP")));
+    }
+
+    #[test]
+    fn catches_interleaved_family_blocks() {
+        let text = "# HELP kalis_a a\n# TYPE kalis_a gauge\n\
+                    # HELP kalis_b b\n# TYPE kalis_b gauge\n\
+                    kalis_a{x=\"1\"} 1\nkalis_b 2\nkalis_a{x=\"2\"} 3\n";
+        assert!(check_exposition(text)
+            .iter()
+            .any(|p| p.contains("reopened")));
+    }
+
+    #[test]
+    fn catches_duplicate_series_and_bad_escape() {
+        let text = "# HELP kalis_a a\n# TYPE kalis_a gauge\n\
+                    kalis_a{x=\"v\"} 1\nkalis_a{x=\"v\"} 2\nkalis_a{x=\"\\t\"} 3\n";
+        let problems = check_exposition(text);
+        assert!(problems.iter().any(|p| p.contains("duplicate series")));
+        assert!(problems.iter().any(|p| p.contains("invalid escape")));
+    }
+
+    #[test]
+    fn catches_counter_without_total_suffix() {
+        let text = "# HELP kalis_a a\n# TYPE kalis_a counter\nkalis_a 1\n";
+        assert!(check_exposition(text)
+            .iter()
+            .any(|p| p.contains("must end in _total")));
+    }
+
+    #[test]
+    fn catches_undeclared_family_and_broken_histogram() {
+        let stray = "kalis_unknown 4\n";
+        assert!(check_exposition(stray)
+            .iter()
+            .any(|p| p.contains("no # TYPE")));
+        let hist = "# HELP kalis_h_seconds h\n# TYPE kalis_h_seconds histogram\n\
+                    kalis_h_seconds_bucket{le=\"0.1\"} 5\n\
+                    kalis_h_seconds_bucket{le=\"+Inf\"} 4\n\
+                    kalis_h_seconds_sum 1\nkalis_h_seconds_count 9\n";
+        let problems = check_exposition(hist);
+        assert!(problems.iter().any(|p| p.contains("not cumulative")));
+        assert!(problems.iter().any(|p| p.contains("!= _count")));
+    }
+}

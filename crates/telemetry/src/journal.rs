@@ -95,6 +95,12 @@ pub enum JournalEvent {
     /// The overload controller stopped shedding; `skipped` dispatches
     /// were sampled away during the episode.
     LoadShedReleased { skipped: u64 },
+    /// Estimated p99 whole-ingest latency crossed above the configured
+    /// `Ops.LatencySloUs` target.
+    SloBreached { p99_us: u64, target_us: u64 },
+    /// Estimated p99 whole-ingest latency fell back under the
+    /// configured target after a breach.
+    SloRecovered { p99_us: u64, target_us: u64 },
     /// Free-form marker (bench stages, experiment boundaries).
     Marker { kind: String, detail: String },
 }
@@ -178,6 +184,10 @@ impl JournalEvent {
             JournalEvent::LoadShedReleased { skipped } => {
                 vec![("skipped", Num(*skipped))]
             }
+            JournalEvent::SloBreached { p99_us, target_us }
+            | JournalEvent::SloRecovered { p99_us, target_us } => {
+                vec![("p99_us", Num(*p99_us)), ("target_us", Num(*target_us))]
+            }
             JournalEvent::Marker { kind, detail } => {
                 vec![("kind", Str(kind.clone())), ("detail", Str(detail.clone()))]
             }
@@ -202,6 +212,8 @@ impl JournalEvent {
             JournalEvent::ModuleProbation { .. } => "module_probation",
             JournalEvent::LoadShedEngaged { .. } => "load_shed_engaged",
             JournalEvent::LoadShedReleased { .. } => "load_shed_released",
+            JournalEvent::SloBreached { .. } => "slo_breached",
+            JournalEvent::SloRecovered { .. } => "slo_recovered",
             JournalEvent::Marker { .. } => "marker",
         }
     }

@@ -19,6 +19,7 @@
 //!    without dependency cycles.
 
 mod counter;
+pub mod expocheck;
 mod export;
 mod histogram;
 mod journal;
@@ -29,6 +30,8 @@ mod span;
 pub mod trace;
 
 pub use counter::{Counter, Gauge};
+pub use expocheck::check_exposition;
+pub use export::{help_for, prom_label_value};
 pub use histogram::{Bucket, Histogram, HistogramSnapshot, MAX_TRACKABLE};
 pub use journal::{
     Journal, JournalEvent, JournalField, JournalRecord, JournalSnapshot, DEFAULT_JOURNAL_CAPACITY,
@@ -130,4 +133,33 @@ pub mod names {
     pub const TRACE_SAMPLED: &str = "trace.sampled";
     /// Trace events overwritten by the bounded trace buffer (counter).
     pub const TRACE_DROPPED: &str = "trace.dropped";
+    /// Measured per-module CPU self-time family (counter, ns, labelled
+    /// `[module=...]`; sampled 1-in-N by the dispatcher, so this is a
+    /// lower bound on true self-time — pair with `module.work_units`).
+    pub const MODULE_CPU_NS: &str = "module.cpu_ns";
+    /// Cumulative dispatches executed per module family (gauge,
+    /// labelled `[module=...]`; the work-unit share of each module).
+    pub const MODULE_WORK_UNITS: &str = "module.work_units";
+    /// Per-detector tracked-state occupancy family (gauge, labelled
+    /// `[module=...]`; entries currently held in per-entity maps).
+    pub const MODULE_OCCUPANCY: &str = "module.occupancy";
+    /// Estimated p99 whole-ingest latency in microseconds (gauge,
+    /// refreshed on tick by the ops profiler).
+    pub const SLO_LATENCY_P99_US: &str = "slo.latency_p99_us";
+    /// Configured p99 ingest-latency target in microseconds (gauge;
+    /// absent when no `Ops.LatencySloUs` knowgget is set).
+    pub const SLO_TARGET_US: &str = "slo.latency_target_us";
+    /// SLO burn rate: observed p99 over target, in permille (gauge;
+    /// 1000 = exactly at target, >1000 = burning).
+    pub const SLO_BURN_PERMILLE: &str = "slo.burn_permille";
+    /// Whether the p99 ingest-latency SLO is currently breached
+    /// (gauge, 0/1).
+    pub const SLO_BREACHED: &str = "slo.breached";
+    /// Requests served by the ops HTTP listener family (counter,
+    /// labelled `[endpoint=...]`).
+    pub const OPS_REQUESTS: &str = "ops.requests";
+    /// Top-K hot-entity family (gauge, labelled `[rank=...,entity=...]`).
+    /// Synthesized into `/metrics` scrapes from the space-saving sketch
+    /// rather than registered, so scrape cardinality stays capped at K.
+    pub const HOT_ENTITY: &str = "hot.entity";
 }
