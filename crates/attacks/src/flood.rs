@@ -12,24 +12,24 @@ use kalis_packets::{Entity, MacAddr, Medium};
 
 use crate::truth::{SymptomInstance, TruthLog};
 
-const TIMER_BURST: u64 = 100;
+pub(crate) const TIMER_BURST: u64 = 100;
 
-fn attacker_mac(ctx: &Ctx<'_>) -> MacAddr {
+pub(crate) fn attacker_mac(ctx: &Ctx<'_>) -> MacAddr {
     // The simulator assigns MACs from node ids; derive the same default.
     MacAddr::from_index(ctx.node().0)
 }
 
 /// Shared burst scheduling for flood attackers.
 #[derive(Debug, Clone, Copy)]
-struct BurstPlan {
-    start: Duration,
-    bursts: u32,
-    interval: Duration,
-    sent: u32,
+pub(crate) struct BurstPlan {
+    pub(crate) start: Duration,
+    pub(crate) bursts: u32,
+    pub(crate) interval: Duration,
+    pub(crate) sent: u32,
 }
 
 impl BurstPlan {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         BurstPlan {
             start: Duration::from_secs(5),
             bursts: 50,
@@ -38,12 +38,12 @@ impl BurstPlan {
         }
     }
 
-    fn arm(&self, ctx: &mut Ctx<'_>) {
+    pub(crate) fn arm(&self, ctx: &mut Ctx<'_>) {
         ctx.set_timer(self.start, TIMER_BURST);
     }
 
     /// Whether a burst should fire now; re-arms the timer.
-    fn fire(&mut self, ctx: &mut Ctx<'_>) -> bool {
+    pub(crate) fn fire(&mut self, ctx: &mut Ctx<'_>) -> bool {
         if self.sent >= self.bursts {
             return false;
         }

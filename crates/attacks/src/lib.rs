@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod exhaustion;
 mod flood;
 mod forwarding;
 mod routing;
@@ -46,6 +47,7 @@ mod truth;
 mod wifi;
 mod wormhole;
 
+pub use exhaustion::StateExhaustionAttacker;
 pub use flood::{IcmpFloodAttacker, SmurfAttacker, SynFloodAttacker, UdpFloodAttacker};
 pub use forwarding::{BlackholePolicy, ReplicaNode, SelectiveForwardPolicy};
 pub use routing::{FragmentFloodAttacker, SinkholeAttacker, SybilAttacker};

@@ -17,6 +17,14 @@
 //! report (Table II rows plus the Kalis node's full telemetry snapshot:
 //! per-stage latency histograms, KB churn, activation journal).
 //!
+//! `--exhaustion` runs the adversarial-cardinality experiment: a
+//! ≥100k-fake-identity spray interleaved with a real ICMP flood, with
+//! hard exit gates on occupancy ≤ budget, evictions > 0, and recall
+//! matching the spray-free baseline. `--exhaustion-json PATH` writes
+//! the machine-readable report (`BENCH_7.json`);
+//! `--spray-identities N` sets the per-burst identity count (8 bursts
+//! total).
+//!
 //! Defaults to `--all` with the paper's 50 symptom instances and a
 //! reduced 10 replication runs (pass `--replication-runs 100` for the
 //! paper's full count).
@@ -36,11 +44,14 @@ struct Args {
     extended: bool,
     tracing_overhead: bool,
     ops_overhead: bool,
+    exhaustion: bool,
     lint: bool,
     symptoms: u32,
     replication_runs: u32,
     seed: u64,
+    spray_identities: u32,
     json: Option<String>,
+    exhaustion_json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -56,11 +67,14 @@ fn parse_args() -> Args {
         extended: false,
         tracing_overhead: false,
         ops_overhead: false,
+        exhaustion: false,
         lint: false,
         symptoms: 50,
         replication_runs: 10,
         seed: 42,
+        spray_identities: 13_000,
         json: None,
+        exhaustion_json: None,
     };
     let mut any = false;
     let mut iter = std::env::args().skip(1);
@@ -110,6 +124,24 @@ fn parse_args() -> Args {
                 args.tracing_overhead = true;
                 any = true;
             }
+            "--exhaustion" => {
+                args.exhaustion = true;
+                any = true;
+            }
+            "--spray-identities" => {
+                args.spray_identities = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--spray-identities needs a number"));
+            }
+            "--exhaustion-json" => {
+                args.exhaustion_json = Some(
+                    iter.next()
+                        .unwrap_or_else(|| die("--exhaustion-json needs an output path")),
+                );
+                args.exhaustion = true;
+                any = true;
+            }
             "--lint" => {
                 args.lint = true;
                 any = true;
@@ -146,8 +178,9 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--table1|--fig3|--table2|--fig8|--reactivity|--knowledge-sharing|--resilience|--supervisor|--tracing-overhead|--ops-overhead|--lint|--all]\n\
-                     \x20                  [--symptoms N] [--replication-runs N] [--seed N] [--json PATH]"
+                    "usage: experiments [--table1|--fig3|--table2|--fig8|--reactivity|--knowledge-sharing|--resilience|--supervisor|--tracing-overhead|--ops-overhead|--exhaustion|--lint|--all]\n\
+                     \x20                  [--symptoms N] [--replication-runs N] [--seed N] [--json PATH]\n\
+                     \x20                  [--spray-identities N] [--exhaustion-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -333,6 +366,33 @@ fn main() {
         }
         #[cfg(not(feature = "telemetry"))]
         println!("(requires the `telemetry` feature)");
+        println!();
+    }
+    if args.exhaustion {
+        println!(
+            "== State exhaustion (seed={}, {} identities/burst) ==",
+            args.seed, args.spray_identities
+        );
+        let result = experiments::run_state_exhaustion(args.seed, args.spray_identities);
+        println!("{}", report::render_exhaustion(&result));
+        if let Some(path) = &args.exhaustion_json {
+            let json = report::exhaustion_json(&result);
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            println!("wrote {path} ({} bytes)", json.len());
+        }
+        // Hard gates: the run is a failure if any budgeted structure
+        // overflowed, nothing was evicted under a six-figure spray, or
+        // the spray cost recall on the concurrent real attack.
+        if !result.bounded() {
+            die("state exhaustion: occupancy exceeded a configured budget");
+        }
+        if result.total_evictions() == 0 {
+            die("state exhaustion: spray produced no evictions (budgets not exercised)");
+        }
+        if !result.recall_held() {
+            die("state exhaustion: recall dropped below the spray-free baseline");
+        }
         println!();
     }
     if let Some(result) = &tracing {

@@ -306,6 +306,8 @@ pub struct KnowledgeSharingResult {
     pub score: Score,
 }
 
+pub use exhaustion::{run_state_exhaustion, ModuleStateRow, StateExhaustionResult};
+
 #[cfg(feature = "telemetry")]
 pub use resilience::{run_sync_resilience, SyncResilienceResult};
 
@@ -569,6 +571,208 @@ mod supervisor {
                 .detection_rate(),
             final_mode: node.shed_mode(),
             journal: snapshot.journal,
+        }
+    }
+}
+
+/// The state-exhaustion experiment: an adversarial-cardinality spray
+/// (≥100k fabricated identities) interleaved with a genuine Table II
+/// ICMP flood, replayed into a default-budget Kalis node. Proves the
+/// bounded-state layer holds: every detector map and the KB entity
+/// index stay at or under their configured budgets (with evictions
+/// doing the work), while recall on the real attack matches a
+/// spray-free baseline run.
+mod exhaustion {
+    use std::time::Duration;
+
+    use kalis_attacks::{StateExhaustionAttacker, TruthLog};
+    use kalis_core::{Kalis, KalisId};
+    use kalis_netsim::node::NodeSpec;
+    use kalis_netsim::radio::RadioConfig;
+    use kalis_netsim::trace::merge_traces;
+    use kalis_netsim::{Position, Simulator};
+    use kalis_packets::{CapturedPacket, Medium};
+    use kalis_telemetry::JournalEvent;
+
+    use crate::runner;
+    use crate::scenarios::{Scenario, ScenarioKind, VICTIM_IP};
+    use crate::scoring;
+
+    /// Spray bursts injected across the scenario.
+    const SPRAY_BURSTS: u32 = 8;
+    /// Symptom instances of the real attack riding inside the spray.
+    const SYMPTOMS: u32 = 6;
+    /// The most per-structure-capped maps any module sums into its
+    /// occupancy figure (the SYN flood detector's syns + acks +
+    /// suspects). Each map is individually bounded at the budget — the
+    /// `kalis-core` proptests pin that invariant — so a module's total
+    /// occupancy is bounded by budget × this factor.
+    const MAX_STRUCTURES_PER_MODULE: usize = 3;
+
+    /// One budgeted module's state after absorbing the spray.
+    #[derive(Debug, Clone)]
+    pub struct ModuleStateRow {
+        /// Module name.
+        pub name: &'static str,
+        /// Configured per-entity budget (per bounded structure).
+        pub budget: usize,
+        /// Entries resident when the trace ended.
+        pub occupancy: usize,
+        /// Cumulative LRU evictions absorbing the spray.
+        pub evictions: u64,
+    }
+
+    /// The outcome of one seeded [`run_state_exhaustion`] run.
+    #[derive(Debug)]
+    pub struct StateExhaustionResult {
+        /// Distinct fabricated identities sprayed at the node.
+        pub fake_identities: u64,
+        /// Spray packets merged into the trace.
+        pub spray_packets: usize,
+        /// Detection rate on the scenario without the spray.
+        pub baseline_detection_rate: f64,
+        /// Detection rate with the full spray interleaved.
+        pub sprayed_detection_rate: f64,
+        /// Per-module state of every budgeted module after the spray.
+        pub modules: Vec<ModuleStateRow>,
+        /// KB per-entity budget in effect.
+        pub kb_budget: usize,
+        /// Entities resident in the KB index when the trace ended.
+        pub kb_occupancy: usize,
+        /// Entities the KB evicted wholesale to stay within budget.
+        pub kb_evictions: u64,
+        /// `state_evicted` journal records on the sprayed node.
+        pub eviction_journal_events: u64,
+        /// Peak state bytes of the spray-free baseline run.
+        pub baseline_peak_state_bytes: usize,
+        /// Peak state bytes under the spray — bounded, not linear in
+        /// `fake_identities`.
+        pub sprayed_peak_state_bytes: usize,
+    }
+
+    impl StateExhaustionResult {
+        /// Whether every budgeted structure stayed within its budget
+        /// (module occupancy sums up to
+        /// [`MAX_STRUCTURES_PER_MODULE`] individually-capped maps).
+        pub fn bounded(&self) -> bool {
+            self.kb_occupancy <= self.kb_budget
+                && self
+                    .modules
+                    .iter()
+                    .all(|m| m.occupancy <= m.budget * MAX_STRUCTURES_PER_MODULE)
+        }
+
+        /// Total evictions across detector maps and the KB — the
+        /// mechanism that kept [`Self::bounded`] true under the spray.
+        pub fn total_evictions(&self) -> u64 {
+            self.kb_evictions + self.modules.iter().map(|m| m.evictions).sum::<u64>()
+        }
+
+        /// Whether the spray cost any recall on the real attack.
+        pub fn recall_held(&self) -> bool {
+            self.sprayed_detection_rate >= self.baseline_detection_rate
+        }
+    }
+
+    /// Capture a pure spray (no embedded flood — the real attack comes
+    /// from the scenario this trace is merged into).
+    fn spray_trace(seed: u64, identities_per_burst: u32) -> Vec<CapturedPacket> {
+        let mut sim = Simulator::new(seed ^ 0x51A7);
+        let sprayer = sim.add_node(NodeSpec::new("sprayer").with_radio(RadioConfig::wifi()));
+        sim.set_behavior(
+            sprayer,
+            StateExhaustionAttacker::new(VICTIM_IP, TruthLog::new())
+                .with_replies_per_burst(0)
+                .with_bursts(SPRAY_BURSTS, Duration::from_secs(9))
+                .with_identities_per_burst(identities_per_burst)
+                .with_start(Duration::from_secs(2))
+                .with_seed(seed as u32),
+        );
+        let tap = sim.add_tap("spray", Position::new(1.0, 0.0), &[Medium::Wifi]);
+        sim.run_for(Duration::from_secs(2 + 9 * u64::from(SPRAY_BURSTS)));
+        tap.drain()
+    }
+
+    /// Run the exhaustion experiment: the ICMP-flood scenario alone
+    /// (baseline recall), then the same scenario with
+    /// `SPRAY_BURSTS × identities_per_burst` fabricated identities
+    /// interleaved, on identically configured default-budget nodes.
+    pub fn run_state_exhaustion(seed: u64, identities_per_burst: u32) -> StateExhaustionResult {
+        let scenario = Scenario::build(ScenarioKind::IcmpFlood, seed, SYMPTOMS);
+
+        let mut baseline = Kalis::builder(KalisId::new("K-base"))
+            .with_default_modules()
+            .build();
+        let baseline_outcome = runner::run_kalis_instance(&mut baseline, &scenario.captures);
+
+        let spray = spray_trace(seed, identities_per_burst);
+        let spray_packets = spray.len();
+        let merged = merge_traces(vec![scenario.captures.clone(), spray]);
+        let mut node = Kalis::builder(KalisId::new("K-spray"))
+            .with_default_modules()
+            .build();
+        let sprayed_outcome = runner::run_kalis_instance(&mut node, &merged);
+
+        let modules: Vec<ModuleStateRow> = node
+            .module_state()
+            .iter()
+            .filter(|p| p.state_budget > 0)
+            .map(|p| ModuleStateRow {
+                name: p.name,
+                budget: p.state_budget,
+                occupancy: p.occupancy,
+                evictions: p.evictions,
+            })
+            .collect();
+        let eviction_journal_events = sprayed_outcome.telemetry.as_ref().map_or(0, |s| {
+            s.journal
+                .records
+                .iter()
+                .filter(|r| matches!(r.event, JournalEvent::StateEvicted { .. }))
+                .count() as u64
+        });
+        StateExhaustionResult {
+            fake_identities: u64::from(SPRAY_BURSTS) * u64::from(identities_per_burst),
+            spray_packets,
+            baseline_detection_rate: scoring::score(&scenario.truth, &baseline_outcome.detections)
+                .detection_rate(),
+            sprayed_detection_rate: scoring::score(&scenario.truth, &sprayed_outcome.detections)
+                .detection_rate(),
+            modules,
+            kb_budget: node.knowledge().entity_budget(),
+            kb_occupancy: node.knowledge().entity_occupancy(),
+            kb_evictions: node.knowledge().entity_evictions(),
+            eviction_journal_events,
+            baseline_peak_state_bytes: baseline_outcome.meter.peak_state_bytes,
+            sprayed_peak_state_bytes: sprayed_outcome.meter.peak_state_bytes,
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use kalis_core::knowledge::DEFAULT_KB_ENTITY_BUDGET;
+
+        #[test]
+        fn reduced_spray_stays_bounded_without_costing_recall() {
+            // 8 × 400 = 3200 fake identities: enough to overflow the
+            // smallest per-module budgets in a debug-build test; the
+            // full ≥100k run is `experiments --exhaustion`.
+            let result = run_state_exhaustion(7, 400);
+            assert!(result.fake_identities >= 3200);
+            assert!(result.spray_packets >= 3200);
+            assert!(result.bounded(), "occupancy exceeded budget: {result:?}");
+            assert!(
+                result.baseline_detection_rate > 0.0,
+                "baseline scenario must detect its own attack"
+            );
+            assert!(
+                result.recall_held(),
+                "spray cost recall: baseline {} vs sprayed {}",
+                result.baseline_detection_rate,
+                result.sprayed_detection_rate
+            );
+            assert_eq!(result.kb_budget, DEFAULT_KB_ENTITY_BUDGET);
         }
     }
 }

@@ -6,7 +6,9 @@ use kalis_core::taxonomy::{relation, Feature, Relation};
 use kalis_core::AttackKind;
 use kalis_telemetry::{names, TelemetrySnapshot};
 
-use crate::experiments::{OpsOverheadResult, ScenarioResult, Table2, TracingOverheadResult};
+use crate::experiments::{
+    OpsOverheadResult, ScenarioResult, StateExhaustionResult, Table2, TracingOverheadResult,
+};
 
 /// Format a ratio as a percentage.
 pub fn pct(x: f64) -> String {
@@ -245,6 +247,90 @@ pub fn render_ops_overhead(result: &OpsOverheadResult) -> String {
         result.scrape_ms,
         result.scrapes,
     )
+}
+
+/// Render the state-exhaustion experiment for the terminal.
+pub fn render_exhaustion(result: &StateExhaustionResult) -> String {
+    let mut out = format!(
+        "state exhaustion ({} fake identities over {} spray packets):\n\
+         \x20 recall baseline/sprayed : {} / {}\n\
+         \x20 total evictions         : {}\n\
+         \x20 eviction journal events : {}\n\
+         \x20 peak state base/sprayed : {:.1} KiB / {:.1} KiB\n\
+         \x20 kb entities             : {}/{} (evictions {})\n",
+        result.fake_identities,
+        result.spray_packets,
+        pct(result.baseline_detection_rate),
+        pct(result.sprayed_detection_rate),
+        result.total_evictions(),
+        result.eviction_journal_events,
+        result.baseline_peak_state_bytes as f64 / 1024.0,
+        result.sprayed_peak_state_bytes as f64 / 1024.0,
+        result.kb_occupancy,
+        result.kb_budget,
+        result.kb_evictions,
+    );
+    out.push_str(&format!(
+        "{:<26} {:>12} {:>10} {:>12}\n",
+        "module", "occupancy", "budget", "evictions"
+    ));
+    for row in &result.modules {
+        out.push_str(&format!(
+            "{:<26} {:>12} {:>10} {:>12}\n",
+            row.name, row.occupancy, row.budget, row.evictions
+        ));
+    }
+    out.push_str(&format!(
+        "bounded: {}  recall held: {}\n",
+        result.bounded(),
+        result.recall_held()
+    ));
+    out
+}
+
+/// Build the machine-readable exhaustion report (`BENCH_7.json`): the
+/// spray magnitude, occupancy-vs-budget rows, eviction counts, and the
+/// baseline-vs-sprayed recall comparison.
+pub fn exhaustion_json(result: &StateExhaustionResult) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"fake_identities\": {},\n  \"spray_packets\": {},\n  \
+         \"baseline_detection_rate\": {:.4},\n  \"sprayed_detection_rate\": {:.4},\n  \
+         \"bounded\": {},\n  \"recall_held\": {},\n  \"total_evictions\": {},\n  \
+         \"eviction_journal_events\": {},\n  \"baseline_peak_state_bytes\": {},\n  \
+         \"sprayed_peak_state_bytes\": {},\n",
+        result.fake_identities,
+        result.spray_packets,
+        result.baseline_detection_rate,
+        result.sprayed_detection_rate,
+        result.bounded(),
+        result.recall_held(),
+        result.total_evictions(),
+        result.eviction_journal_events,
+        result.baseline_peak_state_bytes,
+        result.sprayed_peak_state_bytes,
+    ));
+    out.push_str(&format!(
+        "  \"kb\": {{\"budget\": {}, \"occupancy\": {}, \"evictions\": {}}},\n",
+        result.kb_budget, result.kb_occupancy, result.kb_evictions
+    ));
+    out.push_str("  \"modules\": [\n");
+    for (i, row) in result.modules.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"module\": \"{}\", \"occupancy\": {}, \"budget\": {}, \"evictions\": {}}}",
+            json_escape(row.name),
+            row.occupancy,
+            row.budget,
+            row.evictions,
+        ));
+        out.push_str(if i + 1 < result.modules.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Build the machine-readable `BENCH_*.json` report: the Table II rows

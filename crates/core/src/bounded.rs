@@ -1,0 +1,663 @@
+//! Bounded-state primitives for detection under adversarial cardinality.
+//!
+//! Every per-entity structure in Kalis — flood/scan counters, watchdog
+//! ledgers, fingerprint maps, per-entity knowggets — grows with the
+//! number of *distinct identities* observed, and identities are free for
+//! an attacker to fabricate (spoofed IPv4 sources, sprayed 802.15.4
+//! short addresses). Without budgets, an address-spraying flood is a
+//! memory-exhaustion DoS long before any detector fires.
+//!
+//! This module provides the shared bounded layer those structures sit
+//! on:
+//!
+//! - [`BoundedMap`]: an ordered map with a hard entry budget and
+//!   least-recently-used eviction. Exact for everything it still holds;
+//!   evicted keys are counted and reported so occupancy pressure is
+//!   observable.
+//! - [`CountMinSketch`]: a fixed-size approximate counter that **never
+//!   under-counts**. Evicted exact state spills into it, so detectors
+//!   keep firing on real heavy hitters even while churn evicts their
+//!   exact entries.
+//! - [`WindowSketch`]: two [`CountMinSketch`] epochs rotating on a time
+//!   window, giving a windowed never-under-counting estimate for events
+//!   spilled out of a bounded sliding window.
+//! - [`SpaceSaving`] (re-exported from [`crate::ops`]): the Metwally
+//!   top-K heavy-hitter sketch, generalized here for any structure that
+//!   needs bounded "who are the biggest offenders" tracking.
+//!
+//! The invariants the proptests at the bottom pin down:
+//!
+//! 1. `BoundedMap` occupancy never exceeds its budget, across any
+//!    interleaving of inserts, touches, and removes.
+//! 2. `CountMinSketch::estimate(k)` ≥ true count of `k`, always.
+//! 3. `SpaceSaving` top-K entries satisfy `count - error` ≤ true count
+//!    ≤ `count`.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+use std::time::Duration;
+
+use kalis_packets::Timestamp;
+
+pub use crate::ops::{SketchEntry, SpaceSaving};
+
+/// Default entry budget for per-module bounded structures when the
+/// operator does not override `entity_budget` in the module's config.
+pub const DEFAULT_ENTITY_BUDGET: usize = 1024;
+
+/// Smallest `entity_budget` a module accepts; overrides below this are
+/// clamped so a misconfigured budget cannot blind a detector entirely.
+pub const MIN_ENTITY_BUDGET: usize = 16;
+
+/// The `current_params` contribution of an `entity_budget` override:
+/// empty at the default (so recommended configs stay minimal), the
+/// explicit value otherwise.
+pub(crate) fn budget_params(entity_budget: usize) -> Vec<(String, crate::knowledge::KnowValue)> {
+    if entity_budget == DEFAULT_ENTITY_BUDGET {
+        Vec::new()
+    } else {
+        vec![(
+            "entity_budget".to_string(),
+            crate::knowledge::KnowValue::Int(entity_budget as i64),
+        )]
+    }
+}
+
+/// An ordered map holding at most `budget` entries, evicting the
+/// least-recently-used entry when a new key would exceed the budget.
+///
+/// "Used" means written or deliberately touched ([`BoundedMap::get_mut`],
+/// [`BoundedMap::insert`], [`BoundedMap::get_or_insert_with`]); plain
+/// [`BoundedMap::get`] is a non-touching peek so read-side telemetry
+/// does not distort eviction order.
+///
+/// # Examples
+///
+/// ```
+/// use kalis_core::bounded::BoundedMap;
+///
+/// let mut m: BoundedMap<u32, &str> = BoundedMap::new(2);
+/// m.insert(1, "a");
+/// m.insert(2, "b");
+/// m.insert(3, "c"); // evicts 1, the least recently used
+/// assert_eq!(m.len(), 2);
+/// assert_eq!(m.evictions(), 1);
+/// assert!(m.get(&1).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedMap<K, V> {
+    budget: usize,
+    seq: u64,
+    map: BTreeMap<K, (u64, V)>,
+    lru: BTreeSet<(u64, K)>,
+    evictions: u64,
+}
+
+impl<K: Ord + Clone, V> BoundedMap<K, V> {
+    /// A map with the given entry budget (min 1).
+    pub fn new(budget: usize) -> Self {
+        BoundedMap {
+            budget: budget.max(1),
+            seq: 0,
+            map: BTreeMap::new(),
+            lru: BTreeSet::new(),
+            evictions: 0,
+        }
+    }
+
+    /// The entry budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Current entries held (never exceeds [`BoundedMap::budget`]).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cumulative entries evicted to stay within budget (does not count
+    /// explicit [`BoundedMap::remove`] calls).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Non-touching read: does not refresh the entry's recency.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|(_, v)| v)
+    }
+
+    /// Touching read: refreshes the entry's recency.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        if self.map.contains_key(key) {
+            self.touch(key);
+        }
+        self.map.get_mut(key).map(|(_, v)| v)
+    }
+
+    /// Insert or replace `key`, touching it; returns the entry evicted
+    /// to make room, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(slot) = self.map.get_mut(&key) {
+            slot.1 = value;
+            self.touch(&key);
+            return None;
+        }
+        let evicted = self.make_room();
+        self.seq += 1;
+        self.lru.insert((self.seq, key.clone()));
+        self.map.insert(key, (self.seq, value));
+        evicted
+    }
+
+    /// Touching upsert: returns the (possibly just-defaulted) value for
+    /// `key` and the entry evicted to make room, if any.
+    pub fn get_or_insert_with(
+        &mut self,
+        key: &K,
+        default: impl FnOnce() -> V,
+    ) -> (&mut V, Option<(K, V)>) {
+        let mut evicted = None;
+        if self.map.contains_key(key) {
+            self.touch(key);
+        } else {
+            evicted = self.make_room();
+            self.seq += 1;
+            self.lru.insert((self.seq, key.clone()));
+            self.map.insert(key.clone(), (self.seq, default()));
+        }
+        let v = self
+            .map
+            .get_mut(key)
+            .map(|(_, v)| v)
+            .expect("just inserted");
+        (v, evicted)
+    }
+
+    /// Remove `key`, returning its value (not counted as an eviction).
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (seq, v) = self.map.remove(key)?;
+        self.lru.remove(&(seq, key.clone()));
+        Some(v)
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, (_, v))| (k, v))
+    }
+
+    /// Iterate values in key order, mutably (non-touching; bulk
+    /// housekeeping should not reshuffle recency).
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.map.values_mut().map(|(_, v)| v)
+    }
+
+    /// Drop entries failing `pred` (retain-style housekeeping sweep;
+    /// drops are not counted as budget evictions).
+    pub fn retain(&mut self, mut pred: impl FnMut(&K, &mut V) -> bool) {
+        // `BTreeMap::retain` would desynchronize the lru index; sweep by
+        // hand through `remove` instead.
+        let mut dead: Vec<K> = Vec::new();
+        for (k, (_, v)) in self.map.iter_mut() {
+            if !pred(k, v) {
+                dead.push(k.clone());
+            }
+        }
+        for k in dead {
+            self.remove(&k);
+        }
+    }
+
+    /// Drop every entry and zero the eviction counter (module `reset()`
+    /// support: a reset module reports a just-constructed state).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.lru.clear();
+        self.seq = 0;
+        self.evictions = 0;
+    }
+
+    fn touch(&mut self, key: &K) {
+        if let Some((seq, _)) = self.map.get(key) {
+            self.lru.remove(&(*seq, key.clone()));
+            self.seq += 1;
+            self.lru.insert((self.seq, key.clone()));
+            let next = self.seq;
+            if let Some(slot) = self.map.get_mut(key) {
+                slot.0 = next;
+            }
+        }
+    }
+
+    fn make_room(&mut self) -> Option<(K, V)> {
+        if self.map.len() < self.budget {
+            return None;
+        }
+        let (seq, key) = self.lru.iter().next()?.clone();
+        self.lru.remove(&(seq, key.clone()));
+        let (_, value) = self.map.remove(&key)?;
+        self.evictions += 1;
+        Some((key, value))
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A count-min sketch: fixed-size approximate counter that never
+/// under-counts.
+///
+/// `depth` rows of `width` counters (width rounded up to a power of
+/// two); each observation increments one counter per row, chosen by an
+/// independent per-row mix of the key's hash; the estimate is the
+/// minimum across rows. Collisions can only inflate counters, so
+/// `estimate(k)` ≥ the true count of `k` — the property that lets
+/// detectors spill evicted exact state here without losing recall.
+///
+/// # Examples
+///
+/// ```
+/// use kalis_core::bounded::CountMinSketch;
+///
+/// let mut cms = CountMinSketch::new(256, 4);
+/// for _ in 0..40 {
+///     cms.observe(&"attacker");
+/// }
+/// assert!(cms.estimate(&"attacker") >= 40);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    rows: Vec<u64>,
+    observed: u64,
+}
+
+impl CountMinSketch {
+    /// A sketch of `depth` rows × `width` counters (width rounded up to
+    /// a power of two, min 16; depth min 1).
+    pub fn new(width: usize, depth: usize) -> Self {
+        let width = width.max(16).next_power_of_two();
+        let depth = depth.max(1);
+        CountMinSketch {
+            width,
+            depth,
+            rows: vec![0; width * depth],
+            observed: 0,
+        }
+    }
+
+    /// Record one observation of `key`.
+    pub fn observe<K: Hash + ?Sized>(&mut self, key: &K) {
+        self.add(key, 1);
+    }
+
+    /// Record `n` observations of `key`.
+    pub fn add<K: Hash + ?Sized>(&mut self, key: &K, n: u64) {
+        let base = Self::base_hash(key);
+        for row in 0..self.depth {
+            let idx = row * self.width + self.slot(base, row);
+            self.rows[idx] = self.rows[idx].saturating_add(n);
+        }
+        self.observed = self.observed.saturating_add(n);
+    }
+
+    /// Estimated count for `key`: an upper bound on the true count.
+    pub fn estimate<K: Hash + ?Sized>(&self, key: &K) -> u64 {
+        let base = Self::base_hash(key);
+        (0..self.depth)
+            .map(|row| self.rows[row * self.width + self.slot(base, row)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total observations recorded (the `N` in the ε·N error bound: any
+    /// single estimate overshoots the true count by at most roughly
+    /// `N / width` per row, minimized across rows).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Worst-case over-estimation bound for any key: `observed / width`,
+    /// rounded up. Exported as the sketch-error gauge.
+    pub fn error_bound(&self) -> u64 {
+        self.observed.div_ceil(self.width as u64)
+    }
+
+    /// Memory held by the counters, in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.rows.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Zero every counter.
+    pub fn clear(&mut self) {
+        self.rows.iter_mut().for_each(|c| *c = 0);
+        self.observed = 0;
+    }
+
+    fn base_hash<K: Hash + ?Sized>(key: &K) -> u64 {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        h.finish()
+    }
+
+    fn slot(&self, base: u64, row: usize) -> usize {
+        (splitmix64(base ^ splitmix64(row as u64 + 1)) as usize) & (self.width - 1)
+    }
+}
+
+/// Two [`CountMinSketch`] epochs rotating on a time window.
+///
+/// Sliding-window counters with an entry budget spill their evicted
+/// (oldest) events here. An event spilled at time `t` stays counted
+/// until at least `t + window` (it lands in the current epoch; one
+/// rotation later it is in the previous epoch, still summed; only the
+/// second rotation drops it). The estimate `current + previous` is
+/// therefore never below the true number of in-window spilled events —
+/// bounded over-count, zero under-count, so budget pressure can create
+/// false positives but never suppress a real detection.
+#[derive(Debug, Clone)]
+pub struct WindowSketch {
+    window: Duration,
+    cur: CountMinSketch,
+    prev: CountMinSketch,
+    epoch_start: Option<Timestamp>,
+    spilled: u64,
+}
+
+impl WindowSketch {
+    /// A window sketch rotating every `window`, with per-epoch sketches
+    /// of `width` × `depth` counters.
+    pub fn new(window: Duration, width: usize, depth: usize) -> Self {
+        WindowSketch {
+            window,
+            cur: CountMinSketch::new(width, depth),
+            prev: CountMinSketch::new(width, depth),
+            epoch_start: None,
+            spilled: 0,
+        }
+    }
+
+    /// Spill one evicted event for `key` at time `now`.
+    pub fn spill<K: Hash + ?Sized>(&mut self, now: Timestamp, key: &K) {
+        self.rotate_if_due(now);
+        if self.epoch_start.is_none() {
+            self.epoch_start = Some(now);
+        }
+        self.cur.observe(key);
+        self.spilled = self.spilled.saturating_add(1);
+    }
+
+    /// Advance epochs if a full window has elapsed since the current
+    /// epoch began. Call at eviction cadence so stale spills decay even
+    /// when nothing new spills.
+    pub fn rotate_if_due(&mut self, now: Timestamp) {
+        let Some(start) = self.epoch_start else {
+            return;
+        };
+        let mut elapsed = now.saturating_since(start);
+        // Catch up across multiple idle windows.
+        let mut guard = 0;
+        while elapsed >= self.window && guard < 2 {
+            std::mem::swap(&mut self.prev, &mut self.cur);
+            self.cur.clear();
+            elapsed = elapsed.saturating_sub(self.window);
+            guard += 1;
+        }
+        if guard >= 2 {
+            // Two+ windows idle: everything spilled is stale.
+            self.prev.clear();
+            self.cur.clear();
+            self.epoch_start = None;
+        } else if guard > 0 {
+            self.epoch_start = Some(now);
+        }
+    }
+
+    /// Estimated in-window spilled events for `key` (never an
+    /// under-count of events spilled within the last `window`).
+    pub fn estimate<K: Hash + ?Sized>(&self, key: &K) -> u64 {
+        self.cur
+            .estimate(key)
+            .saturating_add(self.prev.estimate(key))
+    }
+
+    /// Cumulative events ever spilled (the eviction counter).
+    pub fn spilled(&self) -> u64 {
+        self.spilled
+    }
+
+    /// Worst-case over-count for any key, from both live epochs.
+    pub fn error_bound(&self) -> u64 {
+        self.cur
+            .error_bound()
+            .saturating_add(self.prev.error_bound())
+    }
+
+    /// Memory held by both epochs, in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.cur.state_bytes() + self.prev.state_bytes()
+    }
+
+    /// Forget everything, including the spill counter (module `reset()`
+    /// support).
+    pub fn clear(&mut self) {
+        self.cur.clear();
+        self.prev.clear();
+        self.epoch_start = None;
+        self.spilled = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_map_evicts_lru_not_hot() {
+        let mut m: BoundedMap<u32, u32> = BoundedMap::new(3);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        m.insert(3, 30);
+        // Touch 1 so 2 becomes the LRU.
+        assert_eq!(m.get_mut(&1), Some(&mut 10));
+        let evicted = m.insert(4, 40);
+        assert_eq!(evicted, Some((2, 20)));
+        assert!(m.contains_key(&1), "recently touched survives");
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.evictions(), 1);
+    }
+
+    #[test]
+    fn bounded_map_peek_does_not_touch() {
+        let mut m: BoundedMap<u32, u32> = BoundedMap::new(2);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        let _ = m.get(&1); // peek, not a touch
+        let evicted = m.insert(3, 30);
+        assert_eq!(evicted, Some((1, 10)), "peeked entry is still the LRU");
+    }
+
+    #[test]
+    fn bounded_map_clear_resets_to_constructed_state() {
+        let mut m: BoundedMap<u32, u32> = BoundedMap::new(1);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m.evictions(), 1);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.evictions(), 0);
+    }
+
+    #[test]
+    fn bounded_map_remove_is_not_an_eviction() {
+        let mut m: BoundedMap<u32, u32> = BoundedMap::new(4);
+        m.insert(1, 10);
+        assert_eq!(m.remove(&1), Some(10));
+        assert_eq!(m.evictions(), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn bounded_map_retain_sweeps_and_keeps_index_consistent() {
+        let mut m: BoundedMap<u32, u32> = BoundedMap::new(8);
+        for i in 0..6 {
+            m.insert(i, i * 10);
+        }
+        m.retain(|k, _| k % 2 == 0);
+        assert_eq!(m.len(), 3);
+        // Index stays consistent: further inserts/evictions still work.
+        for i in 10..20 {
+            m.insert(i, i);
+        }
+        assert_eq!(m.len(), 8);
+    }
+
+    #[test]
+    fn cms_counts_and_never_undercounts_dense_keys() {
+        let mut cms = CountMinSketch::new(64, 4);
+        for i in 0..1000u32 {
+            cms.observe(&(i % 50));
+        }
+        for k in 0..50u32 {
+            assert!(cms.estimate(&k) >= 20, "key {k} undercounted");
+        }
+        assert_eq!(cms.observed(), 1000);
+        assert!(cms.error_bound() >= 1);
+    }
+
+    #[test]
+    fn window_sketch_rotation_forgets_old_epochs() {
+        let mut ws = WindowSketch::new(Duration::from_secs(5), 64, 4);
+        ws.spill(Timestamp::from_secs(0), &"k");
+        assert_eq!(ws.estimate(&"k"), 1);
+        // Within a window: still counted.
+        ws.rotate_if_due(Timestamp::from_secs(4));
+        assert_eq!(ws.estimate(&"k"), 1);
+        // One rotation: moved to prev, still counted (no under-count).
+        ws.rotate_if_due(Timestamp::from_secs(6));
+        assert_eq!(ws.estimate(&"k"), 1);
+        // Two+ windows later: fully decayed.
+        ws.rotate_if_due(Timestamp::from_secs(20));
+        assert_eq!(ws.estimate(&"k"), 0);
+        assert_eq!(ws.spilled(), 1, "cumulative spill counter survives decay");
+    }
+
+    #[test]
+    fn window_sketch_event_outlives_remaining_window() {
+        let mut ws = WindowSketch::new(Duration::from_secs(5), 64, 4);
+        ws.spill(Timestamp::from_secs(0), &"a");
+        // 4.9s later a second spill arrives; first is still in-window.
+        ws.spill(Timestamp::from_millis(4900), &"b");
+        assert_eq!(ws.estimate(&"a"), 1);
+        assert_eq!(ws.estimate(&"b"), 1);
+        // Just past one window: both still counted (prev epoch).
+        ws.rotate_if_due(Timestamp::from_millis(5100));
+        assert!(ws.estimate(&"a") >= 1);
+        assert!(ws.estimate(&"b") >= 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap as StdMap;
+
+    proptest! {
+        /// CMS estimates are always >= true counts, for any stream.
+        #[test]
+        fn cms_never_undercounts(
+            keys in proptest::collection::vec(0u16..200, 1..600),
+            width in 16usize..128,
+            depth in 1usize..5,
+        ) {
+            let mut cms = CountMinSketch::new(width, depth);
+            let mut truth: StdMap<u16, u64> = StdMap::new();
+            for k in &keys {
+                cms.observe(k);
+                *truth.entry(*k).or_insert(0) += 1;
+            }
+            for (k, n) in &truth {
+                prop_assert!(
+                    cms.estimate(k) >= *n,
+                    "key {} true {} est {}", k, n, cms.estimate(k)
+                );
+            }
+        }
+
+        /// Space-saving guarantees count-error <= true <= count for every
+        /// monitored entry, at any capacity.
+        #[test]
+        fn space_saving_bounds_hold(
+            keys in proptest::collection::vec(0u8..60, 1..500),
+            capacity in 1usize..12,
+        ) {
+            let mut s: SpaceSaving<u8> = SpaceSaving::new(capacity);
+            let mut truth: StdMap<u8, u64> = StdMap::new();
+            for k in &keys {
+                s.observe(k);
+                *truth.entry(*k).or_insert(0) += 1;
+            }
+            for e in s.top() {
+                let t = truth[&e.key];
+                prop_assert!(e.count >= t, "estimate is an upper bound");
+                prop_assert!(
+                    e.count - e.error <= t,
+                    "guaranteed floor must not exceed truth: {:?} true {}", e, t
+                );
+            }
+        }
+
+        /// LRU occupancy never exceeds the budget across random
+        /// insert/touch/remove interleavings, and eviction accounting
+        /// matches what actually left the map.
+        #[test]
+        fn bounded_map_occupancy_within_budget(
+            ops in proptest::collection::vec((0u8..3, 0u16..100), 1..400),
+            budget in 1usize..20,
+        ) {
+            let mut m: BoundedMap<u16, u16> = BoundedMap::new(budget);
+            let mut inserted = 0u64;
+            let mut removed = 0u64;
+            for (op, key) in ops {
+                match op {
+                    0 => {
+                        if !m.contains_key(&key) {
+                            inserted += 1;
+                        }
+                        m.insert(key, key);
+                    }
+                    1 => {
+                        let _ = m.get_mut(&key);
+                    }
+                    _ => {
+                        if m.remove(&key).is_some() {
+                            removed += 1;
+                        }
+                    }
+                }
+                prop_assert!(m.len() <= budget, "occupancy {} > budget {}", m.len(), budget);
+            }
+            prop_assert_eq!(
+                m.len() as u64,
+                inserted - removed - m.evictions(),
+                "every departure is either a remove or a counted eviction"
+            );
+        }
+    }
+}

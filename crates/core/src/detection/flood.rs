@@ -11,7 +11,8 @@ use std::time::Duration;
 use kalis_packets::{CapturedPacket, Entity, TrafficClass};
 
 use crate::alert::{Alert, AttackKind};
-use crate::knowledge::{KnowKey, KnowledgeBase};
+use crate::bounded::{budget_params, BoundedMap, DEFAULT_ENTITY_BUDGET, MIN_ENTITY_BUDGET};
+use crate::knowledge::{KnowKey, KnowValue, KnowledgeBase};
 use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ParamSpec, ValueType};
 use crate::sensing::labels as sense;
 
@@ -19,6 +20,19 @@ use super::util::{AlertGate, SlidingCounter};
 
 const WINDOW: Duration = Duration::from_secs(5);
 const COOLDOWN: Duration = Duration::from_secs(10);
+/// Distinct transmitters remembered per victim for alert attribution.
+const MAX_SUSPECTS: usize = 8;
+
+/// Remember `tx` as a suspect transmitter towards `victim`, within the
+/// per-victim attribution cap.
+fn note_suspect(map: &mut BoundedMap<Entity, Vec<Entity>>, victim: &Entity, tx: Option<Entity>) {
+    if let Some(tx) = tx {
+        let (list, _) = map.get_or_insert_with(victim, Vec::new);
+        if !list.contains(&tx) && list.len() < MAX_SUSPECTS {
+            list.push(tx);
+        }
+    }
+}
 
 /// Detects ICMP Echo-Reply floods (single attacker, many claimed sender
 /// identities).
@@ -29,8 +43,10 @@ const COOLDOWN: Duration = Duration::from_secs(10);
 #[derive(Debug)]
 pub struct IcmpFloodModule {
     threshold: usize,
-    replies: SlidingCounter<(Entity, Option<Entity>)>, // (victim, transmitter)
-    spoofed_requests: SlidingCounter<Entity>,          // claimed src of echo requests
+    entity_budget: usize,
+    replies: SlidingCounter<Entity>,           // victim
+    spoofed_requests: SlidingCounter<Entity>,  // claimed src of echo requests
+    suspects: BoundedMap<Entity, Vec<Entity>>, // victim → transmitters
     gate: AlertGate<Entity>,
 }
 
@@ -38,11 +54,23 @@ impl IcmpFloodModule {
     /// A detector alerting at ≥ `threshold` replies per victim per 5 s
     /// window (default 25).
     pub fn new(threshold: usize) -> Self {
+        Self::build(threshold, DEFAULT_ENTITY_BUDGET)
+    }
+
+    /// Replace the per-entity state budget (the `entity_budget`
+    /// configuration parameter), rebuilding the bounded structures.
+    pub fn with_entity_budget(self, budget: usize) -> Self {
+        Self::build(self.threshold, budget.max(MIN_ENTITY_BUDGET))
+    }
+
+    fn build(threshold: usize, entity_budget: usize) -> Self {
         IcmpFloodModule {
             threshold,
-            replies: SlidingCounter::new(WINDOW),
-            spoofed_requests: SlidingCounter::new(WINDOW),
-            gate: AlertGate::new(COOLDOWN),
+            entity_budget,
+            replies: SlidingCounter::bounded(WINDOW, entity_budget),
+            spoofed_requests: SlidingCounter::bounded(WINDOW, entity_budget),
+            suspects: BoundedMap::new(entity_budget),
+            gate: AlertGate::bounded(COOLDOWN, entity_budget),
         }
     }
 }
@@ -62,6 +90,7 @@ impl Module for IcmpFloodModule {
         KnowggetContract::new()
             .reads_activation(sense::MULTIHOP, ValueType::Bool)
             .accepts_param(ParamSpec::number("threshold", 1.0))
+            .accepts_param(ParamSpec::number("entity_budget", MIN_ENTITY_BUDGET as f64))
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {
@@ -79,15 +108,13 @@ impl Module for IcmpFloodModule {
             }
             TrafficClass::IcmpEchoReply => {
                 let Some(victim) = pkt.net_dst() else { return };
-                let transmitter = pkt.transmitter();
-                self.replies
-                    .push(packet.timestamp, (victim.clone(), transmitter));
                 let now = packet.timestamp;
-                let count = self
-                    .replies
-                    .events(now)
-                    .filter(|(_, (v, _))| *v == victim)
-                    .count();
+                self.replies.push(now, victim.clone());
+                // The flood attacker transmits every reply itself (with
+                // varying claimed identities): the link-layer transmitters
+                // within one hop are the suspects.
+                note_suspect(&mut self.suspects, &victim, pkt.transmitter());
+                let count = self.replies.count(&victim, now);
                 if count < self.threshold {
                     return;
                 }
@@ -101,19 +128,7 @@ impl Module for IcmpFloodModule {
                 if !self.gate.permit(victim.clone(), now) {
                     return;
                 }
-                // The flood attacker transmits every reply itself (with
-                // varying claimed identities): the link-layer transmitters
-                // within one hop are the suspects.
-                let mut suspects: Vec<Entity> = Vec::new();
-                for (_, (v, tx)) in self.replies.events(now) {
-                    if v == &victim {
-                        if let Some(tx) = tx {
-                            if !suspects.contains(tx) {
-                                suspects.push(tx.clone());
-                            }
-                        }
-                    }
-                }
+                let suspects = self.suspects.get(&victim).cloned().unwrap_or_default();
                 ctx.raise(
                     Alert::new(now, AttackKind::IcmpFlood, "IcmpFloodModule")
                         .with_victim(victim)
@@ -126,16 +141,35 @@ impl Module for IcmpFloodModule {
     }
 
     fn state_bytes(&self) -> usize {
-        self.replies.len() * 96 + self.spoofed_requests.len() * 48 + 128
+        self.replies.state_bytes()
+            + self.spoofed_requests.state_bytes()
+            + self.suspects.len() * 96
+            + 128
     }
 
     fn occupancy(&self) -> usize {
-        self.replies.len() + self.spoofed_requests.len()
+        self.replies.len() + self.spoofed_requests.len() + self.suspects.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.replies.evictions()
+            + self.spoofed_requests.evictions()
+            + self.suspects.evictions()
+            + self.gate.evictions()
+    }
+
+    fn state_budget(&self) -> usize {
+        self.entity_budget
+    }
+
+    fn current_params(&self) -> Vec<(String, KnowValue)> {
+        budget_params(self.entity_budget)
     }
 
     fn reset(&mut self) {
         self.replies.clear();
         self.spoofed_requests.clear();
+        self.suspects.clear();
         self.gate.clear();
     }
 }
@@ -148,8 +182,9 @@ impl Module for IcmpFloodModule {
 #[derive(Debug)]
 pub struct SmurfModule {
     threshold: usize,
-    replies: SlidingCounter<Entity>,                    // victim
-    requests: SlidingCounter<(Entity, Option<Entity>)>, // (claimed src, transmitter)
+    entity_budget: usize,
+    replies: SlidingCounter<Entity>,           // victim
+    spoofers: BoundedMap<Entity, Vec<Entity>>, // claimed src → transmitters
     gate: AlertGate<Entity>,
 }
 
@@ -157,11 +192,22 @@ impl SmurfModule {
     /// A detector alerting at ≥ `threshold` replies per victim per 5 s
     /// window (default 25).
     pub fn new(threshold: usize) -> Self {
+        Self::build(threshold, DEFAULT_ENTITY_BUDGET)
+    }
+
+    /// Replace the per-entity state budget (the `entity_budget`
+    /// configuration parameter), rebuilding the bounded structures.
+    pub fn with_entity_budget(self, budget: usize) -> Self {
+        Self::build(self.threshold, budget.max(MIN_ENTITY_BUDGET))
+    }
+
+    fn build(threshold: usize, entity_budget: usize) -> Self {
         SmurfModule {
             threshold,
-            replies: SlidingCounter::new(WINDOW),
-            requests: SlidingCounter::new(WINDOW),
-            gate: AlertGate::new(COOLDOWN),
+            entity_budget,
+            replies: SlidingCounter::bounded(WINDOW, entity_budget),
+            spoofers: BoundedMap::new(entity_budget),
+            gate: AlertGate::bounded(COOLDOWN, entity_budget),
         }
     }
 }
@@ -181,6 +227,7 @@ impl Module for SmurfModule {
         KnowggetContract::new()
             .reads_activation(sense::MULTIHOP, ValueType::Bool)
             .accepts_param(ParamSpec::number("threshold", 1.0))
+            .accepts_param(ParamSpec::number("entity_budget", MIN_ENTITY_BUDGET as f64))
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {
@@ -191,9 +238,11 @@ impl Module for SmurfModule {
         let Some(pkt) = packet.decoded() else { return };
         match pkt.traffic_class() {
             TrafficClass::IcmpEchoRequest => {
+                // The real attacker is whoever transmits requests claiming
+                // someone else's identity; remember the transmitters per
+                // claimed source.
                 if let Some(src) = pkt.net_src() {
-                    self.requests
-                        .push(packet.timestamp, (src, pkt.transmitter()));
+                    note_suspect(&mut self.spoofers, &src, pkt.transmitter());
                 }
             }
             TrafficClass::IcmpEchoReply => {
@@ -206,18 +255,7 @@ impl Module for SmurfModule {
                 if !self.gate.permit(victim.clone(), now) {
                     return;
                 }
-                // The real attacker is whoever transmits requests claiming
-                // the victim's identity.
-                let mut spoofers: Vec<Entity> = Vec::new();
-                for (_, (claimed, tx)) in self.requests.events(now) {
-                    if claimed == &victim {
-                        if let Some(tx) = tx {
-                            if !spoofers.contains(tx) {
-                                spoofers.push(tx.clone());
-                            }
-                        }
-                    }
-                }
+                let spoofers = self.spoofers.get(&victim).cloned().unwrap_or_default();
                 let alert = if spoofers.is_empty() {
                     // No spoofed-request evidence: the technique falls back
                     // to suspecting nodes two hops from the victim. In a
@@ -241,16 +279,28 @@ impl Module for SmurfModule {
     }
 
     fn state_bytes(&self) -> usize {
-        self.replies.len() * 48 + self.requests.len() * 96 + 128
+        self.replies.state_bytes() + self.spoofers.len() * 96 + 128
     }
 
     fn occupancy(&self) -> usize {
-        self.replies.len() + self.requests.len()
+        self.replies.len() + self.spoofers.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.replies.evictions() + self.spoofers.evictions() + self.gate.evictions()
+    }
+
+    fn state_budget(&self) -> usize {
+        self.entity_budget
+    }
+
+    fn current_params(&self) -> Vec<(String, KnowValue)> {
+        budget_params(self.entity_budget)
     }
 
     fn reset(&mut self) {
         self.replies.clear();
-        self.requests.clear();
+        self.spoofers.clear();
         self.gate.clear();
     }
 }
@@ -261,8 +311,10 @@ impl Module for SmurfModule {
 #[derive(Debug)]
 pub struct SynFloodModule {
     threshold: usize,
-    syns: SlidingCounter<(Entity, Option<Entity>)>, // (victim, transmitter)
-    acks: SlidingCounter<Entity>,                   // victim (handshake completions)
+    entity_budget: usize,
+    syns: SlidingCounter<Entity>,              // victim
+    acks: SlidingCounter<Entity>,              // victim (handshake completions)
+    suspects: BoundedMap<Entity, Vec<Entity>>, // victim → transmitters
     gate: AlertGate<Entity>,
 }
 
@@ -270,11 +322,23 @@ impl SynFloodModule {
     /// A detector alerting at ≥ `threshold` pure SYNs per victim per 5 s
     /// window (default 30) with completion below half.
     pub fn new(threshold: usize) -> Self {
+        Self::build(threshold, DEFAULT_ENTITY_BUDGET)
+    }
+
+    /// Replace the per-entity state budget (the `entity_budget`
+    /// configuration parameter), rebuilding the bounded structures.
+    pub fn with_entity_budget(self, budget: usize) -> Self {
+        Self::build(self.threshold, budget.max(MIN_ENTITY_BUDGET))
+    }
+
+    fn build(threshold: usize, entity_budget: usize) -> Self {
         SynFloodModule {
             threshold,
-            syns: SlidingCounter::new(WINDOW),
-            acks: SlidingCounter::new(WINDOW),
-            gate: AlertGate::new(COOLDOWN),
+            entity_budget,
+            syns: SlidingCounter::bounded(WINDOW, entity_budget),
+            acks: SlidingCounter::bounded(WINDOW, entity_budget),
+            suspects: BoundedMap::new(entity_budget),
+            gate: AlertGate::bounded(COOLDOWN, entity_budget),
         }
     }
 }
@@ -294,6 +358,7 @@ impl Module for SynFloodModule {
         KnowggetContract::new()
             .reads_activation(KnowKey::scoped(sense::PROTOCOL_SEEN, "IP"), ValueType::Bool)
             .accepts_param(ParamSpec::number("threshold", 1.0))
+            .accepts_param(ParamSpec::number("entity_budget", MIN_ENTITY_BUDGET as f64))
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {
@@ -306,12 +371,9 @@ impl Module for SynFloodModule {
         match pkt.traffic_class() {
             TrafficClass::TcpSyn => {
                 let Some(victim) = pkt.net_dst() else { return };
-                self.syns.push(now, (victim.clone(), pkt.transmitter()));
-                let syn_count = self
-                    .syns
-                    .events(now)
-                    .filter(|(_, (v, _))| *v == victim)
-                    .count();
+                self.syns.push(now, victim.clone());
+                note_suspect(&mut self.suspects, &victim, pkt.transmitter());
+                let syn_count = self.syns.count(&victim, now);
                 if syn_count < self.threshold {
                     return;
                 }
@@ -322,16 +384,7 @@ impl Module for SynFloodModule {
                 if !self.gate.permit(victim.clone(), now) {
                     return;
                 }
-                let mut suspects: Vec<Entity> = Vec::new();
-                for (_, (v, tx)) in self.syns.events(now) {
-                    if v == &victim {
-                        if let Some(tx) = tx {
-                            if !suspects.contains(tx) {
-                                suspects.push(tx.clone());
-                            }
-                        }
-                    }
-                }
+                let suspects = self.suspects.get(&victim).cloned().unwrap_or_default();
                 ctx.raise(
                     Alert::new(now, AttackKind::SynFlood, "SynFloodModule")
                         .with_victim(victim)
@@ -351,16 +404,32 @@ impl Module for SynFloodModule {
     }
 
     fn state_bytes(&self) -> usize {
-        self.syns.len() * 96 + self.acks.len() * 48 + 128
+        self.syns.state_bytes() + self.acks.state_bytes() + self.suspects.len() * 96 + 128
     }
 
     fn occupancy(&self) -> usize {
-        self.syns.len() + self.acks.len()
+        self.syns.len() + self.acks.len() + self.suspects.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.syns.evictions()
+            + self.acks.evictions()
+            + self.suspects.evictions()
+            + self.gate.evictions()
+    }
+
+    fn state_budget(&self) -> usize {
+        self.entity_budget
+    }
+
+    fn current_params(&self) -> Vec<(String, KnowValue)> {
+        budget_params(self.entity_budget)
     }
 
     fn reset(&mut self) {
         self.syns.clear();
         self.acks.clear();
+        self.suspects.clear();
         self.gate.clear();
     }
 }
@@ -369,7 +438,9 @@ impl Module for SynFloodModule {
 #[derive(Debug)]
 pub struct UdpFloodModule {
     threshold: usize,
-    datagrams: SlidingCounter<(Entity, Option<Entity>)>,
+    entity_budget: usize,
+    datagrams: SlidingCounter<Entity>,         // victim
+    suspects: BoundedMap<Entity, Vec<Entity>>, // victim → transmitters
     gate: AlertGate<Entity>,
 }
 
@@ -377,10 +448,22 @@ impl UdpFloodModule {
     /// A detector alerting at ≥ `threshold` datagrams per victim per 5 s
     /// window (default 100).
     pub fn new(threshold: usize) -> Self {
+        Self::build(threshold, DEFAULT_ENTITY_BUDGET)
+    }
+
+    /// Replace the per-entity state budget (the `entity_budget`
+    /// configuration parameter), rebuilding the bounded structures.
+    pub fn with_entity_budget(self, budget: usize) -> Self {
+        Self::build(self.threshold, budget.max(MIN_ENTITY_BUDGET))
+    }
+
+    fn build(threshold: usize, entity_budget: usize) -> Self {
         UdpFloodModule {
             threshold,
-            datagrams: SlidingCounter::new(WINDOW),
-            gate: AlertGate::new(COOLDOWN),
+            entity_budget,
+            datagrams: SlidingCounter::bounded(WINDOW, entity_budget),
+            suspects: BoundedMap::new(entity_budget),
+            gate: AlertGate::bounded(COOLDOWN, entity_budget),
         }
     }
 }
@@ -400,6 +483,7 @@ impl Module for UdpFloodModule {
         KnowggetContract::new()
             .reads_activation(KnowKey::scoped(sense::PROTOCOL_SEEN, "IP"), ValueType::Bool)
             .accepts_param(ParamSpec::number("threshold", 1.0))
+            .accepts_param(ParamSpec::number("entity_budget", MIN_ENTITY_BUDGET as f64))
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {
@@ -413,26 +497,13 @@ impl Module for UdpFloodModule {
         }
         let Some(victim) = pkt.net_dst() else { return };
         let now = packet.timestamp;
-        self.datagrams
-            .push(now, (victim.clone(), pkt.transmitter()));
-        let count = self
-            .datagrams
-            .events(now)
-            .filter(|(_, (v, _))| *v == victim)
-            .count();
+        self.datagrams.push(now, victim.clone());
+        note_suspect(&mut self.suspects, &victim, pkt.transmitter());
+        let count = self.datagrams.count(&victim, now);
         if count < self.threshold || !self.gate.permit(victim.clone(), now) {
             return;
         }
-        let mut suspects: Vec<Entity> = Vec::new();
-        for (_, (v, tx)) in self.datagrams.events(now) {
-            if v == &victim {
-                if let Some(tx) = tx {
-                    if !suspects.contains(tx) {
-                        suspects.push(tx.clone());
-                    }
-                }
-            }
-        }
+        let suspects = self.suspects.get(&victim).cloned().unwrap_or_default();
         ctx.raise(
             Alert::new(now, AttackKind::UdpFlood, "UdpFloodModule")
                 .with_victim(victim)
@@ -442,15 +513,28 @@ impl Module for UdpFloodModule {
     }
 
     fn state_bytes(&self) -> usize {
-        self.datagrams.len() * 96 + 128
+        self.datagrams.state_bytes() + self.suspects.len() * 96 + 128
     }
 
     fn occupancy(&self) -> usize {
-        self.datagrams.len()
+        self.datagrams.len() + self.suspects.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.datagrams.evictions() + self.suspects.evictions() + self.gate.evictions()
+    }
+
+    fn state_budget(&self) -> usize {
+        self.entity_budget
+    }
+
+    fn current_params(&self) -> Vec<(String, KnowValue)> {
+        budget_params(self.entity_budget)
     }
 
     fn reset(&mut self) {
         self.datagrams.clear();
+        self.suspects.clear();
         self.gate.clear();
     }
 }
@@ -682,6 +766,62 @@ mod tests {
             ));
         }
         assert!(dispatch(&mut module, &mut kb, caps).is_empty());
+    }
+
+    #[test]
+    fn budgeted_flood_still_fires_under_identity_spray() {
+        // A tight 16-entry budget under a 500-victim address spray: the
+        // real flood's events spill into the overflow sketch but are
+        // never under-counted, so the alert still fires while occupancy
+        // stays bounded.
+        let mut module = IcmpFloodModule::new(10).with_entity_budget(16);
+        let mut kb = kb_single_hop();
+        let mut caps = Vec::new();
+        for i in 0..500u64 {
+            // Spray: one echo reply towards a unique fake victim.
+            let fake = Ipv4Addr::new(10, 200, (i >> 8) as u8, i as u8);
+            let ip = kalis_netsim::craft::ipv4_echo_reply(Ipv4Addr::new(1, 2, 3, 4), fake, 1, 1);
+            let raw = kalis_netsim::craft::wifi_ipv4(
+                MacAddr::from_index(99),
+                MacAddr::BROADCAST,
+                MacAddr::from_index(0),
+                0,
+                &ip,
+            );
+            caps.push(CapturedPacket::capture(
+                Timestamp::from_millis(i * 4),
+                Medium::Wifi,
+                Some(-50.0),
+                "w",
+                raw,
+            ));
+            // Real flood: every 25th packet is a reply to the true victim.
+            if i % 25 == 0 {
+                caps.push(reply_to_victim(i * 4 + 1, Ipv4Addr::new(10, 0, 0, 100)));
+            }
+        }
+        let alerts = dispatch(&mut module, &mut kb, caps);
+        assert!(
+            alerts.iter().any(|a| a.attack == AttackKind::IcmpFlood
+                && a.victim.as_ref().unwrap().as_str() == VICTIM.to_string()),
+            "real flood detected despite the spray"
+        );
+        assert!(module.occupancy() <= 3 * 16, "occupancy bounded by budget");
+        assert!(module.evictions() > 0, "spray forced evictions");
+        assert_eq!(module.state_budget(), 16);
+    }
+
+    #[test]
+    fn entity_budget_round_trips_through_current_params() {
+        let module = IcmpFloodModule::new(25).with_entity_budget(64);
+        let params = module.current_params();
+        assert_eq!(params.len(), 1);
+        assert_eq!(params[0].0, "entity_budget");
+        assert_eq!(params[0].1, KnowValue::Int(64));
+        assert!(
+            IcmpFloodModule::new(25).current_params().is_empty(),
+            "default budget emits no params"
+        );
     }
 
     #[test]

@@ -18,17 +18,21 @@
 //!   shows no motion at all (interleaved levels in a fully static
 //!   environment are treated as the static technique's jurisdiction).
 
-use std::collections::BTreeMap;
 use std::time::Duration;
 
 use kalis_packets::{CapturedPacket, Entity, Timestamp};
 
 use crate::alert::{Alert, AttackKind};
-use crate::knowledge::KnowledgeBase;
-use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ValueType};
+use crate::bounded::{budget_params, BoundedMap, DEFAULT_ENTITY_BUDGET, MIN_ENTITY_BUDGET};
+use crate::knowledge::{KnowValue, KnowledgeBase};
+use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ParamSpec, ValueType};
 use crate::sensing::labels as sense;
 
 use super::util::{fingerprint_identity, AlertGate};
+
+/// RSSI samples retained per identity: the windowed retain already trims
+/// stale samples, this caps a single chatty identity.
+const SAMPLE_CAP: usize = 64;
 
 /// Sliding window of RSSI samples kept per identity.
 const SAMPLE_WINDOW: Duration = Duration::from_secs(12);
@@ -55,6 +59,9 @@ impl Samples {
         let cutoff = at;
         self.points
             .retain(|(ts, _)| cutoff.saturating_since(*ts) <= SAMPLE_WINDOW);
+        while self.points.len() > SAMPLE_CAP {
+            self.points.remove(0);
+        }
     }
 
     fn spread(&self) -> f64 {
@@ -122,7 +129,7 @@ impl Samples {
 }
 
 fn ingest(
-    samples: &mut BTreeMap<Entity, Samples>,
+    samples: &mut BoundedMap<Entity, Samples>,
     packet: &CapturedPacket,
 ) -> Option<(Entity, Timestamp)> {
     let rssi = packet.rssi_dbm?;
@@ -130,17 +137,15 @@ fn ingest(
     // Fingerprint only directly-transmitted identities: the RSSI of a
     // relayed frame belongs to the relay, not the claimed originator.
     let id = fingerprint_identity(pkt)?;
-    samples
-        .entry(id.clone())
-        .or_default()
-        .push(packet.timestamp, rssi);
+    let (entry, _) = samples.get_or_insert_with(&id, Samples::default);
+    entry.push(packet.timestamp, rssi);
     Some((id, packet.timestamp))
 }
 
 /// Fraction of identities (other than the suspect under evaluation) whose
 /// RSSI wanders more than 6 dB — the environment-mobility estimate both
 /// techniques use to validate their assumptions.
-fn wandering_fraction(samples: &BTreeMap<Entity, Samples>, exclude: &Entity) -> f64 {
+fn wandering_fraction(samples: &BoundedMap<Entity, Samples>, exclude: &Entity) -> f64 {
     let tracked: Vec<&Samples> = samples
         .iter()
         .filter(|(id, s)| *id != exclude && s.points.len() >= LEVEL_QUORUM)
@@ -157,16 +162,28 @@ fn wandering_fraction(samples: &BTreeMap<Entity, Samples>, exclude: &Entity) -> 
 /// fingerprinting).
 #[derive(Debug)]
 pub struct ReplicationStaticModule {
-    samples: BTreeMap<Entity, Samples>,
+    entity_budget: usize,
+    samples: BoundedMap<Entity, Samples>,
     gate: AlertGate<Entity>,
 }
 
 impl ReplicationStaticModule {
     /// A fresh detector.
     pub fn new() -> Self {
+        Self::build(DEFAULT_ENTITY_BUDGET)
+    }
+
+    /// Replace the per-entity state budget (the `entity_budget`
+    /// configuration parameter), rebuilding the bounded structures.
+    pub fn with_entity_budget(self, budget: usize) -> Self {
+        Self::build(budget.max(MIN_ENTITY_BUDGET))
+    }
+
+    fn build(entity_budget: usize) -> Self {
         ReplicationStaticModule {
-            samples: BTreeMap::new(),
-            gate: AlertGate::new(Duration::from_secs(15)),
+            entity_budget,
+            samples: BoundedMap::new(entity_budget),
+            gate: AlertGate::bounded(Duration::from_secs(15), entity_budget),
         }
     }
 }
@@ -183,7 +200,9 @@ impl Module for ReplicationStaticModule {
     }
 
     fn contract(&self) -> KnowggetContract {
-        KnowggetContract::new().reads_activation(sense::MOBILE, ValueType::Bool)
+        KnowggetContract::new()
+            .reads_activation(sense::MOBILE, ValueType::Bool)
+            .accepts_param(ParamSpec::number("entity_budget", MIN_ENTITY_BUDGET as f64))
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {
@@ -194,11 +213,14 @@ impl Module for ReplicationStaticModule {
         let Some((id, now)) = ingest(&mut self.samples, packet) else {
             return;
         };
-        let (low, high, gap) = self.samples[&id].two_level();
+        let Some(suspect) = self.samples.get(&id) else {
+            return;
+        };
+        let (low, high, gap) = suspect.two_level();
         if low < LEVEL_QUORUM
             || high < LEVEL_QUORUM
             || gap < LEVEL_GAP_DB
-            || self.samples[&id].span() < MIN_SPAN
+            || suspect.span() < MIN_SPAN
         {
             return;
         }
@@ -222,10 +244,26 @@ impl Module for ReplicationStaticModule {
 
     fn state_bytes(&self) -> usize {
         self.samples
-            .values()
-            .map(|s| s.points.len() * 16 + 64)
+            .iter()
+            .map(|(_, s)| s.points.len() * 16 + 64)
             .sum::<usize>()
             + 128
+    }
+
+    fn occupancy(&self) -> usize {
+        self.samples.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.samples.evictions() + self.gate.evictions()
+    }
+
+    fn state_budget(&self) -> usize {
+        self.entity_budget
+    }
+
+    fn current_params(&self) -> Vec<(String, KnowValue)> {
+        budget_params(self.entity_budget)
     }
 
     fn reset(&mut self) {
@@ -234,19 +272,32 @@ impl Module for ReplicationStaticModule {
     }
 }
 
+/// `current_params` payload shared by both replication variants.
 /// Replication detector for **mobile** networks (RSSI teleportation).
 #[derive(Debug)]
 pub struct ReplicationMobileModule {
-    samples: BTreeMap<Entity, Samples>,
+    entity_budget: usize,
+    samples: BoundedMap<Entity, Samples>,
     gate: AlertGate<Entity>,
 }
 
 impl ReplicationMobileModule {
     /// A fresh detector.
     pub fn new() -> Self {
+        Self::build(DEFAULT_ENTITY_BUDGET)
+    }
+
+    /// Replace the per-entity state budget (the `entity_budget`
+    /// configuration parameter), rebuilding the bounded structures.
+    pub fn with_entity_budget(self, budget: usize) -> Self {
+        Self::build(budget.max(MIN_ENTITY_BUDGET))
+    }
+
+    fn build(entity_budget: usize) -> Self {
         ReplicationMobileModule {
-            samples: BTreeMap::new(),
-            gate: AlertGate::new(Duration::from_secs(15)),
+            entity_budget,
+            samples: BoundedMap::new(entity_budget),
+            gate: AlertGate::bounded(Duration::from_secs(15), entity_budget),
         }
     }
 }
@@ -263,7 +314,9 @@ impl Module for ReplicationMobileModule {
     }
 
     fn contract(&self) -> KnowggetContract {
-        KnowggetContract::new().reads_activation(sense::MOBILE, ValueType::Bool)
+        KnowggetContract::new()
+            .reads_activation(sense::MOBILE, ValueType::Bool)
+            .accepts_param(ParamSpec::number("entity_budget", MIN_ENTITY_BUDGET as f64))
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {
@@ -274,7 +327,11 @@ impl Module for ReplicationMobileModule {
         let Some((id, now)) = ingest(&mut self.samples, packet) else {
             return;
         };
-        if self.samples[&id].fastest_jump() < LEVEL_GAP_DB {
+        if !self
+            .samples
+            .get(&id)
+            .is_some_and(|s| s.fastest_jump() >= LEVEL_GAP_DB)
+        {
             return;
         }
         // Environment check: teleportation is only meaningful relative to
@@ -284,7 +341,11 @@ impl Module for ReplicationMobileModule {
             return;
         }
         if self.gate.permit(id.clone(), now) {
-            let jump = self.samples[&id].fastest_jump();
+            let jump = self
+                .samples
+                .get(&id)
+                .map(Samples::fastest_jump)
+                .unwrap_or_default();
             ctx.raise(
                 Alert::new(now, AttackKind::Replication, "ReplicationMobileModule")
                     .with_victim(id.clone())
@@ -296,10 +357,26 @@ impl Module for ReplicationMobileModule {
 
     fn state_bytes(&self) -> usize {
         self.samples
-            .values()
-            .map(|s| s.points.len() * 16 + 64)
+            .iter()
+            .map(|(_, s)| s.points.len() * 16 + 64)
             .sum::<usize>()
             + 128
+    }
+
+    fn occupancy(&self) -> usize {
+        self.samples.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.samples.evictions() + self.gate.evictions()
+    }
+
+    fn state_budget(&self) -> usize {
+        self.entity_budget
+    }
+
+    fn current_params(&self) -> Vec<(String, KnowValue)> {
+        budget_params(self.entity_budget)
     }
 
     fn reset(&mut self) {
@@ -425,6 +502,37 @@ mod tests {
         }
         assert!(run(&mut ReplicationStaticModule::new(), caps.clone()).is_empty());
         assert!(run(&mut ReplicationMobileModule::new(), caps).is_empty());
+    }
+
+    #[test]
+    fn budgeted_static_module_survives_identity_spray() {
+        // The clone transmits every round, so it stays hot in the LRU;
+        // 4 fresh one-shot identities per round (80 total) churn through
+        // the bounded map without displacing it.
+        let mut module = ReplicationStaticModule::new().with_entity_budget(32);
+        let mut caps = Vec::new();
+        for i in 0..20u64 {
+            caps.push(zigbee(i * 400, 2, -55.0 + (i % 2) as f64 * 0.5));
+            caps.push(zigbee(i * 400 + 100, 3, -62.0));
+            let level = if i % 2 == 0 { -48.0 } else { -71.0 };
+            caps.push(zigbee(i * 400 + 200, CLONED, level));
+            for j in 0..4u64 {
+                caps.push(zigbee(
+                    i * 400 + 240 + j * 10,
+                    2000 + (i * 4 + j) as u16,
+                    -60.0,
+                ));
+            }
+        }
+        let alerts = run(&mut module, caps);
+        assert!(
+            alerts
+                .iter()
+                .any(|a| a.suspects[0] == Entity::from(ShortAddr(CLONED))),
+            "clone detected despite identity spray"
+        );
+        assert!(module.occupancy() <= 32, "sample map bounded");
+        assert!(module.evictions() > 0, "spray forced evictions");
     }
 
     #[test]

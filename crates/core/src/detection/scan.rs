@@ -6,7 +6,8 @@ use std::time::Duration;
 use kalis_packets::{CapturedPacket, Entity, TrafficClass};
 
 use crate::alert::{Alert, AttackKind};
-use crate::knowledge::{KnowKey, KnowledgeBase};
+use crate::bounded::{budget_params, DEFAULT_ENTITY_BUDGET, MIN_ENTITY_BUDGET};
+use crate::knowledge::{KnowKey, KnowValue, KnowledgeBase};
 use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ParamSpec, ValueType};
 use crate::sensing::labels as sense;
 
@@ -16,7 +17,9 @@ use super::util::{AlertGate, SlidingCounter};
 #[derive(Debug)]
 pub struct ScanModule {
     threshold: usize,
-    touches: SlidingCounter<(Entity, Entity, u16)>, // (scanner, target, port)
+    entity_budget: usize,
+    touches: SlidingCounter<(Entity, Entity, u16)>, // (scanner, target, port) dedup
+    probes: SlidingCounter<Entity>,                 // distinct probes per scanner
     gate: AlertGate<Entity>,
 }
 
@@ -24,10 +27,22 @@ impl ScanModule {
     /// A detector alerting when one source touches ≥ `threshold` distinct
     /// (target, port) pairs within 10 s (default 10).
     pub fn new(threshold: usize) -> Self {
+        Self::build(threshold, DEFAULT_ENTITY_BUDGET)
+    }
+
+    /// Replace the per-entity state budget (the `entity_budget`
+    /// configuration parameter), rebuilding the bounded structures.
+    pub fn with_entity_budget(self, budget: usize) -> Self {
+        Self::build(self.threshold, budget.max(MIN_ENTITY_BUDGET))
+    }
+
+    fn build(threshold: usize, entity_budget: usize) -> Self {
         ScanModule {
             threshold,
-            touches: SlidingCounter::new(Duration::from_secs(10)),
-            gate: AlertGate::new(Duration::from_secs(12)),
+            entity_budget,
+            touches: SlidingCounter::bounded(Duration::from_secs(10), entity_budget),
+            probes: SlidingCounter::bounded(Duration::from_secs(10), entity_budget),
+            gate: AlertGate::bounded(Duration::from_secs(12), entity_budget),
         }
     }
 }
@@ -47,6 +62,7 @@ impl Module for ScanModule {
         KnowggetContract::new()
             .reads_activation(KnowKey::scoped(sense::PROTOCOL_SEEN, "IP"), ValueType::Bool)
             .accepts_param(ParamSpec::number("threshold", 1.0))
+            .accepts_param(ParamSpec::number("entity_budget", MIN_ENTITY_BUDGET as f64))
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {
@@ -64,16 +80,15 @@ impl Module for ScanModule {
         };
         let now = packet.timestamp;
         let key = (scanner.clone(), target, tcp.dst_port);
-        // Only distinct touches count.
+        // Only distinct touches count. Dedup is best-effort over the
+        // exact buffer: a touch whose record was spilled to the sketch
+        // may be double-counted (over-count, never a miss).
         let already = self.touches.events(now).any(|(_, k)| *k == key);
         if !already {
             self.touches.push(now, key);
+            self.probes.push(now, scanner.clone());
         }
-        let distinct = self
-            .touches
-            .events(now)
-            .filter(|(_, (s, ..))| *s == scanner)
-            .count();
+        let distinct = self.probes.count(&scanner, now);
         if distinct < self.threshold || !self.gate.permit(scanner.clone(), now) {
             return;
         }
@@ -85,15 +100,28 @@ impl Module for ScanModule {
     }
 
     fn state_bytes(&self) -> usize {
-        self.touches.len() * 112 + 128
+        self.touches.state_bytes() + self.probes.state_bytes() + 128
     }
 
     fn occupancy(&self) -> usize {
-        self.touches.len()
+        self.touches.len() + self.probes.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.touches.evictions() + self.probes.evictions() + self.gate.evictions()
+    }
+
+    fn state_budget(&self) -> usize {
+        self.entity_budget
+    }
+
+    fn current_params(&self) -> Vec<(String, KnowValue)> {
+        budget_params(self.entity_budget)
     }
 
     fn reset(&mut self) {
         self.touches.clear();
+        self.probes.clear();
         self.gate.clear();
     }
 }
@@ -154,6 +182,50 @@ mod tests {
             .map(|h| syn(u64::from(h) * 100, scanner, Ipv4Addr::new(10, 0, 0, h), 80))
             .collect();
         assert_eq!(run(caps).len(), 1);
+    }
+
+    #[test]
+    fn budgeted_scan_still_fires_under_scanner_spray() {
+        let mut module = ScanModule::default().with_entity_budget(16);
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        let mut alerts = Vec::new();
+        let scanner = Ipv4Addr::new(203, 0, 113, 9);
+        let mut caps = Vec::new();
+        // One real scanner probing 12 ports, drowned in 300 one-shot
+        // fake scanners each probing a single port.
+        for i in 0..300u16 {
+            if i % 25 == 0 {
+                caps.push(syn(
+                    u64::from(i) * 10,
+                    scanner,
+                    Ipv4Addr::new(10, 0, 0, 5),
+                    1 + i,
+                ));
+            }
+            caps.push(syn(
+                u64::from(i) * 10,
+                Ipv4Addr::new(198, 18, (i >> 8) as u8, i as u8),
+                Ipv4Addr::new(10, 0, 0, 5),
+                80,
+            ));
+        }
+        for cap in caps {
+            let mut ctx = ModuleCtx {
+                now: cap.timestamp,
+                kb: &mut kb,
+                alerts: &mut alerts,
+            };
+            module.on_packet(&mut ctx, &cap);
+        }
+        assert!(
+            alerts
+                .iter()
+                .any(|a| a.suspects[0].as_str() == scanner.to_string()),
+            "real scanner detected despite identity spray"
+        );
+        assert!(module.occupancy() <= 2 * 16, "occupancy bounded");
+        assert!(module.evictions() > 0, "spray forced evictions");
+        assert_eq!(module.state_budget(), 16);
     }
 
     #[test]

@@ -2,17 +2,21 @@
 //! reference [42]): many identities transmitting from one physical
 //! position share one signal-strength fingerprint.
 
-use std::collections::BTreeMap;
 use std::time::Duration;
 
 use kalis_packets::{CapturedPacket, Entity, Timestamp};
 
 use crate::alert::{Alert, AttackKind};
-use crate::knowledge::{KnowKey, KnowledgeBase};
-use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ValueType};
+use crate::bounded::{budget_params, BoundedMap, DEFAULT_ENTITY_BUDGET, MIN_ENTITY_BUDGET};
+use crate::knowledge::{KnowKey, KnowValue, KnowledgeBase};
+use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ParamSpec, ValueType};
 use crate::sensing::labels as sense;
 
 use super::util::{fingerprint_identity, AlertGate};
+
+/// RSSI samples retained per identity fingerprint: the windowed retain
+/// already trims stale samples, this caps a single chatty identity.
+const SAMPLE_CAP: usize = 64;
 
 /// Identities sharing a fingerprint before the cluster is suspicious.
 /// A single observer cannot tell two nodes on the same RSSI ring apart,
@@ -37,6 +41,9 @@ impl Fingerprint {
         self.samples.push((at, rssi));
         self.samples
             .retain(|(ts, _)| at.saturating_since(*ts) <= WINDOW);
+        while self.samples.len() > SAMPLE_CAP {
+            self.samples.remove(0);
+        }
     }
 
     fn mean(&self) -> Option<f64> {
@@ -57,16 +64,28 @@ impl Fingerprint {
 /// The Sybil detection module.
 #[derive(Debug)]
 pub struct SybilModule {
-    fingerprints: BTreeMap<Entity, Fingerprint>,
+    entity_budget: usize,
+    fingerprints: BoundedMap<Entity, Fingerprint>,
     gate: AlertGate<String>,
 }
 
 impl SybilModule {
     /// A fresh detector.
     pub fn new() -> Self {
+        Self::build(DEFAULT_ENTITY_BUDGET)
+    }
+
+    /// Replace the per-entity state budget (the `entity_budget`
+    /// configuration parameter), rebuilding the bounded structures.
+    pub fn with_entity_budget(self, budget: usize) -> Self {
+        Self::build(budget.max(MIN_ENTITY_BUDGET))
+    }
+
+    fn build(entity_budget: usize) -> Self {
         SybilModule {
-            fingerprints: BTreeMap::new(),
-            gate: AlertGate::new(Duration::from_secs(20)),
+            entity_budget,
+            fingerprints: BoundedMap::new(entity_budget),
+            gate: AlertGate::bounded(Duration::from_secs(20), entity_budget),
         }
     }
 }
@@ -83,10 +102,12 @@ impl Module for SybilModule {
     }
 
     fn contract(&self) -> KnowggetContract {
-        KnowggetContract::new().reads_activation(
-            KnowKey::scoped(sense::MEDIUM_SEEN, "802.15.4"),
-            ValueType::Bool,
-        )
+        KnowggetContract::new()
+            .reads_activation(
+                KnowKey::scoped(sense::MEDIUM_SEEN, "802.15.4"),
+                ValueType::Bool,
+            )
+            .accepts_param(ParamSpec::number("entity_budget", MIN_ENTITY_BUDGET as f64))
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {
@@ -105,19 +126,19 @@ impl Module for SybilModule {
             return;
         };
         let now = packet.timestamp;
-        self.fingerprints
-            .entry(id.clone())
-            .or_default()
-            .push(now, rssi);
+        let (fp, _) = self
+            .fingerprints
+            .get_or_insert_with(&id, Fingerprint::default);
+        fp.push(now, rssi);
 
-        let Some(center) = self.fingerprints[&id].mean() else {
+        let Some(center) = self.fingerprints.get(&id).and_then(Fingerprint::mean) else {
             return;
         };
-        if !self.fingerprints[&id].tight() {
+        if !self.fingerprints.get(&id).is_some_and(Fingerprint::tight) {
             return;
         }
         let mut cluster: Vec<Entity> = Vec::new();
-        for (other, fp) in &self.fingerprints {
+        for (other, fp) in self.fingerprints.iter() {
             if let Some(mean) = fp.mean() {
                 if fp.tight() && (mean - center).abs() <= CLUSTER_TOLERANCE_DB {
                     cluster.push(other.clone());
@@ -147,14 +168,26 @@ impl Module for SybilModule {
 
     fn state_bytes(&self) -> usize {
         self.fingerprints
-            .values()
-            .map(|f| f.samples.len() * 16 + 64)
+            .iter()
+            .map(|(_, f)| f.samples.len() * 16 + 64)
             .sum::<usize>()
             + 128
     }
 
     fn occupancy(&self) -> usize {
         self.fingerprints.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.fingerprints.evictions() + self.gate.evictions()
+    }
+
+    fn state_budget(&self) -> usize {
+        self.entity_budget
+    }
+
+    fn current_params(&self) -> Vec<(String, KnowValue)> {
+        budget_params(self.entity_budget)
     }
 
     fn reset(&mut self) {
@@ -268,6 +301,32 @@ mod tests {
             caps.push(zigbee(t + 200, 4, -70.0));
         }
         assert!(run(caps).is_empty(), "below the cluster threshold");
+    }
+
+    #[test]
+    fn identity_spray_stays_within_budget() {
+        let mut module = SybilModule::new().with_entity_budget(16);
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        let mut alerts = Vec::new();
+        // 300 one-shot identities, each with a single RSSI sample: none
+        // ever reaches MIN_SAMPLES, and the fingerprint map stays at its
+        // budget instead of growing per identity.
+        for i in 0..300u16 {
+            let cap = zigbee(u64::from(i) * 20, 1000 + i, -50.0 - f64::from(i % 40));
+            let mut ctx = ModuleCtx {
+                now: cap.timestamp,
+                kb: &mut kb,
+                alerts: &mut alerts,
+            };
+            module.on_packet(&mut ctx, &cap);
+        }
+        assert!(alerts.is_empty());
+        assert!(module.occupancy() <= 16, "fingerprint map bounded");
+        assert!(module.evictions() > 0, "spray forced evictions");
+        assert_eq!(module.state_budget(), 16);
+        module.reset();
+        assert_eq!(module.occupancy(), 0);
+        assert_eq!(module.evictions(), 0, "reset zeroes eviction telemetry");
     }
 
     #[test]

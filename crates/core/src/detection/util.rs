@@ -2,10 +2,13 @@
 //! rate gating, and RSSI-fingerprinting helpers.
 
 use std::collections::VecDeque;
+use std::hash::Hash;
 use std::time::Duration;
 
 use kalis_packets::ctp::CtpFrame;
 use kalis_packets::{Entity, Packet, Timestamp};
+
+use crate::bounded::WindowSketch;
 
 /// The identity to attribute a frame's RSSI to, for fingerprinting
 /// detectors (Sybil, replication).
@@ -48,24 +51,52 @@ pub fn fingerprint_identity(pkt: &Packet) -> Option<Entity> {
 #[derive(Debug, Clone)]
 pub struct SlidingCounter<K> {
     window: Duration,
+    budget: usize,
     events: VecDeque<(Timestamp, K)>,
+    overflow: Option<WindowSketch>,
 }
 
-impl<K: PartialEq + Clone> SlidingCounter<K> {
-    /// A counter with the given window length.
+impl<K: PartialEq + Clone + Hash> SlidingCounter<K> {
+    /// An unbounded counter with the given window length.
     pub fn new(window: Duration) -> Self {
         SlidingCounter {
             window,
+            budget: usize::MAX,
             events: VecDeque::new(),
+            overflow: None,
         }
     }
 
-    /// Record an event.
-    pub fn push(&mut self, at: Timestamp, key: K) {
-        self.events.push_back((at, key));
+    /// A counter buffering at most `budget` exact events; overflow
+    /// spills into a rotating [`WindowSketch`], so under adversarial
+    /// event cardinality memory stays fixed while [`Self::count`] never
+    /// under-reports an in-window key (the sketch can only over-count).
+    pub fn bounded(window: Duration, budget: usize) -> Self {
+        let budget = budget.max(1);
+        let width = (budget / 2).clamp(64, 1024);
+        SlidingCounter {
+            window,
+            budget,
+            events: VecDeque::new(),
+            overflow: Some(WindowSketch::new(window, width, 4)),
+        }
     }
 
-    /// Drop events older than the window relative to `now`.
+    /// Record an event. If the exact buffer is at budget, the oldest
+    /// buffered event is evicted into the overflow sketch.
+    pub fn push(&mut self, at: Timestamp, key: K) {
+        self.events.push_back((at, key));
+        while self.events.len() > self.budget {
+            if let Some((_, old)) = self.events.pop_front() {
+                if let Some(sketch) = self.overflow.as_mut() {
+                    sketch.spill(at, &old);
+                }
+            }
+        }
+    }
+
+    /// Drop events older than the window relative to `now` (aging out
+    /// is not a budget eviction — expired events are simply forgotten).
     pub fn evict(&mut self, now: Timestamp) {
         while let Some((ts, _)) = self.events.front() {
             if now.saturating_since(*ts) > self.window {
@@ -74,18 +105,51 @@ impl<K: PartialEq + Clone> SlidingCounter<K> {
                 break;
             }
         }
+        if let Some(sketch) = self.overflow.as_mut() {
+            sketch.rotate_if_due(now);
+        }
     }
 
-    /// Events for `key` within the window ending at `now`.
+    /// Events for `key` within the window ending at `now`: exact
+    /// buffered matches plus the overflow sketch's (never-undercounting)
+    /// estimate for spilled ones.
     pub fn count(&mut self, key: &K, now: Timestamp) -> usize {
         self.evict(now);
-        self.events.iter().filter(|(_, k)| k == key).count()
+        let exact = self.events.iter().filter(|(_, k)| k == key).count();
+        let spilled = self
+            .overflow
+            .as_ref()
+            .map(|s| s.estimate(key) as usize)
+            .unwrap_or(0);
+        exact + spilled
     }
 
-    /// All events within the window ending at `now`.
+    /// All events within the window ending at `now` (exact buffer only;
+    /// spilled events are visible per-key via [`Self::count`]).
     pub fn total(&mut self, now: Timestamp) -> usize {
         self.evict(now);
         self.events.len()
+    }
+
+    /// Cumulative events evicted into the overflow sketch.
+    pub fn evictions(&self) -> u64 {
+        self.overflow.as_ref().map(|s| s.spilled()).unwrap_or(0)
+    }
+
+    /// The exact-event budget (`usize::MAX` when unbounded).
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Worst-case per-key over-count contributed by the overflow sketch.
+    pub fn sketch_error_bound(&self) -> u64 {
+        self.overflow.as_ref().map(|s| s.error_bound()).unwrap_or(0)
+    }
+
+    /// Bytes held: exact buffer plus overflow sketch counters.
+    pub fn state_bytes(&self) -> usize {
+        self.events.len() * std::mem::size_of::<(Timestamp, K)>()
+            + self.overflow.as_ref().map(|s| s.state_bytes()).unwrap_or(0)
     }
 
     /// Distinct keys within the window ending at `now`, in first-seen
@@ -117,9 +181,13 @@ impl<K: PartialEq + Clone> SlidingCounter<K> {
         self.events.is_empty()
     }
 
-    /// Drop every buffered event (supervisor `reset()` support).
+    /// Drop every buffered event and overflow spill (supervisor
+    /// `reset()` support: the counter reports a just-constructed state).
     pub fn clear(&mut self) {
         self.events.clear();
+        if let Some(sketch) = self.overflow.as_mut() {
+            sketch.clear();
+        }
     }
 }
 
@@ -127,15 +195,32 @@ impl<K: PartialEq + Clone> SlidingCounter<K> {
 #[derive(Debug, Clone)]
 pub struct AlertGate<K> {
     cooldown: Duration,
+    budget: usize,
     last: Vec<(K, Timestamp)>,
+    evictions: u64,
 }
 
 impl<K: PartialEq + Clone> AlertGate<K> {
-    /// A gate with the given per-key cooldown.
+    /// An unbounded gate with the given per-key cooldown.
     pub fn new(cooldown: Duration) -> Self {
         AlertGate {
             cooldown,
+            budget: usize::MAX,
             last: Vec::new(),
+            evictions: 0,
+        }
+    }
+
+    /// A gate remembering at most `budget` keys; when full, the
+    /// stalest firing record is evicted. An evicted key may re-alert
+    /// before its cooldown lapses (bounded duplicate alerts, never
+    /// suppressed ones).
+    pub fn bounded(cooldown: Duration, budget: usize) -> Self {
+        AlertGate {
+            cooldown,
+            budget: budget.max(1),
+            last: Vec::new(),
+            evictions: 0,
         }
     }
 
@@ -149,13 +234,45 @@ impl<K: PartialEq + Clone> AlertGate<K> {
             *at = now;
             return true;
         }
+        while self.last.len() >= self.budget {
+            let stalest = self
+                .last
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, at))| *at)
+                .map(|(i, _)| i);
+            match stalest {
+                Some(i) => {
+                    self.last.remove(i);
+                    self.evictions += 1;
+                }
+                None => break,
+            }
+        }
         self.last.push((key, now));
         true
     }
 
-    /// Forget all firing history (supervisor `reset()` support).
+    /// Cumulative firing records evicted to stay within budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Current keys tracked.
+    pub fn len(&self) -> usize {
+        self.last.len()
+    }
+
+    /// Whether no firing history is held.
+    pub fn is_empty(&self) -> bool {
+        self.last.is_empty()
+    }
+
+    /// Forget all firing history and zero the eviction counter
+    /// (supervisor `reset()` support).
     pub fn clear(&mut self) {
         self.last.clear();
+        self.evictions = 0;
     }
 }
 
@@ -175,6 +292,42 @@ mod tests {
         // Window slides: events at t<2 fall out at now=12.
         assert_eq!(c.count(&1, Timestamp::from_secs(12)), 3);
         assert_eq!(c.keys(Timestamp::from_secs(12)), vec![1, 2]);
+    }
+
+    #[test]
+    fn bounded_counter_spills_without_undercounting() {
+        let mut c: SlidingCounter<u32> = SlidingCounter::bounded(Duration::from_secs(10), 8);
+        // A real attacker's 6 events interleaved with 100 one-shot spray
+        // keys that push them out of the exact buffer.
+        for i in 0..100u32 {
+            if i % 17 == 0 {
+                c.push(Timestamp::from_secs(1), 7777);
+            }
+            c.push(Timestamp::from_secs(1), 10_000 + i);
+        }
+        assert!(c.len() <= 8, "exact buffer respects budget");
+        assert!(c.evictions() > 0, "overflow spilled");
+        assert!(
+            c.count(&7777, Timestamp::from_secs(2)) >= 6,
+            "spilled attacker events still counted"
+        );
+    }
+
+    #[test]
+    fn bounded_gate_evicts_stalest_never_blocks_fresh() {
+        let mut gate: AlertGate<u32> = AlertGate::bounded(Duration::from_secs(100), 2);
+        assert!(gate.permit(1, Timestamp::from_secs(0)));
+        assert!(gate.permit(2, Timestamp::from_secs(1)));
+        assert!(
+            gate.permit(3, Timestamp::from_secs(2)),
+            "new key always permitted"
+        );
+        assert_eq!(gate.len(), 2);
+        assert_eq!(gate.evictions(), 1);
+        assert!(
+            !gate.permit(3, Timestamp::from_secs(3)),
+            "cooldown still enforced"
+        );
     }
 
     #[test]

@@ -16,8 +16,9 @@ use kalis_packets::ctp::CtpFrame;
 use kalis_packets::{CapturedPacket, Entity, ShortAddr, Timestamp};
 
 use crate::alert::{Alert, AttackKind};
-use crate::knowledge::KnowledgeBase;
-use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ValueType};
+use crate::bounded::{budget_params, DEFAULT_ENTITY_BUDGET, MIN_ENTITY_BUDGET};
+use crate::knowledge::{KnowValue, KnowledgeBase};
+use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ParamSpec, ValueType};
 use crate::sensing::labels as sense;
 
 use super::labels;
@@ -45,13 +46,41 @@ enum Outcome {
 }
 
 /// The shared watchdog state machine.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Watchdog {
+    budget: usize,
     pending: VecDeque<Pending>,
     observations: VecDeque<(Timestamp, ShortAddr, ShortAddr, Outcome)>, // (ts, forwarder, origin, outcome)
+    evictions: u64,
 }
 
 impl Watchdog {
+    /// A watchdog keeping at most `budget` entries in each ledger.
+    ///
+    /// Overflowing `pending` forgets the oldest expectation *without*
+    /// recording a drop — fabricating drop evidence under a traffic spray
+    /// would frame honest forwarders. Overflowing `observations` forgets
+    /// the oldest outcome (the sliding-window ratio simply sees less
+    /// history).
+    fn new(budget: usize) -> Self {
+        Watchdog {
+            budget: budget.max(1),
+            pending: VecDeque::new(),
+            observations: VecDeque::new(),
+            evictions: 0,
+        }
+    }
+
+    fn enforce_budget(&mut self) {
+        while self.pending.len() > self.budget {
+            self.pending.pop_front();
+            self.evictions += 1;
+        }
+        while self.observations.len() > self.budget {
+            self.observations.pop_front();
+            self.evictions += 1;
+        }
+    }
     fn on_packet(&mut self, ctx: &ModuleCtx<'_>, packet: &CapturedPacket) {
         let Some(pkt) = packet.decoded() else { return };
         let Some(CtpFrame::Data(data)) = pkt.ctp() else {
@@ -86,6 +115,7 @@ impl Watchdog {
             origin: data.origin,
             origin_seq: data.origin_seq,
         });
+        self.enforce_budget();
     }
 
     fn expire(&mut self, now: Timestamp) {
@@ -105,6 +135,7 @@ impl Watchdog {
                 break;
             }
         }
+        self.enforce_budget();
     }
 
     /// `(drops, total, dropped-origins)` for each forwarder with enough
@@ -149,9 +180,11 @@ impl Watchdog {
     fn clear(&mut self) {
         self.pending.clear();
         self.observations.clear();
+        self.evictions = 0;
     }
 }
 
+/// `current_params` payload shared by both watchdog-backed modules.
 fn watchdog_required(kb: &KnowledgeBase) -> bool {
     kb.get_bool(sense::MULTIHOP) == Some(true)
 }
@@ -160,6 +193,7 @@ fn watchdog_required(kb: &KnowledgeBase) -> bool {
 /// traffic (drop ratio in `[0.15, 0.9)`).
 #[derive(Debug)]
 pub struct SelectiveForwardingModule {
+    entity_budget: usize,
     watchdog: Watchdog,
     gate: AlertGate<ShortAddr>,
 }
@@ -167,9 +201,20 @@ pub struct SelectiveForwardingModule {
 impl SelectiveForwardingModule {
     /// A fresh detector.
     pub fn new() -> Self {
+        Self::build(DEFAULT_ENTITY_BUDGET)
+    }
+
+    /// Replace the per-entity state budget (the `entity_budget`
+    /// configuration parameter), rebuilding the bounded structures.
+    pub fn with_entity_budget(self, budget: usize) -> Self {
+        Self::build(budget.max(MIN_ENTITY_BUDGET))
+    }
+
+    fn build(entity_budget: usize) -> Self {
         SelectiveForwardingModule {
-            watchdog: Watchdog::default(),
-            gate: AlertGate::new(Duration::from_secs(15)),
+            entity_budget,
+            watchdog: Watchdog::new(entity_budget),
+            gate: AlertGate::bounded(Duration::from_secs(15), entity_budget),
         }
     }
 }
@@ -190,6 +235,7 @@ impl Module for SelectiveForwardingModule {
         KnowggetContract::new()
             .reads_activation(sense::MULTIHOP, ValueType::Bool)
             .reads(sense::CTP_ROOT, ValueType::Text)
+            .accepts_param(ParamSpec::number("entity_budget", MIN_ENTITY_BUDGET as f64))
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {
@@ -214,6 +260,18 @@ impl Module for SelectiveForwardingModule {
 
     fn occupancy(&self) -> usize {
         self.watchdog.occupancy()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.watchdog.evictions + self.gate.evictions()
+    }
+
+    fn state_budget(&self) -> usize {
+        self.entity_budget
+    }
+
+    fn current_params(&self) -> Vec<(String, KnowValue)> {
+        budget_params(self.entity_budget)
     }
 
     fn reset(&mut self) {
@@ -246,6 +304,7 @@ impl SelectiveForwardingModule {
 /// knowggets for wormhole correlation across Kalis nodes.
 #[derive(Debug)]
 pub struct BlackholeModule {
+    entity_budget: usize,
     watchdog: Watchdog,
     gate: AlertGate<ShortAddr>,
 }
@@ -253,9 +312,20 @@ pub struct BlackholeModule {
 impl BlackholeModule {
     /// A fresh detector.
     pub fn new() -> Self {
+        Self::build(DEFAULT_ENTITY_BUDGET)
+    }
+
+    /// Replace the per-entity state budget (the `entity_budget`
+    /// configuration parameter), rebuilding the bounded structures.
+    pub fn with_entity_budget(self, budget: usize) -> Self {
+        Self::build(budget.max(MIN_ENTITY_BUDGET))
+    }
+
+    fn build(entity_budget: usize) -> Self {
         BlackholeModule {
-            watchdog: Watchdog::default(),
-            gate: AlertGate::new(Duration::from_secs(15)),
+            entity_budget,
+            watchdog: Watchdog::new(entity_budget),
+            gate: AlertGate::bounded(Duration::from_secs(15), entity_budget),
         }
     }
 }
@@ -277,6 +347,7 @@ impl Module for BlackholeModule {
             .reads(sense::CTP_ROOT, ValueType::Text)
             .reads_per_entity(super::wormhole_confirmed_label(), ValueType::Bool)
             .writes_collective(labels::DROPPED_ORIGINS, ValueType::Text)
+            .accepts_param(ParamSpec::number("entity_budget", MIN_ENTITY_BUDGET as f64))
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {
@@ -301,6 +372,18 @@ impl Module for BlackholeModule {
 
     fn occupancy(&self) -> usize {
         self.watchdog.occupancy()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.watchdog.evictions + self.gate.evictions()
+    }
+
+    fn state_budget(&self) -> usize {
+        self.entity_budget
+    }
+
+    fn current_params(&self) -> Vec<(String, KnowValue)> {
+        budget_params(self.entity_budget)
     }
 
     fn reset(&mut self) {

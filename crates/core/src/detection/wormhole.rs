@@ -9,15 +9,16 @@
 //! knowggets (published by the blackhole detector): overlapping origin
 //! sets across *different* Kalis creators ⇒ wormhole.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::time::Duration;
 
 use kalis_packets::ctp::CtpFrame;
 use kalis_packets::{CapturedPacket, Entity};
 
 use crate::alert::{Alert, AttackKind};
-use crate::knowledge::KnowledgeBase;
-use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ValueType};
+use crate::bounded::{budget_params, BoundedMap, DEFAULT_ENTITY_BUDGET, MIN_ENTITY_BUDGET};
+use crate::knowledge::{KnowValue, KnowledgeBase};
+use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ParamSpec, ValueType};
 use crate::sensing::labels as sense;
 
 use super::labels;
@@ -27,6 +28,9 @@ use super::util::AlertGate;
 const EXOTIC_THRESHOLD: usize = 2;
 /// Shared origins between dropped and exotic sets before alerting.
 const OVERLAP_THRESHOLD: usize = 2;
+/// Exotic origins remembered per forwarder: enough for correlation
+/// (OVERLAP_THRESHOLD is 2) with a hard ceiling against origin spray.
+const ORIGIN_CAP: usize = 32;
 
 /// Per-entity knowgget (collective) recording a confirmed wormhole
 /// endpoint; the blackhole detector consults it to refine its own
@@ -37,20 +41,34 @@ pub const WORMHOLE_CONFIRMED: &str = "WormholeConfirmed";
 /// The collaborative wormhole detection module.
 #[derive(Debug)]
 pub struct WormholeModule {
-    /// Identities heard *originating* locally (THL == 0 transmissions).
-    local_origins: BTreeSet<String>,
+    entity_budget: usize,
+    /// Identities heard *originating* locally (THL == 0 transmissions),
+    /// LRU-bounded: an evicted-then-relayed local origin is re-classified
+    /// exotic (spurious evidence, filtered by cross-creator correlation).
+    local_origins: BoundedMap<String, ()>,
     /// Origins relayed by each forwarder that were never heard locally.
-    exotic: BTreeMap<Entity, BTreeSet<String>>,
+    exotic: BoundedMap<Entity, BTreeSet<String>>,
     gate: AlertGate<(Entity, Entity)>,
 }
 
 impl WormholeModule {
     /// A fresh detector.
     pub fn new() -> Self {
+        Self::build(DEFAULT_ENTITY_BUDGET)
+    }
+
+    /// Replace the per-entity state budget (the `entity_budget`
+    /// configuration parameter), rebuilding the bounded structures.
+    pub fn with_entity_budget(self, budget: usize) -> Self {
+        Self::build(budget.max(MIN_ENTITY_BUDGET))
+    }
+
+    fn build(entity_budget: usize) -> Self {
         WormholeModule {
-            local_origins: BTreeSet::new(),
-            exotic: BTreeMap::new(),
-            gate: AlertGate::new(Duration::from_secs(30)),
+            entity_budget,
+            local_origins: BoundedMap::new(entity_budget),
+            exotic: BoundedMap::new(entity_budget),
+            gate: AlertGate::bounded(Duration::from_secs(30), entity_budget),
         }
     }
 }
@@ -84,6 +102,7 @@ impl Module for WormholeModule {
             .reads_collective(labels::EXOTIC_ORIGINS, ValueType::Text)
             .writes_collective(labels::EXOTIC_ORIGINS, ValueType::Text)
             .writes_collective(WORMHOLE_CONFIRMED, ValueType::Bool)
+            .accepts_param(ParamSpec::number("entity_budget", MIN_ENTITY_BUDGET as f64))
     }
 
     fn required(&self, kb: &KnowledgeBase) -> bool {
@@ -99,12 +118,15 @@ impl Module for WormholeModule {
         let origin = data.origin.to_string();
         if data.thl == 0 {
             // Heard the origin itself transmitting: it is local.
-            self.local_origins.insert(origin);
+            self.local_origins.insert(origin, ());
             return;
         }
         // A relay of traffic whose origin we never heard: exotic.
-        if !self.local_origins.contains(&origin) {
-            let set = self.exotic.entry(tx.clone()).or_default();
+        if !self.local_origins.contains_key(&origin) {
+            let (set, _) = self.exotic.get_or_insert_with(&tx, BTreeSet::new);
+            if set.len() >= ORIGIN_CAP {
+                return;
+            }
             if set.insert(origin) && set.len() >= EXOTIC_THRESHOLD {
                 let joined = set.iter().cloned().collect::<Vec<_>>().join(",");
                 ctx.kb
@@ -168,14 +190,30 @@ impl Module for WormholeModule {
     fn state_bytes(&self) -> usize {
         self.local_origins
             .iter()
-            .map(|s| s.len() + 24)
+            .map(|(s, _)| s.len() + 24)
             .sum::<usize>()
             + self
                 .exotic
-                .values()
-                .map(|s| s.iter().map(|o| o.len() + 24).sum::<usize>() + 48)
+                .iter()
+                .map(|(_, s)| s.iter().map(|o| o.len() + 24).sum::<usize>() + 48)
                 .sum::<usize>()
             + 128
+    }
+
+    fn occupancy(&self) -> usize {
+        self.local_origins.len() + self.exotic.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.local_origins.evictions() + self.exotic.evictions() + self.gate.evictions()
+    }
+
+    fn state_budget(&self) -> usize {
+        self.entity_budget
+    }
+
+    fn current_params(&self) -> Vec<(String, KnowValue)> {
+        budget_params(self.entity_budget)
     }
 
     fn reset(&mut self) {

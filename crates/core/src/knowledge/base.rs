@@ -5,9 +5,17 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use kalis_packets::Entity;
 
+use crate::bounded::BoundedMap;
 use crate::id::KalisId;
 
 use super::{KnowKey, KnowValue, Knowgget, KnowggetOrigin};
+
+/// Default cap on distinct entities holding per-entity knowggets. An
+/// adversary spraying fake identities otherwise grows the KB without
+/// bound; past this many entities the least-recently-written one is
+/// evicted wholesale (every knowgget about it removed, with removal
+/// change events so modules observe the knowledge disappearing).
+pub const DEFAULT_KB_ENTITY_BUDGET: usize = 4096;
 
 #[cfg(feature = "telemetry")]
 use kalis_telemetry::{metric_name, names, Counter, Gauge, Telemetry};
@@ -25,6 +33,8 @@ struct KbStats {
     syncs: Arc<Counter>,
     churn: Arc<Counter>,
     revision: Arc<Gauge>,
+    entity_occupancy: Arc<Gauge>,
+    entity_evictions: Arc<Gauge>,
 }
 
 /// A change to the Knowledge Base, consumed by the Module Manager to
@@ -82,6 +92,11 @@ pub struct KnowledgeBase {
     /// The trace context of the packet/tick being dispatched
     /// (`(trace_id, span_id)`; zeros = untraced).
     trace: (u64, u32),
+    /// Bounded index of per-entity knowledge: entity string → the
+    /// encoded keys of every knowgget about it. When a fresh entity
+    /// would exceed the budget, the least-recently-written entity is
+    /// evicted and all of its knowggets purged.
+    entity_index: BoundedMap<String, BTreeSet<String>>,
     #[cfg(feature = "telemetry")]
     stats: Option<KbStats>,
 }
@@ -99,6 +114,7 @@ impl KnowledgeBase {
             attribution: BTreeMap::new(),
             writer: String::new(),
             trace: (0, 0),
+            entity_index: BoundedMap::new(DEFAULT_KB_ENTITY_BUDGET),
             #[cfg(feature = "telemetry")]
             stats: None,
         }
@@ -116,6 +132,8 @@ impl KnowledgeBase {
             syncs: op("sync"),
             churn: registry.counter(names::KB_CHURN),
             revision: registry.gauge(names::KB_REVISION),
+            entity_occupancy: registry.gauge(names::KB_ENTITY_OCCUPANCY),
+            entity_evictions: registry.gauge(names::KB_ENTITY_EVICTIONS),
         });
     }
 
@@ -163,6 +181,8 @@ impl KnowledgeBase {
         if let Some(s) = &self.stats {
             s.churn.inc();
             s.revision.set(self.revision);
+            s.entity_occupancy.set(self.entity_index.len() as u64);
+            s.entity_evictions.set(self.entity_index.evictions());
         }
     }
 
@@ -210,17 +230,98 @@ impl KnowledgeBase {
             self.entries.insert(encoded.clone(), wire);
             self.revision += 1;
             if self.collective.contains(&encoded) {
-                self.dirty_collective.insert(encoded);
+                self.dirty_collective.insert(encoded.clone());
             }
+            let entity_tag = key.entity.as_ref().map(|e| e.as_str().to_owned());
             self.changes.push(ChangeEvent {
                 key,
                 value,
                 removed: false,
                 trace_id,
             });
+            // Entity-scoped knowledge is indexed under its entity so the
+            // per-entity budget can evict whole entities at once. The
+            // eviction (if any) happens *before* the new entity is
+            // indexed, so the purge can never touch the fresh write.
+            if let Some(entity) = entity_tag {
+                let evicted = {
+                    let (set, evicted) =
+                        self.entity_index.get_or_insert_with(&entity, BTreeSet::new);
+                    set.insert(encoded);
+                    evicted
+                };
+                if let Some((_, keys)) = evicted {
+                    self.purge_entity_keys(&keys);
+                }
+            }
             self.note_churn();
         }
         true
+    }
+
+    /// Remove every knowgget belonging to an entity evicted from the
+    /// bounded entity index. Each removal is a real change: modules see
+    /// removal events exactly as if the knowgget had expired normally.
+    fn purge_entity_keys(&mut self, keys: &BTreeSet<String>) {
+        for encoded in keys {
+            let Some(old) = self.entries.remove(encoded) else {
+                continue;
+            };
+            self.revision += 1;
+            self.collective.remove(encoded);
+            self.dirty_collective.remove(encoded);
+            self.attribution.remove(encoded);
+            if let Ok(key) = encoded.parse::<KnowKey>() {
+                self.changes.push(ChangeEvent {
+                    key,
+                    value: KnowValue::from_wire(&old),
+                    removed: true,
+                    trace_id: 0,
+                });
+            }
+        }
+    }
+
+    /// Cap the number of distinct entities that may hold per-entity
+    /// knowggets (`KB.PerEntityBudget`). Shrinking below the current
+    /// occupancy immediately purges the overflow entities' knowledge.
+    pub fn set_entity_budget(&mut self, budget: usize) {
+        let budget = budget.max(1);
+        if budget == self.entity_index.budget() {
+            return;
+        }
+        let old: Vec<(String, BTreeSet<String>)> = self
+            .entity_index
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let mut index = BoundedMap::new(budget);
+        let mut purged = Vec::new();
+        for (entity, keys) in old {
+            if let Some((_, dropped)) = index.insert(entity, keys) {
+                purged.push(dropped);
+            }
+        }
+        self.entity_index = index;
+        for keys in purged {
+            self.purge_entity_keys(&keys);
+        }
+        self.note_churn();
+    }
+
+    /// The configured per-entity state budget.
+    pub fn entity_budget(&self) -> usize {
+        self.entity_index.budget()
+    }
+
+    /// Distinct entities currently holding per-entity knowggets.
+    pub fn entity_occupancy(&self) -> usize {
+        self.entity_index.len()
+    }
+
+    /// Entities evicted (wholesale) to stay within the budget.
+    pub fn entity_evictions(&self) -> u64 {
+        self.entity_index.evictions()
     }
 
     /// The origin the next local write will be attributed to, from the
@@ -346,6 +447,15 @@ impl KnowledgeBase {
             self.collective.remove(&encoded);
             self.dirty_collective.remove(&encoded);
             self.attribution.remove(&encoded);
+            if let Some(entity) = key.entity.as_ref().map(|e| e.as_str().to_owned()) {
+                let emptied = self.entity_index.get_mut(&entity).is_some_and(|set| {
+                    set.remove(&encoded);
+                    set.is_empty()
+                });
+                if emptied {
+                    self.entity_index.remove(&entity);
+                }
+            }
             self.changes.push(ChangeEvent {
                 key,
                 value: KnowValue::from_wire(&old),
@@ -766,6 +876,83 @@ mod tests {
         kb.remove("Gone");
         let gone = KnowKey::new(KalisId::new("K1"), "Gone");
         assert!(kb.origin_of(&gone).is_none());
+    }
+
+    #[test]
+    fn entity_budget_evicts_stalest_entity_wholesale() {
+        let mut kb = kb();
+        kb.set_entity_budget(3);
+        // Each entity holds two knowggets; E0 is written first.
+        for i in 0..4 {
+            let e = Entity::new(format!("E{i}"));
+            kb.insert_about("SignalStrength", e.clone(), -60.0 - f64::from(i));
+            kb.insert_about_collective("Suspicious", e, i % 2 == 0);
+        }
+        assert_eq!(kb.entity_occupancy(), 3, "occupancy capped at budget");
+        assert_eq!(kb.entity_evictions(), 1, "E0 evicted");
+        assert!(
+            kb.get_about("SignalStrength", &Entity::new("E0")).is_none(),
+            "every knowgget about the evicted entity is purged"
+        );
+        assert!(kb.get_about("Suspicious", &Entity::new("E0")).is_none());
+        assert!(kb.get_about("SignalStrength", &Entity::new("E3")).is_some());
+        // The purge surfaced as removal change events for modules.
+        let changes = kb.drain_changes();
+        let removed: Vec<_> = changes.iter().filter(|c| c.removed).collect();
+        assert_eq!(removed.len(), 2, "both E0 knowggets removed");
+        assert!(removed
+            .iter()
+            .all(|c| c.key.entity.as_ref().map(Entity::as_str) == Some("E0")));
+        // Network-level (entity-less) knowledge is never budgeted.
+        kb.insert("Multihop", true);
+        assert_eq!(kb.get_bool("Multihop"), Some(true));
+        assert_eq!(kb.entity_occupancy(), 3);
+    }
+
+    #[test]
+    fn entity_budget_spray_stays_bounded_and_recency_protects_hot_entities() {
+        let mut kb = kb();
+        kb.set_entity_budget(8);
+        let hot = Entity::new("Gateway");
+        for i in 0..200 {
+            kb.insert_about("SignalStrength", Entity::new(format!("fake-{i}")), -80.0);
+            // The real entity is re-written every round, so LRU keeps it.
+            kb.insert_about("SignalStrength", hot.clone(), -60.0 - f64::from(i % 3));
+        }
+        assert!(kb.entity_occupancy() <= 8);
+        assert!(kb.entity_evictions() > 0);
+        assert!(
+            kb.get_about("SignalStrength", &hot).is_some(),
+            "recently-touched entity survives the spray"
+        );
+        assert_eq!(
+            kb.len(),
+            kb.entity_occupancy(),
+            "one knowgget per surviving entity; nothing leaks"
+        );
+    }
+
+    #[test]
+    fn explicit_remove_unindexes_the_entity() {
+        let mut kb = kb();
+        kb.set_entity_budget(4);
+        let e = Entity::new("A");
+        kb.insert_about("SignalStrength", e.clone(), -60.0);
+        assert_eq!(kb.entity_occupancy(), 1);
+        kb.remove_about("SignalStrength", &e);
+        assert_eq!(
+            kb.entity_occupancy(),
+            0,
+            "last knowgget removed → entity gone"
+        );
+        // Shrinking the budget below occupancy purges overflow.
+        for i in 0..4 {
+            kb.insert_about("X", Entity::new(format!("E{i}")), 1i64);
+        }
+        kb.set_entity_budget(2);
+        assert_eq!(kb.entity_occupancy(), 2);
+        assert_eq!(kb.len(), 2);
+        assert_eq!(kb.entity_budget(), 2);
     }
 
     #[test]

@@ -9,7 +9,7 @@ mod peers;
 mod sync;
 mod value;
 
-pub use base::{ChangeEvent, KnowledgeBase};
+pub use base::{ChangeEvent, KnowledgeBase, DEFAULT_KB_ENTITY_BUDGET};
 pub use collective::{SecureChannel, SyncMessage, XorChannel, MAX_SYNC_KNOWGGETS};
 pub use key::{KnowKey, ParseKeyError};
 pub use peers::{PeerBeacon, PeerRegistry, DEFAULT_PEER_TTL};

@@ -113,11 +113,21 @@ impl PeerRegistry {
             .collect()
     }
 
-    /// Drop peers that have not beaconed within the TTL.
-    pub fn expire(&mut self, now: Timestamp) {
+    /// Drop peers that have not beaconed within the TTL, returning the
+    /// expired ids so callers can journal each eviction. Without this
+    /// sweep the `last_seen` ledger grows with every distinct id ever
+    /// beaconed — an adversary forging beacons could exhaust it.
+    pub fn expire(&mut self, now: Timestamp) -> Vec<KalisId> {
         let ttl = self.ttl;
-        self.last_seen
-            .retain(|_, seen| now.saturating_since(*seen) <= ttl);
+        let mut expired = Vec::new();
+        self.last_seen.retain(|id, seen| {
+            let live = now.saturating_since(*seen) <= ttl;
+            if !live {
+                expired.push(id.clone());
+            }
+            live
+        });
+        expired
     }
 
     /// Total peers ever seen (live or stale, before expiry).
@@ -205,7 +215,9 @@ mod tests {
             },
             Timestamp::ZERO,
         );
-        peers.expire(Timestamp::from_secs(120));
+        let expired = peers.expire(Timestamp::from_secs(120));
+        assert_eq!(expired, vec![KalisId::new("K2")]);
         assert_eq!(peers.len(), 0);
+        assert!(peers.expire(Timestamp::from_secs(121)).is_empty());
     }
 }

@@ -156,6 +156,14 @@ pub enum SyncEvent {
         /// Live peers at the moment of recovery.
         healthy: u64,
     },
+    /// A peer silent far past its TTL was forgotten entirely: its link
+    /// state is freed and it will be treated as brand new (full
+    /// re-sync) if ever heard from again. Without this sweep every
+    /// identity that ever beaconed holds link state forever.
+    PeerExpired {
+        /// The expired peer.
+        peer: KalisId,
+    },
 }
 
 /// One sealed frame ready for the transport, with bookkeeping for
@@ -653,6 +661,23 @@ impl CollectiveSync {
             }
             self.set_health(&peer, to);
         }
+        // Dead long past any recovery horizon (4× the TTL of silence):
+        // forget the link entirely so the ledger stays bounded even
+        // against beacon-forging adversaries. An expired peer that
+        // returns is rediscovered and fully re-synced like a new one.
+        let horizon = ttl * 4;
+        let expired: Vec<KalisId> = self
+            .links
+            .iter()
+            .filter(|(_, l)| {
+                l.health == PeerHealth::Dead && now.saturating_since(l.last_heard) > horizon
+            })
+            .map(|(p, _)| p.clone())
+            .collect();
+        for peer in expired {
+            self.links.remove(&peer);
+            self.events.push(SyncEvent::PeerExpired { peer });
+        }
     }
 
     fn set_health(&mut self, peer: &KalisId, to: PeerHealth) {
@@ -760,6 +785,26 @@ mod tests {
         assert_eq!(retry.len(), 1);
         assert!(retry[0].retransmit);
         assert_eq!(retry[0].seq, 0, "same envelope seq on retry");
+    }
+
+    #[test]
+    fn silent_peers_expire_out_of_the_ledger_and_rediscover_with_resync() {
+        let mut a = engine("K1");
+        let k2 = KalisId::new("K2");
+        a.observe_peer(&k2, secs(1));
+        a.take_resync_peers();
+        // Default TTL is 30 s: suspect past 30, dead past 60, gone past 120.
+        a.poll(secs(70));
+        assert_eq!(a.peer_health(&k2), Some(PeerHealth::Dead));
+        a.poll(secs(125));
+        assert_eq!(a.peer_health(&k2), None, "link forgotten past 4× TTL");
+        let events = a.drain_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SyncEvent::PeerExpired { peer } if *peer == k2)));
+        // Heard from again → rediscovered as brand new, owed a full re-sync.
+        assert!(a.observe_peer(&k2, secs(200)));
+        assert_eq!(a.take_resync_peers(), vec![k2]);
     }
 
     #[test]

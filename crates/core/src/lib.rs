@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod alert;
+pub mod bounded;
 pub mod bus;
 pub mod capture;
 pub mod config;

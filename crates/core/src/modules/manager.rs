@@ -55,6 +55,13 @@ struct Slot {
     /// [`ModuleManager::publish_profiles`].
     #[cfg(feature = "telemetry")]
     occupancy_gauge: Option<Arc<Gauge>>,
+    /// Per-module `module.evictions[module=...]` gauge (a gauge, not a
+    /// counter: a module reset legitimately returns it to zero).
+    #[cfg(feature = "telemetry")]
+    evictions_gauge: Option<Arc<Gauge>>,
+    /// Per-module `module.state_budget[module=...]` gauge.
+    #[cfg(feature = "telemetry")]
+    budget_gauge: Option<Arc<Gauge>>,
     /// Per-module `module.work_units[module=...]` gauge.
     #[cfg(feature = "telemetry")]
     work_gauge: Option<Arc<Gauge>>,
@@ -124,6 +131,11 @@ pub struct ModuleProfile {
     pub sheds: u64,
     /// Entries currently held in the module's per-entity tracking maps.
     pub occupancy: usize,
+    /// Entries evicted from bounded per-entity structures to stay
+    /// within the state budget (zeroed by a module reset).
+    pub evictions: u64,
+    /// The configured per-entity state budget (0 = unbudgeted module).
+    pub state_budget: usize,
     /// Rough live-state size, bytes.
     pub state_bytes: usize,
 }
@@ -265,6 +277,10 @@ impl ModuleManager {
             #[cfg(feature = "telemetry")]
             occupancy_gauge: None,
             #[cfg(feature = "telemetry")]
+            evictions_gauge: None,
+            #[cfg(feature = "telemetry")]
+            budget_gauge: None,
+            #[cfg(feature = "telemetry")]
             work_gauge: None,
         });
         #[cfg(feature = "telemetry")]
@@ -318,6 +334,12 @@ impl ModuleManager {
             Some(registry.counter(&metric_name(names::MODULE_CPU_NS, &[("module", name)])));
         slot.occupancy_gauge =
             Some(registry.gauge(&metric_name(names::MODULE_OCCUPANCY, &[("module", name)])));
+        slot.evictions_gauge =
+            Some(registry.gauge(&metric_name(names::MODULE_EVICTIONS, &[("module", name)])));
+        slot.budget_gauge = Some(registry.gauge(&metric_name(
+            names::MODULE_STATE_BUDGET,
+            &[("module", name)],
+        )));
         slot.work_gauge =
             Some(registry.gauge(&metric_name(names::MODULE_WORK_UNITS, &[("module", name)])));
     }
@@ -550,6 +572,18 @@ impl ModuleManager {
                     // The unwind may have left analysis state
                     // half-updated; drop it before the next dispatch.
                     slot.module.reset();
+                    // The reset emptied the module's bounded structures;
+                    // reflect that on the ops surface immediately rather
+                    // than waiting for the next profile publish.
+                    #[cfg(feature = "telemetry")]
+                    {
+                        if let Some(g) = &slot.occupancy_gauge {
+                            g.set(0);
+                        }
+                        if let Some(g) = &slot.evictions_gauge {
+                            g.set(0);
+                        }
+                    }
                     let verdict = slot.supervision.note_panic(ctx.now, cfg);
                     #[cfg(feature = "telemetry")]
                     if let Some(t) = &self.tele {
@@ -698,6 +732,18 @@ impl ModuleManager {
                     #[cfg(not(feature = "telemetry"))]
                     let _ = &message;
                     slot.module.reset();
+                    // The reset emptied the module's bounded structures;
+                    // reflect that on the ops surface immediately rather
+                    // than waiting for the next profile publish.
+                    #[cfg(feature = "telemetry")]
+                    {
+                        if let Some(g) = &slot.occupancy_gauge {
+                            g.set(0);
+                        }
+                        if let Some(g) = &slot.evictions_gauge {
+                            g.set(0);
+                        }
+                    }
                     let verdict = slot.supervision.note_panic(ctx.now, cfg);
                     #[cfg(feature = "telemetry")]
                     if let Some(t) = &self.tele {
@@ -795,6 +841,17 @@ impl ModuleManager {
             .collect()
     }
 
+    /// `(name, current non-default parameters)` for every active module
+    /// — the parameterized module list `recommend_config` emits, so
+    /// tuned knobs (thresholds, entity budgets) survive the round-trip.
+    pub fn active_defs(&self) -> Vec<(&'static str, Vec<(String, crate::knowledge::KnowValue)>)> {
+        self.slots
+            .iter()
+            .filter(|s| s.active && !s.supervision.is_quarantined())
+            .map(|s| (s.module.descriptor().name, s.module.current_params()))
+            .collect()
+    }
+
     /// Names of the currently quarantined modules.
     pub fn quarantined_names(&self) -> Vec<&'static str> {
         self.slots
@@ -833,6 +890,8 @@ impl ModuleManager {
                     dispatches: s.dispatches,
                     sheds: s.sheds,
                     occupancy: s.module.occupancy(),
+                    evictions: s.module.evictions(),
+                    state_budget: s.module.state_budget(),
                     state_bytes: s.module.state_bytes(),
                 }
             })
@@ -851,6 +910,12 @@ impl ModuleManager {
         for slot in &mut self.slots {
             if let Some(g) = &slot.occupancy_gauge {
                 g.set(slot.module.occupancy() as u64);
+            }
+            if let Some(g) = &slot.evictions_gauge {
+                g.set(slot.module.evictions());
+            }
+            if let Some(g) = &slot.budget_gauge {
+                g.set(slot.module.state_budget() as u64);
             }
             if let Some(g) = &slot.work_gauge {
                 g.set(slot.dispatches);
@@ -1134,6 +1199,125 @@ mod tests {
             "one probation strike re-quarantines"
         );
         assert_eq!(mgr.supervisor_stats().quarantines, 2);
+    }
+
+    /// A module holding real bounded per-entity state that panics while
+    /// its `rage` flag is up — drives the quarantine → probation path to
+    /// prove a returning module starts with fresh detector state.
+    struct BudgetedCrashy {
+        map: crate::bounded::BoundedMap<u64, ()>,
+        seen: u64,
+        rage: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl Module for BudgetedCrashy {
+        fn descriptor(&self) -> ModuleDescriptor {
+            ModuleDescriptor::detection("BudgetedCrashy", AttackKind::Smurf)
+        }
+        fn required(&self, _kb: &KnowledgeBase) -> bool {
+            true
+        }
+        fn on_packet(&mut self, _ctx: &mut ModuleCtx<'_>, _packet: &CapturedPacket) {
+            self.seen += 1;
+            self.map.insert(self.seen, ());
+            if self.rage.load(std::sync::atomic::Ordering::Relaxed) {
+                panic!("crafted packet tripped Crashy (budgeted)");
+            }
+        }
+        fn occupancy(&self) -> usize {
+            self.map.len()
+        }
+        fn evictions(&self) -> u64 {
+            self.map.evictions()
+        }
+        fn state_budget(&self) -> usize {
+            self.map.budget()
+        }
+        fn reset(&mut self) {
+            self.map.clear();
+            self.seen = 0;
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn quarantined_module_returns_to_probation_with_fresh_state_and_gauges() {
+        quiet_panics();
+        let (mut kb, mut alerts) = ctx_parts();
+        let tele = std::sync::Arc::new(Telemetry::new());
+        let rage = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut mgr = ModuleManager::all_always_active();
+        mgr.set_telemetry(&tele);
+        mgr.add(
+            Box::new(BudgetedCrashy {
+                map: crate::bounded::BoundedMap::new(4),
+                seen: 0,
+                rage: std::sync::Arc::clone(&rage),
+            }),
+            false,
+        );
+        let cfg = SupervisorConfig::default();
+        // Fill (and overflow) the bounded map with clean dispatches.
+        for i in 0..7 {
+            let mut ctx = ModuleCtx {
+                now: Timestamp::from_secs(i),
+                kb: &mut kb,
+                alerts: &mut alerts,
+            };
+            mgr.dispatch_packet(&mut ctx, &packet());
+        }
+        mgr.publish_profiles();
+        let occ = tele.gauge(&metric_name(
+            names::MODULE_OCCUPANCY,
+            &[("module", "BudgetedCrashy")],
+        ));
+        let ev = tele.gauge(&metric_name(
+            names::MODULE_EVICTIONS,
+            &[("module", "BudgetedCrashy")],
+        ));
+        assert_eq!(occ.get(), 4, "budget holds under load");
+        assert_eq!(ev.get(), 3, "overflow evicted");
+
+        // Poisoned input stream: panic on every dispatch until quarantine.
+        rage.store(true, std::sync::atomic::Ordering::Relaxed);
+        let mut strikes = 0;
+        while mgr.module_health("BudgetedCrashy") != Some(ModuleHealth::Quarantined) {
+            strikes += 1;
+            assert!(strikes < 32, "quarantine must engage");
+            let mut ctx = ModuleCtx {
+                now: Timestamp::from_secs(7 + strikes),
+                kb: &mut kb,
+                alerts: &mut alerts,
+            };
+            mgr.dispatch_packet(&mut ctx, &packet());
+        }
+        // The panic-path reset zeroed the gauges immediately — the ops
+        // surface never reports stale occupancy for an emptied module.
+        assert_eq!(occ.get(), 0);
+        assert_eq!(ev.get(), 0);
+
+        // Backoff expires, the poison clears: the probation dispatch runs
+        // against completely fresh detector state.
+        rage.store(false, std::sync::atomic::Ordering::Relaxed);
+        let after = Timestamp::from_secs(7 + strikes) + cfg.backoff_base + cfg.backoff_base;
+        let mut ctx = ModuleCtx {
+            now: after,
+            kb: &mut kb,
+            alerts: &mut alerts,
+        };
+        let outcome = mgr.dispatch_packet(&mut ctx, &packet());
+        assert_eq!(outcome.modules_run, 1, "probation dispatch ran clean");
+        let profile = mgr
+            .module_profiles()
+            .into_iter()
+            .find(|p| p.name == "BudgetedCrashy")
+            .expect("profiled");
+        assert_eq!(profile.occupancy, 1, "only the probation packet's entry");
+        assert_eq!(
+            profile.evictions, 0,
+            "eviction history reset with the state"
+        );
+        assert_eq!(profile.state_budget, 4, "budget survives the reset");
     }
 
     #[test]

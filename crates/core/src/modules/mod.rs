@@ -17,7 +17,7 @@ pub use supervisor::{
 use kalis_packets::{CapturedPacket, Timestamp};
 
 use crate::alert::{Alert, AttackKind};
-use crate::knowledge::KnowledgeBase;
+use crate::knowledge::{KnowValue, KnowledgeBase};
 
 /// Whether a module senses features or detects attacks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -153,6 +153,29 @@ pub trait Module: Send {
     /// default 0.
     fn occupancy(&self) -> usize {
         0
+    }
+
+    /// Cumulative entries evicted from the module's bounded per-entity
+    /// structures to stay within [`Module::state_budget`]. Exported as
+    /// the `module.evictions` gauge; non-zero under cardinality
+    /// pressure, back to 0 after [`Module::reset`].
+    fn evictions(&self) -> u64 {
+        0
+    }
+
+    /// The per-structure entry budget the module's bounded state honors
+    /// (the `entity_budget` constructor parameter). 0 means the module
+    /// keeps no budgeted per-entity structures.
+    fn state_budget(&self) -> usize {
+        0
+    }
+
+    /// Non-default constructor parameters currently in effect, as
+    /// `(key, value)` pairs matching the module's declared
+    /// [`ParamSpec`]s — what `recommend_config()` emits so a
+    /// regenerated configuration rebuilds this module identically.
+    fn current_params(&self) -> Vec<(String, KnowValue)> {
+        Vec::new()
     }
 
     /// Discard accumulated analysis state, returning the module to its

@@ -6,6 +6,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::bounded::DEFAULT_ENTITY_BUDGET;
 use crate::config::ModuleDef;
 use crate::detection::{
     BlackholeModule, DeauthModule, FragmentFloodModule, IcmpFloodModule, ReplicationMobileModule,
@@ -18,6 +19,11 @@ use crate::sensing::{MobilityAwarenessModule, TopologyDiscoveryModule, TrafficSt
 use super::Module;
 
 type Factory = Box<dyn Fn(&ModuleDef) -> Box<dyn Module> + Send + Sync>;
+
+/// The configured per-entity state budget for a module definition.
+fn entity_budget(def: &ModuleDef) -> usize {
+    def.param_f64("entity_budget", DEFAULT_ENTITY_BUDGET as f64) as usize
+}
 
 /// Maps module names (as referenced in configuration files) to factories.
 pub struct ModuleRegistry {
@@ -36,57 +42,75 @@ impl ModuleRegistry {
     pub fn with_defaults() -> Self {
         let mut reg = ModuleRegistry::new();
         // Sensing.
-        reg.register("TopologyDiscoveryModule", |_| {
-            Box::new(TopologyDiscoveryModule::new())
+        reg.register("TopologyDiscoveryModule", |def| {
+            Box::new(TopologyDiscoveryModule::new().with_entity_budget(entity_budget(def)))
         });
         reg.register("TrafficStatsModule", |def| {
             let secs = def.param_f64("windowSecs", 5.0);
-            Box::new(TrafficStatsModule::with_window(
-                core::time::Duration::from_secs_f64(secs.max(0.1)),
-            ))
+            Box::new(
+                TrafficStatsModule::with_window(core::time::Duration::from_secs_f64(secs.max(0.1)))
+                    .with_entity_budget(entity_budget(def)),
+            )
         });
         reg.register("MobilityAwarenessModule", |def| {
-            Box::new(MobilityAwarenessModule::with_threshold(
-                def.param_f64("thresholdDb", 8.0),
-            ))
+            Box::new(
+                MobilityAwarenessModule::with_threshold(def.param_f64("thresholdDb", 8.0))
+                    .with_entity_budget(entity_budget(def)),
+            )
         });
-        // Detection.
+        // Detection. Stateful detectors also honor an `entity_budget`
+        // parameter bounding their per-entity structures.
         reg.register("IcmpFloodModule", |def| {
-            Box::new(IcmpFloodModule::new(
-                def.param_f64("threshold", 25.0) as usize
-            ))
+            Box::new(
+                IcmpFloodModule::new(def.param_f64("threshold", 25.0) as usize)
+                    .with_entity_budget(entity_budget(def)),
+            )
         });
         reg.register("SmurfModule", |def| {
-            Box::new(SmurfModule::new(def.param_f64("threshold", 25.0) as usize))
+            Box::new(
+                SmurfModule::new(def.param_f64("threshold", 25.0) as usize)
+                    .with_entity_budget(entity_budget(def)),
+            )
         });
         reg.register("SynFloodModule", |def| {
-            Box::new(SynFloodModule::new(
-                def.param_f64("threshold", 30.0) as usize
-            ))
+            Box::new(
+                SynFloodModule::new(def.param_f64("threshold", 30.0) as usize)
+                    .with_entity_budget(entity_budget(def)),
+            )
         });
         reg.register("UdpFloodModule", |def| {
-            Box::new(UdpFloodModule::new(
-                def.param_f64("threshold", 100.0) as usize
-            ))
+            Box::new(
+                UdpFloodModule::new(def.param_f64("threshold", 100.0) as usize)
+                    .with_entity_budget(entity_budget(def)),
+            )
         });
-        reg.register("SelectiveForwardingModule", |_| {
-            Box::new(SelectiveForwardingModule::new())
+        reg.register("SelectiveForwardingModule", |def| {
+            Box::new(SelectiveForwardingModule::new().with_entity_budget(entity_budget(def)))
         });
-        reg.register("BlackholeModule", |_| Box::new(BlackholeModule::new()));
+        reg.register("BlackholeModule", |def| {
+            Box::new(BlackholeModule::new().with_entity_budget(entity_budget(def)))
+        });
         reg.register("SinkholeModule", |_| Box::new(SinkholeModule::new()));
-        reg.register("SybilModule", |_| Box::new(SybilModule::new()));
-        reg.register("ReplicationStaticModule", |_| {
-            Box::new(ReplicationStaticModule::new())
+        reg.register("SybilModule", |def| {
+            Box::new(SybilModule::new().with_entity_budget(entity_budget(def)))
         });
-        reg.register("ReplicationMobileModule", |_| {
-            Box::new(ReplicationMobileModule::new())
+        reg.register("ReplicationStaticModule", |def| {
+            Box::new(ReplicationStaticModule::new().with_entity_budget(entity_budget(def)))
         });
-        reg.register("WormholeModule", |_| Box::new(WormholeModule::new()));
+        reg.register("ReplicationMobileModule", |def| {
+            Box::new(ReplicationMobileModule::new().with_entity_budget(entity_budget(def)))
+        });
+        reg.register("WormholeModule", |def| {
+            Box::new(WormholeModule::new().with_entity_budget(entity_budget(def)))
+        });
         reg.register("DeauthModule", |def| {
             Box::new(DeauthModule::new(def.param_f64("threshold", 8.0) as usize))
         });
         reg.register("ScanModule", |def| {
-            Box::new(ScanModule::new(def.param_f64("threshold", 10.0) as usize))
+            Box::new(
+                ScanModule::new(def.param_f64("threshold", 10.0) as usize)
+                    .with_entity_budget(entity_budget(def)),
+            )
         });
         reg.register("FragmentFloodModule", |def| {
             Box::new(FragmentFloodModule::new(
@@ -220,6 +244,46 @@ mod tests {
         // Construction succeeds; threshold behaviour is covered by the
         // module's own tests.
         assert!(reg.build(&def).is_ok());
+    }
+
+    #[test]
+    fn entity_budget_param_reaches_the_module_and_round_trips() {
+        let reg = ModuleRegistry::with_defaults();
+        for name in [
+            "TopologyDiscoveryModule",
+            "TrafficStatsModule",
+            "MobilityAwarenessModule",
+            "IcmpFloodModule",
+            "SmurfModule",
+            "SynFloodModule",
+            "UdpFloodModule",
+            "SelectiveForwardingModule",
+            "BlackholeModule",
+            "SybilModule",
+            "ReplicationStaticModule",
+            "ReplicationMobileModule",
+            "WormholeModule",
+            "ScanModule",
+        ] {
+            let mut def = ModuleDef::new(name);
+            def.params
+                .push(("entity_budget".into(), KnowValue::Int(64)));
+            let module = reg.build(&def).unwrap();
+            assert_eq!(module.state_budget(), 64, "{name} honors entity_budget");
+            assert_eq!(
+                module.current_params(),
+                vec![("entity_budget".to_string(), KnowValue::Int(64))],
+                "{name} reports the non-default budget for recommend_config"
+            );
+            let contract = reg.contract(name).unwrap();
+            assert!(
+                contract.params.iter().any(|p| p.name == "entity_budget"),
+                "{name} declares entity_budget in its contract"
+            );
+            // Default construction emits no params (round-trip stability).
+            let module = reg.build(&ModuleDef::new(name)).unwrap();
+            assert!(module.current_params().is_empty());
+        }
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //! Knowledge Base, Module Manager, response engine, and collective
 //! synchronization into the paper's Fig. 4 architecture.
 
+#[cfg(feature = "telemetry")]
+use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
@@ -64,6 +66,12 @@ pub const SYNC_PEER_TTL_KEY: &str = "Sync.PeerTtl";
 /// seconds.
 pub const SYNC_BEACON_INTERVAL_KEY: &str = "Sync.BeaconInterval";
 
+/// A-priori knowgget key: cap on distinct entities holding per-entity
+/// knowggets in the Knowledge Base. Past the cap, the least-recently
+/// written entity is evicted wholesale (see
+/// [`crate::knowledge::DEFAULT_KB_ENTITY_BUDGET`]).
+pub const KB_ENTITY_BUDGET_KEY: &str = "KB.PerEntityBudget";
+
 /// A-priori knowgget key: panic allowance before the supervisor
 /// quarantines a module.
 pub const SUPERVISOR_PANIC_LIMIT_KEY: &str = "Supervisor.PanicLimit";
@@ -105,6 +113,7 @@ pub fn system_contract() -> crate::modules::KnowggetContract {
     KnowggetContract::new()
         .reads(SYNC_PEER_TTL_KEY, ValueType::Float)
         .reads(SYNC_BEACON_INTERVAL_KEY, ValueType::Float)
+        .reads(KB_ENTITY_BUDGET_KEY, ValueType::Int)
         .reads(SUPERVISOR_PANIC_LIMIT_KEY, ValueType::Int)
         .reads(SUPERVISOR_BUDGET_MS_KEY, ValueType::Int)
         .reads(SUPERVISOR_BURST_PPS_KEY, ValueType::Int)
@@ -312,6 +321,12 @@ impl KalisBuilder {
         if let Some(pps) = positive_knowgget(SUPERVISOR_BURST_PPS_KEY) {
             supervisor_config.burst_pps = pps as u64;
         }
+        // The KB's own per-entity budget rides the config language too,
+        // applied before the a-priori knowggets land so entity-scoped
+        // config knowledge is indexed under the configured cap.
+        if let Some(budget) = positive_knowgget(KB_ENTITY_BUDGET_KEY) {
+            kb.set_entity_budget(budget as usize);
+        }
         // The ops surface rides the config language the same way: any
         // `Ops.*` knowgget enables the runtime (with a loopback
         // ephemeral port unless `Ops.Port` names one), and each knob
@@ -433,6 +448,8 @@ impl KalisBuilder {
             overload: OverloadController::default(),
             #[cfg(feature = "telemetry")]
             stats: NodeStats::new(&tele),
+            #[cfg(feature = "telemetry")]
+            journaled_evictions: BTreeMap::new(),
             tele,
             ops,
         };
@@ -478,6 +495,7 @@ struct NodeStats {
     peers_healthy: Arc<Gauge>,
     peers_suspect: Arc<Gauge>,
     peers_dead: Arc<Gauge>,
+    peers_expired: Arc<Counter>,
     degraded: Arc<Gauge>,
     pipeline_degraded: Arc<Gauge>,
     trace_sampled: Arc<Counter>,
@@ -507,6 +525,7 @@ impl NodeStats {
             peers_healthy: registry.gauge(names::PEERS_HEALTHY),
             peers_suspect: registry.gauge(names::PEERS_SUSPECT),
             peers_dead: registry.gauge(names::PEERS_DEAD),
+            peers_expired: registry.counter(names::PEERS_EXPIRED),
             degraded: registry.gauge(names::DEGRADED_MODE),
             pipeline_degraded: registry.gauge(names::PIPELINE_DEGRADED),
             trace_sampled: registry.counter(names::TRACE_SAMPLED),
@@ -649,6 +668,11 @@ pub struct Kalis {
     tele: Arc<Telemetry>,
     #[cfg(feature = "telemetry")]
     stats: NodeStats,
+    /// Last-journaled cumulative eviction count per bounded structure
+    /// (`module:<name>` / `kb`): the delta latch behind the aggregated
+    /// `state_evicted` journal records emitted at tick cadence.
+    #[cfg(feature = "telemetry")]
+    journaled_evictions: BTreeMap<String, u64>,
     ops: Option<OpsRuntime>,
 }
 
@@ -863,6 +887,8 @@ impl Kalis {
         self.meter.add_work(outcome.work_units());
         self.response.expire(now);
         self.after_dispatch(now);
+        #[cfg(feature = "telemetry")]
+        self.journal_state_evictions(now);
         // The ops surface refreshes at tick cadence: profiler gauges,
         // SLO posture, and the pre-rendered /status document.
         if self.ops.is_some() {
@@ -875,6 +901,35 @@ impl Kalis {
                 self.stats.trace_dropped.set(self.tracer.dropped());
             }
             self.current_trace = TraceContext::none();
+        }
+    }
+
+    /// Journal aggregated bounded-state evictions: one `state_evicted`
+    /// record per structure whose cumulative count moved since the last
+    /// tick. Aggregation is deliberate — per-eviction records would let
+    /// a state-exhaustion adversary flood the journal at spray rate.
+    #[cfg(feature = "telemetry")]
+    fn journal_state_evictions(&mut self, now: Timestamp) {
+        let mut totals: Vec<(String, u64)> = self
+            .manager
+            .module_profiles()
+            .iter()
+            .filter(|p| p.evictions > 0)
+            .map(|p| (format!("module:{}", p.name), p.evictions))
+            .collect();
+        let kb_evictions = self.kb.entity_evictions();
+        if kb_evictions > 0 {
+            totals.push(("kb".to_owned(), kb_evictions));
+        }
+        for (structure, evicted) in totals {
+            if self.journaled_evictions.get(&structure) == Some(&evicted) {
+                continue;
+            }
+            self.journaled_evictions.insert(structure.clone(), evicted);
+            self.tele.journal().record(
+                now.as_micros(),
+                JournalEvent::StateEvicted { structure, evicted },
+            );
         }
     }
 
@@ -1034,9 +1089,13 @@ impl Kalis {
     pub fn recommend_config(&self) -> Config {
         let modules = self
             .manager
-            .active_names()
+            .active_defs()
             .into_iter()
-            .map(ModuleDef::new)
+            .map(|(name, params)| {
+                let mut def = ModuleDef::new(name);
+                def.params = params;
+                def
+            })
             .collect();
         let mut knowggets: Vec<(String, KnowValue)> = self
             .kb
@@ -1089,6 +1148,15 @@ impl Kalis {
             SUPERVISOR_BURST_PPS_KEY.to_owned(),
             KnowValue::Int(supervisor.burst_pps as i64),
         ));
+        // The KB's own per-entity budget rides along when tuned, so a
+        // node rebuilt from the recommendation keeps the same
+        // state-exhaustion posture.
+        if self.kb.entity_budget() != crate::knowledge::DEFAULT_KB_ENTITY_BUDGET {
+            knowggets.push((
+                KB_ENTITY_BUDGET_KEY.to_owned(),
+                KnowValue::Int(self.kb.entity_budget() as i64),
+            ));
+        }
         // The tracing knob rides along only when sampling is on, so a
         // node rebuilt from the recommendation keeps the same
         // observability posture (and a default node stays on the
@@ -1293,6 +1361,13 @@ impl Kalis {
     /// Names of currently active modules.
     pub fn active_modules(&self) -> Vec<&'static str> {
         self.manager.active_names()
+    }
+
+    /// Per-module resource and state profiles (work, occupancy,
+    /// evictions, budget) — the same view `/status` serves, exposed so
+    /// harnesses can assert state stays within budget.
+    pub fn module_state(&self) -> Vec<crate::modules::ModuleProfile> {
+        self.manager.module_profiles()
     }
 
     /// Resource accounting so far.
@@ -1864,6 +1939,20 @@ impl Kalis {
                     );
                     #[cfg(not(feature = "telemetry"))]
                     let _ = healthy;
+                }
+                SyncEvent::PeerExpired { peer } => {
+                    #[cfg(feature = "telemetry")]
+                    {
+                        self.stats.peers_expired.inc();
+                        self.tele.journal().record(
+                            now.as_micros(),
+                            JournalEvent::PeerExpired {
+                                peer: peer.to_string(),
+                            },
+                        );
+                    }
+                    #[cfg(not(feature = "telemetry"))]
+                    let _ = peer;
                 }
             }
         }

@@ -129,6 +129,11 @@ pub struct ModuleStatus {
     pub sheds: u64,
     /// Entries in the module's per-entity tracking maps.
     pub occupancy: u64,
+    /// Entries evicted from bounded structures to hold the budget
+    /// (zeroed by a module reset).
+    pub evictions: u64,
+    /// The configured per-entity state budget (0 = unbudgeted).
+    pub state_budget: u64,
     /// Rough live-state size, bytes.
     pub state_bytes: u64,
 }
@@ -148,6 +153,8 @@ impl From<&ModuleProfile> for ModuleStatus {
             dispatches: p.dispatches,
             sheds: p.sheds,
             occupancy: p.occupancy as u64,
+            evictions: p.evictions,
+            state_budget: p.state_budget as u64,
             state_bytes: p.state_bytes as u64,
         }
     }
@@ -225,6 +232,8 @@ impl StatusReport {
                         ("dispatches".into(), JsonValue::Num(m.dispatches)),
                         ("sheds".into(), JsonValue::Num(m.sheds)),
                         ("occupancy".into(), JsonValue::Num(m.occupancy)),
+                        ("evictions".into(), JsonValue::Num(m.evictions)),
+                        ("state_budget".into(), JsonValue::Num(m.state_budget)),
                         ("state_bytes".into(), JsonValue::Num(m.state_bytes)),
                     ])
                 })
@@ -434,6 +443,8 @@ mod tests {
                 dispatches: 100,
                 sheds: 3,
                 occupancy: 17,
+                evictions: 4,
+                state_budget: 64,
                 state_bytes: 2032,
             }],
             peers: vec![("K2".into(), "Healthy".into())],

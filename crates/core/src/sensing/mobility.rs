@@ -5,11 +5,10 @@
 //! `SignalStrength@<entity>` knowggets, enabling the cross-node
 //! correlation example of §IV-B3.
 
-use std::collections::BTreeMap;
-
 use kalis_packets::{CapturedPacket, Entity, Timestamp};
 
-use crate::knowledge::KnowledgeBase;
+use crate::bounded::{budget_params, BoundedMap, DEFAULT_ENTITY_BUDGET, MIN_ENTITY_BUDGET};
+use crate::knowledge::{KnowValue, KnowledgeBase};
 use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ParamSpec, ValueType};
 use crate::sensing::labels;
 
@@ -22,7 +21,8 @@ const STATIC_AFTER: core::time::Duration = core::time::Duration::from_secs(15);
 #[derive(Debug)]
 pub struct MobilityAwarenessModule {
     threshold_db: f64,
-    estimates: BTreeMap<Entity, f64>,
+    entity_budget: usize,
+    estimates: BoundedMap<Entity, f64>,
     last_deviation: Option<Timestamp>,
     started: Option<Timestamp>,
 }
@@ -36,9 +36,20 @@ impl MobilityAwarenessModule {
     /// A module declaring mobility at RSSI deviations above
     /// `threshold_db`.
     pub fn with_threshold(threshold_db: f64) -> Self {
+        Self::build(threshold_db, DEFAULT_ENTITY_BUDGET)
+    }
+
+    /// The same module tracking RSSI estimates for at most `budget`
+    /// entities (least-recently-heard transmitters are evicted first).
+    pub fn with_entity_budget(self, budget: usize) -> Self {
+        Self::build(self.threshold_db, budget.max(MIN_ENTITY_BUDGET))
+    }
+
+    fn build(threshold_db: f64, entity_budget: usize) -> Self {
         MobilityAwarenessModule {
             threshold_db,
-            estimates: BTreeMap::new(),
+            entity_budget,
+            estimates: BoundedMap::new(entity_budget),
             last_deviation: None,
             started: None,
         }
@@ -65,6 +76,7 @@ impl Module for MobilityAwarenessModule {
             .exported()
             .writes(labels::MOBILE, ValueType::Bool)
             .accepts_param(ParamSpec::number("thresholdDb", 0.5))
+            .accepts_param(ParamSpec::number("entity_budget", MIN_ENTITY_BUDGET as f64))
     }
 
     fn required(&self, _kb: &KnowledgeBase) -> bool {
@@ -79,6 +91,9 @@ impl Module for MobilityAwarenessModule {
         self.started.get_or_insert(packet.timestamp);
         match self.estimates.get_mut(&tx) {
             None => {
+                // A sprayed identity that displaces a tracked one only
+                // costs its smoothed estimate: the estimate re-seeds
+                // from the next sample if the real node speaks again.
                 self.estimates.insert(tx.clone(), rssi);
                 ctx.kb
                     .insert_about_collective(labels::SIGNAL_STRENGTH, tx, rssi);
@@ -122,6 +137,22 @@ impl Module for MobilityAwarenessModule {
 
     fn state_bytes(&self) -> usize {
         self.estimates.len() * 64 + 128
+    }
+
+    fn occupancy(&self) -> usize {
+        self.estimates.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.estimates.evictions()
+    }
+
+    fn state_budget(&self) -> usize {
+        self.entity_budget
+    }
+
+    fn current_params(&self) -> Vec<(String, KnowValue)> {
+        budget_params(self.entity_budget)
     }
 
     fn reset(&mut self) {
@@ -175,6 +206,19 @@ mod tests {
             alerts: &mut alerts,
         };
         module.on_tick(&mut ctx);
+    }
+
+    #[test]
+    fn estimate_spray_stays_within_the_entity_budget() {
+        let mut module = MobilityAwarenessModule::new().with_entity_budget(16);
+        let mut kb = KnowledgeBase::new(KalisId::new("K1"));
+        for addr in 0..200u16 {
+            feed(&mut module, &mut kb, zigbee_from(addr, -60.0, addr as u64));
+        }
+        assert_eq!(module.occupancy(), 16);
+        assert!(module.evictions() >= 184);
+        // Spray must not fabricate mobility: every identity was seen once.
+        assert_eq!(kb.get_bool(labels::MOBILE), None);
     }
 
     #[test]

@@ -4,15 +4,14 @@
 //! RPL control traffic, ZigBee NWK forwarding — and tracks the set of
 //! monitored nodes.
 
-use std::collections::BTreeSet;
-
 use kalis_packets::ctp::CtpFrame;
 use kalis_packets::icmpv6::Icmpv6Packet;
 use kalis_packets::packet::{NetworkLayer, Transport};
 use kalis_packets::CapturedPacket;
 
-use crate::knowledge::{KnowKey, KnowledgeBase};
-use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ValueType};
+use crate::bounded::{budget_params, BoundedMap, DEFAULT_ENTITY_BUDGET, MIN_ENTITY_BUDGET};
+use crate::knowledge::{KnowKey, KnowValue, KnowledgeBase};
+use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ParamSpec, ValueType};
 use crate::sensing::labels;
 
 /// How many frames without any forwarding indicator are needed before the
@@ -24,17 +23,42 @@ const SINGLE_HOP_QUORUM: u64 = 20;
 /// Writes the knowggets [`labels::MULTIHOP`], [`labels::MONITORED_NODES`],
 /// [`labels::CTP_ROOT`], [`labels::MEDIUM_SEEN`].`*`, and
 /// [`labels::PROTOCOL_SEEN`].`*`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TopologyDiscoveryModule {
     frames_seen: u64,
     multihop_evidence: bool,
-    transmitters: BTreeSet<String>,
+    entity_budget: usize,
+    transmitters: BoundedMap<String, ()>,
+}
+
+impl Default for TopologyDiscoveryModule {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TopologyDiscoveryModule {
     /// A fresh module with no accumulated evidence.
     pub fn new() -> Self {
-        TopologyDiscoveryModule::default()
+        Self::build(DEFAULT_ENTITY_BUDGET)
+    }
+
+    /// The same module remembering at most `budget` distinct
+    /// transmitters. The `MonitoredNodes` knowgget saturates at the
+    /// budget under identity spray — deliberately: a count that keeps
+    /// climbing with fabricated identities is itself attacker-writable
+    /// knowledge.
+    pub fn with_entity_budget(self, budget: usize) -> Self {
+        Self::build(budget.max(MIN_ENTITY_BUDGET))
+    }
+
+    fn build(entity_budget: usize) -> Self {
+        TopologyDiscoveryModule {
+            frames_seen: 0,
+            multihop_evidence: false,
+            entity_budget,
+            transmitters: BoundedMap::new(entity_budget),
+        }
     }
 
     fn note_protocol(ctx: &mut ModuleCtx<'_>, proto: &str) {
@@ -60,6 +84,7 @@ impl Module for TopologyDiscoveryModule {
             .writes(labels::CTP_ROOT, ValueType::Text)
             .writes_family(labels::MEDIUM_SEEN, ValueType::Bool)
             .writes_family(labels::PROTOCOL_SEEN, ValueType::Bool)
+            .accepts_param(ParamSpec::number("entity_budget", MIN_ENTITY_BUDGET as f64))
     }
 
     fn required(&self, _kb: &KnowledgeBase) -> bool {
@@ -75,7 +100,9 @@ impl Module for TopologyDiscoveryModule {
         let Some(pkt) = packet.decoded() else { return };
 
         if let Some(tx) = pkt.transmitter() {
-            if self.transmitters.insert(tx.as_str().to_owned()) {
+            let key = tx.as_str().to_owned();
+            if self.transmitters.get_mut(&key).is_none() {
+                self.transmitters.insert(key, ());
                 ctx.kb
                     .insert(labels::MONITORED_NODES, self.transmitters.len() as i64);
             }
@@ -160,8 +187,24 @@ impl Module for TopologyDiscoveryModule {
         128 + self
             .transmitters
             .iter()
-            .map(|t| t.len() + 32)
+            .map(|(t, _)| t.len() + 32)
             .sum::<usize>()
+    }
+
+    fn occupancy(&self) -> usize {
+        self.transmitters.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.transmitters.evictions()
+    }
+
+    fn state_budget(&self) -> usize {
+        self.entity_budget
+    }
+
+    fn current_params(&self) -> Vec<(String, KnowValue)> {
+        budget_params(self.entity_budget)
     }
 
     fn reset(&mut self) {
@@ -309,6 +352,33 @@ mod tests {
             ),
         );
         assert_eq!(kb.get_bool(labels::MULTIHOP), Some(true));
+    }
+
+    #[test]
+    fn transmitter_spray_saturates_at_the_entity_budget() {
+        let mut module = TopologyDiscoveryModule::new().with_entity_budget(16);
+        let mut kb = kb();
+        for addr in 100u16..180 {
+            feed(
+                &mut module,
+                &mut kb,
+                kalis_netsim::craft::zigbee_data(
+                    ShortAddr(addr),
+                    ShortAddr(1),
+                    0,
+                    ShortAddr(addr),
+                    ShortAddr(1),
+                    0,
+                    b"x",
+                ),
+            );
+        }
+        assert_eq!(module.occupancy(), 16);
+        assert_eq!(module.state_budget(), 16);
+        assert_eq!(module.evictions(), 80 - 16);
+        // The monitored-node count saturates instead of tracking the
+        // attacker's fabricated identity count.
+        assert_eq!(kb.get_int(labels::MONITORED_NODES), Some(16));
     }
 
     #[test]

@@ -7,9 +7,15 @@ use std::time::Duration;
 
 use kalis_packets::{CapturedPacket, Entity, Timestamp, TrafficClass};
 
-use crate::knowledge::{KnowKey, KnowledgeBase};
+use crate::bounded::{budget_params, BoundedMap, DEFAULT_ENTITY_BUDGET, MIN_ENTITY_BUDGET};
+use crate::knowledge::{KnowKey, KnowValue, KnowledgeBase};
 use crate::modules::{KnowggetContract, Module, ModuleCtx, ModuleDescriptor, ParamSpec, ValueType};
 use crate::sensing::labels;
+
+/// Events retained per budget unit: the deque holds whole-window raw
+/// events, not per-entity state, so it gets headroom over the entity
+/// budget before oldest-first shedding kicks in.
+const EVENTS_PER_BUDGET_UNIT: usize = 8;
 
 /// The Traffic Statistics sensing module.
 ///
@@ -21,8 +27,13 @@ use crate::sensing::labels;
 #[derive(Debug)]
 pub struct TrafficStatsModule {
     window: Duration,
+    entity_budget: usize,
     events: VecDeque<(Timestamp, TrafficClass, Option<Entity>)>,
-    written: BTreeMap<(TrafficClass, Option<Entity>), f64>,
+    /// Raw events shed because the deque hit its cap. Rates computed
+    /// while shedding under-count — the honest failure mode: a bounded
+    /// sensor saturates rather than grows.
+    shed_events: u64,
+    written: BoundedMap<(TrafficClass, Option<Entity>), f64>,
 }
 
 impl TrafficStatsModule {
@@ -33,11 +44,28 @@ impl TrafficStatsModule {
 
     /// A module with a custom window.
     pub fn with_window(window: Duration) -> Self {
+        Self::build(window, DEFAULT_ENTITY_BUDGET)
+    }
+
+    /// The same module with its per-destination rate cache bounded at
+    /// `budget` entries and the raw event window capped at
+    /// `budget * EVENTS_PER_BUDGET_UNIT` events.
+    pub fn with_entity_budget(self, budget: usize) -> Self {
+        Self::build(self.window, budget.max(MIN_ENTITY_BUDGET))
+    }
+
+    fn build(window: Duration, entity_budget: usize) -> Self {
         TrafficStatsModule {
             window,
+            entity_budget,
             events: VecDeque::new(),
-            written: BTreeMap::new(),
+            shed_events: 0,
+            written: BoundedMap::new(entity_budget),
         }
+    }
+
+    fn event_cap(&self) -> usize {
+        self.entity_budget * EVENTS_PER_BUDGET_UNIT
     }
 
     fn key(class: TrafficClass) -> String {
@@ -54,22 +82,41 @@ impl TrafficStatsModule {
         }
         let secs = self.window.as_secs_f64();
         let mut counts: BTreeMap<(TrafficClass, Option<Entity>), usize> = BTreeMap::new();
+        let mut admitted = 0usize;
         for (_, class, dst) in &self.events {
             *counts.entry((*class, None)).or_default() += 1;
             if let Some(dst) = dst {
-                *counts.entry((*class, Some(dst.clone()))).or_default() += 1;
+                let key = (*class, Some(dst.clone()));
+                // Admit a per-destination rate only while the bounded
+                // cache has room; churning an LRU slot (and a KB write)
+                // per sprayed one-shot destination would let an identity
+                // spray turn every publish into a full-cache rewrite.
+                // Destinations that keep talking re-enter once stale
+                // entries expire out of the window and free their slot.
+                if let Some(count) = counts.get_mut(&key) {
+                    *count += 1;
+                } else if self.written.contains_key(&key) {
+                    counts.insert(key, 1);
+                } else if self.written.len() + admitted < self.written.budget() {
+                    admitted += 1;
+                    counts.insert(key, 1);
+                }
             }
         }
         // Update changed rates; zero out rates that disappeared.
         let mut stale: Vec<(TrafficClass, Option<Entity>)> = self
             .written
-            .keys()
+            .iter()
+            .map(|(k, _)| k)
             .filter(|k| !counts.contains_key(k))
             .cloned()
             .collect();
         for ((class, dst), count) in counts {
             let rate = count as f64 / secs;
-            let prev = self.written.insert((class, dst.clone()), rate);
+            let prev = self.written.get(&(class, dst.clone())).copied();
+            // Insert even when unchanged: the write refreshes recency so
+            // active destinations outlive sprayed one-shot identities.
+            self.written.insert((class, dst.clone()), rate);
             if prev == Some(rate) {
                 continue;
             }
@@ -106,6 +153,7 @@ impl Module for TrafficStatsModule {
             .writes_family(labels::TRAFFIC_FREQUENCY, ValueType::Float)
             .exported()
             .accepts_param(ParamSpec::number("windowSecs", 0.1))
+            .accepts_param(ParamSpec::number("entity_budget", MIN_ENTITY_BUDGET as f64))
     }
 
     fn required(&self, _kb: &KnowledgeBase) -> bool {
@@ -115,6 +163,10 @@ impl Module for TrafficStatsModule {
     fn on_packet(&mut self, ctx: &mut ModuleCtx<'_>, packet: &CapturedPacket) {
         let class = packet.traffic_class();
         let dst = packet.decoded().and_then(|p| p.net_dst());
+        if self.events.len() >= self.event_cap() {
+            self.events.pop_front();
+            self.shed_events += 1;
+        }
         self.events.push_back((packet.timestamp, class, dst));
         // Publish opportunistically so rates stay fresh under bursts even
         // between ticks.
@@ -132,8 +184,25 @@ impl Module for TrafficStatsModule {
         self.events.len() * 48 + self.written.len() * 64 + 128
     }
 
+    fn occupancy(&self) -> usize {
+        self.written.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.written.evictions() + self.shed_events
+    }
+
+    fn state_budget(&self) -> usize {
+        self.entity_budget
+    }
+
+    fn current_params(&self) -> Vec<(String, KnowValue)> {
+        budget_params(self.entity_budget)
+    }
+
     fn reset(&mut self) {
         self.events.clear();
+        self.shed_events = 0;
         self.written.clear();
     }
 }

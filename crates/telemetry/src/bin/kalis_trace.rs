@@ -237,14 +237,26 @@ fn render_status(doc: &JsonValue) -> String {
                 (false, true) => "",
                 (false, false) => " inactive",
             };
+            // Stateless modules report a zero budget; bounded ones show
+            // how full their per-entity structures are and how much has
+            // been evicted under identity churn.
+            let state = if m_num("state_budget") > 0 {
+                format!(
+                    "state {:>5}/{:<5} evicted {:>6}",
+                    m_num("occupancy"),
+                    m_num("state_budget"),
+                    m_num("evictions"),
+                )
+            } else {
+                format!("state {:>5}       evicted {:>6}", "-", "-")
+            };
             out.push_str(&format!(
-                "  {:<28} {:<11} cpu {:>8}us  dispatches {:>7}  sheds {:>5}  occupancy {:>5}{flags}\n",
+                "  {:<28} {:<11} cpu {:>8}us  dispatches {:>7}  sheds {:>5}  {state}{flags}\n",
                 m_str("name"),
                 m_str("health"),
                 m_num("cpu_ns") / 1_000,
                 m_num("dispatches"),
                 m_num("sheds"),
-                m_num("occupancy"),
             ));
         }
     }
@@ -374,7 +386,8 @@ mod tests {
         r#""capture_time_us":5000000,"uptime_us":4500000,"shed_mode":"heavy","#,
         r#""sync_degraded":0,"modules":[{"name":"ScanModule","kind":"detection","#,
         r#""health":"healthy","pinned":1,"active":1,"cpu_ns":2500000,"#,
-        r#""dispatches":120,"sheds":4,"occupancy":17,"state_bytes":2032}],"#,
+        r#""dispatches":120,"sheds":4,"occupancy":17,"evictions":9,"#,
+        r#""state_budget":64,"state_bytes":2032}],"#,
         r#""peers":[{"id":"K2","health":"Suspect"}],"#,
         r#""hot_entities":[{"entity":"10.0.0.9","count":41,"error":2}],"#,
         r#""journal_dropped":0,"trace_dropped":3,"alerts":2,"#,
@@ -419,6 +432,8 @@ mod tests {
         assert!(summary.contains("peer K2  Suspect"), "{summary}");
         assert!(summary.contains("ScanModule"), "{summary}");
         assert!(summary.contains("cpu     2500us"), "{summary}");
+        assert!(summary.contains("state    17/64"), "{summary}");
+        assert!(summary.contains("evicted      9"), "{summary}");
         assert!(summary.contains("10.0.0.9"), "{summary}");
         assert!(summary.contains("~41 packets (err 2)"), "{summary}");
     }

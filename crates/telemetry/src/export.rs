@@ -104,6 +104,13 @@ pub fn help_for(family: &str) -> &'static str {
         "kalis_module_cpu_ns_total" => "Measured per-module CPU self-time (sampled), ns.",
         "kalis_module_work_units" => "Cumulative dispatches executed per module.",
         "kalis_module_occupancy" => "Per-detector tracked-state entries (per-entity maps).",
+        "kalis_module_evictions" => "Per-detector entries evicted to stay within the state budget.",
+        "kalis_module_state_budget" => "Per-detector configured per-entity state budget.",
+        "kalis_kb_entity_occupancy" => "Distinct entities holding per-entity knowggets.",
+        "kalis_kb_entity_evictions" => "Entities evicted under KB.PerEntityBudget.",
+        "kalis_peers_expired_total" => {
+            "Peers expired from the sync ledger after prolonged silence."
+        }
         "kalis_slo_latency_p99_us" => "Estimated p99 whole-ingest latency, microseconds.",
         "kalis_slo_latency_target_us" => "Configured p99 ingest-latency target, microseconds.",
         "kalis_slo_burn_permille" => "SLO burn rate: p99 over target, permille.",

@@ -101,6 +101,14 @@ pub enum JournalEvent {
     /// Estimated p99 whole-ingest latency fell back under the
     /// configured target after a breach.
     SloRecovered { p99_us: u64, target_us: u64 },
+    /// A peer silent long past its TTL was expired out of the sync
+    /// ledger entirely (bounded peer state); it re-enters through
+    /// normal discovery, with a full re-sync, if it ever returns.
+    PeerExpired { peer: String },
+    /// Aggregated bounded-state eviction report for one structure
+    /// (`module:<name>` or `kb`), emitted at tick cadence whenever the
+    /// cumulative eviction count moved since the last tick.
+    StateEvicted { structure: String, evicted: u64 },
     /// Free-form marker (bench stages, experiment boundaries).
     Marker { kind: String, detail: String },
 }
@@ -188,6 +196,13 @@ impl JournalEvent {
             | JournalEvent::SloRecovered { p99_us, target_us } => {
                 vec![("p99_us", Num(*p99_us)), ("target_us", Num(*target_us))]
             }
+            JournalEvent::PeerExpired { peer } => {
+                vec![("peer", Str(peer.clone()))]
+            }
+            JournalEvent::StateEvicted { structure, evicted } => vec![
+                ("structure", Str(structure.clone())),
+                ("evicted", Num(*evicted)),
+            ],
             JournalEvent::Marker { kind, detail } => {
                 vec![("kind", Str(kind.clone())), ("detail", Str(detail.clone()))]
             }
@@ -214,6 +229,8 @@ impl JournalEvent {
             JournalEvent::LoadShedReleased { .. } => "load_shed_released",
             JournalEvent::SloBreached { .. } => "slo_breached",
             JournalEvent::SloRecovered { .. } => "slo_recovered",
+            JournalEvent::PeerExpired { .. } => "peer_expired",
+            JournalEvent::StateEvicted { .. } => "state_evicted",
             JournalEvent::Marker { .. } => "marker",
         }
     }

@@ -143,6 +143,23 @@ pub mod names {
     /// Per-detector tracked-state occupancy family (gauge, labelled
     /// `[module=...]`; entries currently held in per-entity maps).
     pub const MODULE_OCCUPANCY: &str = "module.occupancy";
+    /// Per-detector bounded-state eviction family (gauge, labelled
+    /// `[module=...]`; cumulative entries evicted to stay within the
+    /// state budget — a gauge, not a counter, because a module reset
+    /// legitimately returns it to 0).
+    pub const MODULE_EVICTIONS: &str = "module.evictions";
+    /// Per-detector configured state budget family (gauge, labelled
+    /// `[module=...]`; 0 = the module keeps no budgeted structures).
+    pub const MODULE_STATE_BUDGET: &str = "module.state_budget";
+    /// Distinct entities currently holding per-entity knowggets in the
+    /// Knowledge Base (gauge, bounded by `KB.PerEntityBudget`).
+    pub const KB_ENTITY_OCCUPANCY: &str = "kb.entity_occupancy";
+    /// Entities evicted from the Knowledge Base to stay within
+    /// `KB.PerEntityBudget` (gauge; zeroed when the KB is rebuilt).
+    pub const KB_ENTITY_EVICTIONS: &str = "kb.entity_evictions";
+    /// Peers expired out of the sync ledger after prolonged silence
+    /// (counter).
+    pub const PEERS_EXPIRED: &str = "peers.expired";
     /// Estimated p99 whole-ingest latency in microseconds (gauge,
     /// refreshed on tick by the ops profiler).
     pub const SLO_LATENCY_P99_US: &str = "slo.latency_p99_us";
