@@ -306,10 +306,13 @@ pub struct KnowledgeSharingResult {
     pub score: Score,
 }
 
-pub use exhaustion::{run_state_exhaustion, ModuleStateRow, StateExhaustionResult};
+pub use exhaustion::{
+    run_state_exhaustion, spray_trace, ModuleStateRow, StateExhaustionResult,
+    MAX_STRUCTURES_PER_MODULE,
+};
 
 #[cfg(feature = "telemetry")]
-pub use resilience::{run_sync_resilience, SyncResilienceResult};
+pub use resilience::{run_sync_chaos, run_sync_resilience, SyncChaosSpec, SyncResilienceResult};
 
 #[cfg(feature = "telemetry")]
 pub use supervisor::{
@@ -607,7 +610,7 @@ mod exhaustion {
     /// suspects). Each map is individually bounded at the budget — the
     /// `kalis-core` proptests pin that invariant — so a module's total
     /// occupancy is bounded by budget × this factor.
-    const MAX_STRUCTURES_PER_MODULE: usize = 3;
+    pub const MAX_STRUCTURES_PER_MODULE: usize = 3;
 
     /// One budgeted module's state after absorbing the spray.
     #[derive(Debug, Clone)]
@@ -675,21 +678,23 @@ mod exhaustion {
     }
 
     /// Capture a pure spray (no embedded flood — the real attack comes
-    /// from the scenario this trace is merged into).
-    fn spray_trace(seed: u64, identities_per_burst: u32) -> Vec<CapturedPacket> {
+    /// from the scenario this trace is merged into). Public so the
+    /// scenario runner can interleave a `state-exhaustion` attack into
+    /// any single-node scenario.
+    pub fn spray_trace(seed: u64, identities_per_burst: u32, bursts: u32) -> Vec<CapturedPacket> {
         let mut sim = Simulator::new(seed ^ 0x51A7);
         let sprayer = sim.add_node(NodeSpec::new("sprayer").with_radio(RadioConfig::wifi()));
         sim.set_behavior(
             sprayer,
             StateExhaustionAttacker::new(VICTIM_IP, TruthLog::new())
                 .with_replies_per_burst(0)
-                .with_bursts(SPRAY_BURSTS, Duration::from_secs(9))
+                .with_bursts(bursts, Duration::from_secs(9))
                 .with_identities_per_burst(identities_per_burst)
                 .with_start(Duration::from_secs(2))
                 .with_seed(seed as u32),
         );
         let tap = sim.add_tap("spray", Position::new(1.0, 0.0), &[Medium::Wifi]);
-        sim.run_for(Duration::from_secs(2 + 9 * u64::from(SPRAY_BURSTS)));
+        sim.run_for(Duration::from_secs(2 + 9 * u64::from(bursts)));
         tap.drain()
     }
 
@@ -705,7 +710,7 @@ mod exhaustion {
             .build();
         let baseline_outcome = runner::run_kalis_instance(&mut baseline, &scenario.captures);
 
-        let spray = spray_trace(seed, identities_per_burst);
+        let spray = spray_trace(seed, identities_per_burst, SPRAY_BURSTS);
         let spray_packets = spray.len();
         let merged = merge_traces(vec![scenario.captures.clone(), spray]);
         let mut node = Kalis::builder(KalisId::new("K-spray"))
@@ -789,7 +794,7 @@ mod resilience {
     use kalis_core::config::Config;
     use kalis_core::knowledge::PeerBeacon;
     use kalis_core::{AttackKind, Kalis, KalisId};
-    use kalis_netsim::fault::{FaultPlan, FaultWindow, LinkFaults};
+    use kalis_netsim::fault::{FaultPlan, FaultStats, FaultWindow, LinkFaults};
     use kalis_netsim::wire::Wire;
     use kalis_packets::{CapturedPacket, Medium, ShortAddr, Timestamp};
     use kalis_telemetry::{names, AlertProvenance, JournalEvent, JournalSnapshot};
@@ -832,6 +837,43 @@ mod resilience {
         pub faults_dropped: u64,
         /// Node K2's full event journal, for fine-grained assertions.
         pub journal: JournalSnapshot,
+        /// First virtual instant at which both nodes held each other's
+        /// collective knowledge (checked at 1-second granularity), if
+        /// convergence was ever observed.
+        pub converged_at: Option<Timestamp>,
+        /// Aggregate fault-injection counters for the whole run.
+        pub fault_stats: FaultStats,
+        /// Per-directed-link fault counters, sorted by `(from, to)`.
+        pub link_faults: Vec<((u32, u32), FaultStats)>,
+        /// Labels of every alert raised across both nodes, in drain order.
+        pub alert_kinds: Vec<String>,
+        /// Modules quarantined on either node by the end of the run.
+        pub quarantined: Vec<String>,
+        /// End-of-run readiness blockers, prefixed with the node name
+        /// (empty when both nodes finished ready).
+        pub readiness_reasons: Vec<String>,
+    }
+
+    /// Knobs for a generalized sync-chaos run: the canonical two-node
+    /// collaborating topology with the fault plan, run length, and node
+    /// knowggets supplied by the caller (the `kalis-scenario` runner
+    /// compiles a scenario file's `faults` and `node` sections into
+    /// this).
+    #[derive(Debug, Clone)]
+    pub struct SyncChaosSpec {
+        /// The seeded fault plan the wire routes every frame through.
+        /// Endpoint 0 is K1, endpoint 1 is K2.
+        pub plan: FaultPlan,
+        /// Total virtual run time.
+        pub run: Duration,
+        /// Extra knowgget text appended to each node's chaos config
+        /// (e.g. `", Multihop = true"`), after the built-in sync/trace
+        /// tunables.
+        pub extra_knowggets: String,
+        /// Feed the scripted cross-region wormhole evidence (exotic
+        /// origins into K2 at t=5s, dropped-origin traffic into K1 at
+        /// t=6s) so the collaborative verdict has something to fire on.
+        pub wormhole_evidence: bool,
     }
 
     /// A Kalis node with chaos-friendly sync tunables carried by the
@@ -938,12 +980,27 @@ mod resilience {
         // wormhole correlator on both nodes. Replayed sync frames causing
         // double alerts remain visible through the replay-vs-control
         // alert-count comparison.
-        let mut k1 = node("K1", ", Multihop = true");
-        let mut k2 = node("K2", ", Multihop = true");
-        let mut wire = Wire::new(plan, LINK_DELAY);
-        let mut fed_exotic = false;
-        let mut fed_dropped = false;
-        let end = Timestamp::from_secs(RUN_SECS);
+        run_sync_chaos(&SyncChaosSpec {
+            plan,
+            run: Duration::from_secs(RUN_SECS),
+            extra_knowggets: ", Multihop = true".to_owned(),
+            wormhole_evidence: true,
+        })
+    }
+
+    /// Run the two-node chaos harness under an arbitrary fault plan.
+    /// Every frame — beacons, sync frames, acks — rides the faulty
+    /// [`Wire`]; the nodes' sync tunables (3s peer TTL, 1s beacons, full
+    /// trace sampling) keep health transitions observable within short
+    /// runs.
+    pub fn run_sync_chaos(spec: &SyncChaosSpec) -> SyncResilienceResult {
+        let mut k1 = node("K1", &spec.extra_knowggets);
+        let mut k2 = node("K2", &spec.extra_knowggets);
+        let mut wire = Wire::new(spec.plan.clone(), LINK_DELAY);
+        let mut fed_exotic = !spec.wormhole_evidence;
+        let mut fed_dropped = !spec.wormhole_evidence;
+        let mut converged_at = None;
+        let end = Timestamp::ZERO + spec.run;
         let mut now = Timestamp::ZERO;
         loop {
             // Deliver everything due by `now`, oldest first.
@@ -1000,12 +1057,48 @@ mod resilience {
             }
             k1.tick(now);
             k2.tick(now);
+            // Sample convergence at 1-second granularity so expectation
+            // deadlines ("sync converged within N seconds") have an
+            // observed instant to report.
+            if converged_at.is_none()
+                && now.as_micros() % 1_000_000 == 0
+                && knows_all_from(&k2, &k1)
+                && knows_all_from(&k1, &k2)
+            {
+                converged_at = Some(now);
+            }
             if now >= end {
                 break;
             }
             now += STEP;
         }
         let converged = knows_all_from(&k2, &k1) && knows_all_from(&k1, &k2);
+        if converged && converged_at.is_none() {
+            converged_at = Some(end);
+        }
+        // Surface the wire's fault-injection counters in K2's journal
+        // (per directed link, plus the aggregate) so downstream
+        // expectation failures can distinguish "the fault plan never
+        // fired" from a genuine resilience miss.
+        let mut fault_rows = wire.link_fault_stats();
+        fault_rows.push(((u32::MAX, u32::MAX), wire.fault_stats()));
+        for ((from, to), stats) in fault_rows {
+            let link = if from == u32::MAX {
+                "total".to_owned()
+            } else {
+                format!("{from}->{to}")
+            };
+            k2.telemetry().journal().record(
+                end.as_micros(),
+                JournalEvent::FaultsInjected {
+                    link,
+                    dropped: stats.dropped,
+                    duplicated: stats.duplicated,
+                    corrupted: stats.corrupted,
+                    delayed: stats.delayed,
+                },
+            );
+        }
         let s1 = k1.telemetry().snapshot();
         let s2 = k2.telemetry().snapshot();
         let count_events = |pred: fn(&JournalEvent) -> bool| {
@@ -1023,6 +1116,20 @@ mod resilience {
                     .collect::<Vec<_>>()
             })
             .collect();
+        let quarantined: Vec<String> = [&k1, &k2]
+            .into_iter()
+            .flat_map(|node| node.quarantined_modules())
+            .map(str::to_owned)
+            .collect();
+        let readiness_reasons: Vec<String> = [("K1", &k1), ("K2", &k2)]
+            .into_iter()
+            .flat_map(|(name, node)| {
+                node.readiness()
+                    .reasons
+                    .into_iter()
+                    .map(move |r| format!("{name}:{r}"))
+            })
+            .collect();
         let alerts_k1 = k1.drain_alerts();
         let alerts_k2 = k2.drain_alerts();
         let wormhole_alerts = alerts_k1
@@ -1030,6 +1137,11 @@ mod resilience {
             .chain(alerts_k2.iter())
             .filter(|a| a.attack == AttackKind::Wormhole)
             .count();
+        let alert_kinds = alerts_k1
+            .iter()
+            .chain(alerts_k2.iter())
+            .map(|a| a.attack.label().to_owned())
+            .collect();
         SyncResilienceResult {
             converged,
             degraded_entered: count_events(|e| matches!(e, JournalEvent::DegradedEntered { .. })),
@@ -1043,6 +1155,12 @@ mod resilience {
             wormhole_provenance,
             faults_dropped: wire.fault_stats().dropped,
             journal: s2.journal.clone(),
+            converged_at,
+            fault_stats: wire.fault_stats(),
+            link_faults: wire.link_fault_stats(),
+            alert_kinds,
+            quarantined,
+            readiness_reasons,
         }
     }
 }

@@ -20,6 +20,7 @@ use kalis_netsim::behaviors::{
     TcpServerBehavior,
 };
 use kalis_netsim::devices::DeviceProfile;
+use kalis_netsim::fault::{FaultPlan, FaultStats};
 use kalis_netsim::mobility::MobilityModel;
 use kalis_netsim::node::{NodeId, NodeSpec, Role};
 use kalis_netsim::radio::RadioConfig;
@@ -152,6 +153,20 @@ pub struct Scenario {
     pub attackers: Vec<Entity>,
     /// The victim identity, when the attack has one.
     pub victim: Option<Entity>,
+    /// Faults injected during the build (zero without a fault plan).
+    pub fault_stats: FaultStats,
+    /// Per-directed-link fault counters (empty without a fault plan).
+    pub link_fault_stats: Vec<((u32, u32), FaultStats)>,
+}
+
+/// Cross-cutting build machinery threaded into every scenario builder.
+/// Today that is a seeded [`FaultPlan`] degrading the simulated network
+/// under observation (never the tap); the scenario language compiles its
+/// `faults` section into this.
+#[derive(Debug, Default)]
+pub struct BuildOptions {
+    /// Installed on the simulator before the run, when present.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -159,21 +174,38 @@ impl Scenario {
     /// (bursts/rounds, or a drop budget for forwarding attacks), seeded
     /// deterministically.
     pub fn build(kind: ScenarioKind, seed: u64, symptoms: u32) -> Scenario {
+        Scenario::build_with(kind, seed, symptoms, &BuildOptions::default())
+    }
+
+    /// [`Scenario::build`] with cross-cutting options (fault plans).
+    pub fn build_with(
+        kind: ScenarioKind,
+        seed: u64,
+        symptoms: u32,
+        options: &BuildOptions,
+    ) -> Scenario {
         match kind {
-            ScenarioKind::IcmpFlood => build_icmp_flood(seed, symptoms),
-            ScenarioKind::Smurf => build_smurf(seed, symptoms),
-            ScenarioKind::SynFlood => build_syn_flood(seed, symptoms),
-            ScenarioKind::SelectiveForwarding => build_forwarding(seed, symptoms, false),
-            ScenarioKind::Blackhole => build_forwarding(seed, symptoms, true),
-            ScenarioKind::Replication => build_replication(seed, symptoms),
-            ScenarioKind::Sybil => build_sybil(seed, symptoms),
-            ScenarioKind::Wormhole => build_wormhole(seed, symptoms),
-            ScenarioKind::Sinkhole => build_sinkhole(seed, symptoms),
-            ScenarioKind::UdpFlood => build_udp_flood(seed, symptoms),
-            ScenarioKind::Deauth => build_deauth(seed, symptoms),
-            ScenarioKind::Scan => build_scan(seed, symptoms),
-            ScenarioKind::FragmentFlood => build_fragment_flood(seed, symptoms),
+            ScenarioKind::IcmpFlood => build_icmp_flood(seed, symptoms, options),
+            ScenarioKind::Smurf => build_smurf(seed, symptoms, options),
+            ScenarioKind::SynFlood => build_syn_flood(seed, symptoms, options),
+            ScenarioKind::SelectiveForwarding => build_forwarding(seed, symptoms, false, options),
+            ScenarioKind::Blackhole => build_forwarding(seed, symptoms, true, options),
+            ScenarioKind::Replication => build_replication(seed, symptoms, options),
+            ScenarioKind::Sybil => build_sybil(seed, symptoms, options),
+            ScenarioKind::Wormhole => build_wormhole(seed, symptoms, options),
+            ScenarioKind::Sinkhole => build_sinkhole(seed, symptoms, options),
+            ScenarioKind::UdpFlood => build_udp_flood(seed, symptoms, options),
+            ScenarioKind::Deauth => build_deauth(seed, symptoms, options),
+            ScenarioKind::Scan => build_scan(seed, symptoms, options),
+            ScenarioKind::FragmentFlood => build_fragment_flood(seed, symptoms, options),
         }
+    }
+}
+
+/// Install the options' fault plan, if any, on a freshly built simulator.
+fn install_faults(sim: &mut Simulator, options: &BuildOptions) {
+    if let Some(plan) = &options.fault_plan {
+        sim.set_fault_plan(plan.clone());
     }
 }
 
@@ -186,8 +218,9 @@ struct Lan {
     tap: Tap,
 }
 
-fn build_lan(seed: u64, extra_mediums: &[Medium]) -> Lan {
+fn build_lan(seed: u64, extra_mediums: &[Medium], options: &BuildOptions) -> Lan {
     let mut sim = Simulator::new(seed);
+    install_faults(&mut sim, options);
     let router_mac = MacAddr::from_index(0);
     let router = sim.add_node(
         NodeSpec::new("router")
@@ -255,9 +288,9 @@ fn burst_schedule(symptoms: u32) -> (u32, Duration, Duration) {
     (symptoms, interval, run)
 }
 
-fn build_icmp_flood(seed: u64, symptoms: u32) -> Scenario {
+fn build_icmp_flood(seed: u64, symptoms: u32, options: &BuildOptions) -> Scenario {
     let truth = TruthLog::new();
-    let Lan { mut sim, tap, .. } = build_lan(seed, &[]);
+    let Lan { mut sim, tap, .. } = build_lan(seed, &[], options);
     let attacker = sim.add_node(
         NodeSpec::new("attacker")
             .with_position(3.0, -4.0)
@@ -274,6 +307,8 @@ fn build_icmp_flood(seed: u64, symptoms: u32) -> Scenario {
         captures: tap.drain(),
         captures_b: None,
         truth: truth.instances(),
+        fault_stats: sim.fault_stats(),
+        link_fault_stats: sim.link_fault_stats(),
         attackers: vec![Entity::from(MacAddr::from_index(attacker.0))],
         victim: Some(Entity::new(VICTIM_IP.to_string())),
     }
@@ -304,9 +339,9 @@ fn add_ctp_chain(sim: &mut Simulator) {
     sim.set_behavior(leaf, CtpSensorBehavior::leaf(ShortAddr(3), ShortAddr(2)));
 }
 
-fn build_smurf(seed: u64, symptoms: u32) -> Scenario {
+fn build_smurf(seed: u64, symptoms: u32, options: &BuildOptions) -> Scenario {
     let truth = TruthLog::new();
-    let Lan { mut sim, tap, .. } = build_lan(seed, &[Medium::Ieee802154]);
+    let Lan { mut sim, tap, .. } = build_lan(seed, &[Medium::Ieee802154], options);
     add_ctp_chain(&mut sim);
     // Reflectors: devices that answer pings.
     let mut reflector_ips = Vec::new();
@@ -342,14 +377,16 @@ fn build_smurf(seed: u64, symptoms: u32) -> Scenario {
         captures: tap.drain(),
         captures_b: None,
         truth: truth.instances(),
+        fault_stats: sim.fault_stats(),
+        link_fault_stats: sim.link_fault_stats(),
         attackers: vec![Entity::from(MacAddr::from_index(attacker.0))],
         victim: Some(Entity::new(VICTIM_IP.to_string())),
     }
 }
 
-fn build_syn_flood(seed: u64, symptoms: u32) -> Scenario {
+fn build_syn_flood(seed: u64, symptoms: u32, options: &BuildOptions) -> Scenario {
     let truth = TruthLog::new();
-    let Lan { mut sim, tap, .. } = build_lan(seed, &[]);
+    let Lan { mut sim, tap, .. } = build_lan(seed, &[], options);
     let attacker = sim.add_node(
         NodeSpec::new("syn-attacker")
             .with_position(-4.0, -4.0)
@@ -366,14 +403,16 @@ fn build_syn_flood(seed: u64, symptoms: u32) -> Scenario {
         captures: tap.drain(),
         captures_b: None,
         truth: truth.instances(),
+        fault_stats: sim.fault_stats(),
+        link_fault_stats: sim.link_fault_stats(),
         attackers: vec![Entity::from(MacAddr::from_index(attacker.0))],
         victim: Some(Entity::new(VICTIM_IP.to_string())),
     }
 }
 
-fn build_udp_flood(seed: u64, symptoms: u32) -> Scenario {
+fn build_udp_flood(seed: u64, symptoms: u32, options: &BuildOptions) -> Scenario {
     let truth = TruthLog::new();
-    let Lan { mut sim, tap, .. } = build_lan(seed, &[]);
+    let Lan { mut sim, tap, .. } = build_lan(seed, &[], options);
     let attacker = sim.add_node(
         NodeSpec::new("udp-attacker")
             .with_position(-4.0, 4.0)
@@ -390,14 +429,16 @@ fn build_udp_flood(seed: u64, symptoms: u32) -> Scenario {
         captures: tap.drain(),
         captures_b: None,
         truth: truth.instances(),
+        fault_stats: sim.fault_stats(),
+        link_fault_stats: sim.link_fault_stats(),
         attackers: vec![Entity::from(MacAddr::from_index(attacker.0))],
         victim: Some(Entity::new(VICTIM_IP.to_string())),
     }
 }
 
-fn build_deauth(seed: u64, symptoms: u32) -> Scenario {
+fn build_deauth(seed: u64, symptoms: u32, options: &BuildOptions) -> Scenario {
     let truth = TruthLog::new();
-    let Lan { mut sim, tap, .. } = build_lan(seed, &[]);
+    let Lan { mut sim, tap, .. } = build_lan(seed, &[], options);
     let attacker = sim.add_node(
         NodeSpec::new("deauth-attacker")
             .with_position(2.0, -5.0)
@@ -419,18 +460,20 @@ fn build_deauth(seed: u64, symptoms: u32) -> Scenario {
         captures: tap.drain(),
         captures_b: None,
         truth: truth.instances(),
+        fault_stats: sim.fault_stats(),
+        link_fault_stats: sim.link_fault_stats(),
         attackers: vec![Entity::from(MacAddr::from_index(attacker.0))],
         victim: Some(Entity::from(MacAddr::from_index(1))),
     }
 }
 
-fn build_scan(seed: u64, symptoms: u32) -> Scenario {
+fn build_scan(seed: u64, symptoms: u32, options: &BuildOptions) -> Scenario {
     let truth = TruthLog::new();
     let Lan {
         mut sim,
         router,
         tap: _,
-    } = build_lan(seed, &[]);
+    } = build_lan(seed, &[], options);
     // The firewall vantage: the router's wired uplink.
     let wired_tap = sim.add_wired_tap("eth0", router, &[]);
     let scanner_ip = Ipv4Addr::new(203, 0, 113, 66);
@@ -458,14 +501,16 @@ fn build_scan(seed: u64, symptoms: u32) -> Scenario {
         captures: wired_tap.drain(),
         captures_b: None,
         truth: truth.instances(),
+        fault_stats: sim.fault_stats(),
+        link_fault_stats: sim.link_fault_stats(),
         attackers: vec![Entity::new(scanner_ip.to_string())],
         victim: None,
     }
 }
 
-fn build_fragment_flood(seed: u64, symptoms: u32) -> Scenario {
+fn build_fragment_flood(seed: u64, symptoms: u32, options: &BuildOptions) -> Scenario {
     let truth = TruthLog::new();
-    let Wsn { mut sim, tap, .. } = build_wsn(seed, None);
+    let Wsn { mut sim, tap, .. } = build_wsn(seed, None, options);
     let attacker = sim.add_node(NodeSpec::new("fragger").with_position(6.0, -4.0));
     // The reassembly timeout is 15 s: space bursts past it so every burst
     // produces a fresh wave of expirations.
@@ -482,6 +527,8 @@ fn build_fragment_flood(seed: u64, symptoms: u32) -> Scenario {
         captures: tap.drain(),
         captures_b: None,
         truth: truth.instances(),
+        fault_stats: sim.fault_stats(),
+        link_fault_stats: sim.link_fault_stats(),
         attackers: vec![Entity::from(ShortAddr(9))],
         victim: Some(Entity::from(ShortAddr(1))),
     }
@@ -498,8 +545,10 @@ struct Wsn {
 fn build_wsn(
     seed: u64,
     forwarder_policy: Option<Box<dyn kalis_netsim::behaviors::ForwardPolicy>>,
+    options: &BuildOptions,
 ) -> Wsn {
     let mut sim = Simulator::new(seed);
+    install_faults(&mut sim, options);
     let sink = sim.add_node(
         NodeSpec::new("mote-1-sink")
             .with_position(0.0, 0.0)
@@ -559,7 +608,7 @@ fn build_wsn(
     }
 }
 
-fn build_forwarding(seed: u64, symptoms: u32, blackhole: bool) -> Scenario {
+fn build_forwarding(seed: u64, symptoms: u32, blackhole: bool, options: &BuildOptions) -> Scenario {
     let truth = TruthLog::new();
     let policy: Box<dyn kalis_netsim::behaviors::ForwardPolicy> = if blackhole {
         Box::new(BlackholePolicy::new(ShortAddr(2), truth.clone()))
@@ -574,7 +623,7 @@ fn build_forwarding(seed: u64, symptoms: u32, blackhole: bool) -> Scenario {
         mut sim,
         tap,
         forwarder,
-    } = build_wsn(seed, Some(policy));
+    } = build_wsn(seed, Some(policy), options);
     let _ = forwarder;
     // Through-traffic ≈1 frame/s; run long enough for the symptom budget.
     let per_second = if blackhole { 1.0 } else { 0.5 };
@@ -589,14 +638,17 @@ fn build_forwarding(seed: u64, symptoms: u32, blackhole: bool) -> Scenario {
         captures: tap.drain(),
         captures_b: None,
         truth: truth.instances(),
+        fault_stats: sim.fault_stats(),
+        link_fault_stats: sim.link_fault_stats(),
         attackers: vec![Entity::from(ShortAddr(2))],
         victim: None,
     }
 }
 
-fn build_replication(seed: u64, symptoms: u32) -> Scenario {
+fn build_replication(seed: u64, symptoms: u32, options: &BuildOptions) -> Scenario {
     let truth = TruthLog::new();
     let mut sim = Simulator::new(seed);
+    install_faults(&mut sim, options);
     let sink = sim.add_node(
         NodeSpec::new("sink")
             .with_position(0.0, 0.0)
@@ -656,14 +708,17 @@ fn build_replication(seed: u64, symptoms: u32) -> Scenario {
         captures: tap.drain(),
         captures_b: None,
         truth: truth.instances(),
+        fault_stats: sim.fault_stats(),
+        link_fault_stats: sim.link_fault_stats(),
         attackers: (2..5).map(|i| Entity::from(ShortAddr(i))).collect(),
         victim: None,
     }
 }
 
-fn build_sybil(seed: u64, symptoms: u32) -> Scenario {
+fn build_sybil(seed: u64, symptoms: u32, options: &BuildOptions) -> Scenario {
     let truth = TruthLog::new();
     let mut sim = Simulator::new(seed);
+    install_faults(&mut sim, options);
     let sink = sim.add_node(
         NodeSpec::new("sink")
             .with_position(0.0, 0.0)
@@ -695,14 +750,16 @@ fn build_sybil(seed: u64, symptoms: u32) -> Scenario {
         captures: tap.drain(),
         captures_b: None,
         truth: truth.instances(),
+        fault_stats: sim.fault_stats(),
+        link_fault_stats: sim.link_fault_stats(),
         attackers: identities.into_iter().map(Entity::from).collect(),
         victim: None,
     }
 }
 
-fn build_sinkhole(seed: u64, symptoms: u32) -> Scenario {
+fn build_sinkhole(seed: u64, symptoms: u32, options: &BuildOptions) -> Scenario {
     let truth = TruthLog::new();
-    let Wsn { mut sim, tap, .. } = build_wsn(seed, None);
+    let Wsn { mut sim, tap, .. } = build_wsn(seed, None, options);
     let attacker = sim.add_node(NodeSpec::new("sinkhole").with_position(8.0, 4.0));
     sim.set_behavior(
         attacker,
@@ -717,15 +774,18 @@ fn build_sinkhole(seed: u64, symptoms: u32) -> Scenario {
         captures: tap.drain(),
         captures_b: None,
         truth: truth.instances(),
+        fault_stats: sim.fault_stats(),
+        link_fault_stats: sim.link_fault_stats(),
         attackers: vec![Entity::from(ShortAddr(9))],
         victim: None,
     }
 }
 
-fn build_wormhole(seed: u64, symptoms: u32) -> Scenario {
+fn build_wormhole(seed: u64, symptoms: u32, options: &BuildOptions) -> Scenario {
     let truth = TruthLog::new();
     let tunnel = WormholeTunnel::new();
     let mut sim = Simulator::new(seed);
+    install_faults(&mut sim, options);
     // Region A: two leaves route through B1 towards sink 1.
     let sink_a = sim.add_node(
         NodeSpec::new("sink-a")
@@ -787,6 +847,8 @@ fn build_wormhole(seed: u64, symptoms: u32) -> Scenario {
         captures: tap_a.drain(),
         captures_b: Some(tap_b.drain()),
         truth: truth.instances(),
+        fault_stats: sim.fault_stats(),
+        link_fault_stats: sim.link_fault_stats(),
         attackers: vec![Entity::from(ShortAddr(2)), Entity::from(ShortAddr(20))],
         victim: None,
     }

@@ -43,6 +43,27 @@ pub enum AttackKind {
 }
 
 impl AttackKind {
+    /// Every classification, in declaration order (for validating
+    /// user-supplied attack labels and enumerating report axes).
+    pub fn all() -> &'static [AttackKind] {
+        &[
+            AttackKind::IcmpFlood,
+            AttackKind::Smurf,
+            AttackKind::SynFlood,
+            AttackKind::UdpFlood,
+            AttackKind::SelectiveForwarding,
+            AttackKind::Blackhole,
+            AttackKind::Sinkhole,
+            AttackKind::Sybil,
+            AttackKind::Replication,
+            AttackKind::Wormhole,
+            AttackKind::Deauth,
+            AttackKind::Scan,
+            AttackKind::FragmentFlood,
+            AttackKind::Anomaly,
+        ]
+    }
+
     /// Short stable label (used in reports and knowgget values).
     pub fn label(self) -> &'static str {
         match self {

@@ -107,6 +107,81 @@ pub struct SpannedModule {
     pub params: Vec<SpannedEntry>,
 }
 
+/// One item inside a section of a [`SpannedDocument`]: a name optionally
+/// followed by `( key = value, ... )` parameters (the module form) or by
+/// `= value` (the knowgget form). The grammar allows both shapes in any
+/// section; each consumer decides which shapes its sections accept.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedItem {
+    /// The item's name (module name, knowgget key, directive, ...).
+    pub name: String,
+    /// Where the name starts.
+    pub name_pos: SourcePos,
+    /// `( key = value, ... )` parameters, in source order.
+    pub params: Vec<SpannedEntry>,
+    /// The `= value` right-hand side, if present.
+    pub value: Option<(KnowValue, SourcePos)>,
+}
+
+impl SpannedItem {
+    /// Look up a parameter by key.
+    pub fn param(&self, key: &str) -> Option<&SpannedEntry> {
+        self.params.iter().find(|p| p.key == key)
+    }
+}
+
+/// One `name = { items }` section of a [`SpannedDocument`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedSection {
+    /// The section name (`modules`, `knowggets`, `expectations`, ...).
+    pub name: String,
+    /// Where the section name starts.
+    pub name_pos: SourcePos,
+    /// The items between the braces, in source order.
+    pub items: Vec<SpannedItem>,
+}
+
+/// A span-preserving parse of the generic section/item surface grammar
+/// shared by every Kalis text format:
+///
+/// ```text
+/// document := section*
+/// section  := IDENT `=` `{` item (`,` item)* `}`
+/// item     := IDENT [ `(` key-value-list `)` | `=` value ]
+/// ```
+///
+/// [`SpannedConfig`] (the Fig. 6 module/knowgget format) and the
+/// `*.scn.kalis` scenario language both parse through this layer, so
+/// they share one lexer, one set of caret-ready positions, and one
+/// family of parse errors. Section names are **not** validated here —
+/// each format rejects unknown sections itself, with its own message.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpannedDocument {
+    /// Sections in source order.
+    pub sections: Vec<SpannedSection>,
+}
+
+impl SpannedDocument {
+    /// Parse source text into sections and items, keeping token positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] pointing at the offending token for any
+    /// lexical or structural violation. The parser is total: no input —
+    /// hostile, truncated, or otherwise — panics or recurses (the grammar
+    /// is flat, so there is no nesting depth to exhaust).
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let tokens = lex(text)?;
+        let mut parser = Parser { tokens, index: 0 };
+        parser.document()
+    }
+
+    /// The first section with the given name, if any.
+    pub fn section(&self, name: &str) -> Option<&SpannedSection> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+}
+
 /// A parse that remembers where everything came from.
 ///
 /// `Config` (via [`FromStr`]) is the runtime-facing view and stays
@@ -128,9 +203,83 @@ impl SpannedConfig {
     ///
     /// Returns the same [`ConfigError`]s as `text.parse::<Config>()`.
     pub fn parse(text: &str) -> Result<Self, ConfigError> {
-        let tokens = lex(text)?;
-        let mut parser = Parser { tokens, index: 0 };
-        parser.config()
+        let doc = SpannedDocument::parse(text)?;
+        let mut config = SpannedConfig::default();
+        let mut seen_modules = false;
+        let mut seen_knowggets = false;
+        for section in doc.sections {
+            match section.name.as_str() {
+                "modules" if !seen_modules => {
+                    seen_modules = true;
+                    config.modules = section
+                        .items
+                        .into_iter()
+                        .map(|item| {
+                            if let Some((_, pos)) = item.value {
+                                return Err(ConfigError {
+                                    pos,
+                                    message: format!(
+                                        "module `{}` does not take `= value`",
+                                        item.name
+                                    ),
+                                });
+                            }
+                            Ok(SpannedModule {
+                                name: item.name,
+                                name_pos: item.name_pos,
+                                params: item.params,
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "knowggets" if !seen_knowggets => {
+                    seen_knowggets = true;
+                    config.knowggets = section
+                        .items
+                        .into_iter()
+                        .map(|item| {
+                            if !item.params.is_empty() {
+                                return Err(ConfigError {
+                                    pos: item.name_pos,
+                                    message: format!(
+                                        "knowgget `{}` does not take parameters",
+                                        item.name
+                                    ),
+                                });
+                            }
+                            match item.value {
+                                Some((value, value_pos)) => Ok(SpannedEntry {
+                                    key: item.name,
+                                    key_pos: item.name_pos,
+                                    value,
+                                    value_pos,
+                                }),
+                                None => Err(ConfigError {
+                                    pos: item.name_pos,
+                                    message: format!(
+                                        "expected `= value` after knowgget key `{}`",
+                                        item.name
+                                    ),
+                                }),
+                            }
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "modules" | "knowggets" => {
+                    return Err(ConfigError {
+                        pos: section.name_pos,
+                        message: format!("duplicate section `{}`", section.name),
+                    })
+                }
+                other => {
+                    return Err(ConfigError {
+                        pos: section.name_pos,
+                        message: format!("unknown section `{other}`"),
+                    })
+                }
+            }
+        }
+        Ok(config)
     }
 
     /// Drop the positions, yielding the runtime [`Config`].
@@ -326,13 +475,6 @@ impl Parser {
             .map_or(SourcePos { line: 1, column: 1 }, |t| t.pos)
     }
 
-    fn error(&self, message: impl Into<String>) -> ConfigError {
-        ConfigError {
-            pos: self.peek().map_or(self.end_pos(), |t| t.pos),
-            message: message.into(),
-        }
-    }
-
     fn expect(&mut self, token: Token, what: &str) -> Result<(), ConfigError> {
         match self.next() {
             Some(t) if t.token == token => Ok(()),
@@ -412,24 +554,32 @@ impl Parser {
         Ok(out)
     }
 
-    fn module_list(&mut self) -> Result<Vec<SpannedModule>, ConfigError> {
+    fn item_list(&mut self) -> Result<Vec<SpannedItem>, ConfigError> {
         let mut out = Vec::new();
         loop {
             if matches!(self.peek().map(|t| &t.token), Some(Token::RBrace)) {
                 break;
             }
-            let (name, name_pos) = self.ident("a module name")?;
-            let mut def = SpannedModule {
+            let (name, name_pos) = self.ident("a name")?;
+            let mut item = SpannedItem {
                 name,
                 name_pos,
                 params: Vec::new(),
+                value: None,
             };
-            if matches!(self.peek().map(|t| &t.token), Some(Token::LParen)) {
-                self.next();
-                def.params = self.key_value_list()?;
-                self.expect(Token::RParen, "`)`")?;
+            match self.peek().map(|t| &t.token) {
+                Some(Token::LParen) => {
+                    self.next();
+                    item.params = self.key_value_list()?;
+                    self.expect(Token::RParen, "`)`")?;
+                }
+                Some(Token::Equals) => {
+                    self.next();
+                    item.value = Some(self.value()?);
+                }
+                _ => {}
             }
-            out.push(def);
+            out.push(item);
             if matches!(self.peek().map(|t| &t.token), Some(Token::Comma)) {
                 self.next();
             } else {
@@ -439,31 +589,21 @@ impl Parser {
         Ok(out)
     }
 
-    fn config(&mut self) -> Result<SpannedConfig, ConfigError> {
-        let mut config = SpannedConfig::default();
-        let mut seen_modules = false;
-        let mut seen_knowggets = false;
+    fn document(&mut self) -> Result<SpannedDocument, ConfigError> {
+        let mut doc = SpannedDocument::default();
         while self.peek().is_some() {
-            let (section, _) = self.ident("`modules` or `knowggets`")?;
+            let (name, name_pos) = self.ident("a section name")?;
             self.expect(Token::Equals, "`=`")?;
             self.expect(Token::LBrace, "`{`")?;
-            match section.as_str() {
-                "modules" if !seen_modules => {
-                    config.modules = self.module_list()?;
-                    seen_modules = true;
-                }
-                "knowggets" if !seen_knowggets => {
-                    config.knowggets = self.key_value_list()?;
-                    seen_knowggets = true;
-                }
-                "modules" | "knowggets" => {
-                    return Err(self.error(format!("duplicate section `{section}`")))
-                }
-                other => return Err(self.error(format!("unknown section `{other}`"))),
-            }
+            let items = self.item_list()?;
             self.expect(Token::RBrace, "`}`")?;
+            doc.sections.push(SpannedSection {
+                name,
+                name_pos,
+                items,
+            });
         }
-        Ok(config)
+        Ok(doc)
     }
 }
 
@@ -643,6 +783,68 @@ mod tests {
     fn trailing_comma_is_accepted() {
         let config: Config = "modules = { A, B, }".parse().unwrap();
         assert_eq!(config.modules.len(), 2);
+    }
+
+    #[test]
+    fn document_parses_arbitrary_sections_and_item_shapes() {
+        let text = "scenario = {\n  name = \"chaos\",\n  duration = 90\n}\nfaults = {\n  link ( drop = 0.3, corrupt = 0.05 ),\n  partition ( groups = \"0|1\" )\n}\nworkload = {\n  wormhole-evidence\n}";
+        let doc = SpannedDocument::parse(text).unwrap();
+        assert_eq!(doc.sections.len(), 3);
+        let scenario = doc.section("scenario").unwrap();
+        assert_eq!(scenario.name_pos, SourcePos { line: 1, column: 1 });
+        assert_eq!(scenario.items.len(), 2);
+        assert_eq!(
+            scenario.items[0].value,
+            Some((
+                KnowValue::Text("chaos".into()),
+                SourcePos {
+                    line: 2,
+                    column: 10
+                }
+            ))
+        );
+        let faults = doc.section("faults").unwrap();
+        assert_eq!(faults.items[0].name, "link");
+        assert_eq!(
+            faults.items[0].param("drop").map(|p| &p.value),
+            Some(&KnowValue::Float(0.3))
+        );
+        assert!(faults.items[0].value.is_none());
+        // A bare directive item: no params, no value.
+        let workload = doc.section("workload").unwrap();
+        assert_eq!(workload.items[0].name, "wormhole-evidence");
+        assert!(workload.items[0].params.is_empty() && workload.items[0].value.is_none());
+        assert!(doc.section("nope").is_none());
+    }
+
+    #[test]
+    fn document_rejections_carry_positions() {
+        // An item cannot take both `( ... )` and `= value`; the `=` after
+        // `)` reads as a malformed separator.
+        let err = SpannedDocument::parse("s = { a ( k = 1 ) = 2 }").unwrap_err();
+        assert!(err.message.contains("expected `}`"));
+
+        let err = SpannedDocument::parse("s = { a").unwrap_err();
+        assert!(err.message.contains("end of input"));
+
+        let err = SpannedDocument::parse("= { }").unwrap_err();
+        assert_eq!(err.pos, SourcePos { line: 1, column: 1 });
+        assert!(err.message.contains("a section name"));
+    }
+
+    #[test]
+    fn config_validation_rejects_wrong_item_shapes() {
+        // A knowgget entry must carry `= value`...
+        let err = "knowggets = { Mobile }".parse::<Config>().unwrap_err();
+        assert!(err.message.contains("expected `= value`"));
+        // ...and must not take parameters.
+        let err = "knowggets = { Mobile ( a = 1 ) }"
+            .parse::<Config>()
+            .unwrap_err();
+        assert!(err.message.contains("does not take parameters"));
+        // A module entry must not carry `= value`.
+        let err = "modules = { A = 1 }".parse::<Config>().unwrap_err();
+        assert!(err.message.contains("does not take `= value`"));
     }
 
     #[test]

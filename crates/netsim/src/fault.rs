@@ -146,6 +146,21 @@ pub struct FaultStats {
     pub delayed: u64,
 }
 
+impl FaultStats {
+    /// Total number of injected faults across all dimensions.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.duplicated + self.corrupted + self.delayed
+    }
+
+    /// Add another set of counters into this one.
+    pub fn accumulate(&mut self, other: FaultStats) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.corrupted += other.corrupted;
+        self.delayed += other.delayed;
+    }
+}
+
 /// A deterministic, seeded schedule of faults.
 ///
 /// Built once per scenario with the builder methods, then consulted by
@@ -163,6 +178,7 @@ pub struct FaultPlan {
     crashes: Vec<(u32, FaultWindow)>,
     partitions: Vec<(Vec<Vec<u32>>, FaultWindow)>,
     stats: FaultStats,
+    link_stats: HashMap<(u32, u32), FaultStats>,
 }
 
 impl FaultPlan {
@@ -176,6 +192,7 @@ impl FaultPlan {
             crashes: Vec::new(),
             partitions: Vec::new(),
             stats: FaultStats::default(),
+            link_stats: HashMap::new(),
         }
     }
 
@@ -219,6 +236,15 @@ impl FaultPlan {
     /// Counters of faults injected so far.
     pub fn stats(&self) -> FaultStats {
         self.stats
+    }
+
+    /// Per-directed-link injection counters, sorted by `(from, to)` for
+    /// deterministic reporting. Lets scenario reports distinguish "the
+    /// fault plan never fired on this link" from a detection miss.
+    pub fn link_stats(&self) -> Vec<((u32, u32), FaultStats)> {
+        let mut out: Vec<_> = self.link_stats.iter().map(|(k, v)| (*k, *v)).collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
     }
 
     fn crashed(&self, endpoint: u32, now: Timestamp) -> bool {
@@ -267,12 +293,27 @@ impl FaultPlan {
     /// `extra_delay` on top of its base medium delay and runs corrupted
     /// copies through [`FaultPlan::corrupt_payload`].
     pub fn judge(&mut self, from: u32, to: u32, now: Timestamp) -> Vec<Delivery> {
+        let (out, delta) = self.decide(from, to, now);
+        if delta != FaultStats::default() {
+            self.stats.accumulate(delta);
+            self.link_stats
+                .entry((from, to))
+                .or_default()
+                .accumulate(delta);
+        }
+        out
+    }
+
+    /// The pure decision behind [`FaultPlan::judge`]: the deliveries plus
+    /// the fault counters this judgement contributes.
+    fn decide(&self, from: u32, to: u32, now: Timestamp) -> (Vec<Delivery>, FaultStats) {
+        let mut delta = FaultStats::default();
         if self.crashed(from, now) || self.crashed(to, now) || self.partitioned(from, to, now) {
-            self.stats.dropped += 1;
-            return Vec::new();
+            delta.dropped += 1;
+            return (Vec::new(), delta);
         }
         if !self.link_faults_active(now) {
-            return vec![Delivery::default()];
+            return (vec![Delivery::default()], delta);
         }
         let faults = self
             .per_link
@@ -281,23 +322,23 @@ impl FaultPlan {
             .unwrap_or(self.default_faults);
         let key = self.key(from, to, now);
         if Self::chance(key, SALT_DROP, faults.drop) {
-            self.stats.dropped += 1;
-            return Vec::new();
+            delta.dropped += 1;
+            return (Vec::new(), delta);
         }
         let mut primary = Delivery {
             extra_delay: faults.delay,
             corrupt: false,
         };
         if !faults.delay.is_zero() {
-            self.stats.delayed += 1;
+            delta.delayed += 1;
         }
         if Self::chance(key, SALT_REORDER, faults.reorder) {
             primary.extra_delay += Self::jitter(key, SALT_REORDER);
-            self.stats.delayed += 1;
+            delta.delayed += 1;
         }
         if Self::chance(key, SALT_CORRUPT, faults.corrupt) {
             primary.corrupt = true;
-            self.stats.corrupted += 1;
+            delta.corrupted += 1;
         }
         let mut out = vec![primary];
         if Self::chance(key, SALT_DUPLICATE, faults.duplicate) {
@@ -305,9 +346,9 @@ impl FaultPlan {
                 extra_delay: faults.delay + Self::jitter(key, SALT_DUPLICATE),
                 corrupt: false,
             });
-            self.stats.duplicated += 1;
+            delta.duplicated += 1;
         }
-        out
+        (out, delta)
     }
 
     /// Flip one bit of `payload`, chosen by a keyed hash of the payload
@@ -466,6 +507,33 @@ mod tests {
             "the duplicate gets jitter so it lands out of order"
         );
         assert_eq!(plan.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn per_link_stats_partition_the_aggregate() {
+        let mut plan = FaultPlan::new(9).with_faults(LinkFaults {
+            drop: 0.5,
+            duplicate: 0.3,
+            corrupt: 0.3,
+            reorder: 0.3,
+            delay: Duration::from_millis(1),
+        });
+        for t in 0..300u64 {
+            plan.judge(0, 1, Timestamp::from_millis(t));
+            plan.judge(1, 0, Timestamp::from_millis(t));
+        }
+        let links = plan.link_stats();
+        assert_eq!(
+            links.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            vec![(0, 1), (1, 0)],
+            "sorted by directed link"
+        );
+        let mut sum = FaultStats::default();
+        for (_, s) in &links {
+            assert!(s.total() > 0);
+            sum.accumulate(*s);
+        }
+        assert_eq!(sum, plan.stats(), "per-link counters sum to the aggregate");
     }
 
     #[test]

@@ -190,6 +190,15 @@ impl Simulator {
             .unwrap_or_default()
     }
 
+    /// Per-directed-link fault counters (empty without a plan), sorted
+    /// by `(from, to)` node id.
+    pub fn link_fault_stats(&self) -> Vec<((u32, u32), FaultStats)> {
+        self.faults
+            .as_ref()
+            .map(FaultPlan::link_stats)
+            .unwrap_or_default()
+    }
+
     /// Read a node's current state.
     ///
     /// # Panics

@@ -99,6 +99,11 @@ impl Wire {
     pub fn fault_stats(&self) -> crate::fault::FaultStats {
         self.plan.stats()
     }
+
+    /// Per-directed-link injection counters, sorted by `(from, to)`.
+    pub fn link_fault_stats(&self) -> Vec<((u32, u32), crate::fault::FaultStats)> {
+        self.plan.link_stats()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,137 @@
+//! The scenario runner: execute `*.scn.kalis` files across a seed
+//! matrix and report pass/fail per expectation.
+//!
+//! ```text
+//! kalis-scenario [--json] [--seeds N] [--seed S]... PATH...
+//! ```
+//!
+//! Each `PATH` is a scenario file or a directory scanned (one level)
+//! for `*.scn.kalis` files in name order. `--seeds N` runs seeds
+//! `1..=N` (default 3); `--seed S` (repeatable) pins an explicit seed
+//! list instead. Exit codes: `0` all expectations held, `1` at least
+//! one expectation violated, `2` usage or parse/validation errors
+//! (rendered as rustc-style caret diagnostics on stderr).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use kalis_scenario::report::{render_human, render_json, ScenarioReport};
+
+const USAGE: &str = "usage: kalis-scenario [--json] [--seeds N] [--seed S]... PATH...
+
+  PATH        a *.scn.kalis file, or a directory scanned for them
+  --json      emit the machine-readable report on stdout
+  --seeds N   run seeds 1..=N (default 3)
+  --seed S    run exactly this seed (repeatable, overrides --seeds)";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut matrix: u64 = 3;
+    let mut pinned: Vec<u64> = Vec::new();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--seeds" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => matrix = n,
+                _ => return usage("--seeds needs a positive integer"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(s) => pinned.push(s),
+                None => return usage("--seed needs an integer"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag `{other}`"));
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if paths.is_empty() {
+        return usage("no scenario paths given");
+    }
+    let seeds: Vec<u64> = if pinned.is_empty() {
+        (1..=matrix).collect()
+    } else {
+        pinned
+    };
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for path in &paths {
+        if path.is_dir() {
+            let mut found: Vec<PathBuf> = match std::fs::read_dir(path) {
+                Ok(entries) => entries
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| {
+                        p.file_name()
+                            .and_then(|n| n.to_str())
+                            .is_some_and(|n| n.ends_with(".scn.kalis"))
+                    })
+                    .collect(),
+                Err(err) => {
+                    eprintln!("error: cannot read directory {}: {err}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            found.sort();
+            if found.is_empty() {
+                eprintln!("error: no *.scn.kalis files found in {}", path.display());
+                return ExitCode::from(2);
+            }
+            files.extend(found);
+        } else {
+            files.push(path.clone());
+        }
+    }
+
+    let mut reports: Vec<ScenarioReport> = Vec::new();
+    let mut parse_failed = false;
+    for file in &files {
+        let name = display_name(file);
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("error: cannot read {name}: {err}");
+                parse_failed = true;
+                continue;
+            }
+        };
+        match kalis_scenario::run_scenario(&name, &text, &seeds) {
+            Ok(report) => reports.push(report),
+            Err(diags) => {
+                for diag in &diags {
+                    eprintln!("{}\n", diag.render(Some(&text)));
+                }
+                parse_failed = true;
+            }
+        }
+    }
+    if parse_failed {
+        return ExitCode::from(2);
+    }
+
+    if json {
+        println!("{}", render_json(&reports));
+    } else {
+        print!("{}", render_human(&reports));
+    }
+    if reports.iter().all(ScenarioReport::passed) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn display_name(path: &Path) -> String {
+    path.to_string_lossy().into_owned()
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("error: {problem}\n\n{USAGE}");
+    ExitCode::from(2)
+}

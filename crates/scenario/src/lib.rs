@@ -1,0 +1,80 @@
+//! # kalis-scenario
+//!
+//! A declarative scenario language and expectation harness for the
+//! Kalis reproduction: `*.scn.kalis` files describe a topology, an
+//! attack workload, a network fault plan, node configuration
+//! overrides, and — crucially — the *expectations* the run must meet
+//! (detection recall, false-positive ceilings, sync convergence
+//! deadlines, state-budget compliance, readiness recovery).
+//!
+//! The `kalis-scenario` binary executes one file or a directory of
+//! them across a seed matrix, evaluates every expectation against the
+//! run's telemetry/journal/alert evidence, and renders a pass/fail
+//! report (human table or `--json`), exiting nonzero on any violation.
+//! Scenario files reuse the span-preserving section/item grammar of
+//! the paper's Fig. 6 configuration language, so every rejection is a
+//! rustc-style caret diagnostic with a stable `KS1xx` code.
+//!
+//! ```text
+//! attacks      = { icmp-flood (symptoms = 4) }
+//! faults       = { link (drop = 0.3, until = 45) }
+//! expectations = { min-recall = 0.9, max-false-positives = 0 }
+//! ```
+//!
+//! See `SCENARIOS.md` at the repository root for the full language
+//! reference and `examples/scenarios/` for runnable examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diagnostics;
+pub mod exec;
+pub mod expect;
+pub mod report;
+pub mod spec;
+
+use diagnostics::Diagnostic;
+use report::{ScenarioReport, SeedRun};
+use spec::ScenarioSpec;
+
+/// Parse a scenario file's text. Convenience re-wrap of
+/// [`ScenarioSpec::parse`].
+pub fn parse_scenario(file: &str, text: &str) -> Result<ScenarioSpec, Vec<Diagnostic>> {
+    ScenarioSpec::parse(file, text)
+}
+
+/// Parse and execute one scenario across a seed matrix, evaluating
+/// every declared expectation per seed.
+pub fn run_scenario(
+    file: &str,
+    text: &str,
+    seeds: &[u64],
+) -> Result<ScenarioReport, Vec<Diagnostic>> {
+    let spec = ScenarioSpec::parse(file, text)?;
+    Ok(run_parsed(file, &spec, seeds))
+}
+
+/// Execute an already-validated scenario across a seed matrix.
+pub fn run_parsed(file: &str, spec: &ScenarioSpec, seeds: &[u64]) -> ScenarioReport {
+    let runs = seeds
+        .iter()
+        .map(|&seed| {
+            let evidence = exec::execute(spec, seed);
+            SeedRun {
+                seed,
+                reports: spec
+                    .expectations
+                    .iter()
+                    .map(|e| e.evaluate(&evidence))
+                    .collect(),
+                fault_stats: evidence.fault_stats,
+                link_faults: evidence.link_faults.clone(),
+            }
+        })
+        .collect();
+    ScenarioReport {
+        name: spec.name.clone(),
+        file: file.to_owned(),
+        runs,
+    }
+}

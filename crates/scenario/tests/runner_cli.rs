@@ -1,0 +1,80 @@
+//! End-to-end exit-code contract of the `kalis-scenario` binary:
+//! `0` all expectations held, `1` a well-formed scenario violated an
+//! expectation (with observed-vs-expected evidence on stdout), `2` a
+//! file failed to parse (with a caret diagnostic on stderr).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn runner() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kalis-scenario"))
+}
+
+#[test]
+fn passing_scenario_exits_zero() {
+    let out = runner()
+        .arg(repo_path("examples/scenarios/icmp_flood.scn.kalis"))
+        .args(["--seed", "1"])
+        .output()
+        .expect("runner spawns");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(stdout.contains("pass"), "{stdout}");
+    assert!(stdout.contains("0 failure(s)"), "{stdout}");
+}
+
+#[test]
+fn violated_expectation_exits_one_with_evidence() {
+    let out = runner()
+        .arg(repo_path(
+            "tests/scenario_fixtures/runtime/impossible_recall.scn.kalis",
+        ))
+        .args(["--seed", "1"])
+        .output()
+        .expect("runner spawns");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    assert!(stdout.contains("expected:"), "{stdout}");
+    assert!(stdout.contains("observed:"), "{stdout}");
+    assert!(stdout.contains("`alerts`"), "{stdout}");
+}
+
+#[test]
+fn parse_error_exits_two_with_caret_diagnostic() {
+    let out = runner()
+        .arg(repo_path(
+            "tests/scenario_fixtures/bad_probability.scn.kalis",
+        ))
+        .output()
+        .expect("runner spawns");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr:\n{stderr}");
+    assert!(stderr.contains("error[KS103]"), "{stderr}");
+    assert!(stderr.contains('^'), "caret render expected:\n{stderr}");
+}
+
+#[test]
+fn json_report_is_machine_readable_and_stable() {
+    let args = [
+        "--json".to_owned(),
+        "--seed".to_owned(),
+        "1".to_owned(),
+        repo_path("examples/scenarios/state_exhaustion.scn.kalis")
+            .to_string_lossy()
+            .into_owned(),
+    ];
+    let a = runner().args(&args).output().expect("runner spawns");
+    let b = runner().args(&args).output().expect("runner spawns");
+    assert_eq!(a.status.code(), Some(0));
+    assert_eq!(a.stdout, b.stdout, "JSON report must be deterministic");
+    let json = String::from_utf8_lossy(&a.stdout);
+    assert!(json.contains("\"scenarios\""), "{json}");
+    assert!(json.contains("\"passed\":true"), "{json}");
+}

@@ -109,6 +109,22 @@ pub enum JournalEvent {
     /// (`module:<name>` or `kb`), emitted at tick cadence whenever the
     /// cumulative eviction count moved since the last tick.
     StateEvicted { structure: String, evicted: u64 },
+    /// Fault-injection report for one directed link (or `total`),
+    /// recorded by scenario harnesses after a run so expectation
+    /// failures can distinguish "the fault plan never fired" from a
+    /// genuine detection miss.
+    FaultsInjected {
+        /// `from->to` node ids, or `total` for the aggregate.
+        link: String,
+        /// Frames dropped on the link.
+        dropped: u64,
+        /// Extra copies delivered.
+        duplicated: u64,
+        /// Frames bit-flipped.
+        corrupted: u64,
+        /// Frames given extra latency.
+        delayed: u64,
+    },
     /// Free-form marker (bench stages, experiment boundaries).
     Marker { kind: String, detail: String },
 }
@@ -203,6 +219,19 @@ impl JournalEvent {
                 ("structure", Str(structure.clone())),
                 ("evicted", Num(*evicted)),
             ],
+            JournalEvent::FaultsInjected {
+                link,
+                dropped,
+                duplicated,
+                corrupted,
+                delayed,
+            } => vec![
+                ("link", Str(link.clone())),
+                ("dropped", Num(*dropped)),
+                ("duplicated", Num(*duplicated)),
+                ("corrupted", Num(*corrupted)),
+                ("delayed", Num(*delayed)),
+            ],
             JournalEvent::Marker { kind, detail } => {
                 vec![("kind", Str(kind.clone())), ("detail", Str(detail.clone()))]
             }
@@ -231,6 +260,7 @@ impl JournalEvent {
             JournalEvent::SloRecovered { .. } => "slo_recovered",
             JournalEvent::PeerExpired { .. } => "peer_expired",
             JournalEvent::StateEvicted { .. } => "state_evicted",
+            JournalEvent::FaultsInjected { .. } => "faults_injected",
             JournalEvent::Marker { .. } => "marker",
         }
     }
