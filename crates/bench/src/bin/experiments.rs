@@ -11,7 +11,11 @@
 //! `--lint` runs the knowgget-contract static analysis (`kalis-lint`)
 //! over the module library as a preflight and exits non-zero on
 //! contract errors — every experiment below activates modules through
-//! the same knowledge graph the lint verifies.
+//! the same knowledge graph the lint verifies. The preflight also runs
+//! the dataflow-graph checks (KL2xx) and asserts that every attack
+//! family with a shipped detector has a non-empty knowledge read set:
+//! an experiment driving a family whose detectors read nothing would
+//! measure an unactivatable module.
 //!
 //! `--json PATH` additionally writes a machine-readable `BENCH_*.json`
 //! report (Table II rows plus the Kalis node's full telemetry snapshot:
@@ -215,15 +219,35 @@ fn main() {
     if args.lint {
         println!("== kalis-lint: knowgget-contract analysis ==");
         let registry = kalis_core::modules::ModuleRegistry::with_defaults();
-        let diags = kalis_lint::lint_system(&registry);
+        let mut diags = kalis_lint::lint_system(&registry);
+        diags.extend(kalis_lint::lint_graph(&registry));
         if diags.is_empty() {
-            println!("module library contracts: clean");
+            println!("module library contracts + dataflow graph: clean");
         } else {
             for diag in &diags {
                 println!("{}", diag.render(None));
             }
         }
         if kalis_lint::has_errors(&diags) {
+            std::process::exit(1);
+        }
+        // Per-family read-set assertion: each attack family the
+        // experiments drive must rest on a non-empty knowledge surface.
+        let sets = kalis_lint::ReadSets::from_registry(&registry);
+        let mut bad = Vec::new();
+        for attack in kalis_core::AttackKind::all() {
+            let label = attack.label();
+            match sets.knowledge.get(label) {
+                None => println!("read-set [{label}]: no shipped detector (skipped)"),
+                Some(keys) if keys.is_empty() => bad.push(label),
+                Some(keys) => {
+                    let sync = sets.family(label).map_or(0, <[String]>::len);
+                    println!("read-set [{label}]: {} key(s), {sync} via sync", keys.len());
+                }
+            }
+        }
+        if !bad.is_empty() {
+            eprintln!("error: empty knowledge read set for: {}", bad.join(", "));
             std::process::exit(1);
         }
         println!();

@@ -25,6 +25,7 @@ const MAX_SUSPECTS: usize = 8;
 
 /// Remember `tx` as a suspect transmitter towards `victim`, within the
 /// per-victim attribution cap.
+// kalis-lint: allow(KL301): inner attribution list capped at MAX_SUSPECTS
 fn note_suspect(map: &mut BoundedMap<Entity, Vec<Entity>>, victim: &Entity, tx: Option<Entity>) {
     if let Some(tx) = tx {
         let (list, _) = map.get_or_insert_with(victim, Vec::new);
@@ -44,8 +45,9 @@ fn note_suspect(map: &mut BoundedMap<Entity, Vec<Entity>>, victim: &Entity, tx: 
 pub struct IcmpFloodModule {
     threshold: usize,
     entity_budget: usize,
-    replies: SlidingCounter<Entity>,           // victim
-    spoofed_requests: SlidingCounter<Entity>,  // claimed src of echo requests
+    replies: SlidingCounter<Entity>,          // victim
+    spoofed_requests: SlidingCounter<Entity>, // claimed src of echo requests
+    // kalis-lint: allow(KL301): inner list capped at MAX_SUSPECTS
     suspects: BoundedMap<Entity, Vec<Entity>>, // victim → transmitters
     gate: AlertGate<Entity>,
 }
@@ -183,7 +185,8 @@ impl Module for IcmpFloodModule {
 pub struct SmurfModule {
     threshold: usize,
     entity_budget: usize,
-    replies: SlidingCounter<Entity>,           // victim
+    replies: SlidingCounter<Entity>, // victim
+    // kalis-lint: allow(KL301): inner list capped at MAX_SUSPECTS
     spoofers: BoundedMap<Entity, Vec<Entity>>, // claimed src → transmitters
     gate: AlertGate<Entity>,
 }
@@ -312,8 +315,9 @@ impl Module for SmurfModule {
 pub struct SynFloodModule {
     threshold: usize,
     entity_budget: usize,
-    syns: SlidingCounter<Entity>,              // victim
-    acks: SlidingCounter<Entity>,              // victim (handshake completions)
+    syns: SlidingCounter<Entity>, // victim
+    acks: SlidingCounter<Entity>, // victim (handshake completions)
+    // kalis-lint: allow(KL301): inner list capped at MAX_SUSPECTS
     suspects: BoundedMap<Entity, Vec<Entity>>, // victim → transmitters
     gate: AlertGate<Entity>,
 }
@@ -439,7 +443,8 @@ impl Module for SynFloodModule {
 pub struct UdpFloodModule {
     threshold: usize,
     entity_budget: usize,
-    datagrams: SlidingCounter<Entity>,         // victim
+    datagrams: SlidingCounter<Entity>, // victim
+    // kalis-lint: allow(KL301): inner list capped at MAX_SUSPECTS
     suspects: BoundedMap<Entity, Vec<Entity>>, // victim → transmitters
     gate: AlertGate<Entity>,
 }

@@ -137,6 +137,7 @@ impl Module for SybilModule {
         if !self.fingerprints.get(&id).is_some_and(Fingerprint::tight) {
             return;
         }
+        // kalis-lint: allow(KL301): scratch, bounded by the fingerprint map budget
         let mut cluster: Vec<Entity> = Vec::new();
         for (other, fp) in self.fingerprints.iter() {
             if let Some(mean) = fp.mean() {

@@ -90,10 +90,10 @@ impl Watchdog {
         let now = packet.timestamp;
         // A relay satisfies any pending entry with the matching origin+seq.
         if let Some(src) = mac.src.short() {
-            if let Some(idx) = self.pending.iter().position(|p| {
+            let idx = self.pending.iter().position(|p| {
                 p.forwarder == src && p.origin == data.origin && p.origin_seq == data.origin_seq
-            }) {
-                let p = self.pending.remove(idx).expect("index valid");
+            });
+            if let Some(p) = idx.and_then(|idx| self.pending.remove(idx)) {
                 self.observations
                     .push_back((now, p.forwarder, p.origin, Outcome::Forwarded));
             }
@@ -119,14 +119,16 @@ impl Watchdog {
     }
 
     fn expire(&mut self, now: Timestamp) {
-        while let Some(front) = self.pending.front() {
-            if front.deadline <= now {
-                let p = self.pending.pop_front().expect("peeked");
-                self.observations
-                    .push_back((now, p.forwarder, p.origin, Outcome::Dropped));
-            } else {
+        while self
+            .pending
+            .front()
+            .is_some_and(|front| front.deadline <= now)
+        {
+            let Some(p) = self.pending.pop_front() else {
                 break;
-            }
+            };
+            self.observations
+                .push_back((now, p.forwarder, p.origin, Outcome::Dropped));
         }
         while let Some((ts, ..)) = self.observations.front() {
             if now.saturating_since(*ts) > RATIO_WINDOW {

@@ -9,7 +9,7 @@
 //! knowggets (published by the blackhole detector): overlapping origin
 //! sets across *different* Kalis creators ⇒ wormhole.
 
-use std::collections::BTreeSet;
+use std::collections::BTreeSet; // kalis-lint: allow(KL301): values capped at ORIGIN_CAP
 use std::time::Duration;
 
 use kalis_packets::ctp::CtpFrame;
@@ -47,6 +47,7 @@ pub struct WormholeModule {
     /// exotic (spurious evidence, filtered by cross-creator correlation).
     local_origins: BoundedMap<String, ()>,
     /// Origins relayed by each forwarder that were never heard locally.
+    // kalis-lint: allow(KL301): each set capped at ORIGIN_CAP before insert
     exotic: BoundedMap<Entity, BTreeSet<String>>,
     gate: AlertGate<(Entity, Entity)>,
 }
@@ -79,6 +80,7 @@ impl Default for WormholeModule {
     }
 }
 
+// kalis-lint: allow(KL301): parses one capped knowgget text value
 fn parse_set(text: &str) -> BTreeSet<String> {
     text.split(',')
         .filter(|s| !s.is_empty())
@@ -123,6 +125,7 @@ impl Module for WormholeModule {
         }
         // A relay of traffic whose origin we never heard: exotic.
         if !self.local_origins.contains_key(&origin) {
+            // kalis-lint: allow(KL301): set growth gated on ORIGIN_CAP below
             let (set, _) = self.exotic.get_or_insert_with(&tx, BTreeSet::new);
             if set.len() >= ORIGIN_CAP {
                 return;
@@ -148,6 +151,7 @@ impl Module for WormholeModule {
         let exotic = ctx.kb.get_all_creators(labels::EXOTIC_ORIGINS);
         let now = ctx.now;
         let mut alerts = Vec::new();
+        // kalis-lint: allow(KL301): per-tick scratch over synced knowggets
         let mut confirmed: Vec<Entity> = Vec::new();
         for (d_creator, d_entity, d_val) in &dropped {
             let Some(b1) = d_entity else { continue };

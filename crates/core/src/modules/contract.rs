@@ -217,6 +217,21 @@ impl ParamSpec {
     }
 }
 
+/// A documented suppression of one `kalis-lint` graph check (`KL2xx`)
+/// for one key this contract touches — the contract-level counterpart
+/// of the `// kalis-lint: allow(KL3xx)` source pragma. Every rule must
+/// carry a justification; the lint pass surfaces allows in `--json`
+/// output so suppressions stay reviewable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllowRule {
+    /// The diagnostic code suppressed (e.g. `"KL202"`).
+    pub code: &'static str,
+    /// Root label of the key the suppression applies to.
+    pub key: &'static str,
+    /// Why the finding is deliberate (required, shown in diagnostics).
+    pub why: &'static str,
+}
+
 /// The declarative knowgget contract of one module: every key it reads
 /// (and whether that read gates activation), every key it writes, and the
 /// constructor parameters it accepts.
@@ -242,6 +257,8 @@ pub struct KnowggetContract {
     pub writes: Vec<KeyUse>,
     /// Constructor parameters accepted from configuration files.
     pub params: Vec<ParamSpec>,
+    /// Documented `KL2xx` suppressions (see [`AllowRule`]).
+    pub allows: Vec<AllowRule>,
 }
 
 impl KnowggetContract {
@@ -344,6 +361,34 @@ impl KnowggetContract {
         self
     }
 
+    /// Suppress one `KL2xx` graph finding for one key, with a
+    /// justification (the contract-level counterpart of the
+    /// `// kalis-lint: allow(..)` source pragma).
+    pub fn allow(mut self, code: &'static str, key: &'static str, why: &'static str) -> Self {
+        self.allows.push(AllowRule { code, key, why });
+        self
+    }
+
+    /// Whether a `KL2xx` finding for `label_root` is deliberately
+    /// suppressed by this contract.
+    pub fn allowed(&self, code: &str, label_root: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|rule| rule.code == code && rule.key == label_root)
+    }
+
+    /// The declared constructor parameter named `name`, if any.
+    pub fn param(&self, name: &str) -> Option<&ParamSpec> {
+        self.params.iter().find(|spec| spec.name == name)
+    }
+
+    /// The `entity_budget` parameter declaration, if the module bounds
+    /// its per-entity state — the lint graph pass (`KL205`) compares
+    /// writer and reader declarations for shared per-entity keys.
+    pub fn entity_budget_spec(&self) -> Option<&ParamSpec> {
+        self.param("entity_budget")
+    }
+
     /// The reads that gate activation — the inputs the Module Manager's
     /// reconfiguration pass effectively subscribes the module to.
     pub fn activation_inputs(&self) -> impl Iterator<Item = &KeyUse> {
@@ -425,5 +470,21 @@ mod tests {
         assert_eq!(c.activation_inputs().count(), 1);
         assert!(c.mentions("Mobile"));
         assert!(!c.mentions("Multihop.X"));
+    }
+
+    #[test]
+    fn allows_and_param_accessors() {
+        let c = KnowggetContract::new()
+            .writes("Stat", ValueType::Int)
+            .exported()
+            .allow("KL202", "Stat", "operator dashboard metric")
+            .accepts_param(ParamSpec::number("entity_budget", 16.0));
+        assert!(c.allowed("KL202", "Stat"));
+        assert!(!c.allowed("KL202", "Other"));
+        assert!(!c.allowed("KL201", "Stat"));
+        assert_eq!(c.allows[0].why, "operator dashboard metric");
+        assert_eq!(c.param("entity_budget").unwrap().min, Some(16.0));
+        assert!(c.param("missing").is_none());
+        assert_eq!(c.entity_budget_spec().unwrap().name, "entity_budget");
     }
 }

@@ -455,6 +455,7 @@ impl ModuleManager {
         };
         #[cfg(not(feature = "telemetry"))]
         let sampled = false;
+        // kalis-lint: allow(KL302): measures real CPU cost for the supervisor budget
         let mut prev = (sampled || budget.is_some()).then(Instant::now);
         let mut quarantine_flips: u64 = 0;
         let mut quarantine_releases: u64 = 0;
@@ -511,7 +512,7 @@ impl ModuleManager {
             // Timing: consecutive `Instant::now()` reads so N modules
             // cost N+1 clock reads, not 2N.
             let elapsed = prev.as_mut().map(|p| {
-                let now = Instant::now();
+                let now = Instant::now(); // kalis-lint: allow(KL302): supervisor cost probe
                 let e = now - *p;
                 *p = now;
                 e
@@ -644,6 +645,7 @@ impl ModuleManager {
         let timed = self.tele.is_some() || budget.is_some();
         #[cfg(not(feature = "telemetry"))]
         let timed = budget.is_some();
+        // kalis-lint: allow(KL302): measures real CPU cost for the supervisor budget
         let mut prev = timed.then(Instant::now);
         let mut quarantine_flips: u64 = 0;
         let mut quarantine_releases: u64 = 0;
@@ -675,7 +677,7 @@ impl ModuleManager {
                 catch_unwind(AssertUnwindSafe(|| module.on_tick(ctx)))
             };
             let elapsed = prev.as_mut().map(|p| {
-                let now = Instant::now();
+                let now = Instant::now(); // kalis-lint: allow(KL302): supervisor cost probe
                 let e = now - *p;
                 *p = now;
                 e

@@ -7,7 +7,7 @@ mod manager;
 mod registry;
 mod supervisor;
 
-pub use contract::{KeyPattern, KeyUse, KnowggetContract, ParamSpec, ValueType};
+pub use contract::{AllowRule, KeyPattern, KeyUse, KnowggetContract, ParamSpec, ValueType};
 pub use manager::{DispatchOutcome, ModuleManager, ModuleProfile};
 pub use registry::ModuleRegistry;
 pub use supervisor::{

@@ -1761,6 +1761,7 @@ impl Kalis {
             if !due {
                 return;
             }
+            // kalis-lint: allow(KL302): ops snapshot throttle is wall-clock by design
             ops.last_render = Some(std::time::Instant::now());
         }
         let modules: Vec<ModuleStatus> = self

@@ -81,6 +81,13 @@ impl Module for TopologyDiscoveryModule {
             .writes(labels::MULTIHOP, ValueType::Bool)
             .writes(labels::MONITORED_NODES, ValueType::Int)
             .exported()
+            // The monitored-node count is dashboard/`recommend_config`
+            // surface; no detection module consumes it by design.
+            .allow(
+                "KL202",
+                labels::MONITORED_NODES,
+                "operator-facing inventory gauge",
+            )
             .writes(labels::CTP_ROOT, ValueType::Text)
             .writes_family(labels::MEDIUM_SEEN, ValueType::Bool)
             .writes_family(labels::PROTOCOL_SEEN, ValueType::Bool)

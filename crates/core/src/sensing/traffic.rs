@@ -2,7 +2,7 @@
 //! type, network-wide and per monitored device, over a configurable
 //! window (default 5 seconds, the paper's default).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque}; // kalis-lint: allow(KL301): see field notes
 use std::time::Duration;
 
 use kalis_packets::{CapturedPacket, Entity, Timestamp, TrafficClass};
@@ -28,6 +28,7 @@ const EVENTS_PER_BUDGET_UNIT: usize = 8;
 pub struct TrafficStatsModule {
     window: Duration,
     entity_budget: usize,
+    // kalis-lint: allow(KL301): capped at budget × EVENTS_PER_BUDGET_UNIT (oldest-first shed)
     events: VecDeque<(Timestamp, TrafficClass, Option<Entity>)>,
     /// Raw events shed because the deque hit its cap. Rates computed
     /// while shedding under-count — the honest failure mode: a bounded
@@ -81,6 +82,7 @@ impl TrafficStatsModule {
             }
         }
         let secs = self.window.as_secs_f64();
+        // kalis-lint: allow(KL301): per-publish scratch, admission-capped by the written budget
         let mut counts: BTreeMap<(TrafficClass, Option<Entity>), usize> = BTreeMap::new();
         let mut admitted = 0usize;
         for (_, class, dst) in &self.events {
@@ -104,6 +106,7 @@ impl TrafficStatsModule {
             }
         }
         // Update changed rates; zero out rates that disappeared.
+        // kalis-lint: allow(KL301): drains keys of the bounded written map
         let mut stale: Vec<(TrafficClass, Option<Entity>)> = self
             .written
             .iter()
@@ -152,6 +155,13 @@ impl Module for TrafficStatsModule {
             // when no detection module consumes them directly.
             .writes_family(labels::TRAFFIC_FREQUENCY, ValueType::Float)
             .exported()
+            // Rate knowggets feed dashboards and recommend_config, not
+            // other modules; flood detectors keep their own windows.
+            .allow(
+                "KL202",
+                labels::TRAFFIC_FREQUENCY,
+                "operator-facing rate telemetry",
+            )
             .accepts_param(ParamSpec::number("windowSecs", 0.1))
             .accepts_param(ParamSpec::number("entity_budget", MIN_ENTITY_BUDGET as f64))
     }

@@ -8,7 +8,10 @@ use kalis_core::config::SourcePos;
 /// Every check `kalis-lint` can report.
 ///
 /// `KL0xx` codes come from the whole-system contract analysis (no source
-/// file); `KL1xx` codes come from validating one configuration file.
+/// file); `KL1xx` codes come from validating one configuration file;
+/// `KL2xx` codes come from the knowledge dataflow-graph analysis (no
+/// source file); `KL3xx` codes come from the source-invariant scanner
+/// (spans into `.rs` files).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Code {
     /// A contract read with no producer anywhere in the module library.
@@ -43,6 +46,35 @@ pub enum Code {
     /// An a-priori knowgget value outside the bounds a reading contract
     /// declares (e.g. `Trace.SampleRate` outside `[0, 1]`).
     KnowggetOutOfRange,
+    /// A collective (peer-synchronized) write that no contract anywhere
+    /// reads: sync bandwidth spent on knowledge nobody consumes.
+    SyncWithoutConsumer,
+    /// An exported key no module reads back — inventory of the
+    /// operator-facing export surface (suppressed per key with a
+    /// contract-level `allow`).
+    ExportNeverRead,
+    /// A write→read cycle through at least one activation input: the
+    /// modules can switch each other on and off indefinitely.
+    ActivationCycle,
+    /// A detection module with no knowledge path back to any sensing
+    /// writer (or the node contract): its inputs can only ever come
+    /// from other unreachable modules.
+    UnreachableDetection,
+    /// Writer and reader of a shared per-entity key declare
+    /// inconsistent `entity_budget`s (or one side declares none).
+    EntityBudgetMismatch,
+    /// A raw `HashMap`/`BTreeMap`/entity-keyed `Vec` in detection or
+    /// sensing code outside `kalis_core::bounded` — unbounded
+    /// per-entity state under adversarial cardinality.
+    RawPerEntityState,
+    /// Wall-clock (`Instant::now`/`SystemTime::now`) on the dispatch
+    /// hot path — breaks time-compressed deterministic replay.
+    WallClockOnHotPath,
+    /// A `format!`-built knowgget key instead of typed `Key::scoped`.
+    FormattedKnowggetKey,
+    /// `unwrap()`/`expect()` in a module dispatch path — dispatch must
+    /// not panic (the supervisor quarantines crash-looping modules).
+    PanicInDispatchPath,
 }
 
 impl Code {
@@ -63,13 +95,22 @@ impl Code {
             Code::KnowggetTypeMismatch => "KL105",
             Code::UnsatisfiedRead => "KL106",
             Code::KnowggetOutOfRange => "KL107",
+            Code::SyncWithoutConsumer => "KL201",
+            Code::ExportNeverRead => "KL202",
+            Code::ActivationCycle => "KL203",
+            Code::UnreachableDetection => "KL204",
+            Code::EntityBudgetMismatch => "KL205",
+            Code::RawPerEntityState => "KL301",
+            Code::WallClockOnHotPath => "KL302",
+            Code::FormattedKnowggetKey => "KL303",
+            Code::PanicInDispatchPath => "KL304",
         }
     }
 
     /// The severity this code reports at.
     pub fn severity(self) -> Severity {
         match self {
-            Code::DeadWrite | Code::UnknownParam => Severity::Warning,
+            Code::DeadWrite | Code::UnknownParam | Code::ExportNeverRead => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -259,6 +300,15 @@ mod tests {
             Code::KnowggetTypeMismatch,
             Code::UnsatisfiedRead,
             Code::KnowggetOutOfRange,
+            Code::SyncWithoutConsumer,
+            Code::ExportNeverRead,
+            Code::ActivationCycle,
+            Code::UnreachableDetection,
+            Code::EntityBudgetMismatch,
+            Code::RawPerEntityState,
+            Code::WallClockOnHotPath,
+            Code::FormattedKnowggetKey,
+            Code::PanicInDispatchPath,
         ];
         let mut seen = std::collections::BTreeSet::new();
         for code in all {

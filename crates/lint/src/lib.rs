@@ -8,7 +8,7 @@
 //! this crate cross-checks the declarations so broken knowledge edges are
 //! caught in CI rather than as silently-inactive detectors in the field.
 //!
-//! Two analyses:
+//! Four analyses:
 //!
 //! * **System** ([`lint_system`]): the whole registered module library at
 //!   once — orphan reads (`KL001`), reader/writer type mismatches
@@ -20,8 +20,22 @@
 //!   bad or unknown parameters (`KL102`/`KL103`), unknown or mistyped
 //!   a-priori knowggets (`KL104`/`KL105`), and reads unsatisfiable
 //!   within the configured module set (`KL106`).
+//! * **Dataflow graph** ([`lint_graph`], [`KnowledgeGraph`]): the
+//!   module → key → module graph as a whole — collective writes with no
+//!   consumer (`KL201`), exported keys nobody reads (`KL202`),
+//!   activation oscillation cycles (`KL203`), detection modules
+//!   unreachable from sensing (`KL204`), and inconsistent per-entity
+//!   budgets (`KL205`) — plus the DOT rendering (`--graph`) and the
+//!   per-peer sync [`ReadSets`] artifact (`--read-sets`) that
+//!   interest-based sync consumes.
+//! * **Source invariants** ([`scan_source`], `--source`): a hand-rolled
+//!   dependency-free Rust scanner enforcing repo invariants in
+//!   detection/sensing/dispatch code — raw per-entity containers
+//!   (`KL301`), wall-clock on the hot path (`KL302`), `format!`-built
+//!   knowgget keys (`KL303`), and panics in dispatch paths (`KL304`),
+//!   with `// kalis-lint: allow(KL3xx)` pragmas.
 //!
-//! The `kalis-lint` binary wraps both with rustc-style rendering, a
+//! The `kalis-lint` binary wraps all of it with rustc-style rendering, a
 //! `--json` mode, and a non-zero exit on errors so CI can gate on it.
 //!
 //! # Examples
@@ -49,8 +63,14 @@
 mod config;
 pub mod diagnostics;
 pub mod distance;
+pub mod graph;
+pub mod readset;
+pub mod source;
 mod system;
 
 pub use config::lint_config;
 pub use diagnostics::{has_errors, Code, Diagnostic, Severity};
+pub use graph::{lint_graph, GraphEdge, GraphNode, KnowledgeGraph, NodeKind};
+pub use readset::{ReadReason, ReadSetEntry, ReadSets};
+pub use source::{scan_source, scan_workspace};
 pub use system::{lint_system, overlaps, suggestion_candidates, SystemModel, SYSTEM_OWNER};

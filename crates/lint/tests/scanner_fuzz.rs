@@ -1,0 +1,94 @@
+//! Property tests for the source scanner: `scan_source` is a total,
+//! deterministic function of `(path, text)` — no input may panic it,
+//! however mangled (unterminated literals, stray escapes, arbitrary
+//! Unicode, null bytes). The hand-rolled lexer earns its keep here.
+
+use kalis_lint::scan_source;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn span_keys(diags: &[kalis_lint::Diagnostic]) -> Vec<(String, usize, usize)> {
+    diags
+        .iter()
+        .map(|d| {
+            let pos = d.pos.expect("source diagnostics carry a span");
+            (d.code.as_str().to_owned(), pos.line, pos.column)
+        })
+        .collect()
+}
+
+/// Lexer-hostile building blocks: every interesting state transition
+/// (raw strings, nested comments, char-vs-lifetime, pragmas, test
+/// regions) plus the tokens the rules look for, freely interleavable
+/// into ill-formed soup.
+const FRAGMENTS: &[&str] = &[
+    "HashMap",
+    "BTreeMap<Entity,",
+    ".unwrap()",
+    ".expect(",
+    "Instant::now()",
+    "SystemTime::now()",
+    "format!(",
+    "@",
+    "\"",
+    "\\",
+    "r#\"",
+    "\"#",
+    "r\"",
+    "b\"bytes",
+    "b'x'",
+    "'a'",
+    "'static",
+    "/*",
+    "*/",
+    "//",
+    "{",
+    "}",
+    "(",
+    ")",
+    "\n",
+    " ",
+    "\t",
+    "let x = ",
+    "fn f()",
+    "#[cfg(test)]",
+    "// kalis-lint: allow(KL301)",
+    "// kalis-lint: allow(KL302, KL304): soup",
+    "\u{1F980}",
+    "\u{0}",
+    "ident",
+    "_",
+    "::",
+    ";",
+];
+
+proptest! {
+    #[test]
+    fn scanner_is_panic_free_and_deterministic_on_arbitrary_text(
+        text in "\\PC{0,256}",
+    ) {
+        let a = scan_source("crates/core/src/detection/fuzz.rs", &text);
+        let b = scan_source("crates/core/src/detection/fuzz.rs", &text);
+        prop_assert_eq!(span_keys(&a), span_keys(&b));
+        // Spans always land inside the text.
+        let line_count = text.lines().count().max(1);
+        for (_, line, column) in span_keys(&a) {
+            prop_assert!(line >= 1 && line <= line_count);
+            prop_assert!(column >= 1);
+        }
+    }
+
+    #[test]
+    fn scanner_is_panic_free_on_rust_shaped_soup(
+        picks in vec(0usize..FRAGMENTS.len(), 0..96),
+    ) {
+        // Concatenated fragments hit the lexer's interesting states
+        // (unterminated raw strings, dangling escapes, comment nesting)
+        // far more often than uniform random text does.
+        let text: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let _ = scan_source("crates/core/src/detection/fuzz.rs", &text);
+        let _ = scan_source("crates/core/src/sensing/fuzz.rs", &text);
+        let _ = scan_source("crates/core/src/modules/manager.rs", &text);
+        let _ = scan_source("crates/other/src/unscoped.rs", &text);
+    }
+}

@@ -39,6 +39,11 @@ pub enum Expectation {
         /// Minimum matching alerts required.
         min: u64,
     },
+    /// `first-detection-within = 15` — the first alert (of any kind)
+    /// fired within this many virtual seconds of the run start: the
+    /// §VI-C reactivity claim that knowledge-driven activation detects
+    /// "from the very beginning", not just eventually.
+    FirstDetectionWithin(u64),
     /// `no-unpinned-quarantines` — no unpinned module ended the run
     /// quarantined.
     NoUnpinnedQuarantines,
@@ -69,6 +74,7 @@ pub const EXPECTATION_NAMES: &[&str] = &[
     "min-accuracy",
     "max-false-positives",
     "alerts",
+    "first-detection-within",
     "no-unpinned-quarantines",
     "state-budgets-respected",
     "readiness-recovered",
@@ -86,6 +92,7 @@ impl Expectation {
             Expectation::MinAccuracy(_) => "min-accuracy",
             Expectation::MaxFalsePositives(_) => "max-false-positives",
             Expectation::Alerts { .. } => "alerts",
+            Expectation::FirstDetectionWithin(_) => "first-detection-within",
             Expectation::NoUnpinnedQuarantines => "no-unpinned-quarantines",
             Expectation::StateBudgetsRespected => "state-budgets-respected",
             Expectation::ReadinessRecovered => "readiness-recovered",
@@ -110,6 +117,7 @@ impl Expectation {
             | Expectation::DegradedRecovered
             | Expectation::MinRetransmits(_) => topology == Topology::Pair,
             Expectation::Alerts { .. }
+            | Expectation::FirstDetectionWithin(_)
             | Expectation::NoUnpinnedQuarantines
             | Expectation::ReadinessRecovered
             | Expectation::MinFaultsInjected(_) => true,
@@ -123,6 +131,7 @@ impl Expectation {
             Expectation::MinAccuracy(v) => format!("classification accuracy >= {v:.2}"),
             Expectation::MaxFalsePositives(n) => format!("false positives <= {n}"),
             Expectation::Alerts { kind, min } => format!(">= {min} `{kind}` alert(s)"),
+            Expectation::FirstDetectionWithin(s) => format!("first alert within {s}s"),
             Expectation::NoUnpinnedQuarantines => "no unpinned module quarantined".into(),
             Expectation::StateBudgetsRespected => {
                 "every budgeted structure within its state budget".into()
@@ -180,6 +189,22 @@ impl Expectation {
                     |e| matches!(e, JournalEvent::AlertRaised { kind: k, .. } if k == kind),
                 ));
                 (count >= *min, format!("{count} `{kind}` alert(s)"), lines)
+            }
+            Expectation::FirstDetectionWithin(deadline) => {
+                let first = evidence.alerts.iter().map(|a| a.time_us).min();
+                let observed = match first {
+                    Some(t) => format!("first alert at {:.3}s", t as f64 / 1e6),
+                    None => "no alert fired".to_owned(),
+                };
+                let mut lines = evidence.alert_lines(None);
+                lines.extend(journal_lines(&evidence.journal, |e| {
+                    matches!(e, JournalEvent::AlertRaised { .. })
+                }));
+                (
+                    first.is_some_and(|t| t <= deadline * 1_000_000),
+                    observed,
+                    lines,
+                )
             }
             Expectation::NoUnpinnedQuarantines => {
                 let names = &evidence.unpinned_quarantined;
@@ -544,6 +569,41 @@ mod tests {
     }
 
     #[test]
+    fn first_detection_deadline_uses_the_earliest_alert() {
+        let mut evidence = empty_evidence();
+        assert!(
+            !Expectation::FirstDetectionWithin(15)
+                .evaluate(&evidence)
+                .passed,
+            "no alert at all must fail"
+        );
+        evidence.alerts = vec![
+            AlertEvidence {
+                kind: "selective-forwarding".into(),
+                module: "SelectiveForwardingModule".into(),
+                victim: "3".into(),
+                trace: "untraced".into(),
+                time_us: 22_000_000,
+            },
+            AlertEvidence {
+                kind: "selective-forwarding".into(),
+                module: "SelectiveForwardingModule".into(),
+                victim: "3".into(),
+                trace: "untraced".into(),
+                time_us: 9_500_000,
+            },
+        ];
+        let report = Expectation::FirstDetectionWithin(15).evaluate(&evidence);
+        assert!(report.passed, "{report:?}");
+        assert_eq!(report.observed, "first alert at 9.500s");
+        assert!(
+            !Expectation::FirstDetectionWithin(9)
+                .evaluate(&evidence)
+                .passed
+        );
+    }
+
+    #[test]
     fn budget_expectation_flags_overrun_with_the_row() {
         let mut evidence = empty_evidence();
         evidence.modules = vec![
@@ -602,6 +662,7 @@ mod tests {
                 kind: "scan".into(),
                 min: 1,
             },
+            E::FirstDetectionWithin(15),
             E::NoUnpinnedQuarantines,
             E::ReadinessRecovered,
             E::MinFaultsInjected(1),

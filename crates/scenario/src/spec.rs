@@ -1042,6 +1042,21 @@ impl<'a> ScnParser<'a> {
                         }
                     }
                 }
+                "first-detection-within" => {
+                    if let Some((value, vpos)) = self.value_of(item, "expectation") {
+                        let (value, vpos) = (value.clone(), vpos);
+                        if let Some(v) = self.u64_in(
+                            &value,
+                            vpos,
+                            "`first-detection-within` (virtual seconds)",
+                            1,
+                            3600,
+                        ) {
+                            self.expectations
+                                .push((Expectation::FirstDetectionWithin(v), pos));
+                        }
+                    }
+                }
                 "alerts" => self.alerts_expectation(item),
                 "no-unpinned-quarantines" => {
                     if self.bare(item, "expectation") {
@@ -1515,6 +1530,24 @@ mod tests {
         );
         assert!(spec.fault_plan(7).is_none());
         assert_eq!(spec.expectations, vec![Expectation::MinRecall(0.5)]);
+    }
+
+    #[test]
+    fn first_detection_within_parses_and_rejects_zero() {
+        let spec = parse(
+            "attacks = { selective-forwarding (symptoms = 20) }\n\
+             expectations = { first-detection-within = 15 }\n",
+        )
+        .expect("valid scenario");
+        assert_eq!(
+            spec.expectations,
+            vec![Expectation::FirstDetectionWithin(15)]
+        );
+        let result = parse(
+            "attacks = { selective-forwarding }\n\
+             expectations = { first-detection-within = 0 }\n",
+        );
+        assert_eq!(codes(&result), vec!["KS103"]);
     }
 
     #[test]

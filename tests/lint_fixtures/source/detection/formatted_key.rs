@@ -1,0 +1,7 @@
+// expect: KL303 @ 6:5
+//! Golden fixture: building entity-scoped knowgget keys with `format!`
+//! bypasses the typed `@`-key constructors.
+
+pub fn key_for(entity: &str) -> String {
+    format!("DroppedPackets@{entity}")
+}

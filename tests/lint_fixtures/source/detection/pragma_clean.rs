@@ -1,0 +1,14 @@
+//! Golden fixture: the same violations as the other detection fixtures,
+//! each justified with an allow pragma — the file must scan clean.
+//! (No `expect:` header: the golden test asserts zero diagnostics.)
+
+pub struct Fixture {
+    // kalis-lint: allow(KL301): capped by an admission budget upstream
+    state: std::collections::HashMap<u32, u32>,
+}
+
+pub fn on_packet(payload: Option<&[u8]>) -> usize {
+    // kalis-lint: allow(KL302, KL304): fixture exercises multi-code pragmas
+    let _started = std::time::Instant::now();
+    payload.unwrap().len() // kalis-lint: allow(KL304): length checked by caller
+}

@@ -1,0 +1,7 @@
+// expect: KL301 @ 6:30
+//! Golden fixture: a raw std map held by a detection module is
+//! unbounded adversary-controlled state and must be flagged.
+
+pub struct Fixture {
+    state: std::collections::HashMap<u32, u32>,
+}

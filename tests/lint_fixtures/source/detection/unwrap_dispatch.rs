@@ -1,0 +1,7 @@
+// expect: KL304 @ 6:12
+//! Golden fixture: `.unwrap()` in a dispatch-path module turns a
+//! malformed packet into a node crash.
+
+pub fn on_packet(payload: Option<&[u8]>) -> usize {
+    payload.unwrap().len()
+}

@@ -1,0 +1,8 @@
+// expect: KL302 @ 6:30
+//! Golden fixture: wall-clock reads on the packet path break replay
+//! determinism; time must flow in through `Timestamp`.
+
+pub fn on_packet() {
+    let started = std::time::Instant::now();
+    let _ = started;
+}

@@ -1,0 +1,10 @@
+// expect: KL302 @ 7:30
+// expect: KL304 @ 8:26
+//! Golden fixture: dispatcher scope. A raw map is fine here (KL301 is
+//! module-scoped), but wall-clock reads and panics are not.
+
+pub fn dispatch(order: &std::collections::HashMap<u32, u32>) {
+    let started = std::time::Instant::now();
+    let _ = order.get(&0).unwrap();
+    let _ = started;
+}

@@ -2,10 +2,19 @@
 //! configuration (no detection modules active, no a-priori knowledge) and
 //! must still catch selective-forwarding attacks from the very beginning
 //! of the communications.
+//!
+//! The experiment also ships as a declarative scenario
+//! (`examples/scenarios/reactivity.scn.kalis`, using the
+//! `first-detection-within` expectation); the harness tests below stay
+//! as the parity check for that port.
+
+use std::fs;
+use std::path::PathBuf;
 
 use kalis_bench::experiments::run_reactivity;
 use kalis_core::config::Config;
 use kalis_core::{Kalis, KalisId};
+use kalis_scenario::{exec, parse_scenario};
 
 #[test]
 fn empty_config_starts_with_no_detection_modules() {
@@ -39,6 +48,47 @@ fn detects_from_the_very_beginning() {
     assert!(result
         .final_active_modules
         .contains(&"SelectiveForwardingModule"));
+}
+
+/// The scenario port must reproduce the hand-coded harness exactly —
+/// same detection rate, same first-detection instant — and every
+/// expectation in the file (including `first-detection-within`) must
+/// hold on the seeds the harness tests use.
+#[test]
+fn reactivity_scenario_file_matches_the_harness() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("examples/scenarios/reactivity.scn.kalis");
+    let text = fs::read_to_string(&path).expect("reactivity scenario");
+    let spec = parse_scenario("reactivity.scn.kalis", &text).expect("valid scenario");
+    for seed in [1, 42] {
+        let evidence = exec::execute(&spec, seed);
+        let direct = run_reactivity(seed, 20);
+        assert_eq!(
+            evidence.score.detection_rate(),
+            direct.detection_rate,
+            "seed {seed}: detection rates diverged"
+        );
+        let scenario_first = evidence
+            .alerts
+            .iter()
+            .filter(|a| a.kind == "selective-forwarding")
+            .map(|a| a.time_us)
+            .min();
+        assert_eq!(
+            scenario_first,
+            direct.first_detection.map(|t| t.as_micros()),
+            "seed {seed}: first-detection instants diverged"
+        );
+        for expectation in &spec.expectations {
+            let report = expectation.evaluate(&evidence);
+            assert!(
+                report.passed,
+                "seed {seed}: `{}` failed: expected {}, observed {}",
+                report.name, report.expected, report.observed
+            );
+        }
+    }
 }
 
 #[test]
