@@ -29,6 +29,13 @@
 //! `--spray-identities N` sets the per-burst identity count (8 bursts
 //! total).
 //!
+//! `--diag-overhead` measures the flight recorder: ingest throughput
+//! with the diagnostics ring off vs on, plus a double seeded chaos run
+//! asserting byte-identical `kalis.diag.v1` bundles, with hard exit
+//! gates on captures ≥ 1, strict-checker validity, determinism, and a
+//! ≤ 1% hot-path budget. `--diag-json PATH` writes the machine-readable
+//! report (`BENCH_8.json`).
+//!
 //! Defaults to `--all` with the paper's 50 symptom instances and a
 //! reduced 10 replication runs (pass `--replication-runs 100` for the
 //! paper's full count).
@@ -48,6 +55,7 @@ struct Args {
     extended: bool,
     tracing_overhead: bool,
     ops_overhead: bool,
+    diag_overhead: bool,
     exhaustion: bool,
     lint: bool,
     symptoms: u32,
@@ -56,6 +64,7 @@ struct Args {
     spray_identities: u32,
     json: Option<String>,
     exhaustion_json: Option<String>,
+    diag_json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -71,6 +80,7 @@ fn parse_args() -> Args {
         extended: false,
         tracing_overhead: false,
         ops_overhead: false,
+        diag_overhead: false,
         exhaustion: false,
         lint: false,
         symptoms: 50,
@@ -79,6 +89,7 @@ fn parse_args() -> Args {
         spray_identities: 13_000,
         json: None,
         exhaustion_json: None,
+        diag_json: None,
     };
     let mut any = false;
     let mut iter = std::env::args().skip(1);
@@ -126,6 +137,18 @@ fn parse_args() -> Args {
             }
             "--tracing-overhead" => {
                 args.tracing_overhead = true;
+                any = true;
+            }
+            "--diag-overhead" => {
+                args.diag_overhead = true;
+                any = true;
+            }
+            "--diag-json" => {
+                args.diag_json = Some(
+                    iter.next()
+                        .unwrap_or_else(|| die("--diag-json needs an output path")),
+                );
+                args.diag_overhead = true;
                 any = true;
             }
             "--exhaustion" => {
@@ -182,9 +205,9 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--table1|--fig3|--table2|--fig8|--reactivity|--knowledge-sharing|--resilience|--supervisor|--tracing-overhead|--ops-overhead|--exhaustion|--lint|--all]\n\
+                    "usage: experiments [--table1|--fig3|--table2|--fig8|--reactivity|--knowledge-sharing|--resilience|--supervisor|--tracing-overhead|--ops-overhead|--diag-overhead|--exhaustion|--lint|--all]\n\
                      \x20                  [--symptoms N] [--replication-runs N] [--seed N] [--json PATH]\n\
-                     \x20                  [--spray-identities N] [--exhaustion-json PATH]"
+                     \x20                  [--spray-identities N] [--exhaustion-json PATH] [--diag-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -426,6 +449,48 @@ fn main() {
     if let Some(result) = &ops {
         println!("== Ops-surface overhead (seed={}) ==", args.seed);
         println!("{}", report::render_ops_overhead(result));
+    }
+    if args.diag_overhead {
+        println!(
+            "== Flight-recorder overhead + bundle determinism (seed={}) ==",
+            args.seed
+        );
+        #[cfg(feature = "telemetry")]
+        {
+            let result = experiments::run_diag_overhead(args.seed, args.symptoms.max(50), 5);
+            println!("{}", report::render_diag_overhead(&result));
+            if let Some(path) = &args.diag_json {
+                let json = report::diag_json(&result);
+                std::fs::write(path, &json)
+                    .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+                println!("wrote {path} ({} bytes)", json.len());
+            }
+            // Hard gates: the run is a failure if the chaos leg never
+            // tripped a capture, a bundle failed the strict checker,
+            // the double run diverged, or the recorder cost more than
+            // the BENCH_8 hot-path budget.
+            if result.captures == 0 {
+                die("flight recorder: chaos leg captured no bundles");
+            }
+            if !result.bundles_valid {
+                die("flight recorder: a captured bundle failed the strict checker");
+            }
+            if !result.deterministic {
+                die("flight recorder: double run produced differing bundles");
+            }
+            if result.overhead_pct() > 1.0 {
+                die(&format!(
+                    "flight recorder: hot-path overhead {:.2}% exceeds the 1% budget",
+                    result.overhead_pct()
+                ));
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            let _ = &args.diag_json;
+            println!("(requires the `telemetry` feature)");
+        }
+        println!();
     }
     if args.knowledge_sharing {
         println!("== Knowledge sharing (§VI-D) ==");

@@ -6,6 +6,8 @@ use kalis_core::taxonomy::{relation, Feature, Relation};
 use kalis_core::AttackKind;
 use kalis_telemetry::{names, TelemetrySnapshot};
 
+#[cfg(feature = "telemetry")]
+use crate::experiments::DiagOverheadResult;
 use crate::experiments::{
     OpsOverheadResult, ScenarioResult, StateExhaustionResult, Table2, TracingOverheadResult,
 };
@@ -246,6 +248,56 @@ pub fn render_ops_overhead(result: &OpsOverheadResult) -> String {
         result.overhead_pct(),
         result.scrape_ms,
         result.scrapes,
+    )
+}
+
+/// Render the flight-recorder overhead + determinism comparison.
+#[cfg(feature = "telemetry")]
+pub fn render_diag_overhead(result: &DiagOverheadResult) -> String {
+    format!(
+        "flight-recorder overhead ({} packets, ABBA on-CPU time):\n\
+         \x20 recorder off  : {:>12.0} pps (best of N)\n\
+         \x20 recorder on   : {:>12.0} pps (best of N)\n\
+         \x20 overhead      : {:>11.2}% (cleanest iteration, gated)\n\
+         \x20 median        : {:>11.2}% (across iterations)\n\
+         chaos-leg captures: {} ({} bundles retained, {} bytes, last trigger {})\n\
+         bundles valid: {}  double-run byte-identical: {}\n",
+        result.packets,
+        result.off_pps,
+        result.on_pps,
+        result.overhead_pct(),
+        result.median_overhead_pct,
+        result.captures,
+        result.bundles,
+        result.bundle_bytes,
+        result.last_trigger,
+        result.bundles_valid,
+        result.deterministic,
+    )
+}
+
+/// Build the machine-readable flight-recorder report (`BENCH_8.json`):
+/// the off/on throughput comparison plus the chaos leg's capture count
+/// and the determinism verdict on its `kalis.diag.v1` bundles.
+#[cfg(feature = "telemetry")]
+pub fn diag_json(result: &DiagOverheadResult) -> String {
+    format!(
+        "{{\n  \"packets\": {},\n  \"off_pps\": {:.2},\n  \"on_pps\": {:.2},\n  \
+         \"overhead_pct\": {:.4},\n  \"median_overhead_pct\": {:.4},\n  \
+         \"captures\": {},\n  \"bundles\": {},\n  \
+         \"bundle_bytes\": {},\n  \"last_trigger\": \"{}\",\n  \
+         \"bundles_valid\": {},\n  \"deterministic\": {}\n}}\n",
+        result.packets,
+        result.off_pps,
+        result.on_pps,
+        result.overhead_pct(),
+        result.median_overhead_pct,
+        result.captures,
+        result.bundles,
+        result.bundle_bytes,
+        json_escape(&result.last_trigger),
+        result.bundles_valid,
+        result.deterministic,
     )
 }
 

@@ -12,11 +12,15 @@ use kalis_packets::{CapturedPacket, Entity, Timestamp};
 
 use kalis_telemetry::{
     AlertProvenance, EvidenceKnowgget, PacketRef, SampleRate, Telemetry, TraceContext, TraceRef,
-    Tracer, DEFAULT_TRACE_CAPACITY, ROOT_SPAN, SAMPLE_SCALE,
+    Tracer, DEFAULT_RING_DEPTH, DEFAULT_SNAPSHOT_INTERVAL_SECS, DEFAULT_TRACE_CAPACITY, ROOT_SPAN,
+    SAMPLE_SCALE, TRIGGER_MASK_ALL,
 };
 
 #[cfg(feature = "telemetry")]
-use kalis_telemetry::{metric_name, names, Counter, Gauge, Histogram, JournalEvent};
+use kalis_telemetry::{
+    config_fingerprint, metric_name, names, Counter, FlightRecorder, Gauge, Histogram,
+    JournalEvent, Trigger, DEFAULT_JOURNAL_TAIL,
+};
 
 use crate::alert::Alert;
 use crate::bus::{EventBus, KalisEvent};
@@ -102,6 +106,20 @@ pub const OPS_SLO_KEY: &str = "Ops.LatencySloUs";
 /// sketch monitors (the `kalis_hot_entity` cardinality cap).
 pub const OPS_HOT_ENTITIES_KEY: &str = "Ops.HotEntities";
 
+/// A-priori knowgget key: flight-recorder ring depth in frames. `0`
+/// disables the recorder entirely (no sampling, no captures).
+pub const DIAG_RING_DEPTH_KEY: &str = "Diag.RingDepth";
+/// A-priori knowgget key: flight-recorder sampling interval in seconds
+/// of capture time.
+pub const DIAG_INTERVAL_KEY: &str = "Diag.SnapshotIntervalSecs";
+/// A-priori knowgget key: bitmask of armed capture triggers (see
+/// [`kalis_telemetry::Trigger::bit`]); defaults to all five armed.
+pub const DIAG_TRIGGER_MASK_KEY: &str = "Diag.TriggerMask";
+
+/// How many captured diagnostics bundles a node retains (and serves
+/// via `/debug/diag`); older bundles are dropped first.
+pub const DIAG_BUNDLE_RETENTION: usize = 4;
+
 /// The node's own knowgget contract — the keys [`KalisBuilder::try_build`]
 /// and the sync engine touch outside any module: the sync/supervisor
 /// tuning knobs (read from a-priori configuration) and the `DegradedMode`
@@ -122,6 +140,9 @@ pub fn system_contract() -> crate::modules::KnowggetContract {
         .reads(OPS_PORT_KEY, ValueType::Int)
         .reads(OPS_SLO_KEY, ValueType::Int)
         .reads(OPS_HOT_ENTITIES_KEY, ValueType::Int)
+        .reads(DIAG_RING_DEPTH_KEY, ValueType::Int)
+        .reads(DIAG_INTERVAL_KEY, ValueType::Int)
+        .reads(DIAG_TRIGGER_MASK_KEY, ValueType::Int)
         .writes(DEGRADED_LABEL, ValueType::Bool)
 }
 
@@ -346,6 +367,26 @@ impl KalisBuilder {
                 .get_or_insert_with(OpsConfig::default)
                 .hot_entities = k as usize;
         }
+        // The flight-recorder knobs ride the config language the same
+        // way. `Diag.RingDepth = 0` legitimately *disables* the
+        // recorder, so depth and mask use a non-negative read rather
+        // than the positive filter above.
+        let non_negative_knowgget = |wanted: &str| {
+            self.config
+                .knowggets
+                .iter()
+                .find(|(key, _)| key == wanted)
+                .and_then(|(_, value)| value.as_f64())
+                .filter(|n| *n >= 0.0)
+        };
+        let diag = DiagConfig {
+            depth: non_negative_knowgget(DIAG_RING_DEPTH_KEY)
+                .map_or(DEFAULT_RING_DEPTH, |d| d as usize),
+            interval_secs: positive_knowgget(DIAG_INTERVAL_KEY)
+                .map_or(DEFAULT_SNAPSHOT_INTERVAL_SECS, |s| s as u64),
+            mask: non_negative_knowgget(DIAG_TRIGGER_MASK_KEY)
+                .map_or(TRIGGER_MASK_ALL, |m| (m as u32) & TRIGGER_MASK_ALL),
+        };
         // The tracing knob rides the config language the same way; only
         // fractions in [0, 1] are honored (kalis-lint flags the rest).
         let tracer = Arc::new(Tracer::new(
@@ -450,6 +491,17 @@ impl KalisBuilder {
             stats: NodeStats::new(&tele),
             #[cfg(feature = "telemetry")]
             journaled_evictions: BTreeMap::new(),
+            #[cfg(feature = "telemetry")]
+            recorder: FlightRecorder::new(
+                diag.depth,
+                diag.interval_secs.saturating_mul(1_000_000),
+                diag.mask,
+            ),
+            diag,
+            #[cfg(feature = "telemetry")]
+            diag_edges: DiagEdges::default(),
+            #[cfg(feature = "telemetry")]
+            diag_bundles: Vec::new(),
             tele,
             ops,
         };
@@ -470,6 +522,37 @@ impl KalisBuilder {
     pub fn build(self) -> Kalis {
         self.try_build().expect("invalid Kalis configuration")
     }
+}
+
+/// Resolved `Diag.*` knobs. Kept on the node in every build flavor so
+/// `recommend_config()` round-trips the capture posture even when the
+/// `telemetry` feature (and with it the recorder itself) is compiled
+/// out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DiagConfig {
+    /// Ring depth in frames (0 = recorder disabled).
+    depth: usize,
+    /// Sampling interval, capture-clock seconds.
+    interval_secs: u64,
+    /// Armed trigger bitmask.
+    mask: u32,
+}
+
+/// Last-observed values of every trigger signal, so `diag_tick` fires
+/// captures on *edges* (a readiness flip, a rising quarantine count)
+/// rather than re-capturing on every tick a condition persists.
+#[cfg(feature = "telemetry")]
+#[derive(Debug, Default)]
+struct DiagEdges {
+    reasons: Vec<String>,
+    quarantined: usize,
+    degraded: bool,
+    evictions: u64,
+    /// Whether the previous tick saw evictions advance — the
+    /// state-exhaustion trigger fires on the *rising edge* of eviction
+    /// activity, not on every tick of a sustained spray.
+    evicting: bool,
+    slo_breached: bool,
 }
 
 /// Node-level instrument handles, cached once at build time so the
@@ -500,6 +583,9 @@ struct NodeStats {
     pipeline_degraded: Arc<Gauge>,
     trace_sampled: Arc<Counter>,
     trace_dropped: Arc<Gauge>,
+    diag_captures: Arc<Counter>,
+    diag_occupancy: Arc<Gauge>,
+    diag_last_trigger: Arc<Gauge>,
 }
 
 #[cfg(feature = "telemetry")]
@@ -530,6 +616,9 @@ impl NodeStats {
             pipeline_degraded: registry.gauge(names::PIPELINE_DEGRADED),
             trace_sampled: registry.counter(names::TRACE_SAMPLED),
             trace_dropped: registry.gauge(names::TRACE_DROPPED),
+            diag_captures: registry.counter(names::DIAG_CAPTURES),
+            diag_occupancy: registry.gauge(names::DIAG_RING_OCCUPANCY),
+            diag_last_trigger: registry.gauge(names::DIAG_LAST_TRIGGER),
         }
     }
 }
@@ -673,6 +762,20 @@ pub struct Kalis {
     /// `state_evicted` journal records emitted at tick cadence.
     #[cfg(feature = "telemetry")]
     journaled_evictions: BTreeMap<String, u64>,
+    /// Resolved `Diag.*` knobs (kept in every build flavor for
+    /// `recommend_config()`).
+    diag: DiagConfig,
+    /// The flight recorder: bounded telemetry history plus capture
+    /// bookkeeping, sampled at tick cadence by [`Kalis::diag_tick`].
+    #[cfg(feature = "telemetry")]
+    recorder: FlightRecorder,
+    /// Trigger edge detection state for the recorder.
+    #[cfg(feature = "telemetry")]
+    diag_edges: DiagEdges,
+    /// Retained diagnostics bundles, oldest first: `(bundle id,
+    /// kalis.diag.v1 JSON)`, bounded to [`DIAG_BUNDLE_RETENTION`].
+    #[cfg(feature = "telemetry")]
+    diag_bundles: Vec<(String, String)>,
     ops: Option<OpsRuntime>,
 }
 
@@ -894,6 +997,10 @@ impl Kalis {
         if self.ops.is_some() {
             self.ops_refresh(now, force_ops);
         }
+        // The flight recorder samples (and latches captures) after the
+        // ops refresh so the SLO breach latch is current for this tick.
+        #[cfg(feature = "telemetry")]
+        self.diag_tick(now);
         if own_trace {
             if self.current_trace.sampled {
                 self.kb.clear_trace();
@@ -930,6 +1037,113 @@ impl Kalis {
                 now.as_micros(),
                 JournalEvent::StateEvicted { structure, evicted },
             );
+        }
+    }
+
+    /// Cumulative bounded-state evictions across every budgeted
+    /// structure (module maps plus the KB's entity index) — the
+    /// state-exhaustion trigger signal.
+    #[cfg(feature = "telemetry")]
+    fn total_evictions(&self) -> u64 {
+        self.manager
+            .module_profiles()
+            .iter()
+            .map(|p| p.evictions)
+            .sum::<u64>()
+            + self.kb.entity_evictions()
+    }
+
+    /// One flight-recorder pass at tick cadence: sample the telemetry
+    /// surface into the ring, then compare every trigger signal against
+    /// its last-seen value and freeze a `kalis.diag.v1` bundle on the
+    /// first armed edge. Runs on the virtual clock only — captures are
+    /// deterministic for a deterministic run.
+    #[cfg(feature = "telemetry")]
+    fn diag_tick(&mut self, now: Timestamp) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        let now_us = now.as_micros();
+        self.recorder.maybe_sample(now_us, &self.tele);
+
+        let reasons = self.readiness().reasons;
+        let quarantined = self.manager.quarantined_count();
+        let degraded = self.syncer.degraded();
+        let evictions = self.total_evictions();
+        let evicting = evictions > self.diag_edges.evictions;
+        let slo_breached = self
+            .ops
+            .as_ref()
+            .and_then(|ops| ops.slo.as_ref())
+            .is_some_and(|tracker| tracker.breached);
+        let edges = [
+            (Trigger::ReadinessFlip, reasons != self.diag_edges.reasons),
+            (
+                Trigger::SloBreached,
+                slo_breached && !self.diag_edges.slo_breached,
+            ),
+            (
+                Trigger::ModuleQuarantined,
+                quarantined > self.diag_edges.quarantined,
+            ),
+            (Trigger::DegradedSync, degraded && !self.diag_edges.degraded),
+            (
+                Trigger::StateExhaustion,
+                evicting && !self.diag_edges.evicting,
+            ),
+        ];
+        let fired = edges
+            .iter()
+            .find(|(trigger, edge)| *edge && self.recorder.armed(*trigger))
+            .map(|(trigger, _)| *trigger);
+        self.diag_edges = DiagEdges {
+            reasons,
+            quarantined,
+            degraded,
+            evictions,
+            evicting,
+            slo_breached,
+        };
+        if let Some(trigger) = fired {
+            self.diag_capture(trigger, now_us);
+        }
+        self.stats
+            .diag_occupancy
+            .set(self.recorder.occupancy() as u64);
+    }
+
+    /// Freeze the ring plus the journal tail, trace trees, and config
+    /// fingerprint into a retained bundle, journal the capture, and
+    /// republish the `/debug/diag` surface.
+    #[cfg(feature = "telemetry")]
+    fn diag_capture(&mut self, trigger: Trigger, now_us: u64) {
+        let fingerprint = config_fingerprint(&self.recommend_config().to_string());
+        let traces = self.tracer.enabled().then(|| self.tracer.to_json());
+        let bundle = self.recorder.capture(
+            trigger,
+            now_us,
+            &self.tele,
+            self.id.as_str(),
+            &fingerprint,
+            traces.as_deref(),
+            DEFAULT_JOURNAL_TAIL,
+        );
+        self.tele.journal().record(
+            now_us,
+            JournalEvent::DiagCaptured {
+                trigger: trigger.name().to_owned(),
+                bundle: bundle.bundle_id.clone(),
+            },
+        );
+        self.stats.diag_captures.inc();
+        self.stats.diag_last_trigger.set(u64::from(trigger.bit()));
+        self.diag_bundles
+            .push((bundle.bundle_id.clone(), bundle.to_json()));
+        if self.diag_bundles.len() > DIAG_BUNDLE_RETENTION {
+            self.diag_bundles.remove(0);
+        }
+        if let Some(ops) = &self.ops {
+            ops.shared.publish_diag(&self.diag_bundles);
         }
     }
 
@@ -1187,6 +1401,27 @@ impl Kalis {
                     KnowValue::Int(ops.sketch.capacity() as i64),
                 ));
             }
+        }
+        // The flight-recorder knobs ride along when tuned away from the
+        // defaults, so a node rebuilt from the recommendation keeps the
+        // same diagnostics-capture posture.
+        if self.diag.depth != DEFAULT_RING_DEPTH {
+            knowggets.push((
+                DIAG_RING_DEPTH_KEY.to_owned(),
+                KnowValue::Int(self.diag.depth as i64),
+            ));
+        }
+        if self.diag.interval_secs != DEFAULT_SNAPSHOT_INTERVAL_SECS {
+            knowggets.push((
+                DIAG_INTERVAL_KEY.to_owned(),
+                KnowValue::Int(self.diag.interval_secs as i64),
+            ));
+        }
+        if self.diag.mask != TRIGGER_MASK_ALL {
+            knowggets.push((
+                DIAG_TRIGGER_MASK_KEY.to_owned(),
+                KnowValue::Int(i64::from(self.diag.mask)),
+            ));
         }
         Config { modules, knowggets }
     }
@@ -1695,6 +1930,21 @@ impl Kalis {
         self.ops.as_ref().map(|ops| ops.server.addr())
     }
 
+    /// Diagnostics bundles retained by the flight recorder, oldest
+    /// first: `(bundle id, kalis.diag.v1 JSON)`. Bounded to
+    /// [`DIAG_BUNDLE_RETENTION`]; also served via `/debug/diag` when
+    /// the ops surface is enabled.
+    #[cfg(feature = "telemetry")]
+    pub fn diag_bundles(&self) -> &[(String, String)] {
+        &self.diag_bundles
+    }
+
+    /// The trigger behind the flight recorder's most recent capture.
+    #[cfg(feature = "telemetry")]
+    pub fn diag_last_trigger(&self) -> Option<&'static str> {
+        self.recorder.last_trigger().map(Trigger::name)
+    }
+
     /// The node's current readiness verdict: empty reasons means fit
     /// for duty. `/readyz` serves the same verdict as published at the
     /// last transition or tick; this accessor recomputes it live.
@@ -1835,6 +2085,17 @@ impl Kalis {
         let uptime_us = ops
             .started_us
             .map_or(0, |start| now.as_micros().saturating_sub(start));
+        #[cfg(feature = "telemetry")]
+        let (diag_captures, diag_ring_occupancy, diag_last_trigger) = (
+            self.recorder.captures(),
+            self.recorder.occupancy() as u64,
+            self.recorder
+                .last_trigger()
+                .map(|t| t.name().to_owned())
+                .unwrap_or_default(),
+        );
+        #[cfg(not(feature = "telemetry"))]
+        let (diag_captures, diag_ring_occupancy, diag_last_trigger) = (0, 0, String::new());
         let report = StatusReport {
             node: self.id.to_string(),
             readiness,
@@ -1849,6 +2110,9 @@ impl Kalis {
             trace_dropped,
             alerts,
             slo,
+            diag_captures,
+            diag_ring_occupancy,
+            diag_last_trigger,
         };
         ops.last_reasons = report.readiness.reasons.clone();
         ops.shared.publish(&report);

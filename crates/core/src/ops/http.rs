@@ -141,6 +141,25 @@ fn handle_connection(stream: &mut TcpStream, shared: &OpsShared) -> std::io::Res
             let body = shared.status_body();
             write_response(stream, 200, "OK", "application/json", &body)
         }
+        "/debug/diag" => {
+            shared.count_request("diag");
+            let body = shared.diag_index_body();
+            write_response(stream, 200, "OK", "application/json", &body)
+        }
+        _ if path.starts_with("/debug/diag/") => {
+            shared.count_request("diag");
+            let id = &path["/debug/diag/".len()..];
+            match shared.diag_bundle_body(id) {
+                Some(body) => write_response(stream, 200, "OK", "application/json", &body),
+                None => write_response(
+                    stream,
+                    404,
+                    "Not Found",
+                    "application/json",
+                    "{\"error\":\"no such bundle\"}\n",
+                ),
+            }
+        }
         _ => {
             shared.count_request("other");
             write_response(

@@ -213,6 +213,12 @@ pub struct StatusReport {
     pub alerts: u64,
     /// SLO posture, when a target is configured.
     pub slo: Option<SloStatus>,
+    /// Diagnostics bundles captured by the flight recorder.
+    pub diag_captures: u64,
+    /// Frames currently retained in the flight-recorder ring.
+    pub diag_ring_occupancy: u64,
+    /// Trigger behind the most recent capture (empty = never captured).
+    pub diag_last_trigger: String,
 }
 
 impl StatusReport {
@@ -303,6 +309,18 @@ impl StatusReport {
                 JsonValue::Num(self.trace_dropped),
             ),
             ("alerts".to_string(), JsonValue::Num(self.alerts)),
+            (
+                "diag_captures".to_string(),
+                JsonValue::Num(self.diag_captures),
+            ),
+            (
+                "diag_ring_occupancy".to_string(),
+                JsonValue::Num(self.diag_ring_occupancy),
+            ),
+            (
+                "diag_last_trigger".to_string(),
+                JsonValue::Str(self.diag_last_trigger.clone()),
+            ),
         ];
         if let Some(slo) = &self.slo {
             doc.push((
@@ -329,7 +347,28 @@ pub struct OpsShared {
     /// `/metrics` scrapes (kept out of the registry so stale entities
     /// disappear instead of lingering as dead series).
     hot_block: Mutex<String>,
-    requests: [(&'static str, Arc<Counter>); 5],
+    /// Pre-rendered `/debug/diag` index document.
+    diag_index: Mutex<String>,
+    /// Retained diagnostics bundles served by `/debug/diag/<id>`:
+    /// `(bundle id, kalis.diag.v1 JSON)`, oldest first.
+    diag_bundles: Mutex<Vec<(String, String)>>,
+    requests: [(&'static str, Arc<Counter>); 6],
+}
+
+/// Render the `/debug/diag` index: the retained bundle ids, newest
+/// last, as a small schema-tagged JSON document.
+fn diag_index_doc(ids: &[String]) -> String {
+    JsonValue::Obj(vec![
+        (
+            "schema".to_string(),
+            JsonValue::Str("kalis.diag-index.v1".to_string()),
+        ),
+        (
+            "bundles".to_string(),
+            JsonValue::Arr(ids.iter().map(|id| JsonValue::Str(id.clone())).collect()),
+        ),
+    ])
+    .to_string()
 }
 
 impl OpsShared {
@@ -343,6 +382,7 @@ impl OpsShared {
             ("healthz", counter("healthz")),
             ("readyz", counter("readyz")),
             ("status", counter("status")),
+            ("diag", counter("diag")),
             ("other", counter("other")),
         ];
         let placeholder = StatusReport {
@@ -354,8 +394,31 @@ impl OpsShared {
             status_json: Mutex::new(placeholder.to_json()),
             readiness: Mutex::new((true, Readiness::default().to_json())),
             hot_block: Mutex::new(String::new()),
+            diag_index: Mutex::new(diag_index_doc(&[])),
+            diag_bundles: Mutex::new(Vec::new()),
             requests,
         }
+    }
+
+    /// Publish the retained diagnostics bundles: the `/debug/diag`
+    /// index and the per-id documents update atomically with respect
+    /// to fetches.
+    pub fn publish_diag(&self, bundles: &[(String, String)]) {
+        let ids: Vec<String> = bundles.iter().map(|(id, _)| id.clone()).collect();
+        *self.diag_index.lock() = diag_index_doc(&ids);
+        *self.diag_bundles.lock() = bundles.to_vec();
+    }
+
+    pub(crate) fn diag_index_body(&self) -> String {
+        self.diag_index.lock().clone()
+    }
+
+    pub(crate) fn diag_bundle_body(&self, id: &str) -> Option<String> {
+        self.diag_bundles
+            .lock()
+            .iter()
+            .find(|(bundle_id, _)| bundle_id == id)
+            .map(|(_, json)| json.clone())
     }
 
     /// Publish a fresh report: `/status`, `/readyz`, and the hot-entity
@@ -461,6 +524,9 @@ mod tests {
                 p99_us: 710,
                 breached: true,
             }),
+            diag_captures: 1,
+            diag_ring_occupancy: 12,
+            diag_last_trigger: "slo-breached".into(),
         }
     }
 
@@ -482,6 +548,14 @@ mod tests {
                 .and_then(|s| s.get("breached"))
                 .and_then(JsonValue::as_u64),
             Some(1)
+        );
+        assert_eq!(
+            doc.get("diag_captures").and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("diag_last_trigger").and_then(JsonValue::as_str),
+            Some("slo-breached")
         );
     }
 
@@ -535,11 +609,31 @@ mod tests {
         let (code, body) = get("/status");
         assert_eq!(code, 200);
         assert!(body.contains("\"node\":\"K1\""));
+        assert!(body.contains("\"diag_last_trigger\":\"slo-breached\""));
+        // The diag surface: empty index until bundles are published,
+        // then index + per-id fetch, and 404 for unknown ids.
+        let (code, body) = get("/debug/diag");
+        assert_eq!(code, 200);
+        assert!(body.contains("kalis.diag-index.v1"));
+        assert!(!body.contains("K1-001"));
+        shared.publish_diag(&[(
+            "K1-001-slo-breached".to_string(),
+            "{\"schema\":\"kalis.diag.v1\"}\n".to_string(),
+        )]);
+        let (code, body) = get("/debug/diag");
+        assert_eq!(code, 200);
+        assert!(body.contains("K1-001-slo-breached"));
+        let (code, body) = get("/debug/diag/K1-001-slo-breached");
+        assert_eq!(code, 200);
+        assert!(body.contains("kalis.diag.v1"));
+        let (code, _) = get("/debug/diag/K1-999-nope");
+        assert_eq!(code, 404);
         let (code, _) = get("/nope");
         assert_eq!(code, 404);
         // The listener counted each endpoint.
         let snap = telemetry.snapshot();
         assert_eq!(snap.counter("ops.requests[endpoint=metrics]"), 1);
+        assert_eq!(snap.counter("ops.requests[endpoint=diag]"), 4);
         assert_eq!(snap.counter("ops.requests[endpoint=other]"), 1);
         drop(server); // graceful shutdown: joins the worker
     }

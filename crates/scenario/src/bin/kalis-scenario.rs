@@ -17,22 +17,30 @@ use std::process::ExitCode;
 
 use kalis_scenario::report::{render_human, render_json, ScenarioReport};
 
-const USAGE: &str = "usage: kalis-scenario [--json] [--seeds N] [--seed S]... PATH...
+const USAGE: &str =
+    "usage: kalis-scenario [--json] [--seeds N] [--seed S]... [--diag-out DIR] PATH...
 
-  PATH        a *.scn.kalis file, or a directory scanned for them
-  --json      emit the machine-readable report on stdout
-  --seeds N   run seeds 1..=N (default 3)
-  --seed S    run exactly this seed (repeatable, overrides --seeds)";
+  PATH           a *.scn.kalis file, or a directory scanned for them
+  --json         emit the machine-readable report on stdout
+  --seeds N      run seeds 1..=N (default 3)
+  --seed S       run exactly this seed (repeatable, overrides --seeds)
+  --diag-out DIR write the kalis.diag.v1 bundles retained by failing
+                 runs to DIR (created on first failure), for CI upload";
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut matrix: u64 = 3;
     let mut pinned: Vec<u64> = Vec::new();
+    let mut diag_out: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--diag-out" => match args.next() {
+                Some(dir) => diag_out = Some(PathBuf::from(dir)),
+                None => return usage("--diag-out needs a directory"),
+            },
             "--seeds" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
                 Some(n) if n >= 1 => matrix = n,
                 _ => return usage("--seeds needs a positive integer"),
@@ -120,10 +128,41 @@ fn main() -> ExitCode {
     } else {
         print!("{}", render_human(&reports));
     }
+    if let Some(dir) = &diag_out {
+        dump_failure_bundles(dir, &reports);
+    }
     if reports.iter().all(ScenarioReport::passed) {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
+    }
+}
+
+/// Write every failing run's retained `kalis.diag.v1` bundles to
+/// `dir/<file-stem>-seed<seed>-<bundle-id>.json` so CI can archive the
+/// evidence alongside the report. Passing runs write nothing, so the
+/// directory only exists when there is something to explain.
+fn dump_failure_bundles(dir: &Path, reports: &[ScenarioReport]) {
+    for report in reports {
+        let stem = Path::new(&report.file)
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or(&report.file)
+            .trim_end_matches(".scn.kalis")
+            .to_owned();
+        for run in report.runs.iter().filter(|run| !run.passed()) {
+            for (id, bundle) in &run.diag_bundles {
+                if let Err(err) = std::fs::create_dir_all(dir) {
+                    eprintln!("warning: cannot create {}: {err}", dir.display());
+                    return;
+                }
+                let path = dir.join(format!("{stem}-seed{}-{id}.json", run.seed));
+                match std::fs::write(&path, bundle) {
+                    Ok(()) => eprintln!("wrote {}", path.display()),
+                    Err(err) => eprintln!("warning: cannot write {}: {err}", path.display()),
+                }
+            }
+        }
     }
 }
 

@@ -100,6 +100,7 @@ fn execute_pair(spec: &ScenarioSpec, seed: u64) -> Evidence {
         degraded_exited: result.degraded_exited,
         retransmits: result.retransmits,
         journal: result.journal.records.clone(),
+        diag_bundles: result.diag_bundles.clone(),
     }
 }
 
@@ -165,6 +166,12 @@ fn execute_wormhole(spec: &ScenarioSpec, seed: u64) -> Evidence {
         degraded_exited: 0,
         retransmits: 0,
         journal: a.telemetry().snapshot().journal.records,
+        diag_bundles: a
+            .diag_bundles()
+            .iter()
+            .chain(b.diag_bundles())
+            .cloned()
+            .collect(),
     };
     evidence
         .journal
@@ -242,6 +249,7 @@ fn execute_single(spec: &ScenarioSpec, seed: u64) -> Evidence {
         degraded_exited: 0,
         retransmits: 0,
         journal: node.telemetry().snapshot().journal.records,
+        diag_bundles: node.diag_bundles().to_vec(),
     }
 }
 

@@ -66,6 +66,14 @@ pub enum Expectation {
     /// `min-faults-injected = 1` — the fault plan injected at least
     /// this many faults across all links.
     MinFaultsInjected(u64),
+    /// `diag-captured` / `diag-captured (trigger = state-exhaustion)` —
+    /// the flight recorder froze at least one `kalis.diag.v1` bundle
+    /// during the run, optionally requiring the named trigger.
+    DiagCaptured {
+        /// Trigger name to require (`state-exhaustion`, ...); `None`
+        /// accepts a capture latched by any trigger.
+        trigger: Option<String>,
+    },
 }
 
 /// Directive names, for `did you mean` notes.
@@ -82,6 +90,7 @@ pub const EXPECTATION_NAMES: &[&str] = &[
     "degraded-recovered",
     "min-retransmits",
     "min-faults-injected",
+    "diag-captured",
 ];
 
 impl Expectation {
@@ -100,6 +109,7 @@ impl Expectation {
             Expectation::DegradedRecovered => "degraded-recovered",
             Expectation::MinRetransmits(_) => "min-retransmits",
             Expectation::MinFaultsInjected(_) => "min-faults-injected",
+            Expectation::DiagCaptured { .. } => "diag-captured",
         }
     }
 
@@ -120,7 +130,8 @@ impl Expectation {
             | Expectation::FirstDetectionWithin(_)
             | Expectation::NoUnpinnedQuarantines
             | Expectation::ReadinessRecovered
-            | Expectation::MinFaultsInjected(_) => true,
+            | Expectation::MinFaultsInjected(_)
+            | Expectation::DiagCaptured { .. } => true,
         }
     }
 
@@ -143,6 +154,10 @@ impl Expectation {
             }
             Expectation::MinRetransmits(n) => format!(">= {n} sync retransmission(s)"),
             Expectation::MinFaultsInjected(n) => format!(">= {n} injected fault(s)"),
+            Expectation::DiagCaptured { trigger } => match trigger {
+                Some(t) => format!(">= 1 diagnostics capture latched by `{t}`"),
+                None => ">= 1 diagnostics capture".into(),
+            },
         }
     }
 
@@ -361,6 +376,46 @@ impl Expectation {
                     lines,
                 )
             }
+            Expectation::DiagCaptured { trigger } => {
+                let matching = |e: &JournalEvent| {
+                    matches!(
+                        e,
+                        JournalEvent::DiagCaptured { trigger: t, .. }
+                            if trigger.as_deref().map_or(true, |want| want == t)
+                    )
+                };
+                let count = evidence
+                    .journal
+                    .iter()
+                    .filter(|r| matching(&r.event))
+                    .count() as u64;
+                let observed = if count > 0 {
+                    match trigger {
+                        Some(t) => format!("{count} capture(s) latched by `{t}`"),
+                        None => format!("{count} diagnostics capture(s)"),
+                    }
+                } else {
+                    // Name the triggers that *did* fire, so a wrong
+                    // trigger expectation is debuggable from the report.
+                    let seen: Vec<String> = evidence
+                        .journal
+                        .iter()
+                        .filter_map(|r| match &r.event {
+                            JournalEvent::DiagCaptured { trigger: t, .. } => Some(t.clone()),
+                            _ => None,
+                        })
+                        .collect();
+                    if seen.is_empty() {
+                        "no diagnostics capture".to_owned()
+                    } else {
+                        format!("no matching capture (saw: {})", seen.join(", "))
+                    }
+                };
+                let lines = journal_lines(&evidence.journal, |e| {
+                    matches!(e, JournalEvent::DiagCaptured { .. })
+                });
+                (count > 0, observed, lines)
+            }
         };
         ExpectationReport {
             name: self.name().to_owned(),
@@ -436,6 +491,9 @@ pub struct Evidence {
     pub retransmits: u64,
     /// The node's retained event journal (node K2's on the pair path).
     pub journal: Vec<JournalRecord>,
+    /// `kalis.diag.v1` bundles the flight recorders retained,
+    /// `(bundle_id, json)` across every node in the topology.
+    pub diag_bundles: Vec<(String, String)>,
 }
 
 impl Evidence {
@@ -529,6 +587,7 @@ mod tests {
             degraded_exited: 0,
             retransmits: 0,
             journal: Vec::new(),
+            diag_bundles: Vec::new(),
         }
     }
 
@@ -638,6 +697,45 @@ mod tests {
     }
 
     #[test]
+    fn diag_captured_matches_trigger_names() {
+        let mut evidence = empty_evidence();
+        assert!(
+            !Expectation::DiagCaptured { trigger: None }
+                .evaluate(&evidence)
+                .passed,
+            "no capture at all must fail"
+        );
+        evidence.journal = vec![JournalRecord {
+            seq: 4,
+            time_us: 11_000_000,
+            event: JournalEvent::DiagCaptured {
+                trigger: "state-exhaustion".into(),
+                bundle: "K1-001-state-exhaustion".into(),
+            },
+        }];
+        assert!(
+            Expectation::DiagCaptured { trigger: None }
+                .evaluate(&evidence)
+                .passed
+        );
+        let right = Expectation::DiagCaptured {
+            trigger: Some("state-exhaustion".into()),
+        }
+        .evaluate(&evidence);
+        assert!(right.passed, "{right:?}");
+        assert!(right.evidence[0].contains("diag_captured"), "{right:?}");
+        let wrong = Expectation::DiagCaptured {
+            trigger: Some("slo-breached".into()),
+        }
+        .evaluate(&evidence);
+        assert!(!wrong.passed);
+        assert!(
+            wrong.observed.contains("saw: state-exhaustion"),
+            "{wrong:?}"
+        );
+    }
+
+    #[test]
     fn topology_applicability_partitions_the_directives() {
         use Expectation as E;
         for e in [
@@ -666,6 +764,7 @@ mod tests {
             E::NoUnpinnedQuarantines,
             E::ReadinessRecovered,
             E::MinFaultsInjected(1),
+            E::DiagCaptured { trigger: None },
         ] {
             assert!(e.applies_to(Topology::Single) && e.applies_to(Topology::Pair));
         }

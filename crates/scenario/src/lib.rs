@@ -69,6 +69,7 @@ pub fn run_parsed(file: &str, spec: &ScenarioSpec, seeds: &[u64]) -> ScenarioRep
                     .collect(),
                 fault_stats: evidence.fault_stats,
                 link_faults: evidence.link_faults.clone(),
+                diag_bundles: evidence.diag_bundles.clone(),
             }
         })
         .collect();

@@ -17,6 +17,10 @@ pub struct SeedRun {
     pub fault_stats: FaultStats,
     /// Per-directed-link fault counters (`from->to` labels).
     pub link_faults: Vec<(String, FaultStats)>,
+    /// `kalis.diag.v1` bundles retained by the run's flight recorders,
+    /// `(bundle_id, json)` — written to disk by `--diag-out` when the
+    /// run fails, so CI can archive the evidence.
+    pub diag_bundles: Vec<(String, String)>,
 }
 
 impl SeedRun {
@@ -231,6 +235,7 @@ mod tests {
                     }],
                     fault_stats: FaultStats::default(),
                     link_faults: vec![],
+                    diag_bundles: vec![],
                 },
                 SeedRun {
                     seed: 2,
@@ -256,6 +261,7 @@ mod tests {
                             delayed: 2,
                         },
                     )],
+                    diag_bundles: vec![],
                 },
             ],
         }]

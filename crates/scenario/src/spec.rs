@@ -49,6 +49,7 @@ use kalis_lint::distance::closest;
 use kalis_lint::{lint_config, Severity as LintSeverity};
 use kalis_netsim::fault::{FaultPlan, FaultWindow, LinkFaults};
 use kalis_packets::Timestamp;
+use kalis_telemetry::Trigger;
 
 use crate::diagnostics::{Code, Diagnostic};
 use crate::expect::{Expectation, EXPECTATION_NAMES};
@@ -1058,6 +1059,7 @@ impl<'a> ScnParser<'a> {
                     }
                 }
                 "alerts" => self.alerts_expectation(item),
+                "diag-captured" => self.diag_captured_expectation(item),
                 "no-unpinned-quarantines" => {
                     if self.bare(item, "expectation") {
                         self.expectations
@@ -1164,6 +1166,59 @@ impl<'a> ScnParser<'a> {
         };
         self.expectations
             .push((Expectation::Alerts { kind, min }, item.name_pos));
+    }
+
+    fn diag_captured_expectation(&mut self, item: &SpannedItem) {
+        if let Some((_, vpos)) = &item.value {
+            let vpos = *vpos;
+            self.err(
+                Code::BadValue,
+                vpos,
+                "`diag-captured` is bare or takes `(trigger = ...)`, not `= value`",
+            );
+            return;
+        }
+        let mut trigger: Option<String> = None;
+        let mut bad = false;
+        for param in &item.params {
+            match param.key.as_str() {
+                "trigger" => {
+                    let name = param.value.to_wire();
+                    if Trigger::from_name(&name).is_some() {
+                        trigger = Some(name);
+                    } else {
+                        bad = true;
+                        let names: Vec<&'static str> =
+                            Trigger::ALL.iter().map(|t| t.name()).collect();
+                        let mut diag = Diagnostic::at(
+                            Code::BadValue,
+                            self.file,
+                            param.value_pos,
+                            format!("unknown diagnostics trigger `{name}`"),
+                        )
+                        .with_note(format!("triggers: {}", names.join(", ")));
+                        if let Some(near) = closest(&name, names.iter().copied()) {
+                            diag = diag.with_note(format!("did you mean `{near}`?"));
+                        }
+                        self.diags.push(diag);
+                    }
+                }
+                other => {
+                    bad = true;
+                    let (other, pos) = (other.to_owned(), param.key_pos);
+                    self.err_note(
+                        Code::BadValue,
+                        pos,
+                        format!("`diag-captured` has no parameter `{other}`"),
+                        "diag-captured parameters: trigger",
+                    );
+                }
+            }
+        }
+        if !bad {
+            self.expectations
+                .push((Expectation::DiagCaptured { trigger }, item.name_pos));
+        }
     }
 
     // --- assembly ------------------------------------------------------
@@ -1546,6 +1601,49 @@ mod tests {
         let result = parse(
             "attacks = { selective-forwarding }\n\
              expectations = { first-detection-within = 0 }\n",
+        );
+        assert_eq!(codes(&result), vec!["KS103"]);
+    }
+
+    #[test]
+    fn diag_captured_parses_bare_and_with_trigger() {
+        let spec = parse(
+            "attacks = { state-exhaustion }\n\
+             expectations = { diag-captured }\n",
+        )
+        .expect("valid scenario");
+        assert_eq!(
+            spec.expectations,
+            vec![Expectation::DiagCaptured { trigger: None }]
+        );
+        let spec = parse(
+            "attacks = { state-exhaustion }\n\
+             expectations = { diag-captured (trigger = state-exhaustion) }\n",
+        )
+        .expect("valid scenario");
+        assert_eq!(
+            spec.expectations,
+            vec![Expectation::DiagCaptured {
+                trigger: Some("state-exhaustion".into())
+            }]
+        );
+        let result = parse(
+            "attacks = { state-exhaustion }\n\
+             expectations = { diag-captured (trigger = state-exhaustio) }\n",
+        );
+        let diags = result.unwrap_err();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::BadValue);
+        assert!(
+            diags[0]
+                .notes
+                .iter()
+                .any(|n| n.contains("did you mean `state-exhaustion`")),
+            "{diags:?}"
+        );
+        let result = parse(
+            "attacks = { state-exhaustion }\n\
+             expectations = { diag-captured = 1 }\n",
         );
         assert_eq!(codes(&result), vec!["KS103"]);
     }

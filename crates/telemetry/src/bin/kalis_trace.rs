@@ -21,7 +21,7 @@ use std::time::Duration;
 
 use kalis_telemetry::json::JsonValue;
 use kalis_telemetry::trace::{events_from_json, events_to_chrome_json};
-use kalis_telemetry::{AlertProvenance, TraceEvent};
+use kalis_telemetry::{check_bundle, AlertProvenance, DiagBundle, TraceEvent};
 
 fn die(msg: &str) -> ! {
     eprintln!("kalis-trace: {msg}");
@@ -215,6 +215,20 @@ fn render_status(doc: &JsonValue) -> String {
             }
         ));
     }
+    // Older nodes don't publish the flight-recorder fields; only render
+    // the diag line when the document carries them.
+    if doc.get("diag_captures").is_some() {
+        let trigger = doc
+            .get("diag_last_trigger")
+            .and_then(JsonValue::as_str)
+            .filter(|t| !t.is_empty())
+            .unwrap_or("-");
+        out.push_str(&format!(
+            "diag: captures {}  ring {} frames  last trigger {trigger}\n",
+            num_of("diag_captures"),
+            num_of("diag_ring_occupancy"),
+        ));
+    }
     if let Some(peers) = doc.get("peers").and_then(JsonValue::as_arr) {
         for peer in peers {
             out.push_str(&format!(
@@ -279,6 +293,104 @@ fn render_status(doc: &JsonValue) -> String {
     out
 }
 
+/// Render a `kalis.diag.v1` bundle as a before/after timeline around
+/// the trigger instant: one line per retained frame (capture-relative
+/// time plus the counters that moved), the trigger marker on the final
+/// frame, and the frozen journal tail.
+fn render_diag(bundle: &DiagBundle) -> String {
+    let cap = bundle.captured_us;
+    let rel = |us: u64| {
+        if us <= cap {
+            format!("t-{:.3}s", (cap - us) as f64 / 1e6)
+        } else {
+            format!("t+{:.3}s", (us - cap) as f64 / 1e6)
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bundle {}  node {}  trigger {} @ {:.3}s\n",
+        bundle.bundle_id,
+        bundle.node,
+        bundle.trigger,
+        cap as f64 / 1e6
+    ));
+    out.push_str(&format!(
+        "config {}  ring depth {} interval {:.1}s mask {:#07b}  samples {}\n",
+        bundle.config_fingerprint,
+        bundle.ring_depth,
+        bundle.interval_us as f64 / 1e6,
+        bundle.trigger_mask,
+        bundle.samples
+    ));
+    out.push_str(&format!(
+        "timeline ({} frames, oldest first):\n",
+        bundle.frames.len()
+    ));
+    const SHOWN: usize = 4;
+    for (i, frame) in bundle.frames.iter().enumerate() {
+        let mut moved: Vec<String> = frame
+            .counter_deltas
+            .iter()
+            .take(SHOWN)
+            .map(|(name, delta)| format!("+{name} {delta}"))
+            .collect();
+        moved.extend(
+            frame
+                .gauge_sets
+                .iter()
+                .take(SHOWN)
+                .map(|(name, value)| format!("{name}={value}")),
+        );
+        let hidden = frame.counter_deltas.len().saturating_sub(SHOWN)
+            + frame.gauge_sets.len().saturating_sub(SHOWN);
+        if hidden > 0 {
+            moved.push(format!("(+{hidden} more)"));
+        }
+        if moved.is_empty() {
+            moved.push("(quiet)".to_string());
+        }
+        let marker = if i + 1 == bundle.frames.len() {
+            format!("  <<< {}", bundle.trigger)
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "  {:>11}  {}{marker}\n",
+            rel(frame.time_us),
+            moved.join("  ")
+        ));
+    }
+    out.push_str(&format!(
+        "journal tail ({} records):\n",
+        bundle.journal_tail.len()
+    ));
+    for entry in &bundle.journal_tail {
+        let fields: Vec<String> = entry
+            .fields
+            .iter()
+            .map(|(key, value)| match value {
+                JsonValue::Str(s) => format!("{key}={s}"),
+                other => format!("{key}={other}"),
+            })
+            .collect();
+        out.push_str(&format!(
+            "  {:>11}  seq={} {} {}\n",
+            rel(entry.time_us),
+            entry.seq,
+            entry.kind,
+            fields.join(" ")
+        ));
+    }
+    if let Some(traces) = &bundle.traces {
+        let events = traces
+            .get("events")
+            .and_then(JsonValue::as_arr)
+            .map_or(0, |events| events.len());
+        out.push_str(&format!("traces: {events} events frozen in bundle\n"));
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let strs: Vec<&str> = args.iter().map(String::as_str).collect();
@@ -289,8 +401,19 @@ fn main() -> ExitCode {
                  \x20      kalis-trace --explain FILE      render alert provenance\n\
                  \x20      kalis-trace --chrome OUT FILE... export Chrome trace JSON\n\
                  \x20      kalis-trace --check FILE...     validate trace files\n\
-                 \x20      kalis-trace --ops-url HOST:PORT summarize a live node's /status"
+                 \x20      kalis-trace --ops-url HOST:PORT summarize a live node's /status\n\
+                 \x20      kalis-trace --diag FILE         render a kalis.diag.v1 bundle timeline"
             );
+            ExitCode::SUCCESS
+        }
+        Some((&"--diag", rest)) => {
+            let [path] = rest else {
+                die("--diag takes exactly one kalis.diag.v1 bundle file");
+            };
+            let text = read(path);
+            check_bundle(&text).unwrap_or_else(|e| die(&format!("{path}: invalid bundle: {e}")));
+            let bundle = DiagBundle::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            print!("{}", render_diag(&bundle));
             ExitCode::SUCCESS
         }
         Some((&"--ops-url", rest)) => {
@@ -391,8 +514,24 @@ mod tests {
         r#""peers":[{"id":"K2","health":"Suspect"}],"#,
         r#""hot_entities":[{"entity":"10.0.0.9","count":41,"error":2}],"#,
         r#""journal_dropped":0,"trace_dropped":3,"alerts":2,"#,
+        r#""diag_captures":2,"diag_ring_occupancy":14,"#,
+        r#""diag_last_trigger":"state-exhaustion","#,
         r#""slo":{"target_us":500,"p99_us":710,"breached":1}}"#
     );
+
+    /// Read until the blank line that ends the request head: answering
+    /// while the client is still writing races our close into an EPIPE
+    /// on the client's send.
+    fn drain_request_head(stream: &mut std::net::TcpStream) {
+        let mut buf = [0u8; 1024];
+        let mut seen: Vec<u8> = Vec::new();
+        while !seen.windows(4).any(|w| w == b"\r\n\r\n") {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => seen.extend_from_slice(&buf[..n]),
+            }
+        }
+    }
 
     /// One-shot canned ops endpoint on an ephemeral loopback port.
     fn canned_server(body: &'static str) -> std::net::SocketAddr {
@@ -400,8 +539,7 @@ mod tests {
         let addr = listener.local_addr().expect("addr");
         std::thread::spawn(move || {
             if let Ok((mut stream, _)) = listener.accept() {
-                let mut buf = [0u8; 1024];
-                let _ = stream.read(&mut buf);
+                drain_request_head(&mut stream);
                 let response = format!(
                     "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\n\
                      Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -436,6 +574,55 @@ mod tests {
         assert!(summary.contains("evicted      9"), "{summary}");
         assert!(summary.contains("10.0.0.9"), "{summary}");
         assert!(summary.contains("~41 packets (err 2)"), "{summary}");
+        assert!(
+            summary.contains("diag: captures 2  ring 14 frames  last trigger state-exhaustion"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn diag_bundle_renders_a_timeline_around_the_trigger() {
+        use kalis_telemetry::{FlightRecorder, Telemetry, Trigger, TRIGGER_MASK_ALL};
+        let tele = Telemetry::default();
+        let packets = tele.counter("packets.ingested");
+        tele.journal().record(
+            1_500_000,
+            kalis_telemetry::JournalEvent::StateEvicted {
+                structure: "module:ScanModule".to_owned(),
+                evicted: 3,
+            },
+        );
+        let mut rec = FlightRecorder::new(8, 1_000_000, TRIGGER_MASK_ALL);
+        packets.add(10);
+        rec.sample(1_000_000, &tele);
+        packets.add(25);
+        rec.sample(2_000_000, &tele);
+        let bundle = rec.capture(
+            Trigger::StateExhaustion,
+            3_000_000,
+            &tele,
+            "K1",
+            "fnv1a:0000000000000000",
+            None,
+            16,
+        );
+        // The rendered document round-trips through the parser first,
+        // like the CLI path does.
+        let parsed = DiagBundle::parse(&bundle.to_json()).expect("parses");
+        check_bundle(&bundle.to_json()).expect("checker accepts");
+        let out = render_diag(&parsed);
+        assert!(
+            out.contains("bundle K1-001-state-exhaustion  node K1  trigger state-exhaustion"),
+            "{out}"
+        );
+        assert!(out.contains("timeline (3 frames"), "{out}");
+        assert!(out.contains("t-2.000s"), "{out}");
+        assert!(out.contains("+packets.ingested 10"), "{out}");
+        assert!(out.contains("<<< state-exhaustion"), "{out}");
+        assert!(
+            out.contains("seq=0 state_evicted structure=module:ScanModule evicted=3"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -444,8 +631,7 @@ mod tests {
         let addr = listener.local_addr().expect("addr");
         std::thread::spawn(move || {
             if let Ok((mut stream, _)) = listener.accept() {
-                let mut buf = [0u8; 1024];
-                let _ = stream.read(&mut buf);
+                drain_request_head(&mut stream);
                 let _ = stream
                     .write_all(b"HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n");
             }

@@ -125,6 +125,14 @@ pub enum JournalEvent {
         /// Frames given extra latency.
         delayed: u64,
     },
+    /// The flight recorder latched a trigger and froze a diagnostics
+    /// bundle (`kalis.diag.v1`).
+    DiagCaptured {
+        /// Trigger name (`readiness-flip`, `slo-breached`, ...).
+        trigger: String,
+        /// Bundle id, fetchable via `/debug/diag/<id>`.
+        bundle: String,
+    },
     /// Free-form marker (bench stages, experiment boundaries).
     Marker { kind: String, detail: String },
 }
@@ -232,6 +240,10 @@ impl JournalEvent {
                 ("corrupted", Num(*corrupted)),
                 ("delayed", Num(*delayed)),
             ],
+            JournalEvent::DiagCaptured { trigger, bundle } => vec![
+                ("trigger", Str(trigger.clone())),
+                ("bundle", Str(bundle.clone())),
+            ],
             JournalEvent::Marker { kind, detail } => {
                 vec![("kind", Str(kind.clone())), ("detail", Str(detail.clone()))]
             }
@@ -261,6 +273,7 @@ impl JournalEvent {
             JournalEvent::PeerExpired { .. } => "peer_expired",
             JournalEvent::StateEvicted { .. } => "state_evicted",
             JournalEvent::FaultsInjected { .. } => "faults_injected",
+            JournalEvent::DiagCaptured { .. } => "diag_captured",
             JournalEvent::Marker { .. } => "marker",
         }
     }
@@ -370,6 +383,12 @@ impl Journal {
     /// Records currently retained.
     pub fn len(&self) -> usize {
         self.state.lock().records.len()
+    }
+
+    /// The next sequence number to be assigned — the count of records
+    /// ever appended, retained or not.
+    pub fn next_seq(&self) -> u64 {
+        self.state.lock().next_seq
     }
 
     /// Whether nothing has been retained.

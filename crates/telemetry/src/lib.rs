@@ -25,6 +25,7 @@ mod histogram;
 mod journal;
 pub mod json;
 pub mod provenance;
+pub mod recorder;
 mod registry;
 mod span;
 pub mod trace;
@@ -37,6 +38,11 @@ pub use journal::{
     Journal, JournalEvent, JournalField, JournalRecord, JournalSnapshot, DEFAULT_JOURNAL_CAPACITY,
 };
 pub use provenance::{AlertProvenance, EvidenceKnowgget, PacketRef, TraceRef};
+pub use recorder::{
+    check_bundle, config_fingerprint, DiagBundle, DiagJournalEntry, DiagStats, FlightRecorder,
+    Frame, Trigger, DEFAULT_JOURNAL_TAIL, DEFAULT_RING_DEPTH, DEFAULT_SNAPSHOT_INTERVAL_SECS,
+    DIAG_SCHEMA, TRIGGER_MASK_ALL,
+};
 pub use registry::{metric_name, Telemetry, TelemetrySnapshot};
 pub use span::SpanTimer;
 pub use trace::{
@@ -179,4 +185,11 @@ pub mod names {
     /// Synthesized into `/metrics` scrapes from the space-saving sketch
     /// rather than registered, so scrape cardinality stays capped at K.
     pub const HOT_ENTITY: &str = "hot.entity";
+    /// Diagnostics bundles captured by the flight recorder (counter).
+    pub const DIAG_CAPTURES: &str = "diag.captures";
+    /// Frames currently retained in the flight-recorder ring (gauge).
+    pub const DIAG_RING_OCCUPANCY: &str = "diag.ring_occupancy";
+    /// Trigger bit of the most recent diagnostics capture (gauge;
+    /// 0 = never captured, otherwise `Trigger::bit()` of the latch).
+    pub const DIAG_LAST_TRIGGER: &str = "diag.last_trigger";
 }

@@ -113,6 +113,23 @@ impl Telemetry {
         &self.journal
     }
 
+    /// Visit every registered counter as `(name, value)` in name order,
+    /// without cloning names or values — the flight recorder's per-tick
+    /// sampling path.
+    pub fn visit_counters(&self, mut f: impl FnMut(&str, u64)) {
+        for (name, counter) in self.counters.lock().iter() {
+            f(name, counter.get());
+        }
+    }
+
+    /// Visit every registered gauge as `(name, value)` in name order,
+    /// without cloning names or values.
+    pub fn visit_gauges(&self, mut f: impl FnMut(&str, u64)) {
+        for (name, gauge) in self.gauges.lock().iter() {
+            f(name, gauge.get());
+        }
+    }
+
     /// Point-in-time copy of every instrument.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot {

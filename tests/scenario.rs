@@ -16,12 +16,12 @@ use std::fs;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use kalis_bench::experiments::run_sync_resilience;
+use kalis_bench::experiments::{run_knowledge_sharing, run_sync_resilience};
 use kalis_bench::scenarios::{Scenario, ScenarioKind};
 use kalis_bench::scoring::score;
 use kalis_bench::Detection;
 use kalis_core::config::SourcePos;
-use kalis_core::{Kalis, KalisId};
+use kalis_core::{AttackKind, Kalis, KalisId};
 use kalis_packets::Timestamp;
 use kalis_scenario::report::render_json;
 use kalis_scenario::{exec, parse_scenario, run_parsed, run_scenario};
@@ -112,7 +112,7 @@ fn fixture_corpus_pins_codes_and_spans() {
 fn example_scenarios_all_pass_across_the_seed_matrix() {
     let seeds = [1, 2, 3];
     let files = scenario_files("examples/scenarios");
-    assert!(files.len() >= 7, "example corpus shrank: {files:?}");
+    assert!(files.len() >= 10, "example corpus shrank: {files:?}");
     for path in files {
         let name = path.file_name().unwrap().to_string_lossy().into_owned();
         let text = fs::read_to_string(&path).expect("readable example");
@@ -216,6 +216,36 @@ fn icmp_flood_scenario_file_matches_a_hand_built_node() {
             node.alerts().len(),
             "seed {seed}: alert counts diverged"
         );
+    }
+}
+
+/// The ported §VI-D knowledge-sharing scenario must reproduce the
+/// hand-coded harness's collaborative leg exactly: the same detection
+/// score over the same seeded two-tap trace, and the same wormhole
+/// verdict — while the isolated baseline still cannot see it.
+#[test]
+fn knowledge_sharing_scenario_file_matches_the_hand_coded_harness() {
+    let path = repo_path("examples/scenarios/knowledge_sharing.scn.kalis");
+    let text = fs::read_to_string(&path).expect("knowledge sharing scenario");
+    let spec = parse_scenario("knowledge_sharing.scn.kalis", &text).expect("valid scenario");
+    for seed in [42, 7] {
+        let evidence = exec::execute(&spec, seed);
+        let direct = run_knowledge_sharing(seed, 25);
+        assert_eq!(evidence.score, direct.score, "seed {seed}: scores diverged");
+        assert_eq!(
+            evidence.alerts.iter().any(|a| a.kind == "wormhole"),
+            direct.wormhole_identified,
+            "seed {seed}: wormhole verdict diverged"
+        );
+        assert!(
+            direct.wormhole_identified,
+            "seed {seed}: the pair must classify the wormhole"
+        );
+        assert!(
+            !direct.isolated_kinds.contains(&AttackKind::Wormhole),
+            "seed {seed}: isolated nodes must see only the local half"
+        );
+        assert!(direct.score.detection_rate() > 0.6, "seed {seed}");
     }
 }
 
